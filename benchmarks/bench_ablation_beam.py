@@ -1,0 +1,86 @@
+"""Ablation B — beam width k: quality, convergence and cost.
+
+§II.A asserts the adapted search "converges after a small number of
+iterations" and uses "a beam search with width k to prune the least
+promising candidates".  This bench sweeps k on a single decision tree so
+the exact optimum is available via leaf-box enumeration
+(:func:`brute_force_tree_candidates`), reporting:
+
+* best found ``diff`` / the optimal ``diff`` (1.0 = optimal);
+* iterations until convergence;
+* proposals evaluated (the search's work);
+* wall time (the benchmark metric).
+"""
+
+import numpy as np
+import pytest
+
+from repro.app.render import table
+from repro.constraints import lending_domain_constraints
+from repro.core import CandidateGenerator, brute_force_tree_candidates
+from repro.data import john_profile
+from repro.ml import DecisionTreeClassifier
+
+_RESULTS: dict[int, tuple] = {}
+
+
+@pytest.fixture(scope="module")
+def beam_setup(schema, history):
+    recent = history.window(2015, 2020)
+    tree = DecisionTreeClassifier(max_depth=6, random_state=0).fit(
+        recent.X, recent.y
+    )
+    scale = history.X.std(axis=0)
+    john = schema.vector(john_profile())
+    constraints = lending_domain_constraints(schema)
+    optimal = brute_force_tree_candidates(
+        tree, 0.5, john, schema, constraints, diff_scale=scale
+    )
+    assert optimal, "brute force must find candidates on this tree"
+    return tree, scale, john, constraints, optimal[0].diff
+
+
+@pytest.mark.parametrize("k", [1, 2, 4, 8, 16])
+def bench_beam_width(benchmark, k, schema, beam_setup):
+    tree, scale, john, constraints, optimal_diff = beam_setup
+
+    def run():
+        gen = CandidateGenerator(
+            tree,
+            0.5,
+            schema,
+            constraints,
+            k=k,
+            beam_width=k,
+            objective="diff",
+            max_iter=25,
+            diff_scale=scale,
+            random_state=0,
+        )
+        found = gen.generate(john, time=0)
+        return found, gen.last_stats_
+
+    found, stats = benchmark(run)
+    assert found, f"beam width {k} found no candidates"
+    best = min(c.diff for c in found)
+    ratio = best / optimal_diff if optimal_diff > 0 else float("inf")
+    _RESULTS[k] = (best, ratio, stats.iterations, stats.proposals_evaluated)
+    print(f"\n[ablB/k={k}] best diff {best:.3f}"
+          f" ({ratio:.2f}x optimal {optimal_diff:.3f}),"
+          f" {stats.iterations} iterations,"
+          f" {stats.proposals_evaluated} proposals")
+
+
+def bench_zz_beam_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _RESULTS:
+        pytest.skip("beam benches did not run")
+    rows = [
+        (k, f"{vals[0]:.3f}", f"{vals[1]:.2f}", vals[2], vals[3])
+        for k, vals in sorted(_RESULTS.items())
+    ]
+    print("\n[ablB] beam-width sweep (single tree, diff objective):\n"
+          + table(("k", "best diff", "x optimal", "iters", "proposals"), rows))
+    # wider beams should never do worse on quality
+    ratios = [vals[1] for _, vals in sorted(_RESULTS.items())]
+    assert ratios[-1] <= ratios[0] + 1e-9

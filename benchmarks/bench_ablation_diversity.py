@@ -1,0 +1,119 @@
+"""Ablation C — diverse vs greedy top-k selection.
+
+§II.B: "The diversity ensures that limiting the number of candidates does
+not lead to a degradation in the quality of the answers to user queries."
+This bench materialises a large candidate pool once, reduces it to k=8 by
+(a) greedy quality-only top-k and (b) the system's diverse max-min
+selection, and compares:
+
+* spread — minimum pairwise (scaled) distance within the selection;
+* answer quality — the best gap / diff / confidence retained, i.e. what
+  the Q2/Q4/Q5 canned queries would see after the reduction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.app.render import table
+from repro.constraints import lending_domain_constraints
+from repro.core import (
+    CandidateGenerator,
+    min_pairwise_distance,
+    select_diverse,
+    select_greedy,
+)
+from repro.core.objectives import OBJECTIVE_PRESETS
+from repro.data import john_profile
+
+K = 8
+
+
+@pytest.fixture(scope="module")
+def pool(schema, history, bench_forest):
+    scale = history.X.std(axis=0)
+    generator = CandidateGenerator(
+        bench_forest,
+        0.5,
+        schema,
+        lending_domain_constraints(schema),
+        k=64,  # oversized k -> effectively the whole pool survives
+        beam_width=12,
+        max_iter=15,
+        diff_scale=scale,
+        random_state=0,
+    )
+    john = schema.vector(john_profile())
+    candidates = generator.generate(john, time=0)
+    assert len(candidates) > K
+    return candidates, scale
+
+
+def _selection_stats(candidates, idx, scale):
+    chosen = [candidates[i] for i in idx]
+    points = np.vstack([c.x for c in chosen])
+    return {
+        "spread": min_pairwise_distance(points, scale=scale),
+        "best_gap": min(c.gap for c in chosen),
+        "best_diff": min(c.diff for c in chosen),
+        "best_p": max(c.confidence for c in chosen),
+    }
+
+
+def bench_diverse_selection(benchmark, pool):
+    candidates, scale = pool
+    objective = OBJECTIVE_PRESETS["balanced"]
+    quality = np.array([objective.key(c.metrics) for c in candidates])
+    points = np.vstack([c.x for c in candidates])
+
+    idx = benchmark(select_diverse, points, quality, K, scale=scale)
+    stats = _selection_stats(candidates, idx, scale)
+    print(f"\n[ablC/diverse] spread {stats['spread']:.3f},"
+          f" best gap {stats['best_gap']}, best diff {stats['best_diff']:.3f},"
+          f" best p {stats['best_p']:.2f}")
+
+
+def bench_greedy_selection(benchmark, pool):
+    candidates, scale = pool
+    objective = OBJECTIVE_PRESETS["balanced"]
+    quality = np.array([objective.key(c.metrics) for c in candidates])
+
+    idx = benchmark(select_greedy, quality, K)
+    stats = _selection_stats(candidates, idx, scale)
+    print(f"\n[ablC/greedy] spread {stats['spread']:.3f},"
+          f" best gap {stats['best_gap']}, best diff {stats['best_diff']:.3f},"
+          f" best p {stats['best_p']:.2f}")
+
+
+def bench_zz_comparison(benchmark, pool):
+    """Direct head-to-head table plus the paper's no-degradation check."""
+    candidates, scale = pool
+    objective = OBJECTIVE_PRESETS["balanced"]
+    quality = np.array([objective.key(c.metrics) for c in candidates])
+    points = np.vstack([c.x for c in candidates])
+
+    def run():
+        diverse = select_diverse(points, quality, K, scale=scale)
+        greedy = select_greedy(quality, K)
+        return diverse, greedy
+
+    diverse, greedy = benchmark(run)
+    d = _selection_stats(candidates, diverse, scale)
+    g = _selection_stats(candidates, greedy, scale)
+    full = {
+        "spread": float("nan"),
+        "best_gap": min(c.gap for c in candidates),
+        "best_diff": min(c.diff for c in candidates),
+        "best_p": max(c.confidence for c in candidates),
+    }
+    rows = [
+        (name, f"{s['spread']:.3f}", s["best_gap"],
+         f"{s['best_diff']:.3f}", f"{s['best_p']:.2f}")
+        for name, s in (("diverse", d), ("greedy", g), ("full pool", full))
+    ]
+    print("\n[ablC] k=8 selection comparison:\n"
+          + table(("selection", "min spread", "best gap", "best diff", "best p"),
+                  rows))
+    # diversity must spread at least as well as greedy...
+    assert d["spread"] >= g["spread"] - 1e-9
+    # ...and must not degrade the best-diff answer by more than 25%
+    assert d["best_diff"] <= full["best_diff"] * 1.25 + 1e-9

@@ -1,0 +1,99 @@
+"""Ablation A — future-model quality per forecasting strategy.
+
+§II.B claims the models generator's domain-adaptation approach produces
+useful approximations of future models.  The paper never quantifies this;
+this bench does, on the synthetic drifting policy where ground truth is
+known:
+
+* train every strategy on 2007-2015;
+* score the t-step-ahead models on fresh profiles labeled by the true
+  2015+t policy (AUC for ranking quality, accuracy at the calibrated
+  threshold for decision quality);
+* the 'oracle' strategy (trained on true future data) bounds what any
+  forecaster could achieve.
+
+Timing measures each strategy's model-generation cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.app.render import table
+from repro.ml import RandomForestClassifier, accuracy_score, roc_auc_score
+from repro.temporal import EDDStrategy, ModelsGenerator, OracleStrategy
+
+HORIZON = 3
+
+_RESULTS: dict[str, list[float]] = {}
+
+
+def _forest():
+    return RandomForestClassifier(n_estimators=20, max_depth=8, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def eval_sets(drifting_generator):
+    sets = {}
+    for t in range(HORIZON + 1):
+        year = 2015.0 + t
+        X = drifting_generator.sample_profiles(1_200)
+        p = drifting_generator.ground_truth_probability(X, year)
+        sets[t] = (X, (p > 0.5).astype(int))
+    return sets
+
+
+@pytest.fixture(scope="module")
+def drift_history(drifting_generator):
+    return drifting_generator.generate(
+        n_per_year=250, start_year=2007, end_year=2015
+    )
+
+
+def _evaluate(fm, eval_sets):
+    aucs, accs = [], []
+    for t in range(HORIZON + 1):
+        X, y = eval_sets[t]
+        scores = fm[t].score(X)
+        aucs.append(roc_auc_score(y, scores))
+        accs.append(accuracy_score(y, (scores > fm[t].threshold).astype(int)))
+    return aucs, accs
+
+
+@pytest.mark.parametrize(
+    "name", ["last", "full", "reweight", "weights", "edd", "oracle"]
+)
+def bench_strategy(benchmark, name, drift_history, eval_sets, drifting_generator):
+    if name == "edd":
+        strategy = EDDStrategy(n_herd=200)
+    elif name == "oracle":
+        strategy = OracleStrategy(drifting_generator, n_samples=600)
+    else:
+        strategy = name
+
+    def run():
+        return ModelsGenerator(
+            T=HORIZON, strategy=strategy, model_factory=_forest, random_state=0
+        ).generate(drift_history)
+
+    fm = benchmark.pedantic(run, rounds=1, iterations=1)
+    aucs, accs = _evaluate(fm, eval_sets)
+    _RESULTS[name] = [float(np.mean(aucs)), float(np.mean(accs)), *aucs]
+    print(f"\n[ablA/{name}] mean AUC {np.mean(aucs):.3f},"
+          f" mean acc {np.mean(accs):.3f},"
+          f" per-t AUC {[round(a, 3) for a in aucs]}")
+
+
+def bench_zz_summary(benchmark, eval_sets):
+    """Prints the collected comparison table (runs last alphabetically)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _RESULTS:
+        pytest.skip("per-strategy benches did not run")
+    rows = [
+        (name, f"{vals[0]:.3f}", f"{vals[1]:.3f}",
+         *(f"{v:.3f}" for v in vals[2:]))
+        for name, vals in _RESULTS.items()
+    ]
+    headers = ("strategy", "meanAUC", "meanACC",
+               *(f"AUC t={t}" for t in range(HORIZON + 1)))
+    print("\n[ablA] forecast-strategy comparison"
+          " (oracle = upper bound):\n" + table(headers, rows))

@@ -1,0 +1,67 @@
+"""Figure 2 — the six predefined queries, with their answers.
+
+Each bench runs one canned query against John's populated candidate
+database (the same rows the demo UI would query) and prints the answer
+row(s) the paper's figure promises.  Timings measure pure SQL latency on
+the SQLite store.
+"""
+
+from repro.db import (
+    q1_no_modification,
+    q2_minimal_features_set,
+    q3_dominant_feature,
+    q4_minimal_overall_modification,
+    q5_maximal_confidence,
+    q6_turning_point,
+)
+
+
+def bench_q1_no_modification(benchmark, bench_system, john_session):
+    result = benchmark(q1_no_modification, bench_system.store, "john")
+    print(f"\n[fig2/Q1] earliest no-modification approval time: {result}")
+
+
+def bench_q2_minimal_features_set(benchmark, bench_system, john_session):
+    row = benchmark(q2_minimal_features_set, bench_system.store, "john")
+    assert row is not None
+    print(f"\n[fig2/Q2] minimal features set: gap={row['gap']}"
+          f" at t={row['time']} (diff={row['diff']:.3f}, p={row['p']:.2f})")
+
+
+def bench_q3_dominant_feature(benchmark, bench_system, john_session):
+    result = benchmark(
+        q3_dominant_feature, bench_system.store, "john", "monthly_debt"
+    )
+    print(f"\n[fig2/Q3] 'monthly_debt' works alone at times {result['times']}"
+          f" of {result['all_times']} -> dominant={result['dominant']}")
+
+
+def bench_q4_minimal_overall(benchmark, bench_system, john_session):
+    row = benchmark(q4_minimal_overall_modification, bench_system.store, "john")
+    assert row is not None
+    print(f"\n[fig2/Q4] minimal overall modification: diff={row['diff']:.3f}"
+          f" at t={row['time']}")
+
+
+def bench_q5_maximal_confidence(benchmark, bench_system, john_session):
+    row = benchmark(q5_maximal_confidence, bench_system.store, "john")
+    assert row is not None
+    print(f"\n[fig2/Q5] maximal confidence: p={row['p']:.3f} at t={row['time']}"
+          f" (diff={row['diff']:.3f})")
+
+
+def bench_q6_turning_point(benchmark, bench_system, john_session):
+    result = benchmark(
+        q6_turning_point, bench_system.store, "john", 0.6
+    )
+    print(f"\n[fig2/Q6] turning point for alpha=0.6: t={result}")
+
+
+def bench_all_queries_via_insights(benchmark, john_session):
+    """The UI path: all six questions through the insight engine."""
+
+    def run():
+        return john_session.all_insights(alpha=0.6, feature="monthly_debt")
+
+    insights = benchmark(run)
+    assert len(insights) == 6

@@ -1,0 +1,49 @@
+"""Figure 3 / §III — the three-screen demonstration flow.
+
+Reenacts the demo: five denied applicants, each with personal preference
+constraints, walking Preferences -> Queries -> Insights.  The bench times
+one full applicant interaction (session + all insights); the transcript
+lines mirror what the demo screens display.
+"""
+
+import io
+
+from repro.app.cli import make_parser, run_demo
+from repro.data import LendingGenerator
+
+
+def bench_single_applicant_interaction(benchmark, bench_system):
+    generator = LendingGenerator(random_state=13)
+    profile = generator.sample_rejected(bench_system.time_values[0], n=1)[0]
+
+    def run():
+        session = bench_system.create_session(
+            "demo-applicant",
+            profile,
+            user_constraints=["gap <= 2"],
+        )
+        return session.all_insights(alpha=0.55, feature="monthly_debt")
+
+    insights = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(insights) == 6
+    print("\n[fig3] one applicant's insight headlines:")
+    for insight in insights:
+        print(f"  {insight.question}: {insight.text.splitlines()[0]}")
+
+
+def bench_five_applicant_demo(benchmark):
+    """The full scripted demo (its own small system, as the CLI builds one)."""
+    args = make_parser().parse_args(
+        ["--n-per-year", "100", "--horizon", "2", "--alpha", "0.55", "demo"]
+    )
+
+    def run():
+        out = io.StringIO()
+        run_demo(args, out)
+        return out.getvalue()
+
+    transcript = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert "applicant-5" in transcript
+    assert "Plans and Insights" in transcript
+    print(f"\n[fig3] demo transcript: {len(transcript.splitlines())} lines"
+          f" covering 5 applicants and 3 screens each")

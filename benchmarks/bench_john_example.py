@@ -1,0 +1,83 @@
+"""Example I.1 — static advice ages badly; future-aware advice does not.
+
+The paper's running example, generalised into a measurable artifact:
+
+* the *static* plan is the cheapest decision-altering modification against
+  the **present** model (what a single-model explainer such as [1]/[5]
+  would hand John today);
+* John follows it, two years pass (his profile drifts per the temporal
+  update function), and he reapplies: we transplant the static plan's
+  feature targets onto the drifted profile and score them under the model
+  **two years out**;
+* the *temporal* plan is what JustInTime generates directly against that
+  future model.
+
+Expected shape (the paper's motivation): the temporal plan is approved at
+its time point and needs no more effort than the transplanted static plan
+— frequently the static plan is outright rejected after the drift.
+"""
+
+import numpy as np
+
+from repro.constraints import l2_diff, lending_domain_constraints
+from repro.core import AdminConfig, CandidateGenerator, JustInTime
+from repro.data import john_profile, make_lending_dataset
+from repro.temporal import lending_update_function
+
+
+def bench_static_vs_temporal_plan(benchmark, schema):
+    history = make_lending_dataset(n_per_year=250, random_state=1)
+    system = JustInTime(
+        schema,
+        lending_update_function(schema),
+        AdminConfig(T=3, strategy="weights", k=6, max_iter=12, random_state=0),
+        domain_constraints=lending_domain_constraints(schema),
+    )
+    system.fit(history)
+    john = schema.vector(john_profile())
+    present, future = system.future_models[0], system.future_models[2]
+
+    def cheapest_plan(model, threshold, base, time):
+        generator = CandidateGenerator(
+            model,
+            threshold,
+            schema,
+            system.domain_constraints,
+            k=6,
+            objective="diff",
+            diff_scale=system.diff_scale,
+            random_state=0,
+        )
+        found = generator.generate(base, time=time)
+        return found[0] if found else None
+
+    def run():
+        static = cheapest_plan(present.model, present.threshold, john, 0)
+        assert static is not None, "no static plan exists"
+        drifted = system.update_function.apply(john, 2)
+        transplanted = drifted.copy()
+        for name, (_, to_value) in static.changes(john, schema).items():
+            transplanted[schema.index_of(name)] = to_value
+        transplanted = schema.clip(transplanted)
+        static_future_score = float(future.score(transplanted.reshape(1, -1))[0])
+        static_future_effort = l2_diff(transplanted, drifted, system.diff_scale)
+        temporal = cheapest_plan(future.model, future.threshold, drifted, 2)
+        return static, static_future_score, static_future_effort, temporal
+
+    static, static_score, static_effort, temporal = benchmark.pedantic(
+        run, rounds=3, iterations=1
+    )
+    static_ok = static_score > future.threshold
+    print(f"\n[john] static plan (vs present model): diff {static.diff:.3f},"
+          f" confidence now {static.confidence:.2f}")
+    print(f"[john] transplanted 2y later: score {static_score:.3f}"
+          f" (threshold {future.threshold:.2f})"
+          f" -> {'APPROVED' if static_ok else 'REJECTED'},"
+          f" effort {static_effort:.3f}")
+    assert temporal is not None, "JustInTime found no temporal plan"
+    print(f"[john] temporal plan built for t=2: confidence"
+          f" {temporal.confidence:.2f}, effort {temporal.diff:.3f}")
+    # the paper's claim: the future-aware plan achieves approval with no
+    # more effort than re-using today's advice after the drift
+    assert temporal.confidence > future.threshold
+    assert temporal.diff <= static_effort + 1e-9 or not static_ok

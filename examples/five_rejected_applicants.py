@@ -1,0 +1,23 @@
+"""The §III demonstration flow: five denied applications reenacted.
+
+Each applicant walks through the three screens — Personal Preferences,
+Queries, Plans and Insights — with a different preference profile, showing
+how constraints reshape the feasible plans.
+
+    python examples/five_rejected_applicants.py
+"""
+
+import sys
+
+from repro.app.cli import make_parser, run_demo
+
+
+def main() -> None:
+    args = make_parser().parse_args(
+        ["--n-per-year", "150", "--horizon", "3", "--alpha", "0.55", "demo"]
+    )
+    run_demo(args, sys.stdout)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: fit a JustInTime system and read all six insights.
+
+Runs the whole Figure-1 architecture on the synthetic lending data:
+models generator -> temporal inputs -> candidates generators -> relational
+store -> canned queries.
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    AdminConfig,
+    JustInTime,
+    john_profile,
+    lending_domain_constraints,
+    lending_schema,
+    lending_update_function,
+    make_lending_dataset,
+)
+
+
+def main() -> None:
+    schema = lending_schema()
+
+    # --- administrator: horizon of 4 future years, one model per year ----
+    config = AdminConfig(T=4, delta=1.0, strategy="last", k=6, random_state=0)
+    system = JustInTime(
+        schema,
+        lending_update_function(schema),
+        config,
+        domain_constraints=lending_domain_constraints(schema),
+    )
+
+    # --- models generator: timestamped history -> (M_t, delta_t) ---------
+    history = make_lending_dataset(n_per_year=200, random_state=1)
+    system.fit(history)
+    print(f"trained {len(system.future_models)} future models"
+          f" for calendar times {[round(v, 1) for v in system.time_values]}")
+
+    # --- user: John, 29, rejected today -----------------------------------
+    session = system.create_session(
+        "john",
+        john_profile(),
+        user_constraints=[
+            "annual_income <= base_annual_income * 1.2",  # at most +20% income
+            "gap <= 3",                                   # at most 3 changes
+        ],
+    )
+    print(f"John rejected now: {session.is_rejected_now()}"
+          f" (score {session.current_score():.3f})")
+    print(f"candidates stored: {system.store.candidate_count('john')}\n")
+
+    # --- insights: the six canned questions -------------------------------
+    for insight in session.all_insights(alpha=0.6, feature="monthly_debt"):
+        print(f"== {insight.title}")
+        print(insight.text)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Terminal frontend replacing the demo's JavaScript UI."""
+
+from repro.app.cli import build_system, main, run_demo, run_interactive, run_quickstart
+from repro.app.render import insight_block, profile_table, screen_header, table
+
+__all__ = [
+    "build_system",
+    "insight_block",
+    "main",
+    "profile_table",
+    "run_demo",
+    "run_interactive",
+    "run_quickstart",
+    "screen_header",
+    "table",
+]

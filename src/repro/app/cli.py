@@ -1,0 +1,268 @@
+"""Command-line frontend: the demo's three screens as a terminal app.
+
+Subcommands
+-----------
+
+``justintime demo``
+    Scripted reenactment of §III: five denied applicants walk through
+    Preferences → Queries → Insights with pre-set preferences.
+``justintime interactive``
+    The audience-participation mode: enter a profile and preferences,
+    pick canned questions, read insights.  Reads from stdin so it is
+    scriptable and testable.
+``justintime quickstart``
+    Minimal single-user run printing all six insights for John.
+
+All subcommands accept ``--n-per-year``, ``--strategy``, ``--horizon``
+and ``--seed`` to control the backing system.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO
+
+from repro.constraints import lending_domain_constraints
+from repro.core import AdminConfig, JustInTime, UserSession, load_system, save_system
+from repro.core.insights import QUESTIONS
+from repro.app.render import bar_chart, insight_block, profile_table, screen_header
+from repro.data import LendingGenerator, john_profile, lending_schema, make_lending_dataset
+from repro.temporal import lending_update_function
+
+__all__ = [
+    "build_system",
+    "main",
+    "run_admin",
+    "run_demo",
+    "run_interactive",
+    "run_quickstart",
+]
+
+
+def build_system(
+    n_per_year: int = 150,
+    strategy: str = "last",
+    horizon: int = 4,
+    seed: int = 0,
+    k: int = 6,
+    load: str | None = None,
+    db: str | None = None,
+) -> JustInTime:
+    """Construct (or load) a fitted lending JustInTime system.
+
+    With ``load`` set, the pre-trained system saved by ``justintime
+    admin --save`` is reconstructed instead of retraining — the paper's
+    deployment split between the administrator and the users.
+    """
+    store_path = db or ":memory:"
+    if load:
+        return load_system(load, store_path=store_path)
+    schema = lending_schema()
+    config = AdminConfig(T=horizon, strategy=strategy, k=k, random_state=seed)
+    system = JustInTime(
+        schema,
+        lending_update_function(schema),
+        config,
+        domain_constraints=lending_domain_constraints(schema),
+        store_path=store_path,
+    )
+    system.fit(make_lending_dataset(n_per_year=n_per_year, random_state=seed))
+    return system
+
+
+def _print_insights(session: UserSession, out: IO[str], alpha: float, feature: str) -> None:
+    out.write(screen_header("Plans and Insights") + "\n")
+    for insight in session.all_insights(alpha=alpha, feature=feature):
+        out.write(insight_block(insight) + "\n\n")
+    out.write(
+        bar_chart(
+            session.engine.confidence_series(),
+            title="best achievable confidence per time point:",
+            value_format="{:.2f}",
+        )
+        + "\n"
+    )
+    out.write(
+        bar_chart(
+            session.engine.effort_series(),
+            title="minimal required effort (diff) per time point:",
+        )
+        + "\n\n"
+    )
+
+
+def run_demo(args, out: IO[str] | None = None) -> int:
+    """Five denied applicants, each with different preferences (§III)."""
+    out = out if out is not None else sys.stdout
+    system = build_system(args.n_per_year, args.strategy, args.horizon,
+                          args.seed, load=args.load, db=args.db)
+    generator = LendingGenerator(random_state=args.seed + 13)
+    profiles = generator.sample_rejected(system.time_values[0], n=5)
+    preference_sets = [
+        [],  # no preferences
+        ["annual_income <= base_annual_income * 1.2"],
+        ["monthly_debt >= base_monthly_debt"],  # cannot reduce debt
+        ["gap <= 2"],
+        ["loan_amount == base_loan_amount", "household == base_household"],
+    ]
+    for i, (profile, prefs) in enumerate(zip(profiles, preference_sets), start=1):
+        user_id = f"applicant-{i}"
+        out.write(screen_header(f"Denied application {i}/5 — {user_id}") + "\n")
+        out.write(profile_table(system.schema, profile) + "\n")
+        out.write(screen_header("Personal Preferences") + "\n")
+        if prefs:
+            for p in prefs:
+                out.write(f"  constraint: {p}\n")
+        else:
+            out.write("  (no personal constraints)\n")
+        session = system.create_session(user_id, profile, user_constraints=prefs)
+        out.write(
+            f"present score: {session.current_score():.3f}"
+            f" (threshold {system.future_models[0].threshold:.2f})\n"
+        )
+        _print_insights(session, out, alpha=args.alpha, feature="monthly_debt")
+    return 0
+
+
+def run_quickstart(args, out: IO[str] | None = None) -> int:
+    """John's running example end to end."""
+    out = out if out is not None else sys.stdout
+    system = build_system(args.n_per_year, args.strategy, args.horizon,
+                          args.seed, load=args.load, db=args.db)
+    out.write(screen_header("JustInTime quickstart — John, 29") + "\n")
+    out.write(profile_table(system.schema, system.schema.vector(john_profile())) + "\n")
+    session = system.create_session(
+        "john",
+        john_profile(),
+        user_constraints=["annual_income <= base_annual_income * 1.2"],
+    )
+    out.write(f"rejected now: {session.is_rejected_now()}\n")
+    _print_insights(session, out, alpha=args.alpha, feature="monthly_debt")
+    return 0
+
+
+def run_interactive(
+    args, out: IO[str] | None = None, stdin: IO[str] | None = None
+) -> int:
+    """Audience-participation mode; reads answers line by line from stdin.
+
+    ``out``/``stdin`` resolve to the *current* sys streams at call time
+    (not import time) so test harnesses and REPL redirections work.
+    """
+    out = out if out is not None else sys.stdout
+    stdin = stdin if stdin is not None else sys.stdin
+    system = build_system(args.n_per_year, args.strategy, args.horizon,
+                          args.seed, load=args.load, db=args.db)
+    schema = system.schema
+
+    def ask(prompt: str, default: str) -> str:
+        out.write(f"{prompt} [{default}]: ")
+        out.flush()
+        line = stdin.readline()
+        if not line:
+            return default
+        line = line.strip()
+        return line or default
+
+    out.write(screen_header("Personal Preferences") + "\n")
+    defaults = john_profile()
+    values = {}
+    for spec in schema:
+        raw = ask(f"{spec.name} ({spec.description})", str(defaults[spec.name]))
+        try:
+            values[spec.name] = float(raw)
+        except ValueError:
+            out.write(f"  not a number, using default {defaults[spec.name]}\n")
+            values[spec.name] = float(defaults[spec.name])
+    constraints: list[str] = []
+    while True:
+        text = ask("add a constraint (empty to finish)", "")
+        if not text:
+            break
+        constraints.append(text)
+    session = system.create_session("participant", values, user_constraints=constraints)
+    out.write(screen_header("Queries") + "\n")
+    for qid, title in QUESTIONS.items():
+        out.write(f"  {qid}: {title}\n")
+    picked = ask("question ids to run, comma-separated", "q1,q2,q4,q5")
+    out.write(screen_header("Plans and Insights") + "\n")
+    for qid in (q.strip() for q in picked.split(",")):
+        if qid not in QUESTIONS:
+            out.write(f"  unknown question {qid!r}, skipping\n")
+            continue
+        params = {}
+        if qid == "q3":
+            params["feature"] = ask("dominant feature to test", "monthly_debt")
+        if qid == "q6":
+            params["alpha"] = float(ask("confidence level alpha", str(args.alpha)))
+        if qid == "q7":
+            params["budget"] = float(ask("effort budget (scaled diff)", "1.0"))
+        out.write(insight_block(session.ask(qid, **params)) + "\n\n")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="justintime",
+        description="JustInTime: personal temporal insights for altering"
+        " model decisions (ICDE 2019 reproduction)",
+    )
+    parser.add_argument("--n-per-year", type=int, default=150)
+    parser.add_argument(
+        "--strategy",
+        default="last",
+        choices=["last", "full", "reweight", "weights", "edd"],
+    )
+    parser.add_argument("--horizon", type=int, default=4, help="T, future points")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--alpha", type=float, default=0.55)
+    parser.add_argument(
+        "--load",
+        default=None,
+        help="load a pre-trained system saved by 'admin --save' instead of"
+        " retraining",
+    )
+    parser.add_argument(
+        "--db",
+        default=None,
+        help="candidate database file (default: in-memory)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="five denied applicants, scripted (§III)")
+    sub.add_parser("quickstart", help="John's running example")
+    sub.add_parser("interactive", help="enter your own profile")
+    admin = sub.add_parser(
+        "admin", help="train the future models once and save the system"
+    )
+    admin.add_argument("--save", required=True, help="output path (.pkl)")
+    return parser
+
+
+def run_admin(args, out: IO[str] | None = None) -> int:
+    """The administrator's offline step: fit once, persist to disk."""
+    out = out if out is not None else sys.stdout
+    system = build_system(
+        args.n_per_year, args.strategy, args.horizon, args.seed, db=args.db
+    )
+    save_system(system, args.save)
+    out.write(
+        f"trained {len(system.future_models)} future models"
+        f" (strategy={args.strategy}, T={args.horizon}) -> {args.save}\n"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    handlers = {
+        "demo": run_demo,
+        "quickstart": run_quickstart,
+        "interactive": run_interactive,
+        "admin": run_admin,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

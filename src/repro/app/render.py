@@ -1,0 +1,97 @@
+"""Text rendering for the CLI frontend.
+
+The original demo has a JavaScript frontend with three screens (Personal
+Preferences, Queries, Plans and Insights — Figure 3).  The CLI renders the
+same content as plain text: boxed screen headers, aligned tables for
+profiles/candidates, and the verbal insights produced by
+:mod:`repro.core.insights`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.insights import Insight
+from repro.data.schema import DatasetSchema
+
+__all__ = ["screen_header", "table", "profile_table", "insight_block", "bar_chart"]
+
+
+def screen_header(title: str, width: int = 72) -> str:
+    """Boxed screen title, e.g. the 'Plans and Insights' banner."""
+    inner = f" {title} "
+    pad = max(width - 2, len(inner))
+    return "\n".join(
+        [
+            "+" + "-" * pad + "+",
+            "|" + inner.center(pad) + "|",
+            "+" + "-" * pad + "+",
+        ]
+    )
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Monospace table with per-column alignment."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == int(cell) and abs(cell) < 1e15:
+            return f"{int(cell):,}"
+        return f"{cell:,.3f}"
+    if isinstance(cell, (int, np.integer)):
+        return f"{int(cell):,}"
+    return str(cell)
+
+
+def profile_table(schema: DatasetSchema, x, title: str = "profile") -> str:
+    """Render one profile vector with feature descriptions."""
+    x = np.asarray(x, dtype=float).ravel()
+    rows = [
+        (spec.name, _fmt(float(v)), spec.description)
+        for spec, v in zip(schema.features, x)
+    ]
+    return f"{title}:\n" + table(("feature", "value", "description"), rows)
+
+
+def bar_chart(
+    series: Sequence[tuple[int, float | None]],
+    title: str = "",
+    width: int = 40,
+    value_format: str = "{:.3f}",
+) -> str:
+    """ASCII bar chart of a per-time-point series (the 'graphic insight').
+
+    ``None`` values render as an empty bar with a dash, so gaps in the
+    horizon stay visible.
+    """
+    values = [v for _, v in series if v is not None]
+    top = max(values) if values else 1.0
+    top = top if top > 0 else 1.0
+    lines = [title] if title else []
+    for t, value in series:
+        if value is None:
+            lines.append(f"  t={t} | {'':<{width}} -")
+            continue
+        filled = int(round(width * value / top))
+        bar = "#" * filled
+        lines.append(f"  t={t} | {bar:<{width}} " + value_format.format(value))
+    return "\n".join(lines)
+
+
+def insight_block(insight: Insight) -> str:
+    """Render one insight with its question title."""
+    bar = "-" * min(len(insight.title), 72)
+    return f"{insight.title}\n{bar}\n{insight.text}"

@@ -1,0 +1,74 @@
+"""Constraints language: AST, DSL parser, evaluation, builders, presets.
+
+Implements Definition II.2 — a constraints function ``C`` mapping an input
+``x`` to its set of valid modifications ``C(x)`` — as arbitrary and/or
+trees of linear inequalities over features, ``base_<feature>`` references
+and the special properties ``diff`` / ``gap`` / ``confidence`` / ``time``.
+"""
+
+from repro.constraints.ast import (
+    And,
+    BinOp,
+    BoolExpr,
+    Comparison,
+    EvalContext,
+    Expr,
+    Not,
+    Num,
+    Or,
+    TrueExpr,
+    Var,
+)
+from repro.constraints.builders import (
+    bounds,
+    freeze,
+    max_changes,
+    max_decrease_pct,
+    max_effort,
+    max_increase_pct,
+    min_confidence,
+    no_decrease,
+    no_increase,
+)
+from repro.constraints.domain import (
+    lending_domain_constraints,
+    schema_domain_constraints,
+)
+from repro.constraints.evaluate import (
+    ConstraintsFunction,
+    ScopedConstraint,
+    l0_gap,
+    l2_diff,
+)
+from repro.constraints.parser import parse_constraint, tokenize
+
+__all__ = [
+    "And",
+    "BinOp",
+    "BoolExpr",
+    "Comparison",
+    "ConstraintsFunction",
+    "EvalContext",
+    "Expr",
+    "Not",
+    "Num",
+    "Or",
+    "ScopedConstraint",
+    "TrueExpr",
+    "Var",
+    "bounds",
+    "freeze",
+    "l0_gap",
+    "l2_diff",
+    "lending_domain_constraints",
+    "max_changes",
+    "max_decrease_pct",
+    "max_effort",
+    "max_increase_pct",
+    "min_confidence",
+    "no_decrease",
+    "no_increase",
+    "parse_constraint",
+    "schema_domain_constraints",
+    "tokenize",
+]

@@ -1,0 +1,157 @@
+"""Programmatic constraint builders.
+
+The demo UI's Personal Preferences screen offers structured widgets
+("don't change my address", "income can grow at most 20%"); these helpers
+are the backend equivalents, producing :class:`ScopedConstraint` objects
+without going through DSL text.  They compose with :meth:`ConstraintsFunction.add`.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.ast import (
+    And,
+    BinOp,
+    BoolExpr,
+    Comparison,
+    Num,
+    Var,
+)
+from repro.constraints.evaluate import ScopedConstraint
+from repro.exceptions import ConstraintError
+
+__all__ = [
+    "freeze",
+    "bounds",
+    "no_decrease",
+    "no_increase",
+    "max_increase_pct",
+    "max_decrease_pct",
+    "max_changes",
+    "max_effort",
+    "min_confidence",
+]
+
+
+def _base(feature: str) -> Var:
+    return Var(f"base_{feature}")
+
+
+def freeze(*features: str, times=None) -> ScopedConstraint:
+    """The user will not modify the listed features at all.
+
+    Emits ``feature == base_feature`` per feature, conjoined.
+    """
+    if not features:
+        raise ConstraintError("freeze() needs at least one feature")
+    comparisons: list[BoolExpr] = [
+        Comparison("==", Var(f), _base(f)) for f in features
+    ]
+    expr = comparisons[0] if len(comparisons) == 1 else And(tuple(comparisons))
+    return ScopedConstraint(expr, _scope(times), f"freeze({', '.join(features)})")
+
+
+def bounds(
+    feature: str,
+    lower: float | None = None,
+    upper: float | None = None,
+    times=None,
+) -> ScopedConstraint:
+    """Keep ``feature`` within ``[lower, upper]`` (either side optional)."""
+    parts: list[BoolExpr] = []
+    if lower is not None:
+        parts.append(Comparison(">=", Var(feature), Num(float(lower))))
+    if upper is not None:
+        parts.append(Comparison("<=", Var(feature), Num(float(upper))))
+    if not parts:
+        raise ConstraintError("bounds() needs at least one of lower/upper")
+    expr = parts[0] if len(parts) == 1 else And(tuple(parts))
+    return ScopedConstraint(
+        expr, _scope(times), f"bounds({feature}, {lower}, {upper})"
+    )
+
+
+def no_decrease(feature: str, times=None) -> ScopedConstraint:
+    """Feature may only grow relative to the (temporal) input value."""
+    return ScopedConstraint(
+        Comparison(">=", Var(feature), _base(feature)),
+        _scope(times),
+        f"no_decrease({feature})",
+    )
+
+
+def no_increase(feature: str, times=None) -> ScopedConstraint:
+    """Feature may only shrink relative to the (temporal) input value."""
+    return ScopedConstraint(
+        Comparison("<=", Var(feature), _base(feature)),
+        _scope(times),
+        f"no_increase({feature})",
+    )
+
+
+def max_increase_pct(feature: str, pct: float, times=None) -> ScopedConstraint:
+    """Feature may grow by at most ``pct`` percent of its input value.
+
+    E.g. ``max_increase_pct('annual_income', 20)`` — "I cannot raise my
+    income beyond +20%" from the paper's introduction.
+    """
+    if pct < 0:
+        raise ConstraintError("pct must be non-negative")
+    factor = 1.0 + pct / 100.0
+    return ScopedConstraint(
+        Comparison("<=", Var(feature), BinOp("*", _base(feature), Num(factor))),
+        _scope(times),
+        f"max_increase_pct({feature}, {pct})",
+    )
+
+
+def max_decrease_pct(feature: str, pct: float, times=None) -> ScopedConstraint:
+    """Feature may shrink by at most ``pct`` percent of its input value."""
+    if pct < 0:
+        raise ConstraintError("pct must be non-negative")
+    factor = 1.0 - pct / 100.0
+    return ScopedConstraint(
+        Comparison(">=", Var(feature), BinOp("*", _base(feature), Num(factor))),
+        _scope(times),
+        f"max_decrease_pct({feature}, {pct})",
+    )
+
+
+def max_changes(k: int, times=None) -> ScopedConstraint:
+    """Modify at most ``k`` features (``gap <= k``)."""
+    if k < 0:
+        raise ConstraintError("k must be non-negative")
+    return ScopedConstraint(
+        Comparison("<=", Var("gap"), Num(float(k))),
+        _scope(times),
+        f"max_changes({k})",
+    )
+
+
+def max_effort(max_diff: float, times=None) -> ScopedConstraint:
+    """Bound the overall modification magnitude (``diff <= max_diff``)."""
+    if max_diff < 0:
+        raise ConstraintError("max_diff must be non-negative")
+    return ScopedConstraint(
+        Comparison("<=", Var("diff"), Num(float(max_diff))),
+        _scope(times),
+        f"max_effort({max_diff})",
+    )
+
+
+def min_confidence(alpha: float, times=None) -> ScopedConstraint:
+    """Require a model score of at least ``alpha`` (``confidence >= alpha``)."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ConstraintError("alpha must be in [0, 1]")
+    return ScopedConstraint(
+        Comparison(">=", Var("confidence"), Num(float(alpha))),
+        _scope(times),
+        f"min_confidence({alpha})",
+    )
+
+
+def _scope(times) -> frozenset[int] | None:
+    if times is None:
+        return None
+    if isinstance(times, int):
+        return frozenset([times])
+    return frozenset(int(t) for t in times)

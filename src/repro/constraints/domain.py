@@ -1,0 +1,59 @@
+"""Domain-constraint presets.
+
+"The administrator may define global Domain constraints derived from the
+domain characteristics (such as database integrity constraints), that will
+be imposed on all users" (§I).  For the lending scenario these are
+physical-integrity rules every candidate must satisfy regardless of user
+preferences, plus schema-driven rules generated mechanically:
+
+* immutable features (``mutable=False`` in the schema) are frozen;
+* bounded features stay within their physical bounds.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.builders import bounds, freeze
+from repro.constraints.evaluate import ConstraintsFunction
+from repro.data.schema import DatasetSchema
+
+__all__ = ["schema_domain_constraints", "lending_domain_constraints"]
+
+
+def schema_domain_constraints(
+    schema: DatasetSchema, diff_scale=None
+) -> ConstraintsFunction:
+    """Mechanically derive domain constraints from schema metadata.
+
+    Every immutable feature is frozen against the temporal input, and
+    every bound in the schema becomes a hard constraint — this mirrors
+    database integrity constraints derived from the domain.
+    """
+    fn = ConstraintsFunction(schema, diff_scale=diff_scale)
+    immutable = [f.name for f in schema if not f.mutable]
+    if immutable:
+        fn.add(freeze(*immutable))
+    for feature in schema:
+        if feature.lower is not None or feature.upper is not None:
+            fn.add(bounds(feature.name, feature.lower, feature.upper))
+    return fn
+
+
+def lending_domain_constraints(
+    schema: DatasetSchema, diff_scale=None
+) -> ConstraintsFunction:
+    """Domain constraints for the loan-application scenario.
+
+    Schema-derived rules plus lending-specific sanity constraints: debt
+    service must stay below income (a standard underwriting integrity
+    rule), expressed as ``monthly_debt * 12 <= annual_income``.
+    """
+    fn = schema_domain_constraints(schema, diff_scale=diff_scale)
+    fn.add(
+        "monthly_debt * 12 <= annual_income",
+        label="debt service within income",
+    )
+    fn.add(
+        "seniority <= age - 18",
+        label="seniority within working years",
+    )
+    return fn

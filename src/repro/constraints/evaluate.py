@@ -1,0 +1,265 @@
+"""Constraints-function evaluation (Definition II.2).
+
+A :class:`ConstraintsFunction` decides, for a candidate modification
+``x'`` of an input ``x``, whether ``x' ∈ C(x)``.  Each member constraint
+is a boolean AST (from the DSL or the builders) scoped either to all time
+points or to an explicit set of them — the paper allows "constraints
+[that] may refer to a single point in time or all of them".
+
+The three special candidate properties are computed here so that the
+constraints layer, the objectives layer and the DB rows all share one
+definition:
+
+* ``diff`` — l2 distance between ``x'`` and ``x`` (optionally in a
+  feature-scaled space, see :func:`l2_diff`);
+* ``gap`` — number of modified coordinates (:func:`l0_gap`);
+* ``confidence`` — model score ``M_t(x')``, supplied by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constraints.ast import BoolExpr, EvalContext, TrueExpr
+from repro.constraints.parser import parse_constraint
+from repro.data.schema import DatasetSchema
+from repro.exceptions import ConstraintError
+
+__all__ = ["l2_diff", "l0_gap", "ScopedConstraint", "ConstraintsFunction"]
+
+_GAP_TOLERANCE = 1e-9
+
+
+def l2_diff(x_prime, x, scale=None) -> float:
+    """l2 distance between candidate and input, optionally feature-scaled.
+
+    ``scale`` (per-feature positive divisors, e.g. training-set standard
+    deviations) makes distances comparable across features with very
+    different units — income in dollars vs seniority in years.
+    """
+    x_prime = np.asarray(x_prime, dtype=float).ravel()
+    x = np.asarray(x, dtype=float).ravel()
+    if x_prime.shape != x.shape:
+        raise ConstraintError(
+            f"shape mismatch in diff: {x_prime.shape} vs {x.shape}"
+        )
+    delta = x_prime - x
+    if scale is not None:
+        scale = np.asarray(scale, dtype=float).ravel()
+        if scale.shape != x.shape:
+            raise ConstraintError("scale shape mismatch")
+        if (scale <= 0).any():
+            raise ConstraintError("scale entries must be positive")
+        delta = delta / scale
+    return float(np.linalg.norm(delta))
+
+
+def l0_gap(x_prime, x) -> int:
+    """Number of coordinates in which the candidate differs from the input."""
+    x_prime = np.asarray(x_prime, dtype=float).ravel()
+    x = np.asarray(x, dtype=float).ravel()
+    if x_prime.shape != x.shape:
+        raise ConstraintError(
+            f"shape mismatch in gap: {x_prime.shape} vs {x.shape}"
+        )
+    return int(np.sum(np.abs(x_prime - x) > _GAP_TOLERANCE))
+
+
+@dataclass(frozen=True)
+class ScopedConstraint:
+    """A boolean constraint plus the time points it applies to.
+
+    ``times=None`` applies at every time point; otherwise a frozenset of
+    integer time indices.
+    """
+
+    expr: BoolExpr
+    times: frozenset[int] | None = None
+    label: str = ""
+
+    def applies_at(self, time: int) -> bool:
+        return self.times is None or time in self.times
+
+    def __str__(self) -> str:
+        scope = "all t" if self.times is None else f"t in {sorted(self.times)}"
+        return f"[{scope}] {self.expr}"
+
+
+class ConstraintsFunction:
+    """Conjunction of scoped constraints over a feature schema.
+
+    In JustInTime "constraints specified by the administrator and the user
+    are joined" — :meth:`conjoin` implements exactly that join, and the
+    result is again a :class:`ConstraintsFunction`.
+
+    Parameters
+    ----------
+    schema:
+        Feature schema; every identifier in every constraint must be a
+        schema feature, a ``base_``-prefixed schema feature, or one of the
+        special properties.
+    constraints:
+        Initial scoped constraints (optional).
+    diff_scale:
+        Optional per-feature divisors applied inside ``diff``.
+    """
+
+    def __init__(
+        self,
+        schema: DatasetSchema,
+        constraints: list[ScopedConstraint] | None = None,
+        diff_scale=None,
+    ):
+        self.schema = schema
+        self.diff_scale = (
+            None if diff_scale is None else np.asarray(diff_scale, dtype=float)
+        )
+        self._constraints: list[ScopedConstraint] = []
+        for constraint in constraints or []:
+            self._add_checked(constraint)
+
+    # ------------------------------------------------------------ building
+
+    def _add_checked(self, constraint: ScopedConstraint) -> None:
+        from repro.constraints.ast import BASE_PREFIX, SPECIAL_VARS
+
+        for name in constraint.expr.variables():
+            stripped = (
+                name[len(BASE_PREFIX):] if name.startswith(BASE_PREFIX) else None
+            )
+            known = (
+                name in self.schema
+                or name in SPECIAL_VARS
+                or (stripped is not None and stripped in self.schema)
+            )
+            if not known:
+                raise ConstraintError(
+                    f"constraint references unknown identifier {name!r}"
+                    f" (schema features: {self.schema.names})"
+                )
+        self._constraints.append(constraint)
+
+    def add(
+        self,
+        constraint: str | BoolExpr | ScopedConstraint,
+        *,
+        times=None,
+        label: str = "",
+    ) -> "ConstraintsFunction":
+        """Add a constraint (DSL text, AST, or pre-scoped) and return self.
+
+        ``times`` may be an int, an iterable of ints, or ``None`` for all
+        time points.
+        """
+        if isinstance(constraint, ScopedConstraint):
+            self._add_checked(constraint)
+            return self
+        if isinstance(constraint, str):
+            expr = parse_constraint(constraint)
+            label = label or constraint
+        else:
+            expr = constraint
+        if times is None:
+            scope = None
+        elif isinstance(times, int):
+            scope = frozenset([times])
+        else:
+            scope = frozenset(int(t) for t in times)
+        self._add_checked(ScopedConstraint(expr, scope, label))
+        return self
+
+    def conjoin(self, other: "ConstraintsFunction") -> "ConstraintsFunction":
+        """Return the conjunction of this function with ``other``.
+
+        This is how admin (domain) and user (preference) constraints are
+        combined into the single ``C_t`` the generators receive.
+        """
+        if other.schema != self.schema:
+            raise ConstraintError("cannot conjoin constraints over different schemas")
+        scale = self.diff_scale if self.diff_scale is not None else other.diff_scale
+        return ConstraintsFunction(
+            self.schema,
+            list(self._constraints) + list(other._constraints),
+            diff_scale=scale,
+        )
+
+    @property
+    def constraints(self) -> tuple[ScopedConstraint, ...]:
+        return tuple(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __repr__(self) -> str:
+        inner = "; ".join(str(c) for c in self._constraints) or "true"
+        return f"ConstraintsFunction({inner})"
+
+    # ---------------------------------------------------------- evaluation
+
+    def context(
+        self,
+        x_prime,
+        x_base,
+        *,
+        confidence: float,
+        time: int,
+    ) -> EvalContext:
+        """Build the evaluation context for candidate ``x_prime``.
+
+        ``x_base`` is the *temporal input* at the same time point (i.e.
+        ``f(x, t)``), which is what diff/gap are measured against — a
+        feature that merely drifted with time is not a user modification.
+        """
+        x_prime = np.asarray(x_prime, dtype=float).ravel()
+        x_base = np.asarray(x_base, dtype=float).ravel()
+        return EvalContext(
+            features=self.schema.as_dict(x_prime),
+            base=self.schema.as_dict(x_base),
+            special={
+                "diff": l2_diff(x_prime, x_base, self.diff_scale),
+                "gap": float(l0_gap(x_prime, x_base)),
+                "confidence": float(confidence),
+                "time": float(time),
+            },
+        )
+
+    def is_valid(
+        self,
+        x_prime,
+        x_base,
+        *,
+        confidence: float,
+        time: int,
+    ) -> bool:
+        """Whether ``x_prime ∈ C(x)`` at time point ``time``."""
+        ctx = self.context(x_prime, x_base, confidence=confidence, time=time)
+        return all(
+            c.expr.evaluate(ctx)
+            for c in self._constraints
+            if c.applies_at(time)
+        )
+
+    def violated(
+        self,
+        x_prime,
+        x_base,
+        *,
+        confidence: float,
+        time: int,
+    ) -> list[ScopedConstraint]:
+        """Return the constraints ``x_prime`` violates (for diagnostics/UI)."""
+        ctx = self.context(x_prime, x_base, confidence=confidence, time=time)
+        return [
+            c
+            for c in self._constraints
+            if c.applies_at(time) and not c.expr.evaluate(ctx)
+        ]
+
+    @staticmethod
+    def unconstrained(schema: DatasetSchema) -> "ConstraintsFunction":
+        """The trivial constraints function: every modification is valid."""
+        return ConstraintsFunction(
+            schema, [ScopedConstraint(TrueExpr(), None, "true")]
+        )

@@ -1,0 +1,260 @@
+"""Recursive-descent parser for the constraints DSL.
+
+Grammar (standard precedence, lowest first)::
+
+    or_expr     := and_expr ( OR and_expr )*
+    and_expr    := not_expr ( AND not_expr )*
+    not_expr    := NOT not_expr | comparison | '(' or_expr ')'
+    comparison  := additive CMP additive
+    additive    := multiplic ( ('+' | '-') multiplic )*
+    multiplic   := unary ( ('*' | '/') unary )*
+    unary       := '-' unary | primary
+    primary     := NUMBER | IDENT | 'true' | '(' additive ')'
+
+Example inputs::
+
+    income <= 120_000 and (monthly_debt < 500 or gap <= 2)
+    confidence >= 0.8
+    annual_income <= base_annual_income * 1.2
+    not (loan_amount > 50000)
+
+Notes:
+
+* numbers accept ``_`` digit separators and scientific notation;
+* ``and`` / ``or`` / ``not`` are case-insensitive keywords;
+* parentheses inside a comparison group arithmetic, outside they group
+  boolean structure — the parser disambiguates by lookahead.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.constraints.ast import (
+    And,
+    ArithExpr,
+    BinOp,
+    BoolExpr,
+    Comparison,
+    Not,
+    Num,
+    Or,
+    TrueExpr,
+    Var,
+)
+from repro.exceptions import ConstraintParseError
+
+__all__ = ["parse_constraint", "tokenize", "Token"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>(\d[\d_]*\.?[\d_]*|\.\d[\d_]*)([eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|==|!=|<|>|[-+*/()])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "true"}
+_COMPARISONS = ("<=", ">=", "==", "!=", "<", ">")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'number' | 'ident' | 'op' | 'keyword'
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convert DSL text to a token list; raises on unknown characters."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ConstraintParseError(
+                f"unexpected character {text[pos]!r} at position {pos}", pos
+            )
+        if match.lastgroup != "ws":
+            kind = match.lastgroup
+            value = match.group()
+            if kind == "ident" and value.lower() in _KEYWORDS:
+                kind, value = "keyword", value.lower()
+            tokens.append(Token(kind, value, pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source: str):
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+
+    # -------------------------------------------------------------- stream
+
+    def peek(self, offset: int = 0) -> Token | None:
+        i = self.index + offset
+        return self.tokens[i] if i < len(self.tokens) else None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ConstraintParseError(
+                f"unexpected end of input in {self.source!r}", len(self.source)
+            )
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> Token:
+        token = self.advance()
+        if token.text != text:
+            raise ConstraintParseError(
+                f"expected {text!r} but found {token.text!r}"
+                f" at position {token.position}",
+                token.position,
+            )
+        return token
+
+    def at(self, text: str) -> bool:
+        token = self.peek()
+        return token is not None and token.text == text
+
+    # ------------------------------------------------------------- grammar
+
+    def parse(self) -> BoolExpr:
+        expr = self.or_expr()
+        leftover = self.peek()
+        if leftover is not None:
+            raise ConstraintParseError(
+                f"unexpected trailing input {leftover.text!r}"
+                f" at position {leftover.position}",
+                leftover.position,
+            )
+        return expr
+
+    def or_expr(self) -> BoolExpr:
+        operands = [self.and_expr()]
+        while self.at("or"):
+            self.advance()
+            operands.append(self.and_expr())
+        return operands[0] if len(operands) == 1 else Or(tuple(operands))
+
+    def and_expr(self) -> BoolExpr:
+        operands = [self.not_expr()]
+        while self.at("and"):
+            self.advance()
+            operands.append(self.not_expr())
+        return operands[0] if len(operands) == 1 else And(tuple(operands))
+
+    def not_expr(self) -> BoolExpr:
+        if self.at("not"):
+            self.advance()
+            return Not(self.not_expr())
+        if self.at("true"):
+            self.advance()
+            return TrueExpr()
+        if self.at("(") and self._paren_is_boolean():
+            self.advance()
+            inner = self.or_expr()
+            self.expect(")")
+            return inner
+        return self.comparison()
+
+    def _paren_is_boolean(self) -> bool:
+        """Lookahead: does this '(' open a boolean group (vs arithmetic)?
+
+        Scan to the matching ')'; if a boolean keyword or comparison
+        operator occurs at depth >= 1 before it closes, the group is
+        boolean.  A comparison operator appearing right *after* the
+        matching ')' means the parenthesis was arithmetic.
+        """
+        depth = 0
+        for offset in range(len(self.tokens) - self.index):
+            token = self.peek(offset)
+            if token is None:
+                break
+            if token.text == "(":
+                depth += 1
+            elif token.text == ")":
+                depth -= 1
+                if depth == 0:
+                    return False  # closed without boolean content
+            elif depth >= 1 and (
+                token.kind == "keyword" or token.text in _COMPARISONS
+            ):
+                return True
+        return False
+
+    def comparison(self) -> Comparison:
+        left = self.additive()
+        token = self.peek()
+        if token is None or token.text not in _COMPARISONS:
+            where = token.position if token else len(self.source)
+            raise ConstraintParseError(
+                f"expected a comparison operator at position {where}"
+                f" in {self.source!r}",
+                where,
+            )
+        self.advance()
+        right = self.additive()
+        return Comparison(token.text, left, right)
+
+    def additive(self) -> ArithExpr:
+        expr = self.multiplicative()
+        while self.at("+") or self.at("-"):
+            op = self.advance().text
+            expr = BinOp(op, expr, self.multiplicative())
+        return expr
+
+    def multiplicative(self) -> ArithExpr:
+        expr = self.unary()
+        while self.at("*") or self.at("/"):
+            token = self.advance()
+            right = self.unary()
+            try:
+                expr = BinOp(token.text, expr, right)
+            except ConstraintParseError:
+                raise
+            except Exception as exc:  # non-linear structure
+                raise ConstraintParseError(
+                    f"{exc} at position {token.position}", token.position
+                ) from exc
+        return expr
+
+    def unary(self) -> ArithExpr:
+        if self.at("-"):
+            self.advance()
+            return BinOp("-", Num(0.0), self.unary())
+        return self.primary()
+
+    def primary(self) -> ArithExpr:
+        token = self.advance()
+        if token.kind == "number":
+            return Num(float(token.text.replace("_", "")))
+        if token.kind == "ident":
+            return Var(token.text)
+        if token.text == "(":
+            inner = self.additive()
+            self.expect(")")
+            return inner
+        raise ConstraintParseError(
+            f"unexpected token {token.text!r} at position {token.position}",
+            token.position,
+        )
+
+
+def parse_constraint(text: str) -> BoolExpr:
+    """Parse DSL ``text`` into a boolean expression AST.
+
+    Raises :class:`~repro.exceptions.ConstraintParseError` with the
+    offending position on malformed input.  An empty/blank string parses
+    to the always-true constraint.
+    """
+    tokens = tokenize(text)
+    if not tokens:
+        return TrueExpr()
+    return _Parser(tokens, text).parse()

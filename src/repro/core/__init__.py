@@ -1,0 +1,61 @@
+"""Core contribution: candidate generation, insights and the system facade."""
+
+from repro.core.candidates import (
+    Candidate,
+    CandidateGenerator,
+    SearchStats,
+    brute_force_tree_candidates,
+)
+from repro.core.diversity import min_pairwise_distance, select_diverse, select_greedy
+from repro.core.evaluation import CandidateSetReport, evaluate_session
+from repro.core.insights import QUESTIONS, Insight, InsightEngine
+from repro.core.moves import (
+    GradientMoveProposer,
+    MoveProposer,
+    RandomMoveProposer,
+    ThresholdMoveProposer,
+    default_proposers,
+)
+from repro.core.objectives import (
+    OBJECTIVE_PRESETS,
+    CandidateMetrics,
+    Objective,
+    get_objective,
+    measure,
+)
+from repro.core.persistence import load_system, save_system
+from repro.core.plans import FeatureChange, Plan, build_plan
+from repro.core.system import AdminConfig, JustInTime, UserSession
+
+__all__ = [
+    "AdminConfig",
+    "Candidate",
+    "CandidateGenerator",
+    "CandidateMetrics",
+    "CandidateSetReport",
+    "evaluate_session",
+    "FeatureChange",
+    "GradientMoveProposer",
+    "Insight",
+    "InsightEngine",
+    "JustInTime",
+    "MoveProposer",
+    "OBJECTIVE_PRESETS",
+    "Objective",
+    "Plan",
+    "QUESTIONS",
+    "RandomMoveProposer",
+    "SearchStats",
+    "ThresholdMoveProposer",
+    "UserSession",
+    "brute_force_tree_candidates",
+    "build_plan",
+    "load_system",
+    "save_system",
+    "default_proposers",
+    "get_objective",
+    "measure",
+    "min_pairwise_distance",
+    "select_diverse",
+    "select_greedy",
+]

@@ -1,0 +1,358 @@
+"""Decision-altering candidate generation (Definitions II.3, §II.A).
+
+The generator searches for modifications ``x'`` of the (temporal) input
+``x`` with ``x' ∈ C(x)`` and ``M_t(x') > δ_t``.  Finding an optimal
+candidate is NP-hard for forests and neural networks, so — following the
+paper's adaptation of Deutch & Frost [5] — the search is an iterative
+beam search:
+
+* model-dependent heuristics propose single-coordinate moves around each
+  beam state (:mod:`repro.core.moves`);
+* a beam of width ``beam_width`` keeps the most promising states, where
+  "promising" blends proximity to the decision boundary, the user's
+  objective, and a penalty for violated constraints (states may pass
+  *through* invalid regions, but only valid, decision-altering points are
+  collected as candidates);
+* iteration stops at ``max_iter`` or after ``patience`` iterations
+  without improving the best candidate (the paper observes empirical
+  convergence "after a small number of iterations" — the bench measures
+  this);
+* the pool is reduced to a small *diverse* top-k
+  (:mod:`repro.core.diversity`).
+
+:func:`brute_force_tree_candidates` computes the exact minimal-``diff``
+candidate for a single decision tree by enumerating positive leaves —
+feasible because one tree partitions the space into boxes — and serves as
+the optimality reference in tests and the beam ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constraints.evaluate import ConstraintsFunction
+from repro.core.diversity import select_diverse
+from repro.core.moves import MoveProposer, default_proposers
+from repro.core.objectives import CandidateMetrics, Objective, get_objective, measure
+from repro.data.schema import DatasetSchema
+from repro.exceptions import CandidateSearchError
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "Candidate",
+    "SearchStats",
+    "CandidateGenerator",
+    "brute_force_tree_candidates",
+]
+
+#: Weight of the boundary-distance term in the beam heuristic.
+_BOUNDARY_WEIGHT = 10.0
+#: Per-violated-constraint penalty in the beam heuristic.
+_VIOLATION_PENALTY = 5.0
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One decision-altering candidate at one time point."""
+
+    x: np.ndarray
+    time: int
+    metrics: CandidateMetrics
+
+    @property
+    def diff(self) -> float:
+        return self.metrics.diff
+
+    @property
+    def gap(self) -> int:
+        return self.metrics.gap
+
+    @property
+    def confidence(self) -> float:
+        return self.metrics.confidence
+
+    def changes(self, x_base, schema: DatasetSchema) -> dict[str, tuple[float, float]]:
+        """``{feature: (from, to)}`` for every modified coordinate."""
+        x_base = np.asarray(x_base, dtype=float).ravel()
+        out = {}
+        for i, name in enumerate(schema.names):
+            if abs(self.x[i] - x_base[i]) > 1e-9:
+                out[name] = (float(x_base[i]), float(self.x[i]))
+        return out
+
+
+@dataclass
+class SearchStats:
+    """Diagnostics of one ``generate`` call."""
+
+    iterations: int = 0
+    proposals_evaluated: int = 0
+    valid_found: int = 0
+    converged: bool = False
+    best_key_history: list[float] = field(default_factory=list)
+
+
+class CandidateGenerator:
+    """Beam-search generator of diverse top-k decision-altering candidates.
+
+    Parameters
+    ----------
+    model:
+        Fitted scorer ``M_t`` (Definition II.1).
+    threshold:
+        Decision threshold ``δ_t``.
+    schema:
+        Feature schema (drives move granularity and physical clipping).
+    constraints:
+        Joined admin+user constraints ``C_t``; ``None`` means
+        unconstrained.
+    k:
+        Number of candidates to return (diverse top-k).
+    beam_width:
+        Beam size; defaults to ``k`` as in the paper ("a beam search with
+        width k").
+    max_iter / patience:
+        Iteration budget and no-improvement stopping patience.
+    objective:
+        Preset name or :class:`~repro.core.objectives.Objective` used for
+        beam ranking and the final quality key.
+    diff_scale:
+        Per-feature divisors for ``diff`` (typically training-set stds).
+    proposers:
+        Move proposers; defaults to capability-matched ones.
+    random_state:
+        Seeds the random exploration moves.
+    """
+
+    def __init__(
+        self,
+        model,
+        threshold: float,
+        schema: DatasetSchema,
+        constraints: ConstraintsFunction | None = None,
+        *,
+        k: int = 8,
+        beam_width: int | None = None,
+        max_iter: int = 15,
+        patience: int = 3,
+        objective: str | Objective = "balanced",
+        diff_scale=None,
+        proposers: list[MoveProposer] | None = None,
+        random_state: int | None = 0,
+    ):
+        if k < 1:
+            raise CandidateSearchError("k must be >= 1")
+        if max_iter < 1:
+            raise CandidateSearchError("max_iter must be >= 1")
+        if patience < 1:
+            raise CandidateSearchError("patience must be >= 1")
+        self.model = model
+        self.threshold = float(threshold)
+        self.schema = schema
+        self.constraints = constraints or ConstraintsFunction.unconstrained(schema)
+        if diff_scale is None and self.constraints.diff_scale is not None:
+            diff_scale = self.constraints.diff_scale
+        self.diff_scale = diff_scale
+        self.k = k
+        self.beam_width = beam_width or k
+        self.max_iter = max_iter
+        self.patience = patience
+        self.objective = get_objective(objective)
+        self.proposers = proposers if proposers is not None else default_proposers(model)
+        self.random_state = random_state
+        self.last_stats_: SearchStats | None = None
+
+    # ------------------------------------------------------------ internals
+
+    @staticmethod
+    def _state_key(x: np.ndarray) -> tuple:
+        return tuple(np.round(x, 9))
+
+    def _beam_key(
+        self, metrics: CandidateMetrics, n_violations: int, pool_empty: bool
+    ) -> float:
+        """Beam ranking: smaller is more promising.
+
+        While the pool is empty the objective term is down-weighted so the
+        beam chases the decision boundary instead of hugging the input (a
+        strongly rejected input sits on a flat zero-score plateau where
+        only the boundary term can provide direction).
+        """
+        boundary = max(0.0, self.threshold - metrics.confidence)
+        objective_weight = 0.1 if pool_empty else 1.0
+        return (
+            _BOUNDARY_WEIGHT * boundary
+            + objective_weight * self.objective.key(metrics)
+            + _VIOLATION_PENALTY * n_violations
+        )
+
+    # -------------------------------------------------------------- search
+
+    def generate(self, x_base, time: int = 0) -> list[Candidate]:
+        """Return up to ``k`` diverse decision-altering candidates.
+
+        ``x_base`` is the temporal input ``f(x, t)`` for this generator's
+        time point; diff/gap are measured against it.
+        """
+        x_base = self.schema.clip(np.asarray(x_base, dtype=float).ravel())
+        rng = np.random.default_rng(self.random_state)
+        stats = SearchStats()
+        pool: dict[tuple, Candidate] = {}
+        visited: set[tuple] = {self._state_key(x_base)}
+        beam: list[np.ndarray] = [x_base]
+
+        base_score = float(
+            self.model.decision_score(x_base.reshape(1, -1))[0]
+        )
+        base_metrics = measure(x_base, x_base, base_score, self.diff_scale)
+        # the unmodified input itself may already flip at this time point
+        # (the paper's Q1, "no modification")
+        if base_score > self.threshold and self.constraints.is_valid(
+            x_base, x_base, confidence=base_score, time=time
+        ):
+            pool[self._state_key(x_base)] = Candidate(x_base, time, base_metrics)
+            stats.valid_found += 1
+
+        best_key = min(
+            (self.objective.key(c.metrics) for c in pool.values()),
+            default=np.inf,
+        )
+        stale = 0
+        for iteration in range(self.max_iter):
+            stats.iterations = iteration + 1
+            proposals: list[np.ndarray] = []
+            for state in beam:
+                for proposer in self.proposers:
+                    proposals.extend(
+                        proposer.propose(state, self.model, self.schema, rng)
+                    )
+            fresh: list[np.ndarray] = []
+            for proposal in proposals:
+                key = self._state_key(proposal)
+                if key not in visited:
+                    visited.add(key)
+                    fresh.append(proposal)
+            if not fresh:
+                stats.converged = True
+                break
+            stats.proposals_evaluated += len(fresh)
+            scores = self.model.decision_score(np.vstack(fresh))
+            ranked: list[tuple[float, np.ndarray]] = []
+            for proposal, score in zip(fresh, scores):
+                metrics = measure(proposal, x_base, float(score), self.diff_scale)
+                violations = self.constraints.violated(
+                    proposal, x_base, confidence=float(score), time=time
+                )
+                if not violations and score > self.threshold:
+                    pool[self._state_key(proposal)] = Candidate(
+                        proposal, time, metrics
+                    )
+                    stats.valid_found += 1
+                ranked.append(
+                    (self._beam_key(metrics, len(violations), not pool), proposal)
+                )
+            ranked.sort(key=lambda pair: pair[0])
+            beam = [proposal for _, proposal in ranked[: self.beam_width]]
+            new_best = min(
+                (self.objective.key(c.metrics) for c in pool.values()),
+                default=np.inf,
+            )
+            stats.best_key_history.append(new_best)
+            if new_best < best_key - 1e-12:
+                best_key = new_best
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience and pool:
+                    stats.converged = True
+                    break
+        self.last_stats_ = stats
+        return self._finalise(pool)
+
+    def _finalise(self, pool: dict[tuple, Candidate]) -> list[Candidate]:
+        candidates = list(pool.values())
+        if not candidates:
+            return []
+        quality = np.array([self.objective.key(c.metrics) for c in candidates])
+        points = np.vstack([c.x for c in candidates])
+        chosen = select_diverse(points, quality, self.k, scale=self.diff_scale)
+        chosen_candidates = [candidates[i] for i in chosen]
+        chosen_candidates.sort(key=lambda c: self.objective.key(c.metrics))
+        return chosen_candidates
+
+
+# --------------------------------------------------------------------------
+# exact reference for single trees
+# --------------------------------------------------------------------------
+
+
+def brute_force_tree_candidates(
+    tree: DecisionTreeClassifier,
+    threshold: float,
+    x_base,
+    schema: DatasetSchema,
+    constraints: ConstraintsFunction | None = None,
+    *,
+    time: int = 0,
+    diff_scale=None,
+) -> list[Candidate]:
+    """Exact candidates for a single tree, sorted by ``diff`` ascending.
+
+    A decision tree partitions the input space into axis-aligned boxes
+    (one per leaf).  For every leaf whose probability exceeds the
+    threshold, the closest point of its box to ``x_base`` (coordinate-wise
+    projection, honouring strict inequalities with a small margin) is the
+    optimal candidate *within that leaf*; the global optimum is the best
+    across leaves.  Used to verify beam-search quality.
+    """
+    x_base = schema.clip(np.asarray(x_base, dtype=float).ravel())
+    constraints = constraints or ConstraintsFunction.unconstrained(schema)
+    d = len(schema)
+    results: list[Candidate] = []
+    margin = 1e-6
+
+    def leaf_boxes(node, lo, hi):
+        if node.is_leaf:
+            yield node, lo.copy(), hi.copy()
+            return
+        f, thr = node.feature, node.threshold
+        # left: x[f] <= thr
+        old = hi[f]
+        hi[f] = min(hi[f], thr)
+        if lo[f] <= hi[f]:
+            yield from leaf_boxes(node.left, lo, hi)
+        hi[f] = old
+        # right: x[f] > thr
+        old = lo[f]
+        lo[f] = max(lo[f], np.nextafter(thr, np.inf) + margin * max(1, abs(thr)))
+        if lo[f] <= hi[f]:
+            yield from leaf_boxes(node.right, lo, hi)
+        lo[f] = old
+
+    lo0 = np.full(d, -np.inf)
+    hi0 = np.full(d, np.inf)
+    for leaf, lo, hi in leaf_boxes(tree.root_, lo0, hi0):
+        if leaf.probability <= threshold:
+            continue
+        candidate = np.clip(x_base, lo, hi)
+        candidate = schema.clip(candidate)
+        # integer clipping may exit the box; nudge back inside where possible
+        adjusted = np.clip(candidate, lo, hi)
+        if not np.allclose(adjusted, candidate):
+            candidate = schema.clip(adjusted)
+            if not ((candidate >= lo - 1e-9) & (candidate <= hi + 1e-9)).all():
+                continue
+        score = float(tree.decision_score(candidate.reshape(1, -1))[0])
+        if score <= threshold:
+            continue
+        if not constraints.is_valid(
+            candidate, x_base, confidence=score, time=time
+        ):
+            continue
+        results.append(
+            Candidate(candidate, time, measure(candidate, x_base, score, diff_scale))
+        )
+    results.sort(key=lambda c: c.diff)
+    return results

@@ -1,0 +1,108 @@
+"""Counterfactual-quality evaluation.
+
+The counterfactual-explanation literature scores candidate sets on four
+standard axes; this module computes them for a JustInTime session so the
+benches (and downstream users) can compare configurations quantitatively:
+
+* **validity** — fraction of stored candidates that genuinely flip the
+  decision of their time point's model (should be 1.0 by construction;
+  asserting it guards the whole pipeline);
+* **proximity** — mean scaled l2 distance (``diff``) to the temporal
+  input, lower is better;
+* **sparsity** — mean number of modified features (``gap``);
+* **diversity** — mean over time points of the minimum pairwise scaled
+  distance within the candidate set.
+
+Plus the temporal quantity unique to this system:
+
+* **earliest_time** — the first time point with any candidate, and
+* **effort_trend** — the slope of min-``diff`` over time (negative means
+  waiting genuinely reduces required effort).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.diversity import min_pairwise_distance
+
+__all__ = ["CandidateSetReport", "evaluate_session"]
+
+
+@dataclass(frozen=True)
+class CandidateSetReport:
+    """Quality summary of one user's candidate database."""
+
+    n_candidates: int
+    validity: float
+    proximity: float
+    sparsity: float
+    diversity: float
+    earliest_time: int | None
+    effort_trend: float | None
+
+    def describe(self) -> str:
+        lines = [
+            f"candidates  : {self.n_candidates}",
+            f"validity    : {self.validity:.3f}",
+            f"proximity   : {self.proximity:.3f} (mean scaled diff)",
+            f"sparsity    : {self.sparsity:.2f} features changed on average",
+            f"diversity   : {self.diversity:.3f} (mean min pairwise spread)",
+            f"earliest t  : {self.earliest_time}",
+        ]
+        if self.effort_trend is not None:
+            direction = "falls" if self.effort_trend < 0 else "rises"
+            lines.append(
+                f"effort trend: {self.effort_trend:+.4f} per time step"
+                f" (required effort {direction} over time)"
+            )
+        return "\n".join(lines)
+
+
+def evaluate_session(session) -> CandidateSetReport:
+    """Score a :class:`~repro.core.system.UserSession`'s candidates.
+
+    Validity re-scores every candidate against its own time point's model
+    and threshold — an end-to-end audit of Definition II.3.
+    """
+    system = session.system
+    candidates = session.candidates
+    if not candidates:
+        return CandidateSetReport(0, 0.0, 0.0, 0.0, 0.0, None, None)
+    valid = 0
+    by_time: dict[int, list] = {}
+    for candidate in candidates:
+        future_model = system.future_models[candidate.time]
+        score = float(
+            future_model.model.decision_score(candidate.x.reshape(1, -1))[0]
+        )
+        if score > future_model.threshold:
+            valid += 1
+        by_time.setdefault(candidate.time, []).append(candidate)
+    proximity = float(np.mean([c.diff for c in candidates]))
+    sparsity = float(np.mean([c.gap for c in candidates]))
+    spreads = []
+    for group in by_time.values():
+        if len(group) >= 2:
+            points = np.vstack([c.x for c in group])
+            spreads.append(
+                min_pairwise_distance(points, scale=system.diff_scale)
+            )
+    diversity = float(np.mean(spreads)) if spreads else 0.0
+    earliest = min(by_time)
+    effort_trend = None
+    if len(by_time) >= 2:
+        times = np.array(sorted(by_time))
+        min_diffs = np.array([min(c.diff for c in by_time[t]) for t in times])
+        effort_trend = float(np.polyfit(times, min_diffs, deg=1)[0])
+    return CandidateSetReport(
+        n_candidates=len(candidates),
+        validity=valid / len(candidates),
+        proximity=proximity,
+        sparsity=sparsity,
+        diversity=diversity,
+        earliest_time=earliest,
+        effort_trend=effort_trend,
+    )

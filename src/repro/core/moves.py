@@ -1,0 +1,225 @@
+"""Model-dependent move proposers for the candidate search.
+
+The algorithm of [5] "applies model-dependent heuristics" to walk from the
+rejected input toward the decision boundary.  Each proposer suggests
+single-coordinate modifications of the current search state:
+
+* :class:`ThresholdMoveProposer` — for tree ensembles: the score surface
+  only changes when a feature crosses a split threshold, so the proposer
+  jumps each mutable feature just past its nearest thresholds on either
+  side (the classic tree-counterfactual heuristic).
+* :class:`GradientMoveProposer` — for differentiable scorers exposing
+  ``score_gradient``: moves coordinates in the direction that increases
+  the score, at several step sizes.
+* :class:`RandomMoveProposer` — model-agnostic exploration: perturbs a
+  random mutable coordinate by a schema-scaled amount.  Keeps the search
+  complete-ish when the structured heuristics stall.
+
+Moves never touch immutable features and are clipped to schema bounds, so
+every proposal is at least physically plausible before constraint
+checking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import DatasetSchema
+from repro.exceptions import CandidateSearchError
+
+__all__ = [
+    "MoveProposer",
+    "ThresholdMoveProposer",
+    "GradientMoveProposer",
+    "RandomMoveProposer",
+    "default_proposers",
+]
+
+#: Relative margin used when stepping across a split threshold.
+_CROSS_MARGIN = 1e-3
+
+
+class MoveProposer:
+    """Suggests modified vectors around a search state."""
+
+    def propose(
+        self,
+        x_current: np.ndarray,
+        model,
+        schema: DatasetSchema,
+        rng: np.random.Generator,
+    ) -> list[np.ndarray]:
+        raise NotImplementedError
+
+
+def _feature_margin(value: float) -> float:
+    """Small absolute step proportional to the value scale."""
+    return max(abs(value) * _CROSS_MARGIN, 1e-6)
+
+
+def _quantile_spread(values: np.ndarray, n: int) -> np.ndarray:
+    """Up to ``n`` values spread evenly (by rank) across ``values``."""
+    if n == 0 or values.size == 0:
+        return np.empty(0)
+    if values.size <= n:
+        return values
+    idx = np.unique(np.linspace(0, values.size - 1, n).round().astype(int))
+    return values[idx]
+
+
+class ThresholdMoveProposer(MoveProposer):
+    """Jump mutable features across the model's split thresholds.
+
+    Ensemble scores only change when a feature crosses a split, so
+    candidate values per feature are "just past" thresholds.  Proposals
+    combine the ``n_nearest`` thresholds on each side of the current value
+    (local refinement) with ``n_far`` quantile-spread thresholds across
+    the full per-feature range (long jumps) — without the long jumps the
+    search cannot escape the flat zero-score plateau around a strongly
+    rejected input.
+
+    Parameters
+    ----------
+    n_nearest:
+        Thresholds tried immediately on each side of the current value.
+    n_far:
+        Additional quantile-spread thresholds per direction.
+    """
+
+    def __init__(self, n_nearest: int = 3, n_far: int = 4):
+        if n_nearest < 1:
+            raise CandidateSearchError("n_nearest must be >= 1")
+        if n_far < 0:
+            raise CandidateSearchError("n_far must be >= 0")
+        self.n_nearest = n_nearest
+        self.n_far = n_far
+        self._cache_model = None
+        self._cache_thresholds: dict[int, np.ndarray] | None = None
+
+    def _thresholds(self, model) -> dict[int, np.ndarray]:
+        if model is not self._cache_model:
+            if not hasattr(model, "split_thresholds"):
+                raise CandidateSearchError(
+                    f"{type(model).__name__} exposes no split_thresholds;"
+                    " use GradientMoveProposer or RandomMoveProposer"
+                )
+            self._cache_model = model
+            self._cache_thresholds = model.split_thresholds()
+        return self._cache_thresholds
+
+    def propose(self, x_current, model, schema, rng) -> list[np.ndarray]:
+        thresholds = self._thresholds(model)
+        proposals: list[np.ndarray] = []
+        for idx in schema.mutable_indices():
+            feature_thresholds = thresholds.get(int(idx))
+            if feature_thresholds is None or feature_thresholds.size == 0:
+                continue
+            value = x_current[idx]
+            margin = _feature_margin(value)
+            above = feature_thresholds[feature_thresholds > value + 1e-12]
+            below = feature_thresholds[feature_thresholds < value - 1e-12]
+            targets = np.concatenate(
+                [
+                    above[: self.n_nearest] + margin,
+                    below[-self.n_nearest:] - margin,
+                    _quantile_spread(above[self.n_nearest:], self.n_far) + margin,
+                    _quantile_spread(below[: -self.n_nearest or None], self.n_far)
+                    - margin,
+                ]
+            )
+            for target in targets:
+                candidate = x_current.copy()
+                candidate[idx] = target
+                candidate = schema.clip(candidate)
+                # integer rounding can undo a crossing; nudge one unit
+                if candidate[idx] == x_current[idx]:
+                    candidate[idx] = x_current[idx] + np.sign(target - value)
+                    candidate = schema.clip(candidate)
+                    if candidate[idx] == x_current[idx]:
+                        continue
+                proposals.append(candidate)
+        return proposals
+
+
+class GradientMoveProposer(MoveProposer):
+    """Per-coordinate steps along the model's score gradient.
+
+    ``step_fractions`` scale the per-feature move relative to the
+    feature's schema ``step`` (or 1% of the current magnitude when the
+    schema gives none).
+    """
+
+    def __init__(self, step_fractions: tuple[float, ...] = (1.0, 4.0, 16.0)):
+        if not step_fractions:
+            raise CandidateSearchError("step_fractions must be non-empty")
+        self.step_fractions = step_fractions
+
+    def propose(self, x_current, model, schema, rng) -> list[np.ndarray]:
+        if not hasattr(model, "score_gradient"):
+            raise CandidateSearchError(
+                f"{type(model).__name__} exposes no score_gradient;"
+                " use ThresholdMoveProposer or RandomMoveProposer"
+            )
+        gradient = np.asarray(model.score_gradient(x_current), dtype=float)
+        proposals: list[np.ndarray] = []
+        for idx in schema.mutable_indices():
+            direction = np.sign(gradient[idx])
+            if direction == 0:
+                continue
+            spec = schema[int(idx)]
+            base_step = spec.step or max(abs(x_current[idx]) * 0.01, 1.0)
+            for fraction in self.step_fractions:
+                candidate = x_current.copy()
+                candidate[idx] = x_current[idx] + direction * base_step * fraction
+                candidate = schema.clip(candidate)
+                if candidate[idx] != x_current[idx]:
+                    proposals.append(candidate)
+        return proposals
+
+
+class RandomMoveProposer(MoveProposer):
+    """Schema-scaled random single-coordinate perturbations."""
+
+    def __init__(self, n_proposals: int = 8, spread: float = 4.0):
+        if n_proposals < 1:
+            raise CandidateSearchError("n_proposals must be >= 1")
+        self.n_proposals = n_proposals
+        self.spread = spread
+
+    def propose(self, x_current, model, schema, rng) -> list[np.ndarray]:
+        mutable = schema.mutable_indices()
+        if mutable.size == 0:
+            return []
+        proposals: list[np.ndarray] = []
+        for _ in range(self.n_proposals):
+            idx = int(rng.choice(mutable))
+            spec = schema[idx]
+            if spec.dtype == "categorical" and spec.categories:
+                options = [c for c in spec.categories if c != x_current[idx]]
+                if not options:
+                    continue
+                new_value = float(rng.choice(options))
+            else:
+                base_step = spec.step or max(abs(x_current[idx]) * 0.01, 1.0)
+                new_value = x_current[idx] + rng.normal(0.0, self.spread) * base_step
+            candidate = x_current.copy()
+            candidate[idx] = new_value
+            candidate = schema.clip(candidate)
+            if candidate[idx] != x_current[idx]:
+                proposals.append(candidate)
+        return proposals
+
+
+def default_proposers(model) -> list[MoveProposer]:
+    """Pick proposers matching the model's capabilities.
+
+    Tree ensembles get threshold moves, differentiable models get gradient
+    moves; both are backed by random exploration.
+    """
+    proposers: list[MoveProposer] = []
+    if hasattr(model, "split_thresholds"):
+        proposers.append(ThresholdMoveProposer())
+    if hasattr(model, "score_gradient"):
+        proposers.append(GradientMoveProposer())
+    proposers.append(RandomMoveProposer())
+    return proposers

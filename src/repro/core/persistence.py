@@ -1,0 +1,75 @@
+"""Persistence of fitted JustInTime systems.
+
+The paper's deployment is long-lived: "an initial configuration is
+performed by a system administrator", the models generator runs once, and
+users interact later.  That requires the fitted system to outlive the
+process.  :func:`save_system` / :func:`load_system` pickle everything
+except the sqlite connection (the store is re-opened from its own path on
+load, or fresh in-memory when the original was in-memory).
+
+All models are pure numpy/Python objects, so pickling is stable across
+processes with the same library version.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from repro.core.system import JustInTime
+from repro.db.store import CandidateStore
+from repro.exceptions import StorageError
+
+__all__ = ["save_system", "load_system"]
+
+_FORMAT_VERSION = 1
+
+
+def save_system(system: JustInTime, path: str | Path) -> None:
+    """Serialise a (typically fitted) system to ``path``.
+
+    The candidate store's *contents* are not pickled — candidates live in
+    the store's own database file (persist them by constructing the
+    system with a file-backed ``store_path``).
+    """
+    payload = {
+        "version": _FORMAT_VERSION,
+        "schema": system.schema,
+        "update_function": system.update_function,
+        "config": system.config,
+        "explicit_domain": system._explicit_domain,
+        "future_models": system.future_models,
+        "diff_scale": system.diff_scale,
+        "domain_constraints": system.domain_constraints,
+    }
+    path = Path(path)
+    with path.open("wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_system(path: str | Path, store_path: str | Path = ":memory:") -> JustInTime:
+    """Reconstruct a system saved by :func:`save_system`.
+
+    ``store_path`` points at the candidate database to attach (the same
+    file the original system used, or a fresh one).
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        payload = pickle.load(handle)
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported system file version {version!r}"
+            f" (expected {_FORMAT_VERSION})"
+        )
+    system = JustInTime(
+        payload["schema"],
+        payload["update_function"],
+        payload["config"],
+        domain_constraints=payload["explicit_domain"],
+        store_path=store_path,
+    )
+    system.future_models = payload["future_models"]
+    system.diff_scale = payload["diff_scale"]
+    system.domain_constraints = payload["domain_constraints"]
+    return system

@@ -1,0 +1,306 @@
+"""The JustInTime system facade (Figure 1).
+
+Wires the full architecture together:
+
+* an administrator configures the horizon (T, Δ), the forecasting
+  strategy, the model class and global domain constraints
+  (:class:`AdminConfig`);
+* :meth:`JustInTime.fit` runs the models generator over the timestamped
+  training data — performed once, independent of any user;
+* :meth:`JustInTime.create_session` registers a user profile plus
+  preference constraints, projects the profile through the temporal
+  update function, runs one candidates generator per time point (they are
+  independent; here they run sequentially and deterministically), and
+  stores temporal inputs and candidates in the relational store;
+* the returned :class:`UserSession` exposes the canned-question interface
+  and expert SQL passthrough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.constraints.domain import schema_domain_constraints
+from repro.constraints.evaluate import ConstraintsFunction, ScopedConstraint
+from repro.core.candidates import Candidate, CandidateGenerator
+from repro.core.insights import Insight, InsightEngine
+from repro.core.objectives import Objective
+from repro.core.plans import Plan, build_plan
+from repro.data.dataset import TemporalDataset
+from repro.data.schema import DatasetSchema
+from repro.db.store import CandidateStore
+from repro.exceptions import CandidateSearchError, ForecastError
+from repro.temporal.forecast import ForecastStrategy, FutureModels, ModelsGenerator
+from repro.temporal.update import TemporalUpdateFunction
+
+__all__ = ["AdminConfig", "JustInTime", "UserSession"]
+
+
+@dataclass
+class AdminConfig:
+    """System-administrator configuration (the demo's admin UI).
+
+    ``T`` and ``delta`` "control the amount and time intervals between
+    future time points" (§I); the rest selects the forecasting strategy,
+    model class, threshold calibration and search budget.
+    """
+
+    T: int = 5
+    delta: float = 1.0
+    strategy: str | ForecastStrategy = "edd"
+    model_factory: object | None = None
+    threshold_method: str = "fixed"
+    fixed_threshold: float = 0.5
+    target_rate: float | None = None
+    k: int = 8
+    beam_width: int | None = None
+    max_iter: int = 15
+    patience: int = 3
+    objective: str | Objective = "balanced"
+    random_state: int = 0
+    #: candidates generators per time point are independent (§II.B: "they
+    #: can be executed in parallel"); n_jobs > 1 runs them on a thread pool.
+    #: Results are identical to sequential execution (per-t seeds).
+    n_jobs: int = 1
+    extra: dict = field(default_factory=dict)
+
+
+class JustInTime:
+    """End-to-end system: models generator + candidates generators + DB.
+
+    Parameters
+    ----------
+    schema:
+        Feature schema of the application domain.
+    update_function:
+        Temporal update function (Definition II.4).
+    config:
+        Admin configuration; defaults are the demo-scale settings.
+    domain_constraints:
+        Global constraints imposed on all users; defaults to the
+        schema-derived integrity constraints.
+    store_path:
+        SQLite path or ``':memory:'``.
+    """
+
+    def __init__(
+        self,
+        schema: DatasetSchema,
+        update_function: TemporalUpdateFunction,
+        config: AdminConfig | None = None,
+        domain_constraints: ConstraintsFunction | None = None,
+        store_path: str | Path = ":memory:",
+    ):
+        self.schema = schema
+        self.update_function = update_function
+        self.config = config or AdminConfig()
+        self._explicit_domain = domain_constraints
+        self.store = CandidateStore(schema, store_path)
+        self.future_models: FutureModels | None = None
+        self.diff_scale: np.ndarray | None = None
+        self.domain_constraints: ConstraintsFunction | None = None
+
+    # ----------------------------------------------------------------- fit
+
+    def fit(self, history: TemporalDataset, now: float | None = None) -> "JustInTime":
+        """Run the models generator (user-independent, done once)."""
+        if history.schema != self.schema:
+            raise ForecastError("history schema does not match system schema")
+        cfg = self.config
+        generator = ModelsGenerator(
+            T=cfg.T,
+            delta=cfg.delta,
+            strategy=cfg.strategy,
+            model_factory=cfg.model_factory,
+            threshold_method=cfg.threshold_method,
+            fixed_threshold=cfg.fixed_threshold,
+            target_rate=cfg.target_rate,
+            random_state=cfg.random_state,
+        )
+        self.future_models = generator.generate(history, now=now)
+        scale = history.X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.diff_scale = scale
+        domain = self._explicit_domain or schema_domain_constraints(self.schema)
+        # rebuild with the diff scale attached so user constraints on
+        # 'diff' are interpreted in scaled units consistently
+        self.domain_constraints = ConstraintsFunction(
+            self.schema, list(domain.constraints), diff_scale=self.diff_scale
+        )
+        return self
+
+    @property
+    def time_values(self) -> list[float]:
+        """Calendar value of each time index t = 0 .. T."""
+        self._require_fitted()
+        return [fm.time_value for fm in self.future_models]
+
+    def _require_fitted(self) -> None:
+        if self.future_models is None:
+            raise ForecastError("JustInTime is not fitted; call fit() first")
+
+    # -------------------------------------------------------------- users
+
+    def create_session(
+        self,
+        user_id: str,
+        profile: dict[str, float] | np.ndarray,
+        user_constraints=None,
+    ) -> "UserSession":
+        """Register a user and generate their candidate database rows.
+
+        ``user_constraints`` may be a :class:`ConstraintsFunction`, a list
+        of DSL strings / :class:`ScopedConstraint` items, or ``None``.
+        Existing rows for ``user_id`` are replaced (the demo lets a
+        participant revise preferences and re-run).
+        """
+        self._require_fitted()
+        x = (
+            self.schema.vector(profile)
+            if isinstance(profile, dict)
+            else np.asarray(profile, dtype=float).ravel()
+        )
+        if x.size != len(self.schema):
+            raise CandidateSearchError(
+                f"profile has {x.size} entries, schema expects {len(self.schema)}"
+            )
+        constraints = self._join_constraints(user_constraints)
+        cfg = self.config
+        trajectory = self.update_function.trajectory(x, cfg.T)
+        self.store.clear_user(user_id)
+        self.store.store_temporal_inputs(user_id, trajectory)
+
+        def run_one(future_model):
+            t = future_model.t
+            generator = CandidateGenerator(
+                future_model.model,
+                future_model.threshold,
+                self.schema,
+                constraints,
+                k=cfg.k,
+                beam_width=cfg.beam_width,
+                max_iter=cfg.max_iter,
+                patience=cfg.patience,
+                objective=cfg.objective,
+                diff_scale=self.diff_scale,
+                random_state=cfg.random_state + 7919 * (t + 1),
+            )
+            return generator.generate(trajectory[t], time=t), generator.last_stats_
+
+        if cfg.n_jobs > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=cfg.n_jobs) as pool:
+                results = list(pool.map(run_one, self.future_models))
+        else:
+            results = [run_one(fm) for fm in self.future_models]
+        all_candidates: list[Candidate] = []
+        stats = []
+        for found, search_stats in results:
+            stats.append(search_stats)
+            all_candidates.extend(found)
+        self.store.store_candidates(user_id, all_candidates)
+        return UserSession(
+            system=self,
+            user_id=user_id,
+            profile=x,
+            trajectory=trajectory,
+            constraints=constraints,
+            candidates=all_candidates,
+            search_stats=stats,
+        )
+
+    def _join_constraints(self, user_constraints) -> ConstraintsFunction:
+        self._require_fitted()
+        if user_constraints is None:
+            return self.domain_constraints
+        if isinstance(user_constraints, ConstraintsFunction):
+            return self.domain_constraints.conjoin(user_constraints)
+        fn = ConstraintsFunction(self.schema, diff_scale=self.diff_scale)
+        for item in user_constraints:
+            if isinstance(item, ScopedConstraint):
+                fn.add(item)
+            else:
+                fn.add(item)
+        return self.domain_constraints.conjoin(fn)
+
+
+class UserSession:
+    """One user's view: profile, constraints, candidates, insights."""
+
+    def __init__(
+        self,
+        system: JustInTime,
+        user_id: str,
+        profile: np.ndarray,
+        trajectory: np.ndarray,
+        constraints: ConstraintsFunction,
+        candidates: list[Candidate],
+        search_stats: list,
+    ):
+        self.system = system
+        self.user_id = user_id
+        self.profile = profile
+        self.trajectory = trajectory
+        self.constraints = constraints
+        self.candidates = candidates
+        self.search_stats = search_stats
+        self.engine = InsightEngine(
+            system.store, user_id, system.time_values
+        )
+
+    # ------------------------------------------------------------ insights
+
+    def ask(self, question: str, **params) -> Insight:
+        """Answer one canned question (``'q1'`` .. ``'q6'``)."""
+        return self.engine.ask(question, **params)
+
+    def all_insights(self, alpha: float = 0.8, feature: str | None = None) -> list[Insight]:
+        """Answer every canned question (Q3 needs a feature; defaults to
+        the first mutable one)."""
+        if feature is None:
+            mutable = self.system.schema.mutable_indices()
+            feature = self.system.schema.names[int(mutable[0])]
+        return [
+            self.ask("q1"),
+            self.ask("q2"),
+            self.ask("q3", feature=feature),
+            self.ask("q4"),
+            self.ask("q5"),
+            self.ask("q6", alpha=alpha),
+        ]
+
+    def sql(self, query: str, params=()):
+        """Expert passthrough to the candidate database."""
+        return self.system.store.sql(query, params)
+
+    # -------------------------------------------------------------- plans
+
+    def plans(self, time: int | None = None) -> list[Plan]:
+        """All stored candidates as plans, optionally for one time point."""
+        plans = []
+        for candidate in self.candidates:
+            if time is not None and candidate.time != time:
+                continue
+            base = self.trajectory[candidate.time]
+            plans.append(
+                build_plan(
+                    candidate,
+                    base,
+                    self.system.schema,
+                    time_value=self.system.time_values[candidate.time],
+                )
+            )
+        return plans
+
+    def current_score(self) -> float:
+        """Present-model score of the unmodified profile (t = 0)."""
+        return self.system.future_models.score(self.trajectory[0], 0)
+
+    def is_rejected_now(self) -> bool:
+        """Whether the present model rejects the unmodified profile."""
+        fm = self.system.future_models[0]
+        return not fm.decides_positive(self.trajectory[0].reshape(1, -1))[0]

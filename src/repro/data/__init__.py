@@ -1,0 +1,31 @@
+"""Data substrate: schemas, synthetic lending data, dataset container, io.
+
+Substitutes the Kaggle Lending Club dump (unavailable offline) with a
+seeded generator whose ground-truth approval policy drifts year over year
+— the property the paper's temporal framework exists to handle.
+"""
+
+from repro.data.dataset import TemporalDataset
+from repro.data.drift import LendingPolicy, PolicyWeights
+from repro.data.io import load_csv, save_csv
+from repro.data.lending import (
+    LendingGenerator,
+    john_profile,
+    lending_schema,
+    make_lending_dataset,
+)
+from repro.data.schema import DatasetSchema, FeatureSpec
+
+__all__ = [
+    "DatasetSchema",
+    "FeatureSpec",
+    "LendingGenerator",
+    "LendingPolicy",
+    "PolicyWeights",
+    "TemporalDataset",
+    "john_profile",
+    "lending_schema",
+    "load_csv",
+    "make_lending_dataset",
+    "save_csv",
+]

@@ -1,0 +1,126 @@
+"""Timestamped dataset container.
+
+The models generator consumes "past labeled data with timestamps" (§I);
+:class:`TemporalDataset` bundles the feature matrix, binary labels and a
+float timestamp per row (calendar years in the lending scenario) together
+with the :class:`~repro.data.schema.DatasetSchema`, and provides the
+time-window slicing the per-period training loop needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.data.schema import DatasetSchema
+
+__all__ = ["TemporalDataset"]
+
+
+class TemporalDataset:
+    """Feature matrix + labels + per-row timestamps + schema.
+
+    Rows are kept sorted by timestamp, which makes window slicing a
+    contiguous-range operation and keeps iteration order deterministic.
+    """
+
+    def __init__(self, X, y, timestamps, schema: DatasetSchema):
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        timestamps = np.asarray(timestamps, dtype=float)
+        if X.ndim != 2:
+            raise ValidationError("X must be 2-D")
+        if y.shape != (X.shape[0],) or timestamps.shape != (X.shape[0],):
+            raise ValidationError("X, y and timestamps disagree on sample count")
+        if X.shape[1] != len(schema):
+            raise ValidationError(
+                f"X has {X.shape[1]} columns but schema has {len(schema)} features"
+            )
+        order = np.argsort(timestamps, kind="stable")
+        self.X = X[order]
+        self.y = y[order]
+        self.timestamps = timestamps[order]
+        self.schema = schema
+
+    # ------------------------------------------------------------- basics
+
+    def __len__(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def span(self) -> tuple[float, float]:
+        """(earliest, latest) timestamp present."""
+        return float(self.timestamps[0]), float(self.timestamps[-1])
+
+    def __repr__(self) -> str:
+        lo, hi = self.span if len(self) else (float("nan"), float("nan"))
+        return (
+            f"TemporalDataset(n={len(self)}, d={self.n_features},"
+            f" span=[{lo:.2f}, {hi:.2f}])"
+        )
+
+    # ------------------------------------------------------------ slicing
+
+    def window(self, start: float, end: float) -> "TemporalDataset":
+        """Rows with ``start <= timestamp < end`` (end-exclusive)."""
+        if end <= start:
+            raise ValidationError(f"empty window [{start}, {end})")
+        mask = (self.timestamps >= start) & (self.timestamps < end)
+        return TemporalDataset(
+            self.X[mask], self.y[mask], self.timestamps[mask], self.schema
+        )
+
+    def before(self, cutoff: float) -> "TemporalDataset":
+        """Rows strictly before ``cutoff`` — the training view at a time point."""
+        mask = self.timestamps < cutoff
+        return TemporalDataset(
+            self.X[mask], self.y[mask], self.timestamps[mask], self.schema
+        )
+
+    def periods(self, delta: float) -> Iterator[tuple[float, "TemporalDataset"]]:
+        """Yield ``(period_start, window)`` pairs of width ``delta``.
+
+        Periods cover the dataset span; the final period is end-inclusive
+        so no row is dropped.
+        """
+        if delta <= 0:
+            raise ValidationError("delta must be positive")
+        lo, hi = self.span
+        start = lo
+        while start <= hi:
+            end = start + delta
+            mask = (self.timestamps >= start) & (
+                (self.timestamps < end) | (end > hi)
+            )
+            yield float(start), TemporalDataset(
+                self.X[mask], self.y[mask], self.timestamps[mask], self.schema
+            )
+            start = end
+
+    def sample(
+        self, n: int, random_state: int | np.random.Generator | None = None
+    ) -> "TemporalDataset":
+        """Uniform random subsample of ``n`` rows (without replacement)."""
+        if n > len(self):
+            raise ValidationError(f"cannot sample {n} rows from {len(self)}")
+        rng = (
+            random_state
+            if isinstance(random_state, np.random.Generator)
+            else np.random.default_rng(random_state)
+        )
+        idx = rng.choice(len(self), size=n, replace=False)
+        return TemporalDataset(
+            self.X[idx], self.y[idx], self.timestamps[idx], self.schema
+        )
+
+    def approval_rate(self) -> float:
+        """Fraction of positive labels."""
+        if len(self) == 0:
+            raise ValidationError("dataset is empty")
+        return float(self.y.mean())

@@ -1,0 +1,75 @@
+"""CSV persistence for timestamped datasets.
+
+A dependency-free reader/writer so that generated cohorts can be exported,
+inspected, and re-loaded (the demo shows the audience "an excerpt of the
+raw training data", §III).  The format is a plain header row of feature
+names plus ``label`` and ``timestamp`` columns.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import TemporalDataset
+from repro.data.schema import DatasetSchema
+from repro.exceptions import ValidationError
+
+__all__ = ["save_csv", "load_csv"]
+
+_LABEL_COLUMN = "label"
+_TIME_COLUMN = "timestamp"
+
+
+def save_csv(dataset: TemporalDataset, path: str | Path) -> None:
+    """Write ``dataset`` to ``path`` as CSV with header."""
+    path = Path(path)
+    header = dataset.schema.names + [_LABEL_COLUMN, _TIME_COLUMN]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for x, y, t in zip(dataset.X, dataset.y, dataset.timestamps):
+            writer.writerow([*(f"{v:.6g}" for v in x), int(y), f"{t:.6f}"])
+
+
+def load_csv(path: str | Path, schema: DatasetSchema) -> TemporalDataset:
+    """Load a CSV written by :func:`save_csv` back into a dataset.
+
+    The header must contain every schema feature plus the label and
+    timestamp columns; column order in the file is free.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValidationError(f"{path} is empty") from None
+        required = set(schema.names) | {_LABEL_COLUMN, _TIME_COLUMN}
+        missing = required - set(header)
+        if missing:
+            raise ValidationError(f"{path} is missing columns: {sorted(missing)}")
+        col = {name: header.index(name) for name in header}
+        rows_X: list[list[float]] = []
+        rows_y: list[int] = []
+        rows_t: list[float] = []
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            try:
+                rows_X.append(
+                    [float(row[col[name]]) for name in schema.names]
+                )
+                rows_y.append(int(float(row[col[_LABEL_COLUMN]])))
+                rows_t.append(float(row[col[_TIME_COLUMN]]))
+            except (ValueError, IndexError) as exc:
+                raise ValidationError(
+                    f"{path}:{line_no}: malformed row: {exc}"
+                ) from exc
+    if not rows_X:
+        raise ValidationError(f"{path} contains no data rows")
+    return TemporalDataset(
+        np.array(rows_X), np.array(rows_y), np.array(rows_t), schema
+    )

@@ -1,0 +1,30 @@
+"""Candidate database: SQLite store + the Figure-2 canned queries.
+
+Substitutes the demo's MySQL server with stdlib sqlite3; the relational
+schema and query SQL match the paper (see :mod:`repro.db.queries` for the
+documented, semantics-preserving deviations).
+"""
+
+from repro.db.queries import (
+    q1_no_modification,
+    q2_minimal_features_set,
+    q3_dominant_feature,
+    q4_minimal_overall_modification,
+    q5_maximal_confidence,
+    q6_turning_point,
+    q7_affordable_time,
+    row_to_dict,
+)
+from repro.db.store import CandidateStore
+
+__all__ = [
+    "CandidateStore",
+    "q7_affordable_time",
+    "q1_no_modification",
+    "q2_minimal_features_set",
+    "q3_dominant_feature",
+    "q4_minimal_overall_modification",
+    "q5_maximal_confidence",
+    "q6_turning_point",
+    "row_to_dict",
+]

@@ -1,0 +1,209 @@
+"""The six canned queries of Figure 2.
+
+Each function mirrors one predefined question from the paper's
+introduction and its SQL from Figure 2, scoped to a single user (the
+demo's candidates table is per-user; the reproduction stores all users in
+one table with a ``user_id`` column, so every query adds that predicate).
+
+Deviations from the verbatim Figure-2 SQL, all semantic-preserving:
+
+* ``diff = 0`` is ``diff <= :eps`` — diff is a float computed in a scaled
+  space;
+* Q3's feature column is parametrised (Figure 2 hard-codes ``income``);
+  the column name is validated against the schema before interpolation;
+* Q6's ``>= ALL (...)`` (not valid SQLite) is rewritten with the standard
+  double ``NOT EXISTS`` encoding of universal quantification.
+
+Every function returns plain Python values / row dicts, ready for the
+insights layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.db.store import CandidateStore
+from repro.exceptions import QueryError
+
+__all__ = [
+    "q1_no_modification",
+    "q2_minimal_features_set",
+    "q3_dominant_feature",
+    "q4_minimal_overall_modification",
+    "q5_maximal_confidence",
+    "q6_turning_point",
+    "q7_affordable_time",
+    "row_to_dict",
+]
+
+_DIFF_EPS = 1e-9
+
+
+def row_to_dict(row) -> dict[str, Any]:
+    """Convert a sqlite3.Row to a plain dict."""
+    return {key: row[key] for key in row.keys()}
+
+
+def q1_no_modification(store: CandidateStore, user_id: str) -> int | None:
+    """Q1: closest time point at which reapplying *unchanged* is approved.
+
+    Figure 2: ``SELECT Min(time) FROM candidates WHERE diff = 0``.
+    Returns the time index, or ``None`` when no such point exists.
+    """
+    rows = store.sql(
+        "SELECT MIN(time) AS t FROM candidates"
+        " WHERE user_id = ? AND diff <= ?",
+        (user_id, _DIFF_EPS),
+    )
+    value = rows[0]["t"]
+    return None if value is None else int(value)
+
+
+def q7_affordable_time(
+    store: CandidateStore, user_id: str, budget: float
+) -> dict[str, Any] | None:
+    """Q7 (extension): earliest time reachable within an effort budget.
+
+    Not one of the six Figure-2 queries — the paper presents its list as
+    examples ("such as") and this is the natural seventh: "given that I
+    can only afford ``diff <= budget`` of change, when is the earliest I
+    can be approved, and how?"  Returns the cheapest qualifying row at
+    the earliest qualifying time, or ``None``.
+    """
+    if budget < 0:
+        raise QueryError("budget must be non-negative")
+    rows = store.sql(
+        """
+        SELECT * FROM candidates
+        WHERE user_id = ? AND diff <= ?
+        ORDER BY time, diff, p DESC
+        LIMIT 1
+        """,
+        (user_id, float(budget)),
+    )
+    return row_to_dict(rows[0]) if rows else None
+
+
+def q2_minimal_features_set(
+    store: CandidateStore, user_id: str
+) -> dict[str, Any] | None:
+    """Q2: the candidate modifying the fewest features.
+
+    Figure 2: ``SELECT * FROM candidates ORDER BY gap LIMIT 1`` (diff then
+    confidence break ties deterministically).
+    """
+    rows = store.sql(
+        "SELECT * FROM candidates WHERE user_id = ?"
+        " ORDER BY gap, diff, p DESC LIMIT 1",
+        (user_id,),
+    )
+    return row_to_dict(rows[0]) if rows else None
+
+
+def q3_dominant_feature(
+    store: CandidateStore, user_id: str, feature: str
+) -> dict[str, Any]:
+    """Q3: at which time points does modifying *only* ``feature`` suffice?
+
+    Figure 2 (for income): times with a candidate of ``gap = 0`` or
+    ``gap = 1`` whose single change is the feature.  The feature is
+    *dominant* when those times cover every time point in the user's
+    horizon.  Returns ``{'times': [...], 'all_times': [...], 'dominant': bool}``.
+    """
+    if feature not in store.schema:
+        raise QueryError(
+            f"unknown feature {feature!r}; schema has {store.schema.names}"
+        )
+    rows = store.sql(
+        f"""
+        SELECT DISTINCT c.time AS t
+        FROM candidates c
+        WHERE c.user_id = :user AND EXISTS (
+            SELECT 1
+            FROM candidates cnd
+            INNER JOIN temporal_inputs ti
+                ON ti.time = cnd.time AND ti.user_id = cnd.user_id
+            WHERE cnd.user_id = :user
+              AND cnd.time = c.time
+              AND (cnd.gap = 0
+                   OR (cnd.gap = 1 AND cnd.{feature} != ti.{feature}))
+        )
+        ORDER BY t
+        """,
+        {"user": user_id},
+    )
+    times = [int(r["t"]) for r in rows]
+    all_times = store.times_for(user_id)
+    return {
+        "times": times,
+        "all_times": all_times,
+        "dominant": bool(all_times) and set(times) == set(all_times),
+    }
+
+
+def q4_minimal_overall_modification(
+    store: CandidateStore, user_id: str
+) -> dict[str, Any] | None:
+    """Q4: the overall-minimal modification by the diff distance measure.
+
+    Figure 2: ``SELECT Min(diff) FROM candidates``; the full achieving row
+    is returned so the UI can render the plan, not just the number.
+    """
+    rows = store.sql(
+        "SELECT * FROM candidates WHERE user_id = ?"
+        " ORDER BY diff, gap, p DESC LIMIT 1",
+        (user_id,),
+    )
+    return row_to_dict(rows[0]) if rows else None
+
+
+def q5_maximal_confidence(
+    store: CandidateStore, user_id: str
+) -> dict[str, Any] | None:
+    """Q5: the modification (and time) maximising approval confidence.
+
+    Figure 2: ``SELECT * FROM candidates ORDER BY p DESC LIMIT 1``.
+    """
+    rows = store.sql(
+        "SELECT * FROM candidates WHERE user_id = ?"
+        " ORDER BY p DESC, diff LIMIT 1",
+        (user_id,),
+    )
+    return row_to_dict(rows[0]) if rows else None
+
+
+def q6_turning_point(
+    store: CandidateStore, user_id: str, alpha: float
+) -> int | None:
+    """Q6: earliest time after which confidence > α is always achievable.
+
+    Smallest time point t* such that *every* time point ``t >= t*`` has a
+    candidate with ``p > α``; ``None`` when even the final time point has
+    no such candidate.  Universal quantification is encoded with a double
+    ``NOT EXISTS`` (Figure 2 uses the non-portable ``>= ALL``).
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise QueryError("alpha must lie in [0, 1]")
+    rows = store.sql(
+        """
+        SELECT MIN(ti.time) AS t
+        FROM temporal_inputs ti
+        WHERE ti.user_id = :user
+          AND NOT EXISTS (
+              SELECT 1
+              FROM temporal_inputs t2
+              WHERE t2.user_id = :user
+                AND t2.time >= ti.time
+                AND NOT EXISTS (
+                    SELECT 1
+                    FROM candidates c
+                    WHERE c.user_id = :user
+                      AND c.time = t2.time
+                      AND c.p > :alpha
+                )
+          )
+        """,
+        {"user": user_id, "alpha": alpha},
+    )
+    value = rows[0]["t"]
+    return None if value is None else int(value)

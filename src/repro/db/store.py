@@ -1,0 +1,209 @@
+"""SQLite-backed candidate database.
+
+The original system stores generated candidates in MySQL; the schema here
+mirrors the paper's two relations (SQLite executes the same SQL92 the
+paper's Figure 2 shows):
+
+``temporal_inputs(user_id, time, <feature columns...>)``
+    The future representations ``x_0 .. x_T`` of each user's profile.
+
+``candidates(id, user_id, time, <feature columns...>, diff, gap, p)``
+    The per-time-point decision-altering candidates; ``p`` is the model
+    confidence (the paper's Q5 orders by ``p``), ``diff``/``gap`` the two
+    distance properties.
+
+Feature columns are generated from the dataset schema; names are
+validated as SQL identifiers.  All user-supplied *values* go through
+parametrised statements.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.candidates import Candidate
+from repro.data.schema import DatasetSchema
+from repro.exceptions import StorageError
+
+__all__ = ["CandidateStore"]
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_RESERVED = {"id", "user_id", "time", "diff", "gap", "p"}
+
+
+class CandidateStore:
+    """Candidate + temporal-input relational store over sqlite3.
+
+    Parameters
+    ----------
+    schema:
+        Dataset schema; one column per feature is created in both tables.
+    path:
+        Database file, or ``':memory:'`` (default) for an in-process DB.
+    """
+
+    def __init__(self, schema: DatasetSchema, path: str | Path = ":memory:"):
+        for name in schema.names:
+            if not _IDENTIFIER_RE.match(name):
+                raise StorageError(f"feature name {name!r} is not a SQL identifier")
+            if name.lower() in _RESERVED:
+                raise StorageError(
+                    f"feature name {name!r} collides with a reserved column"
+                )
+        self.schema = schema
+        self._conn = sqlite3.connect(str(path))
+        self._conn.row_factory = sqlite3.Row
+        self._create_tables()
+
+    # ------------------------------------------------------------- schema
+
+    def _create_tables(self) -> None:
+        feature_cols = ", ".join(f"{name} REAL NOT NULL" for name in self.schema.names)
+        with self._conn:
+            self._conn.execute(
+                f"""
+                CREATE TABLE IF NOT EXISTS temporal_inputs (
+                    user_id TEXT NOT NULL,
+                    time INTEGER NOT NULL,
+                    {feature_cols},
+                    PRIMARY KEY (user_id, time)
+                )
+                """
+            )
+            self._conn.execute(
+                f"""
+                CREATE TABLE IF NOT EXISTS candidates (
+                    id INTEGER PRIMARY KEY AUTOINCREMENT,
+                    user_id TEXT NOT NULL,
+                    time INTEGER NOT NULL,
+                    {feature_cols},
+                    diff REAL NOT NULL,
+                    gap INTEGER NOT NULL,
+                    p REAL NOT NULL
+                )
+                """
+            )
+            self._conn.execute(
+                "CREATE INDEX IF NOT EXISTS idx_candidates_user_time"
+                " ON candidates (user_id, time)"
+            )
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CandidateStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- writes
+
+    def store_temporal_inputs(self, user_id: str, trajectory) -> None:
+        """Insert/replace the rows ``x_0 .. x_T`` for ``user_id``."""
+        trajectory = np.atleast_2d(np.asarray(trajectory, dtype=float))
+        if trajectory.shape[1] != len(self.schema):
+            raise StorageError(
+                f"trajectory has {trajectory.shape[1]} columns,"
+                f" schema expects {len(self.schema)}"
+            )
+        columns = ["user_id", "time", *self.schema.names]
+        placeholders = ", ".join("?" for _ in columns)
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM temporal_inputs WHERE user_id = ?", (user_id,)
+            )
+            self._conn.executemany(
+                f"INSERT INTO temporal_inputs ({', '.join(columns)})"
+                f" VALUES ({placeholders})",
+                [
+                    (user_id, t, *map(float, row))
+                    for t, row in enumerate(trajectory)
+                ],
+            )
+
+    def store_candidates(self, user_id: str, candidates: list[Candidate]) -> None:
+        """Append candidates (any time points) for ``user_id``."""
+        columns = ["user_id", "time", *self.schema.names, "diff", "gap", "p"]
+        placeholders = ", ".join("?" for _ in columns)
+        rows = [
+            (
+                user_id,
+                int(c.time),
+                *map(float, c.x),
+                float(c.diff),
+                int(c.gap),
+                float(c.confidence),
+            )
+            for c in candidates
+        ]
+        with self._conn:
+            self._conn.executemany(
+                f"INSERT INTO candidates ({', '.join(columns)})"
+                f" VALUES ({placeholders})",
+                rows,
+            )
+
+    def clear_user(self, user_id: str) -> None:
+        """Remove all rows belonging to ``user_id`` from both tables."""
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM candidates WHERE user_id = ?", (user_id,)
+            )
+            self._conn.execute(
+                "DELETE FROM temporal_inputs WHERE user_id = ?", (user_id,)
+            )
+
+    # -------------------------------------------------------------- reads
+
+    def sql(self, query: str, params=()) -> list[sqlite3.Row]:
+        """Expert passthrough: run arbitrary SQL and return rows.
+
+        The paper lets "expert users compose additional SQL queries";
+        this is that interface.
+        """
+        try:
+            cursor = self._conn.execute(query, params)
+        except sqlite3.Error as exc:
+            raise StorageError(f"SQL error: {exc}") from exc
+        return cursor.fetchall()
+
+    def candidate_count(self, user_id: str | None = None) -> int:
+        if user_id is None:
+            rows = self.sql("SELECT COUNT(*) AS n FROM candidates")
+        else:
+            rows = self.sql(
+                "SELECT COUNT(*) AS n FROM candidates WHERE user_id = ?",
+                (user_id,),
+            )
+        return int(rows[0]["n"])
+
+    def temporal_input(self, user_id: str, time: int) -> np.ndarray:
+        """Fetch one temporal-input vector back out of the store."""
+        rows = self.sql(
+            "SELECT * FROM temporal_inputs WHERE user_id = ? AND time = ?",
+            (user_id, int(time)),
+        )
+        if not rows:
+            raise StorageError(
+                f"no temporal input for user {user_id!r} at time {time}"
+            )
+        row = rows[0]
+        return np.array([row[name] for name in self.schema.names], dtype=float)
+
+    def times_for(self, user_id: str) -> list[int]:
+        """Sorted distinct time points present in temporal_inputs."""
+        rows = self.sql(
+            "SELECT DISTINCT time FROM temporal_inputs WHERE user_id = ?"
+            " ORDER BY time",
+            (user_id,),
+        )
+        return [int(r["time"]) for r in rows]
+
+    def row_to_vector(self, row: sqlite3.Row) -> np.ndarray:
+        """Extract the feature vector from any row with feature columns."""
+        return np.array([row[name] for name in self.schema.names], dtype=float)

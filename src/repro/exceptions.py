@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch any library failure with a single ``except`` clause while still
+being able to distinguish the subsystem that raised it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class NotFittedError(ReproError):
+    """An estimator method requiring a fitted model was called before ``fit``."""
+
+
+class ValidationError(ReproError):
+    """Input data failed structural validation (shape, dtype, range)."""
+
+
+class ConstraintError(ReproError):
+    """A constraint expression is malformed or cannot be evaluated."""
+
+
+class ConstraintParseError(ConstraintError):
+    """The constraints DSL text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class SchemaError(ReproError):
+    """A dataset schema is inconsistent or a feature reference is unknown."""
+
+
+class ForecastError(ReproError):
+    """The models generator could not produce a future model."""
+
+
+class CandidateSearchError(ReproError):
+    """The candidates generator was configured inconsistently."""
+
+
+class StorageError(ReproError):
+    """The candidate database rejected an operation."""
+
+
+class QueryError(ReproError):
+    """A canned or user query is invalid for the current database."""

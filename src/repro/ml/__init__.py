@@ -1,0 +1,68 @@
+"""From-scratch machine-learning substrate.
+
+The original JustInTime demo trains H2O random forests; this subpackage
+provides the equivalent model classes (and more) with no dependency beyond
+numpy, all implementing the paper's Definition II.1 interface
+``M : R^d -> [0, 1]`` via ``decision_score``.
+"""
+
+from repro.ml.base import BaseClassifier, BaseEstimator, as_rng
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.calibration import CalibratedClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import LogisticRegression, sigmoid
+from repro.ml.multiclass import DesiredClassModel, OneVsRestClassifier
+from repro.ml.metrics import (
+    accuracy_score,
+    brier_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+from repro.ml.preprocessing import (
+    LabelEncoder,
+    MinMaxScaler,
+    OneHotEncoder,
+    StandardScaler,
+    train_test_split,
+)
+from repro.ml.tree import DecisionTreeClassifier, TreeNode
+from repro.ml.validation import KFold, StratifiedKFold, cross_val_score
+
+__all__ = [
+    "BaseClassifier",
+    "BaseEstimator",
+    "CalibratedClassifier",
+    "DecisionTreeClassifier",
+    "DesiredClassModel",
+    "OneVsRestClassifier",
+    "GradientBoostingClassifier",
+    "KFold",
+    "LabelEncoder",
+    "LogisticRegression",
+    "MinMaxScaler",
+    "OneHotEncoder",
+    "RandomForestClassifier",
+    "StandardScaler",
+    "StratifiedKFold",
+    "TreeNode",
+    "accuracy_score",
+    "as_rng",
+    "brier_score",
+    "classification_report",
+    "confusion_matrix",
+    "cross_val_score",
+    "f1_score",
+    "log_loss",
+    "precision_score",
+    "recall_score",
+    "roc_auc_score",
+    "roc_curve",
+    "sigmoid",
+    "train_test_split",
+]

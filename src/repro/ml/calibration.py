@@ -1,0 +1,132 @@
+"""Probability calibration (Platt scaling).
+
+Definition II.1 treats ``M(x)`` as *the probability* of the positive
+class, and the constraints language exposes it as ``confidence`` that
+users reason about directly ("confidence of being APPROVED always exceeds
+α").  Bagged forests are notoriously over-confident near 0/1, so a
+calibration wrapper is part of a production deployment:
+
+:class:`CalibratedClassifier` fits the base model on one split and a
+logistic (sigmoid) map from raw scores to calibrated probabilities on the
+held-out split — classic Platt scaling.  The wrapper forwards
+``split_thresholds`` / ``score_gradient`` so the candidate search's move
+heuristics keep working; note the calibration map is strictly monotone,
+so it never changes the *ranking* of candidates, only the confidence
+values reported to users and compared against α-style constraints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ml.base import BaseClassifier, as_rng, check_X, check_X_y, check_fitted
+from repro.ml.linear import sigmoid
+
+__all__ = ["CalibratedClassifier"]
+
+
+class CalibratedClassifier(BaseClassifier):
+    """Platt-scaled wrapper around any base classifier.
+
+    Parameters
+    ----------
+    base:
+        Unfitted base classifier (fitted by this wrapper on the train
+        split).
+    holdout:
+        Fraction of the data reserved for fitting the calibration map.
+    max_iter, lr:
+        Gradient-descent budget for the 1-D logistic calibration fit.
+    random_state:
+        Seeds the train/holdout split.
+    """
+
+    def __init__(
+        self,
+        base: BaseClassifier,
+        holdout: float = 0.25,
+        max_iter: int = 2_000,
+        lr: float = 0.5,
+        random_state: int | None = 0,
+    ):
+        if not 0.0 < holdout < 1.0:
+            raise ValidationError("holdout must lie strictly between 0 and 1")
+        self.base = base
+        self.holdout = holdout
+        self.max_iter = max_iter
+        self.lr = lr
+        self.random_state = random_state
+        self.a_: float | None = None
+        self.b_: float | None = None
+        self.n_features_: int | None = None
+
+    def fit(self, X, y) -> "CalibratedClassifier":
+        X, y = check_X_y(X, y)
+        rng = as_rng(self.random_state)
+        n = X.shape[0]
+        n_holdout = max(2, int(round(self.holdout * n)))
+        order = rng.permutation(n)
+        hold_idx, train_idx = order[:n_holdout], order[n_holdout:]
+        if train_idx.size < 2:
+            raise ValidationError("not enough samples to split for calibration")
+        self.base.fit(X[train_idx], y[train_idx])
+        raw = self.base.decision_score(X[hold_idx])
+        target = y[hold_idx].astype(float)
+        # Platt's smoothing of the targets guards against overfitting the
+        # calibration map on small holdouts
+        n_pos = target.sum()
+        n_neg = target.size - n_pos
+        target = np.where(
+            target > 0.5,
+            (n_pos + 1.0) / (n_pos + 2.0),
+            1.0 / (n_neg + 2.0),
+        )
+        a, b = 1.0, 0.0
+        for _ in range(self.max_iter):
+            p = sigmoid(a * raw + b)
+            grad_common = p - target
+            grad_a = float(np.mean(grad_common * raw))
+            grad_b = float(np.mean(grad_common))
+            a -= self.lr * grad_a
+            b -= self.lr * grad_b
+            if max(abs(grad_a), abs(grad_b)) < 1e-7:
+                break
+        # a <= 0 would invert the ranking; clamp to a tiny positive slope
+        self.a_ = max(a, 1e-6)
+        self.b_ = b
+        self.n_features_ = X.shape[1]
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_fitted(self, "a_")
+        X = check_X(X)
+        self._check_n_features(X)
+        raw = self.base.decision_score(X)
+        p1 = sigmoid(self.a_ * raw + self.b_)
+        return np.column_stack([1.0 - p1, p1])
+
+    # ---- forwarded capabilities so the move heuristics keep working ----
+    # Exposed via __getattr__ so hasattr() reflects the *base* model's
+    # capabilities — the candidate search auto-selects proposers by
+    # hasattr, and a calibrated forest must not advertise a gradient.
+
+    def __getattr__(self, name: str):
+        # self.__dict__ access avoids recursion during unpickling
+        base = self.__dict__.get("base")
+        if base is not None:
+            if name == "split_thresholds" and hasattr(base, "split_thresholds"):
+                return base.split_thresholds
+            if name == "score_gradient" and hasattr(base, "score_gradient"):
+                return self._calibrated_gradient
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def _calibrated_gradient(self, x) -> np.ndarray:
+        check_fitted(self, "a_")
+        x = np.asarray(x, dtype=float).ravel()
+        raw = float(self.base.decision_score(x.reshape(1, -1))[0])
+        p = float(sigmoid(np.array([self.a_ * raw + self.b_]))[0])
+        # chain rule through the calibration sigmoid
+        return p * (1.0 - p) * self.a_ * np.asarray(self.base.score_gradient(x))

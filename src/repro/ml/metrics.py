@@ -1,0 +1,162 @@
+"""Classification metrics used across training, forecasting and benchmarks.
+
+All functions accept array-likes and operate on binary problems with labels
+in ``{0, 1}``.  Probabilistic metrics (:func:`roc_auc_score`,
+:func:`log_loss`, :func:`brier_score`) take positive-class scores in
+``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "roc_curve",
+    "roc_auc_score",
+    "log_loss",
+    "brier_score",
+    "classification_report",
+]
+
+
+def _check_binary(y_true, y_pred=None) -> tuple[np.ndarray, np.ndarray | None]:
+    y_true = np.asarray(y_true).astype(int).ravel()
+    if y_true.size == 0:
+        raise ValidationError("y_true is empty")
+    if not np.isin(np.unique(y_true), (0, 1)).all():
+        raise ValidationError("y_true must contain only 0/1 labels")
+    if y_pred is None:
+        return y_true, None
+    y_pred = np.asarray(y_pred).ravel()
+    if y_pred.shape != y_true.shape:
+        raise ValidationError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly-matching labels."""
+    y_true, y_pred = _check_binary(y_true, y_pred)
+    return float(np.mean(y_true == y_pred.astype(int)))
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """Return ``[[tn, fp], [fn, tp]]``."""
+    y_true, y_pred = _check_binary(y_true, y_pred)
+    y_pred = y_pred.astype(int)
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    return np.array([[tn, fp], [fn, tp]])
+
+
+def precision_score(y_true, y_pred, *, zero_division: float = 0.0) -> float:
+    """tp / (tp + fp); ``zero_division`` when no positive predictions."""
+    cm = confusion_matrix(y_true, y_pred)
+    tp, fp = cm[1, 1], cm[0, 1]
+    if tp + fp == 0:
+        return zero_division
+    return tp / (tp + fp)
+
+
+def recall_score(y_true, y_pred, *, zero_division: float = 0.0) -> float:
+    """tp / (tp + fn); ``zero_division`` when no true positives exist."""
+    cm = confusion_matrix(y_true, y_pred)
+    tp, fn = cm[1, 1], cm[1, 0]
+    if tp + fn == 0:
+        return zero_division
+    return tp / (tp + fn)
+
+
+def f1_score(y_true, y_pred, *, zero_division: float = 0.0) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision_score(y_true, y_pred, zero_division=zero_division)
+    r = recall_score(y_true, y_pred, zero_division=zero_division)
+    if p + r == 0:
+        return zero_division
+    return 2 * p * r / (p + r)
+
+
+def roc_curve(y_true, y_score) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(fpr, tpr, thresholds)`` sorted by decreasing threshold."""
+    y_true, y_score = _check_binary(y_true, y_score)
+    order = np.argsort(-y_score, kind="stable")
+    y_true = y_true[order]
+    y_score = y_score[order]
+    # keep only points where the threshold changes
+    distinct = np.where(np.diff(y_score))[0]
+    idx = np.r_[distinct, y_true.size - 1]
+    tps = np.cumsum(y_true)[idx]
+    fps = (1 + idx) - tps
+    n_pos = y_true.sum()
+    n_neg = y_true.size - n_pos
+    tpr = tps / n_pos if n_pos else np.zeros_like(tps, dtype=float)
+    fpr = fps / n_neg if n_neg else np.zeros_like(fps, dtype=float)
+    tpr = np.r_[0.0, tpr]
+    fpr = np.r_[0.0, fpr]
+    thresholds = np.r_[np.inf, y_score[idx]]
+    return fpr, tpr, thresholds
+
+
+def roc_auc_score(y_true, y_score) -> float:
+    """Area under the ROC curve (probability a positive outranks a negative).
+
+    Uses the rank statistic (equivalent to the Mann-Whitney U), which
+    handles ties by midranking.  Raises when only one class is present.
+    """
+    y_true, y_score = _check_binary(y_true, y_score)
+    n_pos = int(y_true.sum())
+    n_neg = y_true.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValidationError("roc_auc_score requires both classes present")
+    order = np.argsort(y_score, kind="stable")
+    ranks = np.empty_like(order, dtype=float)
+    sorted_scores = y_score[order]
+    # midranks for ties
+    i = 0
+    rank = 1.0
+    while i < sorted_scores.size:
+        j = i
+        while j + 1 < sorted_scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (rank + rank + (j - i)) / 2.0
+        rank += j - i + 1
+        i = j + 1
+    rank_sum = ranks[y_true == 1].sum()
+    u = rank_sum - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def log_loss(y_true, y_score, *, eps: float = 1e-12) -> float:
+    """Mean negative log-likelihood of the true labels under ``y_score``."""
+    y_true, y_score = _check_binary(y_true, y_score)
+    p = np.clip(y_score, eps, 1.0 - eps)
+    return float(-np.mean(y_true * np.log(p) + (1 - y_true) * np.log(1 - p)))
+
+
+def brier_score(y_true, y_score) -> float:
+    """Mean squared error between labels and scores (lower is better)."""
+    y_true, y_score = _check_binary(y_true, y_score)
+    return float(np.mean((y_score - y_true) ** 2))
+
+
+def classification_report(y_true, y_pred) -> str:
+    """Return a small human-readable report (accuracy, P/R/F1, confusion)."""
+    cm = confusion_matrix(y_true, y_pred)
+    lines = [
+        f"accuracy : {accuracy_score(y_true, y_pred):.4f}",
+        f"precision: {precision_score(y_true, y_pred):.4f}",
+        f"recall   : {recall_score(y_true, y_pred):.4f}",
+        f"f1       : {f1_score(y_true, y_pred):.4f}",
+        f"confusion: tn={cm[0, 0]} fp={cm[0, 1]} fn={cm[1, 0]} tp={cm[1, 1]}",
+    ]
+    return "\n".join(lines)

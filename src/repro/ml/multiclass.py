@@ -1,0 +1,149 @@
+"""Multi-class generalisation of the Definition II.1 interface.
+
+The paper focuses on binary classification "for simplicity, but the
+framework can be easily generalized to multi-class problems" (§II.A).
+This module makes that claim concrete:
+
+* :class:`OneVsRestClassifier` trains one binary scorer per class and
+  normalises their positive scores into a class-probability matrix;
+* :class:`DesiredClassModel` adapts a fitted multi-class model back to
+  the binary ``M : R^d -> [0, 1]`` contract by scoring the probability of
+  the user's *desired* class — which is exactly what the candidates
+  generator needs ("what should I change so the model assigns me class
+  c?").  It forwards ``split_thresholds`` so the tree-ensemble move
+  heuristics keep working unchanged.
+
+Lending-scenario interpretation: instead of approve/reject, the bank
+assigns a loan *grade* (e.g. 0=reject, 1=standard, 2=prime) and the
+applicant asks for modifications that reach the prime grade.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ml.base import BaseClassifier, BaseEstimator, as_rng, check_X, check_fitted
+
+__all__ = ["OneVsRestClassifier", "DesiredClassModel"]
+
+
+class OneVsRestClassifier(BaseEstimator):
+    """One binary scorer per class, normalised into class probabilities.
+
+    Parameters
+    ----------
+    base_factory:
+        Zero-argument callable returning an unfitted
+        :class:`~repro.ml.base.BaseClassifier` (one is created per class).
+    random_state:
+        Re-seeds each per-class model (when it exposes ``random_state``)
+        so the ensemble is reproducible.
+    """
+
+    def __init__(
+        self,
+        base_factory: Callable[[], BaseClassifier],
+        random_state: int | None = 0,
+    ):
+        self.base_factory = base_factory
+        self.random_state = random_state
+        self.classes_: np.ndarray | None = None
+        self.models_: list[BaseClassifier] | None = None
+        self.n_features_: int | None = None
+
+    def fit(self, X, y) -> "OneVsRestClassifier":
+        X = check_X(X)
+        y = np.asarray(y).ravel()
+        if y.shape[0] != X.shape[0]:
+            raise ValidationError("X and y disagree on sample count")
+        self.classes_ = np.unique(y)
+        if self.classes_.size < 2:
+            raise ValidationError("need at least two classes")
+        rng = as_rng(self.random_state)
+        self.models_ = []
+        for label in self.classes_:
+            model = self.base_factory()
+            if "random_state" in model.get_params():
+                model.set_params(random_state=int(rng.integers(0, 2**31 - 1)))
+            model.fit(X, (y == label).astype(int))
+            self.models_.append(model)
+        self.n_features_ = X.shape[1]
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Return an ``(n, n_classes)`` matrix of normalised class scores."""
+        check_fitted(self, "models_")
+        X = check_X(X)
+        scores = np.column_stack(
+            [model.decision_score(X) for model in self.models_]
+        )
+        totals = scores.sum(axis=1, keepdims=True)
+        # all-zero rows (every one-vs-rest scorer rejects) become uniform
+        uniform = np.full_like(scores, 1.0 / scores.shape[1])
+        with np.errstate(invalid="ignore", divide="ignore"):
+            proba = np.where(totals > 0, scores / totals, uniform)
+        return proba
+
+    def predict(self, X) -> np.ndarray:
+        """Return the most probable class label per row."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, X, y) -> float:
+        y = np.asarray(y).ravel()
+        return float(np.mean(self.predict(X) == y))
+
+    def class_index(self, label) -> int:
+        check_fitted(self, "classes_")
+        matches = np.flatnonzero(self.classes_ == label)
+        if matches.size == 0:
+            raise ValidationError(
+                f"unknown class {label!r}; classes are {self.classes_.tolist()}"
+            )
+        return int(matches[0])
+
+
+class DesiredClassModel(BaseClassifier):
+    """Binary view of a multi-class model: ``M(x) = P(class = desired)``.
+
+    Satisfies Definition II.1, so every downstream component — the
+    constraints language's ``confidence`` property, the candidates
+    generator, the thresholds, the DB schema — works on multi-class
+    problems without modification.
+    """
+
+    def __init__(self, multiclass: OneVsRestClassifier, desired_class):
+        check_fitted(multiclass, "models_")
+        self.multiclass = multiclass
+        self.desired_class = desired_class
+        self._class_idx = multiclass.class_index(desired_class)
+        self.n_features_ = multiclass.n_features_
+
+    def fit(self, X, y):  # pragma: no cover - adapter, never fitted
+        raise ValidationError("DesiredClassModel wraps a fitted model")
+
+    def predict_proba(self, X) -> np.ndarray:
+        proba = self.multiclass.predict_proba(X)
+        p1 = proba[:, self._class_idx]
+        return np.column_stack([1.0 - p1, p1])
+
+    def split_thresholds(self) -> dict[int, np.ndarray]:
+        """Union of split thresholds over the per-class ensembles.
+
+        Available only when every per-class model exposes thresholds;
+        keeps the tree move heuristic working for multi-class forests.
+        """
+        merged: dict[int, set[float]] = {}
+        for model in self.multiclass.models_:
+            if not hasattr(model, "split_thresholds"):
+                raise ValidationError(
+                    f"{type(model).__name__} exposes no split_thresholds"
+                )
+            for feature, values in model.split_thresholds().items():
+                merged.setdefault(feature, set()).update(values.tolist())
+        return {
+            feature: np.array(sorted(values)) for feature, values in merged.items()
+        }

@@ -1,0 +1,212 @@
+"""Feature preprocessing: scalers, encoders and dataset splitting.
+
+These transformers follow the ``fit`` / ``transform`` protocol of
+:class:`repro.ml.base.BaseEstimator`.  They are used by the models
+generator before training and by the candidate search when measuring
+``diff`` in a normalised space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml.base import BaseEstimator, as_rng, check_X
+
+__all__ = [
+    "StandardScaler",
+    "MinMaxScaler",
+    "OneHotEncoder",
+    "LabelEncoder",
+    "train_test_split",
+]
+
+
+class StandardScaler(BaseEstimator):
+    """Standardise features to zero mean and unit variance.
+
+    Constant features get a unit scale so that ``transform`` never divides
+    by zero.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_X(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std == 0.0] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler is not fitted")
+        X = check_X(X)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValidationError(
+                f"StandardScaler fitted on {self.mean_.shape[0]} features,"
+                f" got {X.shape[1]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler is not fitted")
+        X = check_X(X)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator):
+    """Scale features to the ``[0, 1]`` range feature-wise."""
+
+    def __init__(self):
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = check_X(X)
+        self.min_ = X.min(axis=0)
+        rng = X.max(axis=0) - self.min_
+        rng[rng == 0.0] = 1.0
+        self.range_ = rng
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise NotFittedError("MinMaxScaler is not fitted")
+        X = check_X(X)
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise NotFittedError("MinMaxScaler is not fitted")
+        X = check_X(X)
+        return X * self.range_ + self.min_
+
+
+class OneHotEncoder(BaseEstimator):
+    """One-hot encode integer-coded categorical columns.
+
+    ``fit`` learns the category values per column; ``transform`` maps each
+    column to ``len(categories)`` indicator columns.  Unknown categories at
+    transform time raise unless ``handle_unknown='ignore'`` (all-zero row
+    block).
+    """
+
+    def __init__(self, handle_unknown: str = "error"):
+        if handle_unknown not in ("error", "ignore"):
+            raise ValueError("handle_unknown must be 'error' or 'ignore'")
+        self.handle_unknown = handle_unknown
+        self.categories_: list[np.ndarray] | None = None
+
+    def fit(self, X) -> "OneHotEncoder":
+        X = check_X(X)
+        self.categories_ = [np.unique(X[:, j]) for j in range(X.shape[1])]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.categories_ is None:
+            raise NotFittedError("OneHotEncoder is not fitted")
+        X = check_X(X)
+        if X.shape[1] != len(self.categories_):
+            raise ValidationError(
+                f"OneHotEncoder fitted on {len(self.categories_)} columns,"
+                f" got {X.shape[1]}"
+            )
+        blocks = []
+        for j, cats in enumerate(self.categories_):
+            col = X[:, j]
+            block = (col[:, None] == cats[None, :]).astype(float)
+            known = block.sum(axis=1) > 0
+            if not known.all() and self.handle_unknown == "error":
+                bad = np.unique(col[~known])
+                raise ValidationError(f"unknown categories in column {j}: {bad}")
+            blocks.append(block)
+        return np.hstack(blocks)
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class LabelEncoder(BaseEstimator):
+    """Encode arbitrary hashable labels as contiguous integers."""
+
+    def __init__(self):
+        self.classes_: list | None = None
+        self._index: dict | None = None
+
+    def fit(self, y) -> "LabelEncoder":
+        self.classes_ = sorted(set(y))
+        self._index = {c: i for i, c in enumerate(self.classes_)}
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        if self._index is None:
+            raise NotFittedError("LabelEncoder is not fitted")
+        try:
+            return np.array([self._index[v] for v in y], dtype=int)
+        except KeyError as exc:
+            raise ValidationError(f"unknown label {exc.args[0]!r}") from exc
+
+    def fit_transform(self, y) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, codes) -> list:
+        if self.classes_ is None:
+            raise NotFittedError("LabelEncoder is not fitted")
+        classes = self.classes_
+        return [classes[int(c)] for c in codes]
+
+
+def train_test_split(
+    X,
+    y,
+    *,
+    test_size: float = 0.25,
+    random_state: int | np.random.Generator | None = None,
+    stratify: bool = False,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split ``(X, y)`` into train and test partitions.
+
+    Returns ``(X_train, X_test, y_train, y_test)``.  With ``stratify=True``
+    each class contributes proportionally to the test partition (matching
+    the overall ``test_size`` as closely as rounding allows).
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValidationError("X and y disagree on sample count")
+    if not 0.0 < test_size < 1.0:
+        raise ValidationError("test_size must lie strictly between 0 and 1")
+    rng = as_rng(random_state)
+    n = X.shape[0]
+    if stratify:
+        test_idx: list[int] = []
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            rng.shuffle(members)
+            take = max(1, int(round(test_size * members.size))) if members.size else 0
+            take = min(take, members.size)
+            test_idx.extend(members[:take].tolist())
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[test_idx] = True
+    else:
+        order = rng.permutation(n)
+        n_test = max(1, int(round(test_size * n)))
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[order[:n_test]] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]

@@ -1,0 +1,106 @@
+"""Cross-validation utilities.
+
+Used by the forecast ablation bench to score forecasting strategies fairly
+and by tests to sanity-check the from-scratch estimators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ml.base import BaseClassifier, as_rng
+from repro.ml.metrics import accuracy_score
+
+__all__ = ["KFold", "StratifiedKFold", "cross_val_score"]
+
+
+class KFold:
+    """Standard k-fold splitter yielding ``(train_idx, test_idx)`` pairs."""
+
+    def __init__(
+        self,
+        n_splits: int = 5,
+        shuffle: bool = True,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        if n_splits < 2:
+            raise ValidationError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y=None) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = np.asarray(X).shape[0]
+        if n < self.n_splits:
+            raise ValidationError(
+                f"cannot split {n} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n)
+        if self.shuffle:
+            as_rng(self.random_state).shuffle(indices)
+        for fold in np.array_split(indices, self.n_splits):
+            train = np.setdiff1d(indices, fold, assume_unique=False)
+            yield train, fold
+
+
+class StratifiedKFold:
+    """K-fold splitter preserving the class balance of ``y`` per fold."""
+
+    def __init__(
+        self,
+        n_splits: int = 5,
+        shuffle: bool = True,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        if n_splits < 2:
+            raise ValidationError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        y = np.asarray(y)
+        n = y.shape[0]
+        rng = as_rng(self.random_state)
+        folds: list[list[int]] = [[] for _ in range(self.n_splits)]
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            if self.shuffle:
+                rng.shuffle(members)
+            for i, chunk in enumerate(np.array_split(members, self.n_splits)):
+                folds[i].extend(chunk.tolist())
+        all_idx = np.arange(n)
+        for fold in folds:
+            fold_arr = np.array(sorted(fold), dtype=int)
+            if fold_arr.size == 0:
+                raise ValidationError("a stratified fold came out empty")
+            train = np.setdiff1d(all_idx, fold_arr)
+            yield train, fold_arr
+
+
+def cross_val_score(
+    estimator: BaseClassifier,
+    X,
+    y,
+    *,
+    cv: int = 5,
+    scorer: Callable[[np.ndarray, np.ndarray], float] | None = None,
+    random_state: int | None = None,
+) -> np.ndarray:
+    """Return per-fold scores for a fresh clone of ``estimator``.
+
+    ``scorer(y_true, y_pred)`` defaults to accuracy over hard predictions.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    scorer = scorer or accuracy_score
+    splitter = StratifiedKFold(n_splits=cv, random_state=random_state)
+    scores = []
+    for train_idx, test_idx in splitter.split(X, y):
+        model = estimator.clone()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(scorer(y[test_idx], model.predict(X[test_idx])))
+    return np.array(scores)

@@ -1,0 +1,77 @@
+"""Temporal substrate: update functions, distribution forecasting, models.
+
+Implements the models-generator half of the paper's architecture —
+Definition II.4 temporal update functions plus the domain-adaptation
+machinery (kernel mean embeddings, EDD dynamics regression, kernel
+herding) that produces the future model sequence ``(M_t, δ_t)``.
+"""
+
+from repro.temporal.drift import (
+    label_shift_profile,
+    mmd_drift_profile,
+    suggest_delta,
+)
+from repro.temporal.edd import EDDPredictor
+from repro.temporal.embedding import (
+    Kernel,
+    LinearKernel,
+    PolynomialKernel,
+    RBFKernel,
+    WeightedSample,
+    embedding_inner,
+    median_heuristic_gamma,
+    mmd,
+)
+from repro.temporal.forecast import (
+    EDDStrategy,
+    ForecastStrategy,
+    FullHistoryStrategy,
+    FutureModel,
+    FutureModels,
+    LastWindowStrategy,
+    ModelsGenerator,
+    OracleStrategy,
+    RecencyWeightStrategy,
+    ScaledLinearModel,
+    WeightExtrapolationStrategy,
+    make_strategy,
+)
+from repro.temporal.herding import herd
+from repro.temporal.thresholds import calibrate_threshold
+from repro.temporal.update import (
+    TemporalUpdateFunction,
+    lending_update_function,
+    linear_rule,
+)
+
+__all__ = [
+    "EDDPredictor",
+    "EDDStrategy",
+    "ForecastStrategy",
+    "FullHistoryStrategy",
+    "FutureModel",
+    "FutureModels",
+    "Kernel",
+    "LastWindowStrategy",
+    "LinearKernel",
+    "ModelsGenerator",
+    "OracleStrategy",
+    "PolynomialKernel",
+    "RBFKernel",
+    "RecencyWeightStrategy",
+    "ScaledLinearModel",
+    "TemporalUpdateFunction",
+    "WeightExtrapolationStrategy",
+    "WeightedSample",
+    "calibrate_threshold",
+    "embedding_inner",
+    "herd",
+    "label_shift_profile",
+    "lending_update_function",
+    "linear_rule",
+    "mmd_drift_profile",
+    "suggest_delta",
+    "make_strategy",
+    "median_heuristic_gamma",
+    "mmd",
+]

@@ -1,0 +1,152 @@
+"""Extrapolating the Distribution Dynamics (EDD) — Lampert, CVPR 2015.
+
+Given a sequence of sample sets ``S_1 .. S_n`` drawn from a time-varying
+distribution ``P_1 .. P_n``, EDD:
+
+1. embeds each ``P_t`` as its empirical kernel mean ``μ_t`` in an RKHS;
+2. learns the dynamics operator ``A : μ_{t} ↦ μ_{t+1}`` by vector-valued
+   ridge regression over the observed consecutive pairs;
+3. applies ``A`` to the newest embedding to predict ``μ_{n+1}`` (and, by
+   iterating, ``μ_{n+h}``), expressed as a weighted combination of
+   historical samples;
+4. (client step) herds concrete samples from the predicted embedding.
+
+With the operator constrained to the span of the observed embeddings, the
+ridge solution has the closed form used below: the predicted embedding is
+``μ̂_{n+1} = Σ_{t=1}^{n-1} β_t μ_{t+1}`` with
+``β = (G + λI)^{-1} g``, where ``G[s,t] = ⟨μ_s, μ_t⟩`` over the first
+``n−1`` embeddings and ``g[s] = ⟨μ_s, μ_n⟩``.  Multi-step predictions
+re-apply the same regression against the previous prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ForecastError
+from repro.temporal.embedding import (
+    Kernel,
+    RBFKernel,
+    WeightedSample,
+    embedding_inner,
+)
+
+__all__ = ["EDDPredictor"]
+
+
+class EDDPredictor:
+    """Vector-valued ridge regression over a kernel-mean-embedding sequence.
+
+    Parameters
+    ----------
+    kernel:
+        RKHS kernel; RBF with a median-heuristic bandwidth is the default
+        choice in the EDD paper.
+    ridge:
+        Regularisation λ of the operator regression.
+    """
+
+    def __init__(self, kernel: Kernel | None = None, ridge: float = 0.1):
+        if ridge <= 0:
+            raise ForecastError("ridge must be positive")
+        self.kernel = kernel or RBFKernel(gamma=0.5)
+        self.ridge = ridge
+        self._embeddings: list[WeightedSample] | None = None
+        self._beta_matrix: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, sample_sets: list[np.ndarray]) -> "EDDPredictor":
+        """Learn the dynamics from an ordered list of per-window samples."""
+        if len(sample_sets) < 3:
+            raise ForecastError(
+                f"EDD needs at least 3 windows to learn dynamics,"
+                f" got {len(sample_sets)}"
+            )
+        embeddings = [WeightedSample.mean_embedding(s) for s in sample_sets]
+        n = len(embeddings)
+        # Gram of the predictor embeddings μ_1 .. μ_{n-1}
+        G = np.empty((n - 1, n - 1))
+        for i in range(n - 1):
+            for j in range(i, n - 1):
+                G[i, j] = G[j, i] = embedding_inner(
+                    self.kernel, embeddings[i], embeddings[j]
+                )
+        # β(target) = (G + λI)^{-1} ⟨μ_., μ_target⟩; precompute the inverse
+        self._gram_inv = np.linalg.inv(G + self.ridge * np.eye(n - 1))
+        self._embeddings = embeddings
+        return self
+
+    # -------------------------------------------------------------- predict
+
+    def _coefficients_for(self, query: WeightedSample) -> np.ndarray:
+        """Regression coefficients β for one application of the operator."""
+        g = np.array(
+            [
+                embedding_inner(self.kernel, emb, query)
+                for emb in self._embeddings[:-1]
+            ]
+        )
+        return self._gram_inv @ g
+
+    def predict_embedding(self, horizon: int = 1) -> WeightedSample:
+        """Predict ``μ_{n+horizon}`` as a weighted historical sample set.
+
+        One operator application maps the newest embedding one step ahead;
+        ``horizon > 1`` iterates the operator on its own output.
+        """
+        if self._embeddings is None:
+            raise ForecastError("EDDPredictor is not fitted")
+        if horizon < 1:
+            raise ForecastError("horizon must be >= 1")
+        current = self._embeddings[-1]
+        for _ in range(horizon):
+            beta = self._coefficients_for(current)
+            # μ̂_next = Σ_t β_t μ_{t+1}: stack the successor embeddings
+            points = []
+            weights = []
+            for coef, emb in zip(beta, self._embeddings[1:]):
+                points.append(emb.points)
+                weights.append(coef * emb.weights)
+            current = WeightedSample(
+                np.vstack(points), np.concatenate(weights)
+            )
+            current = self._compress(current)
+        return current
+
+    @staticmethod
+    def _compress(embedding: WeightedSample) -> WeightedSample:
+        """Merge duplicate points (same row appearing via several windows).
+
+        Keeps the sample representation from growing combinatorially under
+        iterated predictions.
+        """
+        points = embedding.points
+        weights = embedding.weights
+        # lexicographic sort to group identical rows
+        order = np.lexsort(points.T[::-1])
+        points = points[order]
+        weights = weights[order]
+        keep_points: list[np.ndarray] = []
+        keep_weights: list[float] = []
+        i = 0
+        while i < points.shape[0]:
+            j = i
+            acc = weights[i]
+            while (
+                j + 1 < points.shape[0]
+                and np.array_equal(points[j + 1], points[i])
+            ):
+                j += 1
+                acc += weights[j]
+            keep_points.append(points[i])
+            keep_weights.append(acc)
+            i = j + 1
+        return WeightedSample(np.vstack(keep_points), np.array(keep_weights))
+
+    @property
+    def historical_pool(self) -> np.ndarray:
+        """Union of all historical samples — default herding pool."""
+        if self._embeddings is None:
+            raise ForecastError("EDDPredictor is not fitted")
+        return np.vstack([emb.points for emb in self._embeddings])

@@ -1,0 +1,79 @@
+"""Kernel herding: materialise samples from a predicted mean embedding.
+
+EDD predicts the *embedding* of the future distribution; to train a
+classifier we need actual points.  Kernel herding (Chen, Welling &
+Smola 2010, the technique Lampert's EDD uses for this step) greedily
+selects points ``s_1, s_2, ...`` so that the empirical embedding of the
+selected set tracks the target embedding:
+
+    s_{j+1} = argmax_{s ∈ pool} ⟨μ*, φ(s)⟩ − (1/(j+1)) Σ_{l ≤ j} k(s_l, s)
+
+The candidate pool is a finite set (here: the union of historical samples,
+optionally jittered), which keeps the argmax exact and the procedure
+deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ForecastError
+from repro.temporal.embedding import Kernel, WeightedSample
+
+__all__ = ["herd"]
+
+
+def herd(
+    kernel: Kernel,
+    target: WeightedSample,
+    pool: np.ndarray,
+    n_samples: int,
+    *,
+    jitter: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Select ``n_samples`` pool points whose embedding approximates ``target``.
+
+    Parameters
+    ----------
+    kernel:
+        RKHS kernel (must match the one the target was built with).
+    target:
+        Predicted mean embedding ``μ* = Σ w_i φ(z_i)``.
+    pool:
+        ``(p, d)`` candidate points; selection is with replacement, as in
+        standard herding (a point may be picked repeatedly if the target
+        concentrates mass there).
+    n_samples:
+        Number of herded points to return.
+    jitter:
+        Optional Gaussian noise (std per feature unit) added to each
+        *returned* point — decorrelates repeated picks when the herded set
+        feeds a tree learner.
+    rng:
+        Random generator for jitter.
+
+    Returns the ``(n_samples, d)`` herded matrix.
+    """
+    pool = np.atleast_2d(np.asarray(pool, dtype=float))
+    if pool.shape[0] == 0:
+        raise ForecastError("herding pool is empty")
+    if n_samples < 1:
+        raise ForecastError("n_samples must be >= 1")
+    # ⟨μ*, φ(s)⟩ for every pool point — fixed over iterations
+    attraction = target.witness(kernel, pool)
+    # running Σ_l k(s_l, s) over selected points
+    repulsion = np.zeros(pool.shape[0])
+    chosen_idx = np.empty(n_samples, dtype=int)
+    for j in range(n_samples):
+        scores = attraction - repulsion / (j + 1)
+        pick = int(np.argmax(scores))
+        chosen_idx[j] = pick
+        repulsion += kernel(pool[pick : pick + 1], pool).ravel()
+    herded = pool[chosen_idx].copy()
+    if jitter > 0:
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        scale = pool.std(axis=0)
+        scale[scale == 0] = 1.0
+        herded += rng.normal(0.0, jitter, size=herded.shape) * scale
+    return herded

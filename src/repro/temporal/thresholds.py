@@ -1,0 +1,75 @@
+"""Per-model decision-threshold calibration.
+
+Definition II.3 classifies a candidate positively when ``M_t(x') > δ_t``;
+each future model carries its own threshold.  Three calibration rules are
+provided:
+
+* ``fixed`` — a constant (0.5 by default);
+* ``rate`` — pick δ so the model approves a target fraction of a
+  reference population (how lenders actually set cutoffs);
+* ``f1`` — maximise F1 on labeled reference data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ForecastError
+from repro.ml.base import BaseClassifier
+from repro.ml.metrics import f1_score
+
+__all__ = ["calibrate_threshold"]
+
+
+def calibrate_threshold(
+    model: BaseClassifier,
+    X_ref,
+    y_ref=None,
+    *,
+    method: str = "fixed",
+    fixed_value: float = 0.5,
+    target_rate: float | None = None,
+) -> float:
+    """Return a decision threshold δ for ``model``.
+
+    Parameters
+    ----------
+    model:
+        Fitted classifier.
+    X_ref:
+        Reference population to score (unused for ``fixed``).
+    y_ref:
+        Labels, required for ``f1``.
+    method:
+        ``'fixed'`` | ``'rate'`` | ``'f1'``.
+    fixed_value:
+        δ for the ``fixed`` method.
+    target_rate:
+        Approval fraction for the ``rate`` method.
+    """
+    if method == "fixed":
+        if not 0.0 <= fixed_value <= 1.0:
+            raise ForecastError("fixed threshold must be in [0, 1]")
+        return float(fixed_value)
+    scores = model.decision_score(np.asarray(X_ref, dtype=float))
+    if method == "rate":
+        if target_rate is None or not 0.0 < target_rate < 1.0:
+            raise ForecastError("rate calibration needs target_rate in (0, 1)")
+        # δ = (1 - rate) quantile: scores above it make up ~target_rate
+        delta = float(np.quantile(scores, 1.0 - target_rate))
+        return min(max(delta, 0.0), 1.0 - 1e-9)
+    if method == "f1":
+        if y_ref is None:
+            raise ForecastError("f1 calibration needs labels")
+        y_ref = np.asarray(y_ref, dtype=int)
+        candidates = np.unique(np.round(scores, 4))
+        if candidates.size == 0:
+            raise ForecastError("no scores to calibrate on")
+        best_delta, best_f1 = 0.5, -1.0
+        for delta in candidates:
+            preds = (scores > delta).astype(int)
+            score = f1_score(y_ref, preds)
+            if score > best_f1:
+                best_delta, best_f1 = float(delta), score
+        return best_delta
+    raise ForecastError(f"unknown calibration method {method!r}")

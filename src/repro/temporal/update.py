@@ -1,0 +1,127 @@
+"""Temporal update function (Definition II.4).
+
+Maps a user's profile ``x`` to its expected future representation at time
+point ``t``: identity on non-temporal features, a per-feature rule on
+temporal ones.  Example II.5: ``f(x, 3)[age] = x[age] + 3Δ``.
+
+Rules are declarative per feature name; :func:`linear_rule` covers the
+paper's age/seniority style drift, and arbitrary callables are accepted
+for custom domains.  Outputs are clipped to schema bounds (seniority
+cannot exceed its physical maximum, for example).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.data.schema import DatasetSchema
+from repro.exceptions import SchemaError
+
+__all__ = [
+    "LinearRule",
+    "linear_rule",
+    "TemporalUpdateFunction",
+    "lending_update_function",
+]
+
+#: A rule maps (current value, time index t, step Δ) to the future value.
+UpdateRule = Callable[[float, int, float], float]
+
+
+class LinearRule:
+    """Feature grows by ``rate`` per unit of elapsed time (``rate * t * Δ``).
+
+    A class rather than a closure so temporal update functions pickle
+    (see :mod:`repro.core.persistence`).
+    """
+
+    def __init__(self, rate: float = 1.0):
+        self.rate = rate
+
+    def __call__(self, value: float, t: int, delta: float) -> float:
+        return value + self.rate * t * delta
+
+    def __repr__(self) -> str:
+        return f"LinearRule(rate={self.rate})"
+
+
+def linear_rule(rate: float = 1.0) -> UpdateRule:
+    """Convenience constructor for :class:`LinearRule`."""
+    return LinearRule(rate)
+
+
+class TemporalUpdateFunction:
+    """Per-feature future projection of a profile vector.
+
+    Parameters
+    ----------
+    schema:
+        Feature schema; every rule key must name a schema feature.
+    rules:
+        ``{feature_name: rule}``; features without a rule are non-temporal
+        and use the identity (Definition II.4).
+    delta:
+        Interval Δ between consecutive time points, in timestamp units
+        (years in the lending scenario).
+    """
+
+    def __init__(
+        self,
+        schema: DatasetSchema,
+        rules: dict[str, UpdateRule] | None = None,
+        delta: float = 1.0,
+    ):
+        if delta <= 0:
+            raise SchemaError("delta must be positive")
+        self.schema = schema
+        self.delta = delta
+        self.rules: dict[str, UpdateRule] = {}
+        for name, rule in (rules or {}).items():
+            if name not in schema:
+                raise SchemaError(f"update rule for unknown feature {name!r}")
+            self.rules[name] = rule
+
+    def apply(self, x, t: int) -> np.ndarray:
+        """Return ``f(x, t)`` — the profile projected ``t`` steps ahead."""
+        if t < 0:
+            raise SchemaError("time index t must be non-negative")
+        x = np.asarray(x, dtype=float).ravel()
+        if x.size != len(self.schema):
+            raise SchemaError(
+                f"vector has {x.size} entries, schema expects {len(self.schema)}"
+            )
+        out = x.copy()
+        for name, rule in self.rules.items():
+            idx = self.schema.index_of(name)
+            out[idx] = rule(float(x[idx]), t, self.delta)
+        return self.schema.clip(out)
+
+    def trajectory(self, x, T: int) -> np.ndarray:
+        """Return the stacked future representations ``x_0 .. x_T``.
+
+        Row ``t`` is ``f(x, t)``; shape ``(T + 1, d)``.  These rows are
+        exactly what the paper stores in the ``temporal_inputs`` table.
+        """
+        if T < 0:
+            raise SchemaError("T must be non-negative")
+        return np.vstack([self.apply(x, t) for t in range(T + 1)])
+
+
+def lending_update_function(
+    schema: DatasetSchema, delta: float = 1.0
+) -> TemporalUpdateFunction:
+    """Default lending rules: age and seniority grow one year per year.
+
+    Matches the paper's motivation that "age increases over time, and
+    often so does seniority".
+    """
+    return TemporalUpdateFunction(
+        schema,
+        rules={
+            "age": LinearRule(1.0),
+            "seniority": LinearRule(1.0),
+        },
+        delta=delta,
+    )

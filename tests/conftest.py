@@ -1,0 +1,88 @@
+"""Shared fixtures.
+
+Expensive artifacts (datasets, fitted systems) are session-scoped so the
+suite stays fast; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import lending_domain_constraints
+from repro.core import AdminConfig, JustInTime
+from repro.data import (
+    LendingGenerator,
+    john_profile,
+    lending_schema,
+    make_lending_dataset,
+)
+from repro.ml import RandomForestClassifier
+from repro.temporal import lending_update_function
+
+
+@pytest.fixture(scope="session")
+def schema():
+    return lending_schema()
+
+
+@pytest.fixture(scope="session")
+def lending_ds():
+    """Moderate drifting lending dataset, fixed seed."""
+    return make_lending_dataset(n_per_year=150, random_state=1)
+
+
+@pytest.fixture(scope="session")
+def small_xy():
+    """Simple separable 2-D binary problem for estimator unit tests."""
+    rng = np.random.default_rng(0)
+    n = 300
+    X = rng.normal(size=(n, 2))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def fitted_forest(lending_ds):
+    recent = lending_ds.window(2017, 2020)
+    return RandomForestClassifier(
+        n_estimators=15, max_depth=8, random_state=0
+    ).fit(recent.X, recent.y)
+
+
+@pytest.fixture(scope="session")
+def john(schema):
+    return schema.vector(john_profile())
+
+
+@pytest.fixture(scope="session")
+def fitted_system(lending_ds, schema):
+    """A fitted JustInTime system with the fast 'last' strategy."""
+    system = JustInTime(
+        schema,
+        lending_update_function(schema),
+        AdminConfig(T=3, strategy="last", k=5, max_iter=10, random_state=0),
+        domain_constraints=lending_domain_constraints(schema),
+    )
+    system.fit(lending_ds)
+    return system
+
+
+@pytest.fixture(scope="session")
+def john_session(fitted_system):
+    """John's populated session (read-only for tests)."""
+    return fitted_system.create_session(
+        "john",
+        john_profile(),
+        user_constraints=["annual_income <= base_annual_income * 1.2"],
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def lending_generator():
+    return LendingGenerator(random_state=7)

@@ -1,0 +1,117 @@
+"""Tests for the CLI frontend and text rendering."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.app import (
+    build_system,
+    insight_block,
+    main,
+    profile_table,
+    run_demo,
+    run_interactive,
+    run_quickstart,
+    screen_header,
+    table,
+)
+from repro.app.cli import make_parser
+
+
+class TestRender:
+    def test_screen_header_boxed(self):
+        out = screen_header("Queries")
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert "Queries" in lines[1]
+        assert lines[0].startswith("+") and lines[0].endswith("+")
+
+    def test_table_alignment(self):
+        out = table(("a", "bb"), [(1, 2.5), (30, 4)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # all rows same width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_table_formats_floats(self):
+        out = table(("x",), [(1234.5678,)])
+        assert "1,234.568" in out
+
+    def test_table_formats_int_like_floats(self):
+        out = table(("x",), [(50_000.0,)])
+        assert "50,000" in out
+
+    def test_profile_table_lists_features(self, schema, john):
+        out = profile_table(schema, john)
+        for name in schema.names:
+            assert name in out
+
+    def test_insight_block(self, john_session):
+        insight = john_session.ask("q1")
+        out = insight_block(insight)
+        assert insight.title in out
+        assert insight.text in out
+
+
+class TestParser:
+    def test_subcommands(self):
+        parser = make_parser()
+        args = parser.parse_args(["--horizon", "2", "demo"])
+        assert args.command == "demo"
+        assert args.horizon == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_strategy_choices(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["--strategy", "magic", "demo"])
+
+
+class TestSubcommands:
+    @pytest.fixture(scope="class")
+    def args(self):
+        return make_parser().parse_args(
+            ["--n-per-year", "80", "--horizon", "2", "--alpha", "0.55", "quickstart"]
+        )
+
+    def test_quickstart_prints_insights(self, args):
+        out = io.StringIO()
+        assert run_quickstart(args, out) == 0
+        text = out.getvalue()
+        assert "JustInTime quickstart" in text
+        assert "Plans and Insights" in text
+        assert "rejected now" in text
+
+    def test_demo_runs_five_applicants(self, args):
+        out = io.StringIO()
+        assert run_demo(args, out) == 0
+        text = out.getvalue()
+        for i in range(1, 6):
+            assert f"applicant-{i}" in text
+        assert "Personal Preferences" in text
+
+    def test_interactive_scripted(self, args):
+        # accept every default, add one constraint, run q1 only
+        stdin = io.StringIO("\n" * 6 + "gap <= 2\n\nq1\n")
+        out = io.StringIO()
+        assert run_interactive(args, out, stdin) == 0
+        text = out.getvalue()
+        assert "Queries" in text
+        assert "No modification" in text
+
+    def test_interactive_handles_bad_input(self, args):
+        lines = ["abc"] + [""] * 5 + ["", "q9,q1"]
+        stdin = io.StringIO("\n".join(lines) + "\n")
+        out = io.StringIO()
+        assert run_interactive(args, out, stdin) == 0
+        assert "unknown question" in out.getvalue()
+
+
+class TestBuildSystem:
+    def test_build_system_fitted(self):
+        system = build_system(n_per_year=60, strategy="last", horizon=1, seed=0)
+        assert system.future_models is not None
+        assert len(system.future_models) == 2

@@ -1,0 +1,31 @@
+"""Tests for the CLI entry point wiring."""
+
+import io
+import sys
+
+import pytest
+
+from repro.app.cli import main
+
+
+class TestMain:
+    def test_main_dispatches_quickstart(self, monkeypatch, capsys):
+        # tiny configuration so the real pipeline stays fast
+        code = main(
+            ["--n-per-year", "60", "--horizon", "1", "quickstart"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Plans and Insights" in out
+
+    def test_main_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_main_interactive_reads_stdin(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            sys, "stdin", io.StringIO("\n" * 6 + "\nq1\n")
+        )
+        code = main(["--n-per-year", "60", "--horizon", "1", "interactive"])
+        assert code == 0
+        assert "No modification" in capsys.readouterr().out

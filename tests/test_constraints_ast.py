@@ -1,0 +1,138 @@
+"""Tests for AST node semantics and the evaluation context."""
+
+import pytest
+
+from repro.constraints import And, Comparison, Not, Num, Or, TrueExpr, Var
+from repro.constraints.ast import BinOp, EvalContext
+from repro.exceptions import ConstraintError
+
+
+@pytest.fixture()
+def context():
+    return EvalContext(
+        features={"income": 50_000.0, "debt": 1_000.0},
+        base={"income": 45_000.0, "debt": 1_200.0},
+        special={"diff": 1.5, "gap": 2.0, "confidence": 0.7, "time": 3.0},
+    )
+
+
+class TestResolution:
+    def test_feature(self, context):
+        assert Var("income").value(context) == 50_000.0
+
+    def test_base_prefix(self, context):
+        assert Var("base_income").value(context) == 45_000.0
+
+    def test_special(self, context):
+        assert Var("confidence").value(context) == 0.7
+        assert Var("time").value(context) == 3.0
+
+    def test_unknown_raises(self, context):
+        with pytest.raises(ConstraintError, match="unknown identifier"):
+            Var("salary").value(context)
+
+    def test_feature_shadows_special_name_never_happens(self):
+        # a feature literally named 'diff' would shadow the special; the
+        # store layer forbids it, but resolution order is features-first
+        ctx = EvalContext(features={"diff": 9.0}, base={}, special={"diff": 1.0})
+        assert Var("diff").value(ctx) == 9.0
+
+
+class TestArithmetic:
+    def test_linear_ops(self, context):
+        expr = BinOp("+", Var("income"), BinOp("*", Var("debt"), Num(2.0)))
+        assert expr.value(context) == 52_000.0
+
+    def test_nonlinear_multiplication_rejected(self):
+        with pytest.raises(ConstraintError, match="non-linear"):
+            BinOp("*", Var("a"), Var("b"))
+
+    def test_nonconstant_divisor_rejected(self):
+        with pytest.raises(ConstraintError, match="non-linear"):
+            BinOp("/", Num(1.0), Var("a"))
+
+    def test_constant_times_var_allowed(self):
+        BinOp("*", Num(2.0), Var("a"))  # no raise
+
+    def test_division_by_zero(self, context):
+        expr = BinOp("/", Var("income"), Num(0.0))
+        with pytest.raises(ConstraintError, match="division by zero"):
+            expr.value(context)
+
+    def test_unknown_operator(self):
+        with pytest.raises(ConstraintError):
+            BinOp("%", Num(1.0), Num(2.0))
+
+    def test_is_constant(self):
+        assert Num(3.0).is_constant()
+        assert BinOp("+", Num(1.0), Num(2.0)).is_constant()
+        assert not BinOp("+", Num(1.0), Var("a")).is_constant()
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("<", 1.0, 2.0, True),
+            ("<=", 2.0, 2.0, True),
+            (">", 3.0, 2.0, True),
+            (">=", 1.0, 2.0, False),
+            ("==", 2.0, 2.0, True),
+            ("!=", 2.0, 2.0, False),
+        ],
+    )
+    def test_operators(self, op, left, right, expected, context):
+        assert Comparison(op, Num(left), Num(right)).evaluate(context) is expected
+
+    def test_equality_uses_tolerance(self, context):
+        assert Comparison("==", Num(1.0), Num(1.0 + 1e-12)).evaluate(context)
+
+    def test_unknown_comparison(self):
+        with pytest.raises(ConstraintError):
+            Comparison("~", Num(1.0), Num(2.0))
+
+
+class TestBooleans:
+    def test_and_or_not(self, context):
+        true = Comparison(">", Num(2.0), Num(1.0))
+        false = Comparison("<", Num(2.0), Num(1.0))
+        assert And((true, true)).evaluate(context)
+        assert not And((true, false)).evaluate(context)
+        assert Or((false, true)).evaluate(context)
+        assert not Or((false, false)).evaluate(context)
+        assert Not(false).evaluate(context)
+        assert TrueExpr().evaluate(context)
+
+    def test_and_or_arity(self):
+        true = TrueExpr()
+        with pytest.raises(ConstraintError):
+            And((true,))
+        with pytest.raises(ConstraintError):
+            Or((true,))
+
+
+class TestIntrospection:
+    def test_variables_collects_all(self):
+        expr = And(
+            (
+                Comparison("<", Var("a"), BinOp("+", Var("b"), Num(1.0))),
+                Comparison(">", Var("base_c"), Num(0.0)),
+            )
+        )
+        assert expr.variables() == {"a", "b", "base_c"}
+
+    def test_walk_yields_every_node(self):
+        expr = Comparison("<", Var("a"), Num(1.0))
+        kinds = [type(n).__name__ for n in expr.walk()]
+        assert kinds == ["Comparison", "Var", "Num"]
+
+    def test_str_rendering(self):
+        expr = And(
+            (
+                Comparison("<=", Var("a"), Num(5.0)),
+                Not(Comparison(">", Var("b"), Num(0.0))),
+            )
+        )
+        text = str(expr)
+        assert "a <= 5" in text
+        assert "not" in text

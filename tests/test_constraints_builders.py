@@ -1,0 +1,175 @@
+"""Tests for constraint builders and domain presets."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import (
+    ConstraintsFunction,
+    bounds,
+    freeze,
+    lending_domain_constraints,
+    max_changes,
+    max_decrease_pct,
+    max_effort,
+    max_increase_pct,
+    min_confidence,
+    no_decrease,
+    no_increase,
+    schema_domain_constraints,
+)
+from repro.exceptions import ConstraintError
+
+
+def check(schema, constraint, x_prime, x_base, *, confidence=0.9, time=0, scale=None):
+    fn = ConstraintsFunction(schema, diff_scale=scale).add(constraint)
+    return fn.is_valid(x_prime, x_base, confidence=confidence, time=time)
+
+
+class TestBuilders:
+    def test_freeze(self, schema, john):
+        moved = john.copy()
+        moved[schema.index_of("household")] = 2
+        assert not check(schema, freeze("household"), moved, john)
+        assert check(schema, freeze("household"), john, john)
+
+    def test_freeze_multiple(self, schema, john):
+        c = freeze("household", "loan_amount")
+        moved = john.copy()
+        moved[schema.index_of("loan_amount")] += 1
+        assert not check(schema, c, moved, john)
+
+    def test_freeze_requires_features(self):
+        with pytest.raises(ConstraintError):
+            freeze()
+
+    def test_bounds(self, schema, john):
+        c = bounds("monthly_debt", lower=500, upper=2_000)
+        ok = john.copy()
+        ok[schema.index_of("monthly_debt")] = 1_000
+        assert check(schema, c, ok, john)
+        low = john.copy()
+        low[schema.index_of("monthly_debt")] = 100
+        assert not check(schema, c, low, john)
+
+    def test_bounds_one_sided(self, schema, john):
+        c = bounds("monthly_debt", upper=3_000)
+        assert check(schema, c, john, john)
+
+    def test_bounds_requires_side(self):
+        with pytest.raises(ConstraintError):
+            bounds("x")
+
+    def test_no_decrease(self, schema, john):
+        c = no_decrease("annual_income")
+        up = john.copy()
+        up[schema.index_of("annual_income")] += 1
+        down = john.copy()
+        down[schema.index_of("annual_income")] -= 1
+        assert check(schema, c, up, john)
+        assert not check(schema, c, down, john)
+
+    def test_no_increase(self, schema, john):
+        c = no_increase("monthly_debt")
+        down = john.copy()
+        down[schema.index_of("monthly_debt")] -= 1
+        assert check(schema, c, down, john)
+        up = john.copy()
+        up[schema.index_of("monthly_debt")] += 1
+        assert not check(schema, c, up, john)
+
+    def test_max_increase_pct(self, schema, john):
+        c = max_increase_pct("annual_income", 20)
+        idx = schema.index_of("annual_income")
+        ok = john.copy()
+        ok[idx] = john[idx] * 1.19
+        assert check(schema, c, ok, john)
+        too_much = john.copy()
+        too_much[idx] = john[idx] * 1.25
+        assert not check(schema, c, too_much, john)
+
+    def test_max_decrease_pct(self, schema, john):
+        c = max_decrease_pct("monthly_debt", 50)
+        idx = schema.index_of("monthly_debt")
+        ok = john.copy()
+        ok[idx] = john[idx] * 0.6
+        assert check(schema, c, ok, john)
+        too_much = john.copy()
+        too_much[idx] = john[idx] * 0.4
+        assert not check(schema, c, too_much, john)
+
+    def test_pct_validation(self):
+        with pytest.raises(ConstraintError):
+            max_increase_pct("x", -5)
+        with pytest.raises(ConstraintError):
+            max_decrease_pct("x", -5)
+
+    def test_max_changes(self, schema, john):
+        c = max_changes(1)
+        one = john.copy()
+        one[schema.index_of("monthly_debt")] = 1
+        assert check(schema, c, one, john)
+        two = one.copy()
+        two[schema.index_of("loan_amount")] = 2_000
+        assert not check(schema, c, two, john)
+
+    def test_max_changes_validation(self):
+        with pytest.raises(ConstraintError):
+            max_changes(-1)
+
+    def test_max_effort(self, schema, john):
+        scale = np.full(len(schema), 1.0)
+        c = max_effort(5.0)
+        near = john.copy()
+        near[schema.index_of("monthly_debt")] += 3.0
+        assert check(schema, c, near, john, scale=scale)
+        far = john.copy()
+        far[schema.index_of("monthly_debt")] += 100.0
+        assert not check(schema, c, far, john, scale=scale)
+
+    def test_min_confidence(self, schema, john):
+        c = min_confidence(0.8)
+        assert check(schema, c, john, john, confidence=0.85)
+        assert not check(schema, c, john, john, confidence=0.75)
+
+    def test_min_confidence_validation(self):
+        with pytest.raises(ConstraintError):
+            min_confidence(1.5)
+
+    def test_times_scope_passthrough(self, schema, john):
+        c = freeze("household", times=[1])
+        moved = john.copy()
+        moved[schema.index_of("household")] = 0
+        fn = ConstraintsFunction(schema).add(c)
+        assert fn.is_valid(moved, john, confidence=0.9, time=0)
+        assert not fn.is_valid(moved, john, confidence=0.9, time=1)
+
+
+class TestDomainPresets:
+    def test_schema_domain_freezes_immutables(self, schema, john):
+        fn = schema_domain_constraints(schema)
+        older = john.copy()
+        older[schema.index_of("age")] += 1
+        assert not fn.is_valid(older, john, confidence=0.9, time=0)
+
+    def test_schema_domain_enforces_bounds(self, schema, john):
+        fn = schema_domain_constraints(schema)
+        bad = john.copy()
+        bad[schema.index_of("loan_amount")] = 500  # below schema lower bound
+        assert not fn.is_valid(bad, john, confidence=0.9, time=0)
+
+    def test_lending_debt_service_rule(self, schema, john):
+        fn = lending_domain_constraints(schema)
+        # monthly debt * 12 > income violates the underwriting rule
+        bad = john.copy()
+        bad[schema.index_of("monthly_debt")] = 10_000
+        assert not fn.is_valid(bad, john, confidence=0.9, time=0)
+
+    def test_lending_seniority_rule(self, schema):
+        fn = lending_domain_constraints(schema)
+        x = np.array([25.0, 0.0, 50_000.0, 500.0, 10.0, 10_000.0])
+        # seniority 10 > age-18 = 7 violates
+        assert not fn.is_valid(x, x, confidence=0.9, time=0)
+
+    def test_valid_profile_passes_domain(self, schema, john):
+        fn = lending_domain_constraints(schema)
+        assert fn.is_valid(john, john, confidence=0.9, time=0)

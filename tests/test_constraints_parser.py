@@ -1,0 +1,176 @@
+"""Tests for the constraints DSL tokenizer and parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constraints import (
+    And,
+    Comparison,
+    Not,
+    Num,
+    Or,
+    TrueExpr,
+    Var,
+    parse_constraint,
+    tokenize,
+)
+from repro.constraints.ast import BinOp, EvalContext
+from repro.exceptions import ConstraintParseError
+
+
+def ctx(**features):
+    return EvalContext(features=features, base={}, special={})
+
+
+class TestTokenizer:
+    def test_basic(self):
+        tokens = tokenize("income <= 100")
+        assert [t.kind for t in tokens] == ["ident", "op", "number"]
+
+    def test_underscore_numbers(self):
+        tokens = tokenize("120_000.5")
+        assert tokens[0].text == "120_000.5"
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("a > 1 AND b < 2")
+        assert tokens[3].kind == "keyword"
+        assert tokens[3].text == "and"
+
+    def test_unknown_character(self):
+        with pytest.raises(ConstraintParseError) as err:
+            tokenize("a ^ b")
+        assert err.value.position == 2
+
+    def test_scientific_notation(self):
+        tokens = tokenize("1.5e3")
+        assert tokens[0].text == "1.5e3"
+
+
+class TestParsing:
+    def test_simple_comparison(self):
+        expr = parse_constraint("income <= 100")
+        assert isinstance(expr, Comparison)
+        assert expr.op == "<="
+
+    def test_precedence_and_over_or(self):
+        expr = parse_constraint("a > 1 or b > 2 and c > 3")
+        assert isinstance(expr, Or)
+        assert isinstance(expr.operands[1], And)
+
+    def test_parenthesised_boolean(self):
+        expr = parse_constraint("(a > 1 or b > 2) and c > 3")
+        assert isinstance(expr, And)
+        assert isinstance(expr.operands[0], Or)
+
+    def test_arithmetic_parentheses(self):
+        expr = parse_constraint("(a + b) * 2 <= 10")
+        assert expr.evaluate(ctx(a=2.0, b=2.0))
+        assert not expr.evaluate(ctx(a=4.0, b=2.0))
+
+    def test_not(self):
+        expr = parse_constraint("not a > 1")
+        assert isinstance(expr, Not)
+        assert expr.evaluate(ctx(a=0.0))
+
+    def test_double_not(self):
+        expr = parse_constraint("not not a > 1")
+        assert expr.evaluate(ctx(a=2.0))
+
+    def test_true_literal(self):
+        assert isinstance(parse_constraint("true"), TrueExpr)
+
+    def test_empty_is_true(self):
+        assert isinstance(parse_constraint("   "), TrueExpr)
+
+    def test_unary_minus(self):
+        expr = parse_constraint("a >= -5")
+        assert expr.evaluate(ctx(a=-3.0))
+        assert not expr.evaluate(ctx(a=-7.0))
+
+    def test_multiplication_precedence(self):
+        expr = parse_constraint("a + 2 * 3 == 7")
+        assert expr.evaluate(ctx(a=1.0))
+
+    def test_division(self):
+        expr = parse_constraint("a / 2 >= 5")
+        assert expr.evaluate(ctx(a=10.0))
+
+    def test_underscored_number_value(self):
+        expr = parse_constraint("a <= 120_000")
+        assert isinstance(expr.right, Num)
+        assert expr.right.number == 120000.0
+
+    def test_chained_and(self):
+        expr = parse_constraint("a > 0 and b > 0 and c > 0")
+        assert isinstance(expr, And)
+        assert len(expr.operands) == 3
+
+    def test_base_prefix_parses_as_var(self):
+        expr = parse_constraint("a <= base_a * 1.2")
+        assert Var("base_a") in list(expr.walk())
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "income <=",
+            "<= 100",
+            "income < > 2",
+            "(a > 1",
+            "a > 1)",
+            "a 1",
+            "and a > 1",
+            "a > 1 or",
+            "a * b <= 1",  # non-linear
+            "a / b <= 1",  # non-constant divisor
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(ConstraintParseError):
+            parse_constraint(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ConstraintParseError) as err:
+            parse_constraint("a > 1 bogus")
+        assert err.value.position == 6
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a <= 100",
+            "a > 1 and b < 2",
+            "a > 1 or b < 2 and c == 3",
+            "not (a > 1 or b > 2)",
+            "a + b * 2 <= 10",
+            "(a > 1 and b > 2) or c != 0",
+        ],
+    )
+    def test_str_reparses_to_same_semantics(self, text):
+        expr = parse_constraint(text)
+        again = parse_constraint(str(expr))
+        bindings = ctx(a=1.5, b=1.5, c=3.0)
+        assert expr.evaluate(bindings) == again.evaluate(bindings)
+
+    @given(
+        st.recursive(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+                st.floats(-100, 100, allow_nan=False),
+            ).map(lambda t: f"{t[0]} {t[1]} {t[2]}"),
+            lambda inner: st.one_of(
+                st.tuples(inner, inner).map(lambda p: f"({p[0]} and {p[1]})"),
+                st.tuples(inner, inner).map(lambda p: f"({p[0]} or {p[1]})"),
+                inner.map(lambda e: f"not ({e})"),
+            ),
+            max_leaves=6,
+        )
+    )
+    def test_generated_expressions_parse_and_evaluate(self, text):
+        expr = parse_constraint(text)
+        result = expr.evaluate(ctx(a=1.0, b=-2.0, c=50.0))
+        assert isinstance(result, bool)

@@ -1,0 +1,222 @@
+"""Tests for the beam-search candidate generator and the brute-force
+reference — including the Definition II.3 invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import (
+    ConstraintsFunction,
+    lending_domain_constraints,
+    max_changes,
+)
+from repro.core import (
+    CandidateGenerator,
+    brute_force_tree_candidates,
+)
+from repro.exceptions import CandidateSearchError
+from repro.ml import DecisionTreeClassifier
+
+
+@pytest.fixture(scope="module")
+def generator(fitted_forest, schema, lending_ds):
+    return CandidateGenerator(
+        fitted_forest,
+        0.5,
+        schema,
+        lending_domain_constraints(schema),
+        k=6,
+        max_iter=12,
+        diff_scale=lending_ds.X.std(axis=0),
+        random_state=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def john_candidates(generator, john):
+    return generator.generate(john, time=0)
+
+
+class TestDefinitionII3Invariant:
+    """Every emitted candidate must satisfy x' ∈ C(x) and M(x') > δ."""
+
+    def test_scores_exceed_threshold(self, john_candidates, fitted_forest):
+        assert john_candidates
+        for c in john_candidates:
+            score = fitted_forest.decision_score(c.x.reshape(1, -1))[0]
+            assert score > 0.5
+            assert c.confidence == pytest.approx(score)
+
+    def test_constraints_satisfied(self, john_candidates, schema, john):
+        domain = lending_domain_constraints(schema)
+        for c in john_candidates:
+            assert domain.is_valid(c.x, john, confidence=c.confidence, time=0)
+
+    def test_metrics_consistent(self, john_candidates, john, lending_ds):
+        from repro.constraints import l0_gap, l2_diff
+
+        scale = lending_ds.X.std(axis=0)
+        for c in john_candidates:
+            assert c.gap == l0_gap(c.x, john)
+            assert c.diff == pytest.approx(l2_diff(c.x, john, scale))
+
+    def test_schema_validity(self, john_candidates, schema):
+        for c in john_candidates:
+            assert schema.validate_vector(c.x)
+
+
+class TestSearchBehaviour:
+    def test_k_respected(self, john_candidates):
+        assert 1 <= len(john_candidates) <= 6
+
+    def test_sorted_by_objective(self, generator, john_candidates):
+        keys = [generator.objective.key(c.metrics) for c in john_candidates]
+        assert keys == sorted(keys)
+
+    def test_stats_populated(self, generator, john_candidates):
+        stats = generator.last_stats_
+        assert stats.iterations >= 1
+        assert stats.proposals_evaluated > 0
+        assert stats.valid_found >= len(john_candidates)
+
+    def test_deterministic(self, fitted_forest, schema, john, lending_ds):
+        def run():
+            gen = CandidateGenerator(
+                fitted_forest, 0.5, schema, k=4, max_iter=8, random_state=42,
+                diff_scale=lending_ds.X.std(axis=0),
+            )
+            return gen.generate(john, time=0)
+
+        a, b = run(), run()
+        assert len(a) == len(b)
+        for ca, cb in zip(a, b):
+            assert np.array_equal(ca.x, cb.x)
+
+    def test_already_approved_input_yields_diff_zero(self, schema, lending_ds):
+        """When the unmodified input already passes, it must be in the pool
+        (Q1's 'no modification' candidate)."""
+        recent = lending_ds.window(2017, 2020)
+        approved_rows = recent.X[recent.y == 1]
+        tree = DecisionTreeClassifier(max_depth=6).fit(recent.X, recent.y)
+        # find an input the tree itself approves
+        scores = tree.decision_score(approved_rows)
+        x = approved_rows[int(np.argmax(scores))]
+        gen = CandidateGenerator(tree, 0.5, schema, k=4, max_iter=3, random_state=0)
+        found = gen.generate(x, time=0)
+        assert any(c.diff == 0.0 and c.gap == 0 for c in found)
+
+    def test_gap_constraint_respected(self, fitted_forest, schema, john, lending_ds):
+        constraints = lending_domain_constraints(schema)
+        constraints.add(max_changes(1))
+        gen = CandidateGenerator(
+            fitted_forest,
+            0.5,
+            schema,
+            constraints,
+            k=4,
+            max_iter=12,
+            diff_scale=lending_ds.X.std(axis=0),
+            random_state=0,
+        )
+        found = gen.generate(john, time=0)
+        for c in found:
+            assert c.gap <= 1
+
+    def test_impossible_constraints_give_empty(self, fitted_forest, schema, john):
+        constraints = ConstraintsFunction(schema).add("confidence >= 0.999999")
+        gen = CandidateGenerator(
+            fitted_forest, 0.5, schema, constraints, k=4, max_iter=4, random_state=0
+        )
+        assert gen.generate(john, time=0) == []
+
+    def test_time_recorded(self, generator, john):
+        found = generator.generate(john, time=3)
+        assert all(c.time == 3 for c in found)
+
+    def test_changes_reports_modified_features(self, john_candidates, schema, john):
+        for c in john_candidates:
+            changes = c.changes(john, schema)
+            assert len(changes) == c.gap
+            for name, (before, after) in changes.items():
+                assert before != after
+                assert before == john[schema.index_of(name)]
+
+    def test_param_validation(self, fitted_forest, schema):
+        with pytest.raises(CandidateSearchError):
+            CandidateGenerator(fitted_forest, 0.5, schema, k=0)
+        with pytest.raises(CandidateSearchError):
+            CandidateGenerator(fitted_forest, 0.5, schema, max_iter=0)
+        with pytest.raises(CandidateSearchError):
+            CandidateGenerator(fitted_forest, 0.5, schema, patience=0)
+
+
+class TestBruteForceReference:
+    @pytest.fixture(scope="class")
+    def small_tree(self, lending_ds):
+        recent = lending_ds.window(2016, 2020)
+        return DecisionTreeClassifier(max_depth=4, random_state=0).fit(
+            recent.X, recent.y
+        )
+
+    def test_brute_force_candidates_valid(self, small_tree, schema, john):
+        found = brute_force_tree_candidates(small_tree, 0.5, john, schema)
+        assert found
+        for c in found:
+            assert small_tree.decision_score(c.x.reshape(1, -1))[0] > 0.5
+
+    def test_brute_force_sorted_by_diff(self, small_tree, schema, john):
+        found = brute_force_tree_candidates(small_tree, 0.5, john, schema)
+        diffs = [c.diff for c in found]
+        assert diffs == sorted(diffs)
+
+    def test_beam_search_close_to_optimal(self, small_tree, schema, john, lending_ds):
+        """Beam search should find a candidate within a small factor of the
+        brute-force optimum on a single tree."""
+        scale = lending_ds.X.std(axis=0)
+        optimal = brute_force_tree_candidates(
+            small_tree, 0.5, john, schema, diff_scale=scale
+        )
+        gen = CandidateGenerator(
+            small_tree,
+            0.5,
+            schema,
+            objective="diff",
+            k=8,
+            max_iter=20,
+            diff_scale=scale,
+            random_state=0,
+        )
+        found = gen.generate(john, time=0)
+        assert found
+        best_beam = min(c.diff for c in found)
+        best_optimal = optimal[0].diff
+        assert best_beam <= best_optimal * 2.0 + 1e-9
+
+    def test_brute_force_respects_constraints(self, small_tree, schema, john):
+        constraints = ConstraintsFunction(schema).add("monthly_debt >= 2000")
+        found = brute_force_tree_candidates(
+            small_tree, 0.5, john, schema, constraints
+        )
+        for c in found:
+            assert c.x[schema.index_of("monthly_debt")] >= 2000
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_brute_force_optimality_invariant(self, seed):
+        """Random small trees: no brute-force candidate may beat the first
+        one, and all must flip the decision."""
+        rng = np.random.default_rng(seed)
+        from repro.data import DatasetSchema, FeatureSpec
+
+        schema = DatasetSchema([FeatureSpec("u"), FeatureSpec("v")])
+        X = rng.normal(size=(80, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        if len(np.unique(y)) < 2:
+            y[0] = 1 - y[0]
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        x = rng.normal(size=2)
+        found = brute_force_tree_candidates(tree, 0.5, x, schema)
+        for c in found:
+            assert tree.decision_score(c.x.reshape(1, -1))[0] > 0.5
+            assert c.diff >= found[0].diff

@@ -1,0 +1,79 @@
+"""Tests for the counterfactual-quality evaluation module and Q7."""
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate_session
+from repro.db import q7_affordable_time
+from repro.exceptions import QueryError
+
+
+class TestEvaluateSession:
+    def test_report_on_john(self, john_session):
+        report = evaluate_session(john_session)
+        assert report.n_candidates == len(john_session.candidates)
+        assert report.n_candidates > 0
+        # the end-to-end audit of Definition II.3: every stored candidate
+        # must still flip its own time point's model
+        assert report.validity == 1.0
+        assert report.proximity > 0
+        assert report.sparsity >= 1
+        assert report.earliest_time in {0, 1, 2, 3}
+
+    def test_describe_mentions_all_axes(self, john_session):
+        text = evaluate_session(john_session).describe()
+        for word in ("validity", "proximity", "sparsity", "diversity"):
+            assert word in text
+
+    def test_effort_trend_computed_with_multiple_times(self, john_session):
+        report = evaluate_session(john_session)
+        times = {c.time for c in john_session.candidates}
+        if len(times) >= 2:
+            assert report.effort_trend is not None
+
+    def test_empty_session_report(self, fitted_system, schema, john):
+        from repro.constraints import ConstraintsFunction
+
+        impossible = ConstraintsFunction(schema).add("confidence >= 0.9999999")
+        session = fitted_system.create_session(
+            "hopeless", john, user_constraints=impossible
+        )
+        report = evaluate_session(session)
+        assert report.n_candidates == 0
+        assert report.earliest_time is None
+        fitted_system.store.clear_user("hopeless")
+
+
+class TestQ7AffordableTime:
+    def test_budget_filters_and_orders_by_time(self, fitted_system, john_session):
+        all_rows = john_session.sql(
+            "SELECT time, diff FROM candidates WHERE user_id = 'john'"
+        )
+        budget = float(np.median([r["diff"] for r in all_rows]))
+        row = q7_affordable_time(fitted_system.store, "john", budget)
+        assert row is not None
+        assert row["diff"] <= budget
+        # it must be at the earliest time having any within-budget row
+        earliest = min(r["time"] for r in all_rows if r["diff"] <= budget)
+        assert row["time"] == earliest
+
+    def test_zero_budget_requires_diff_zero(self, fitted_system, john_session):
+        row = q7_affordable_time(fitted_system.store, "john", 0.0)
+        if row is not None:
+            assert row["diff"] == 0.0
+
+    def test_negative_budget_rejected(self, fitted_system):
+        with pytest.raises(QueryError):
+            q7_affordable_time(fitted_system.store, "john", -1.0)
+
+    def test_insight_text(self, john_session):
+        insight = john_session.ask("q7", budget=10.0)
+        assert insight.question == "q7"
+        assert "budget" in insight.text
+        if insight.answer is not None:
+            assert insight.plans
+
+    def test_insight_no_budget_path(self, john_session):
+        insight = john_session.ask("q7", budget=1e-9)
+        if insight.answer is None:
+            assert "No approval" in insight.text

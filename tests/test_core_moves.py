@@ -1,0 +1,132 @@
+"""Tests for move proposers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GradientMoveProposer,
+    RandomMoveProposer,
+    ThresholdMoveProposer,
+    default_proposers,
+)
+from repro.exceptions import CandidateSearchError
+from repro.ml import LogisticRegression, RandomForestClassifier
+
+
+class TestThresholdMoves:
+    def test_proposals_cross_thresholds(self, fitted_forest, schema, john, rng):
+        proposer = ThresholdMoveProposer(n_nearest=2, n_far=2)
+        proposals = proposer.propose(john, fitted_forest, schema, rng)
+        assert proposals
+        thresholds = fitted_forest.split_thresholds()
+        for proposal in proposals:
+            changed = np.flatnonzero(np.abs(proposal - john) > 1e-9)
+            assert changed.size == 1  # single-coordinate moves
+            idx = int(changed[0])
+            # the move crossed at least one threshold of that feature
+            feature_thresholds = thresholds[idx]
+            before, after = john[idx], proposal[idx]
+            lo, hi = min(before, after), max(before, after)
+            crossed = ((feature_thresholds > lo) & (feature_thresholds < hi)).any()
+            assert crossed
+
+    def test_immutable_features_untouched(self, fitted_forest, schema, john, rng):
+        proposer = ThresholdMoveProposer()
+        age_idx = schema.index_of("age")
+        seniority_idx = schema.index_of("seniority")
+        for proposal in proposer.propose(john, fitted_forest, schema, rng):
+            assert proposal[age_idx] == john[age_idx]
+            assert proposal[seniority_idx] == john[seniority_idx]
+
+    def test_proposals_respect_schema(self, fitted_forest, schema, john, rng):
+        proposer = ThresholdMoveProposer(n_far=5)
+        for proposal in proposer.propose(john, fitted_forest, schema, rng):
+            assert schema.validate_vector(proposal)
+
+    def test_rejects_model_without_thresholds(self, schema, john, rng, small_xy):
+        X, y = small_xy
+        linear = LogisticRegression(max_iter=50).fit(X, y)
+        with pytest.raises(CandidateSearchError, match="split_thresholds"):
+            ThresholdMoveProposer().propose(john, linear, schema, rng)
+
+    def test_param_validation(self):
+        with pytest.raises(CandidateSearchError):
+            ThresholdMoveProposer(n_nearest=0)
+        with pytest.raises(CandidateSearchError):
+            ThresholdMoveProposer(n_far=-1)
+
+
+class TestGradientMoves:
+    @pytest.fixture()
+    def linear_model(self, lending_ds):
+        from repro.temporal import ModelsGenerator
+
+        fm = ModelsGenerator(T=0, strategy="weights", random_state=0).generate(
+            lending_ds
+        )
+        return fm[0].model
+
+    def test_moves_increase_score(self, linear_model, schema, john, rng):
+        proposer = GradientMoveProposer(step_fractions=(1.0,))
+        base_score = linear_model.decision_score(john.reshape(1, -1))[0]
+        proposals = proposer.propose(john, linear_model, schema, rng)
+        assert proposals
+        improved = sum(
+            linear_model.decision_score(p.reshape(1, -1))[0] > base_score
+            for p in proposals
+        )
+        assert improved == len(proposals)
+
+    def test_single_coordinate_moves(self, linear_model, schema, john, rng):
+        for proposal in GradientMoveProposer().propose(
+            john, linear_model, schema, rng
+        ):
+            assert np.sum(np.abs(proposal - john) > 1e-9) == 1
+
+    def test_rejects_model_without_gradient(self, fitted_forest, schema, john, rng):
+        with pytest.raises(CandidateSearchError, match="score_gradient"):
+            GradientMoveProposer().propose(john, fitted_forest, schema, rng)
+
+    def test_param_validation(self):
+        with pytest.raises(CandidateSearchError):
+            GradientMoveProposer(step_fractions=())
+
+
+class TestRandomMoves:
+    def test_respects_schema(self, fitted_forest, schema, john, rng):
+        proposer = RandomMoveProposer(n_proposals=30)
+        for proposal in proposer.propose(john, fitted_forest, schema, rng):
+            assert schema.validate_vector(proposal)
+
+    def test_only_mutable_features(self, fitted_forest, schema, john, rng):
+        proposer = RandomMoveProposer(n_proposals=50)
+        age_idx = schema.index_of("age")
+        for proposal in proposer.propose(john, fitted_forest, schema, rng):
+            assert proposal[age_idx] == john[age_idx]
+
+    def test_categorical_switches_to_valid_code(self, fitted_forest, schema, john):
+        rng = np.random.default_rng(0)
+        proposer = RandomMoveProposer(n_proposals=200)
+        household_idx = schema.index_of("household")
+        proposals = proposer.propose(john, fitted_forest, schema, rng)
+        switched = [
+            p[household_idx] for p in proposals if p[household_idx] != john[household_idx]
+        ]
+        assert switched  # some proposals touch the categorical
+        assert set(switched) <= {0.0, 1.0, 2.0}
+
+    def test_param_validation(self):
+        with pytest.raises(CandidateSearchError):
+            RandomMoveProposer(n_proposals=0)
+
+
+class TestDefaultProposers:
+    def test_forest_gets_threshold_and_random(self, fitted_forest):
+        kinds = {type(p).__name__ for p in default_proposers(fitted_forest)}
+        assert kinds == {"ThresholdMoveProposer", "RandomMoveProposer"}
+
+    def test_linear_gets_gradient_and_random(self, small_xy):
+        X, y = small_xy
+        model = LogisticRegression(max_iter=50).fit(X, y)
+        kinds = {type(p).__name__ for p in default_proposers(model)}
+        assert kinds == {"GradientMoveProposer", "RandomMoveProposer"}

@@ -1,0 +1,79 @@
+"""Tests for candidate objectives and scalarisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import CandidateMetrics, Objective, measure
+from repro.core.objectives import OBJECTIVE_PRESETS, get_objective
+from repro.exceptions import CandidateSearchError
+
+
+class TestMeasure:
+    def test_measures_all_three(self):
+        x = np.array([1.0, 2.0, 3.0])
+        xp = np.array([1.0, 4.0, 3.0])
+        m = measure(xp, x, confidence=0.7)
+        assert m.diff == pytest.approx(2.0)
+        assert m.gap == 1
+        assert m.confidence == 0.7
+
+    def test_scaled_diff(self):
+        m = measure([2.0], [0.0], confidence=0.5, diff_scale=[2.0])
+        assert m.diff == pytest.approx(1.0)
+
+    def test_identity_gives_zero(self):
+        x = np.array([5.0, 5.0])
+        m = measure(x, x, confidence=0.9)
+        assert m.diff == 0.0 and m.gap == 0
+
+
+class TestObjective:
+    def test_diff_preset_orders_by_diff(self):
+        obj = OBJECTIVE_PRESETS["diff"]
+        near = CandidateMetrics(diff=0.5, gap=5, confidence=0.1)
+        far = CandidateMetrics(diff=2.0, gap=0, confidence=0.99)
+        assert obj.key(near) < obj.key(far)
+
+    def test_gap_preset_orders_by_gap(self):
+        obj = OBJECTIVE_PRESETS["gap"]
+        few = CandidateMetrics(diff=9.0, gap=1, confidence=0.1)
+        many = CandidateMetrics(diff=0.1, gap=4, confidence=0.99)
+        assert obj.key(few) < obj.key(many)
+
+    def test_confidence_preset_prefers_high_confidence(self):
+        obj = OBJECTIVE_PRESETS["confidence"]
+        strong = CandidateMetrics(diff=9.0, gap=5, confidence=0.95)
+        weak = CandidateMetrics(diff=0.1, gap=0, confidence=0.55)
+        assert obj.key(strong) < obj.key(weak)
+
+    def test_rank_returns_best_first(self):
+        obj = OBJECTIVE_PRESETS["diff"]
+        metrics = [
+            CandidateMetrics(diff=3.0, gap=1, confidence=0.6),
+            CandidateMetrics(diff=1.0, gap=1, confidence=0.6),
+            CandidateMetrics(diff=2.0, gap=1, confidence=0.6),
+        ]
+        assert obj.rank(metrics).tolist() == [1, 2, 0]
+
+    def test_custom_weights(self):
+        obj = Objective(w_diff=1.0, w_gap=10.0)
+        a = CandidateMetrics(diff=0.0, gap=1, confidence=0.5)
+        b = CandidateMetrics(diff=5.0, gap=0, confidence=0.5)
+        assert obj.key(b) < obj.key(a)
+
+    def test_weight_validation(self):
+        with pytest.raises(CandidateSearchError):
+            Objective(w_diff=-1.0)
+        with pytest.raises(CandidateSearchError):
+            Objective(w_diff=0.0, w_gap=0.0, w_confidence=0.0)
+
+    def test_get_objective_by_name(self):
+        assert get_objective("balanced").name == "balanced"
+
+    def test_get_objective_passthrough(self):
+        obj = Objective(1.0, name="mine")
+        assert get_objective(obj) is obj
+
+    def test_get_objective_unknown(self):
+        with pytest.raises(CandidateSearchError):
+            get_objective("bogus")

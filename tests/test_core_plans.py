@@ -1,0 +1,69 @@
+"""Tests for plan construction and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core import Candidate, CandidateMetrics, build_plan
+from repro.core.plans import FeatureChange
+
+
+class TestFeatureChange:
+    def test_delta_and_pct(self):
+        change = FeatureChange("income", 50_000.0, 60_000.0)
+        assert change.delta == 10_000.0
+        assert change.pct == pytest.approx(20.0)
+
+    def test_pct_none_on_zero_base(self):
+        assert FeatureChange("debt", 0.0, 100.0).pct is None
+
+    def test_describe_increase(self):
+        text = FeatureChange("income", 100.0, 150.0).describe()
+        assert "increase income" in text
+        assert "+50" in text and "(+50%)" in text
+
+    def test_describe_decrease(self):
+        text = FeatureChange("debt", 200.0, 100.0).describe()
+        assert "decrease debt" in text
+        assert "(-50%)" in text
+
+
+class TestBuildPlan:
+    def _candidate(self, schema, john, **changes):
+        x = john.copy()
+        for name, value in changes.items():
+            x[schema.index_of(name)] = value
+        gap = len(changes)
+        return Candidate(
+            x, 2, CandidateMetrics(diff=1.5, gap=gap, confidence=0.8)
+        )
+
+    def test_changes_captured(self, schema, john):
+        candidate = self._candidate(schema, john, monthly_debt=1_000, loan_amount=9_000)
+        plan = build_plan(candidate, john, schema, time_value=2021.0)
+        features = {c.feature for c in plan.changes}
+        assert features == {"monthly_debt", "loan_amount"}
+        assert plan.time == 2
+        assert plan.time_value == 2021.0
+        assert plan.confidence == 0.8
+
+    def test_no_change_plan(self, schema, john):
+        candidate = Candidate(
+            john.copy(), 1, CandidateMetrics(diff=0.0, gap=0, confidence=0.7)
+        )
+        plan = build_plan(candidate, john, schema)
+        assert plan.changes == ()
+        assert "no modifications" in plan.describe()
+
+    def test_describe_contains_time_and_confidence(self, schema, john):
+        candidate = self._candidate(schema, john, monthly_debt=500)
+        plan = build_plan(candidate, john, schema, time_value=2022.0)
+        text = plan.describe()
+        assert "t=2" in text
+        assert "2022.0" in text
+        assert "0.80" in text
+        assert "decrease monthly_debt" in text
+
+    def test_default_time_value_is_index(self, schema, john):
+        candidate = self._candidate(schema, john, monthly_debt=500)
+        plan = build_plan(candidate, john, schema)
+        assert plan.time_value == 2.0

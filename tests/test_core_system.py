@@ -1,0 +1,172 @@
+"""Tests for the JustInTime facade, sessions and the insight engine."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import ConstraintsFunction, freeze
+from repro.core import AdminConfig, JustInTime
+from repro.data import john_profile
+from repro.exceptions import CandidateSearchError, ForecastError, QueryError
+from repro.temporal import lending_update_function
+
+
+class TestFitting:
+    def test_unfitted_guards(self, schema):
+        system = JustInTime(schema, lending_update_function(schema))
+        with pytest.raises(ForecastError, match="not fitted"):
+            system.create_session("u", john_profile())
+        with pytest.raises(ForecastError):
+            _ = system.time_values
+
+    def test_schema_mismatch_rejected(self, lending_ds):
+        from repro.data import DatasetSchema, FeatureSpec
+        from repro.temporal import TemporalUpdateFunction
+
+        other = DatasetSchema([FeatureSpec(f"f{i}") for i in range(6)])
+        system = JustInTime(other, TemporalUpdateFunction(other))
+        with pytest.raises(ForecastError, match="schema"):
+            system.fit(lending_ds)
+
+    def test_fit_produces_T_plus_one_models(self, fitted_system):
+        assert len(fitted_system.future_models) == 4
+        assert len(fitted_system.time_values) == 4
+
+    def test_diff_scale_positive(self, fitted_system):
+        assert (fitted_system.diff_scale > 0).all()
+
+
+class TestSessions:
+    def test_session_populates_store(self, fitted_system, john_session):
+        assert fitted_system.store.candidate_count("john") > 0
+        assert fitted_system.store.times_for("john") == [0, 1, 2, 3]
+
+    def test_rejection_status(self, john_session):
+        assert john_session.is_rejected_now()
+        assert john_session.current_score() <= 0.5
+
+    def test_trajectory_stored_matches_update_function(
+        self, fitted_system, john_session, schema
+    ):
+        stored = fitted_system.store.temporal_input("john", 2)
+        expected = fitted_system.update_function.apply(john_session.profile, 2)
+        assert np.allclose(stored, expected)
+
+    def test_candidates_recorded_per_time(self, john_session):
+        times = {c.time for c in john_session.candidates}
+        assert times <= {0, 1, 2, 3}
+        assert john_session.search_stats
+
+    def test_profile_dict_or_vector(self, fitted_system, schema, john):
+        a = fitted_system.create_session("vec-user", john)
+        b = fitted_system.create_session("dict-user", john_profile())
+        assert np.allclose(a.profile, b.profile)
+        fitted_system.store.clear_user("vec-user")
+        fitted_system.store.clear_user("dict-user")
+
+    def test_bad_profile_size(self, fitted_system):
+        with pytest.raises(CandidateSearchError):
+            fitted_system.create_session("bad", np.zeros(3))
+
+    def test_resession_replaces_rows(self, fitted_system, john):
+        fitted_system.create_session("tmp", john)
+        first = fitted_system.store.candidate_count("tmp")
+        fitted_system.create_session("tmp", john)
+        assert fitted_system.store.candidate_count("tmp") == first
+        fitted_system.store.clear_user("tmp")
+
+    def test_user_constraints_respected(self, fitted_system, schema, john):
+        session = fitted_system.create_session(
+            "frozen",
+            john,
+            user_constraints=[freeze("household", "loan_amount")],
+        )
+        household = schema.index_of("household")
+        loan = schema.index_of("loan_amount")
+        for t, base in enumerate(session.trajectory):
+            for c in session.candidates:
+                if c.time == t:
+                    assert c.x[household] == base[household]
+                    assert c.x[loan] == base[loan]
+        fitted_system.store.clear_user("frozen")
+
+    def test_constraints_function_passthrough(self, fitted_system, schema, john):
+        fn = ConstraintsFunction(schema).add("gap <= 1")
+        session = fitted_system.create_session("fn-user", john, user_constraints=fn)
+        assert all(c.gap <= 1 for c in session.candidates)
+        fitted_system.store.clear_user("fn-user")
+
+
+class TestInsights:
+    def test_all_six_answered(self, john_session):
+        insights = john_session.all_insights(alpha=0.6, feature="monthly_debt")
+        assert [i.question for i in insights] == ["q1", "q2", "q3", "q4", "q5", "q6"]
+        for insight in insights:
+            assert insight.text
+
+    def test_q4_matches_min_diff_sql(self, john_session):
+        insight = john_session.ask("q4")
+        rows = john_session.sql(
+            "SELECT MIN(diff) AS d FROM candidates WHERE user_id = 'john'"
+        )
+        assert insight.answer["diff"] == pytest.approx(rows[0]["d"])
+
+    def test_q5_matches_max_p_sql(self, john_session):
+        insight = john_session.ask("q5")
+        rows = john_session.sql(
+            "SELECT MAX(p) AS p FROM candidates WHERE user_id = 'john'"
+        )
+        assert insight.answer["p"] == pytest.approx(rows[0]["p"])
+
+    def test_q5_plan_confidence_consistent(self, john_session):
+        insight = john_session.ask("q5")
+        assert insight.plans
+        assert insight.plans[0].confidence == pytest.approx(insight.answer["p"])
+
+    def test_q3_plans_only_touch_feature(self, john_session, schema):
+        insight = john_session.ask("q3", feature="monthly_debt")
+        for plan in insight.plans:
+            features = {c.feature for c in plan.changes}
+            assert features <= {"monthly_debt"}
+
+    def test_q6_alpha_one_never(self, john_session):
+        insight = john_session.ask("q6", alpha=1.0)
+        assert insight.answer is None
+        assert "no time point" in insight.text.lower()
+
+    def test_unknown_question(self, john_session):
+        with pytest.raises(QueryError):
+            john_session.ask("q9")
+
+    def test_plans_listing(self, john_session):
+        plans = john_session.plans()
+        assert len(plans) == len(john_session.candidates)
+        t0 = john_session.plans(time=0)
+        assert all(p.time == 0 for p in t0)
+
+    def test_expert_sql(self, john_session):
+        rows = john_session.sql(
+            "SELECT time, COUNT(*) AS n FROM candidates"
+            " WHERE user_id = 'john' GROUP BY time ORDER BY time"
+        )
+        assert all(row["n"] >= 1 for row in rows)
+
+    def test_insight_str_is_text(self, john_session):
+        insight = john_session.ask("q1")
+        assert str(insight) == insight.text
+
+
+class TestAdminConfig:
+    def test_defaults(self):
+        cfg = AdminConfig()
+        assert cfg.T == 5
+        assert cfg.strategy == "edd"
+
+    def test_custom_beam(self, lending_ds, schema):
+        system = JustInTime(
+            schema,
+            lending_update_function(schema),
+            AdminConfig(T=1, strategy="last", k=3, beam_width=2, random_state=1),
+        )
+        system.fit(lending_ds)
+        session = system.create_session("u", john_profile())
+        assert len([c for c in session.candidates if c.time == 0]) <= 3

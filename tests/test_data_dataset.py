@@ -1,0 +1,98 @@
+"""Tests for the TemporalDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data import DatasetSchema, FeatureSpec, TemporalDataset
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture()
+def tiny_schema():
+    return DatasetSchema([FeatureSpec("a"), FeatureSpec("b")])
+
+
+@pytest.fixture()
+def tiny_ds(tiny_schema):
+    X = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0], [7.0, 8.0]])
+    y = np.array([0, 1, 0, 1])
+    t = np.array([2012.5, 2010.0, 2011.0, 2013.0])
+    return TemporalDataset(X, y, t, tiny_schema)
+
+
+class TestConstruction:
+    def test_rows_sorted_by_timestamp(self, tiny_ds):
+        assert np.array_equal(tiny_ds.timestamps, np.sort(tiny_ds.timestamps))
+        # the X/y rows moved with their timestamps
+        assert tiny_ds.X[0].tolist() == [3.0, 4.0]
+        assert tiny_ds.y[0] == 1
+
+    def test_span(self, tiny_ds):
+        assert tiny_ds.span == (2010.0, 2013.0)
+
+    def test_shape_validation(self, tiny_schema):
+        with pytest.raises(ValidationError):
+            TemporalDataset(np.zeros((3, 2)), np.zeros(2), np.zeros(3), tiny_schema)
+        with pytest.raises(ValidationError):
+            TemporalDataset(np.zeros((3, 5)), np.zeros(3), np.zeros(3), tiny_schema)
+        with pytest.raises(ValidationError):
+            TemporalDataset(np.zeros(3), np.zeros(3), np.zeros(3), tiny_schema)
+
+    def test_repr(self, tiny_ds):
+        assert "n=4" in repr(tiny_ds)
+
+
+class TestSlicing:
+    def test_window_end_exclusive(self, tiny_ds):
+        w = tiny_ds.window(2010.0, 2012.5)
+        assert len(w) == 2
+        assert w.timestamps.tolist() == [2010.0, 2011.0]
+
+    def test_window_empty_range_rejected(self, tiny_ds):
+        with pytest.raises(ValidationError):
+            tiny_ds.window(2012.0, 2012.0)
+
+    def test_before(self, tiny_ds):
+        assert len(tiny_ds.before(2012.5)) == 2
+        assert len(tiny_ds.before(2030.0)) == 4
+
+    def test_periods_cover_all_rows(self, lending_ds):
+        total = sum(len(w) for _, w in lending_ds.periods(1.0))
+        assert total == len(lending_ds)
+
+    def test_periods_width(self, lending_ds):
+        for start, w in lending_ds.periods(2.0):
+            if len(w) == 0:
+                continue
+            lo, hi = w.span
+            assert lo >= start - 1e-9
+
+    def test_periods_bad_delta(self, tiny_ds):
+        with pytest.raises(ValidationError):
+            list(tiny_ds.periods(0.0))
+
+
+class TestSampling:
+    def test_sample_size(self, lending_ds):
+        sub = lending_ds.sample(100, random_state=0)
+        assert len(sub) == 100
+        assert sub.schema == lending_ds.schema
+
+    def test_sample_too_large(self, tiny_ds):
+        with pytest.raises(ValidationError):
+            tiny_ds.sample(10)
+
+    def test_sample_reproducible(self, lending_ds):
+        a = lending_ds.sample(50, random_state=5)
+        b = lending_ds.sample(50, random_state=5)
+        assert np.array_equal(a.X, b.X)
+
+
+class TestStats:
+    def test_approval_rate(self, tiny_ds):
+        assert tiny_ds.approval_rate() == 0.5
+
+    def test_approval_rate_empty(self, tiny_ds):
+        empty = tiny_ds.window(1900.0, 1901.0)
+        with pytest.raises(ValidationError):
+            empty.approval_rate()

@@ -1,0 +1,75 @@
+"""Tests for CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_csv, make_lending_dataset, save_csv
+from repro.exceptions import ValidationError
+
+
+class TestRoundtrip:
+    def test_save_load_roundtrip(self, tmp_path, schema):
+        ds = make_lending_dataset(n_per_year=20, random_state=2)
+        path = tmp_path / "lending.csv"
+        save_csv(ds, path)
+        back = load_csv(path, schema)
+        assert len(back) == len(ds)
+        assert np.allclose(back.X, ds.X, rtol=1e-5)
+        assert np.array_equal(back.y, ds.y)
+        assert np.allclose(back.timestamps, ds.timestamps, atol=1e-5)
+
+    def test_header_written(self, tmp_path, schema):
+        ds = make_lending_dataset(n_per_year=5, random_state=0)
+        path = tmp_path / "x.csv"
+        save_csv(ds, path)
+        header = path.read_text().splitlines()[0]
+        for name in schema.names:
+            assert name in header
+        assert "label" in header and "timestamp" in header
+
+    def test_column_order_free(self, tmp_path, schema):
+        ds = make_lending_dataset(n_per_year=5, random_state=0)
+        path = tmp_path / "x.csv"
+        save_csv(ds, path)
+        lines = path.read_text().splitlines()
+        header = lines[0].split(",")
+        # reverse all columns
+        reordered = [",".join(reversed(header))]
+        for line in lines[1:]:
+            reordered.append(",".join(reversed(line.split(","))))
+        path2 = tmp_path / "y.csv"
+        path2.write_text("\n".join(reordered) + "\n")
+        back = load_csv(path2, schema)
+        assert np.allclose(back.X, ds.X, rtol=1e-5)
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path, schema):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValidationError, match="empty"):
+            load_csv(path, schema)
+
+    def test_missing_columns(self, tmp_path, schema):
+        path = tmp_path / "bad.csv"
+        path.write_text("age,label,timestamp\n30,1,2010\n")
+        with pytest.raises(ValidationError, match="missing columns"):
+            load_csv(path, schema)
+
+    def test_malformed_row(self, tmp_path, schema):
+        ds = make_lending_dataset(n_per_year=3, random_state=0)
+        path = tmp_path / "x.csv"
+        save_csv(ds, path)
+        with path.open("a") as handle:
+            handle.write("oops,not,numeric,at,all,x,y,z\n")
+        with pytest.raises(ValidationError, match="malformed"):
+            load_csv(path, schema)
+
+    def test_header_only(self, tmp_path, schema):
+        ds = make_lending_dataset(n_per_year=3, random_state=0)
+        path = tmp_path / "x.csv"
+        save_csv(ds, path)
+        header = path.read_text().splitlines()[0]
+        path.write_text(header + "\n")
+        with pytest.raises(ValidationError, match="no data rows"):
+            load_csv(path, schema)

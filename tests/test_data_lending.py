@@ -1,0 +1,135 @@
+"""Tests for the synthetic lending generator and drift policy."""
+
+import numpy as np
+import pytest
+
+from repro.data import LendingGenerator, LendingPolicy, john_profile, lending_schema
+from repro.data.lending import standardise_profile
+from repro.exceptions import ValidationError
+
+
+class TestProfiles:
+    def test_shapes_and_bounds(self, lending_generator, schema):
+        X = lending_generator.sample_profiles(200)
+        assert X.shape == (200, 6)
+        for i, spec in enumerate(schema.features):
+            if spec.lower is not None:
+                assert (X[:, i] >= spec.lower).all()
+            if spec.upper is not None:
+                assert (X[:, i] <= spec.upper).all()
+
+    def test_integrality(self, lending_generator, schema):
+        X = lending_generator.sample_profiles(100)
+        for name in ("age", "seniority", "household"):
+            col = X[:, schema.index_of(name)]
+            assert np.allclose(col, np.round(col))
+
+    def test_seniority_within_working_years(self, lending_generator, schema):
+        X = lending_generator.sample_profiles(300)
+        age = X[:, schema.index_of("age")]
+        seniority = X[:, schema.index_of("seniority")]
+        assert (seniority <= age - 18 + 1).all()  # +1 for rounding slack
+
+    def test_income_correlates_with_age(self, lending_generator, schema):
+        X = lending_generator.sample_profiles(2000)
+        age = X[:, schema.index_of("age")]
+        income = X[:, schema.index_of("annual_income")]
+        assert np.corrcoef(age, income)[0, 1] > 0.2
+
+    def test_n_validation(self, lending_generator):
+        with pytest.raises(ValidationError):
+            lending_generator.sample_profiles(0)
+
+
+class TestLabels:
+    def test_reproducible(self):
+        a = LendingGenerator(random_state=5).generate(n_per_year=50)
+        b = LendingGenerator(random_state=5).generate(n_per_year=50)
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.y, b.y)
+
+    def test_drift_changes_labels(self):
+        """The same profiles get different approval probabilities over time."""
+        gen = LendingGenerator(random_state=0)
+        X = gen.sample_profiles(500)
+        p_2008 = gen.ground_truth_probability(X, 2008.0)
+        p_2018 = gen.ground_truth_probability(X, 2018.0)
+        assert np.abs(p_2018 - p_2008).mean() > 0.05
+
+    def test_no_drift_policy_is_static(self):
+        gen = LendingGenerator(LendingPolicy(drift_strength=0.0), random_state=0)
+        X = gen.sample_profiles(200)
+        p_a = gen.ground_truth_probability(X, 2010.0)
+        p_b = gen.ground_truth_probability(X, 2016.0)
+        assert np.allclose(p_a, p_b)
+
+    def test_crunch_year_is_tightest(self):
+        """The 2009 credit crunch should show the lowest approval rates."""
+        gen = LendingGenerator(random_state=0)
+        X = gen.sample_profiles(1500)
+        rates = {
+            year: gen.ground_truth_probability(X, year).mean()
+            for year in (2007.0, 2009.0, 2013.0)
+        }
+        assert rates[2009.0] < rates[2007.0]
+        assert rates[2009.0] < rates[2013.0]
+
+    def test_age_interaction_flip(self):
+        """Example I.1: by the late years, debt hurts 30+ applicants more
+        than income helps them, relative to the early years."""
+        policy = LendingPolicy()
+        early = policy.weights_at(2008.0)
+        late = policy.weights_at(2018.0)
+        # income requirement for older applicants relaxes (weight falls)
+        assert late.income_old < early.income_old
+        # debt requirement for older applicants tightens (more negative)
+        assert late.debt_old < early.debt_old
+
+    def test_dataset_timestamps_cover_span(self):
+        ds = LendingGenerator(random_state=1).generate(n_per_year=30)
+        lo, hi = ds.span
+        assert lo >= 2007.0
+        assert hi < 2019.0
+
+
+class TestRejectedSampling:
+    def test_all_sampled_are_rejected(self, lending_generator):
+        X = lending_generator.sample_rejected(2018.0, n=6)
+        p = lending_generator.ground_truth_probability(X, 2018.0)
+        assert X.shape == (6, 6)
+        assert (p < 0.5).all()
+
+
+class TestStandardisation:
+    def test_profile_keys(self, lending_generator, schema):
+        X = lending_generator.sample_profiles(50)
+        profile = standardise_profile(X, schema)
+        assert "age_raw" in profile
+        assert set(profile) >= set(schema.names)
+
+    def test_age_raw_unscaled(self, lending_generator, schema):
+        X = lending_generator.sample_profiles(50)
+        profile = standardise_profile(X, schema)
+        assert np.array_equal(profile["age_raw"], X[:, schema.index_of("age")])
+
+
+class TestJohn:
+    def test_john_profile_valid(self, schema):
+        x = schema.vector(john_profile())
+        assert schema.validate_vector(x)
+        assert x[schema.index_of("age")] == 29
+
+    def test_john_is_rejected_in_recent_years(self, lending_generator, schema):
+        x = schema.vector(john_profile())
+        p = lending_generator.ground_truth_probability(x.reshape(1, -1), 2018.0)
+        assert p[0] < 0.5
+
+
+class TestPolicyValidation:
+    def test_bad_year_span(self):
+        with pytest.raises(ValueError):
+            LendingPolicy(start_year=2018, end_year=2018)
+
+    def test_generate_bad_span(self, lending_generator):
+        with pytest.raises(ValidationError):
+            lending_generator.generate(n_per_year=10, start_year=2018, end_year=2010)

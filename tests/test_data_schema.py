@@ -1,0 +1,161 @@
+"""Tests for feature schemas."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import DatasetSchema, FeatureSpec, lending_schema
+from repro.exceptions import SchemaError
+
+
+class TestFeatureSpec:
+    def test_defaults(self):
+        spec = FeatureSpec("x")
+        assert spec.mutable and not spec.temporal
+        assert spec.dtype == "float"
+
+    def test_invalid_dtype(self):
+        with pytest.raises(SchemaError):
+            FeatureSpec("x", dtype="complex")
+
+    def test_bounds_sanity(self):
+        with pytest.raises(SchemaError):
+            FeatureSpec("x", lower=10, upper=1)
+
+    def test_categorical_needs_categories(self):
+        with pytest.raises(SchemaError):
+            FeatureSpec("x", dtype="categorical")
+
+    def test_clip_bounds(self):
+        spec = FeatureSpec("x", lower=0, upper=10)
+        assert spec.clip(-5) == 0
+        assert spec.clip(15) == 10
+        assert spec.clip(5.5) == 5.5
+
+    def test_clip_int_rounds(self):
+        spec = FeatureSpec("x", dtype="int")
+        assert spec.clip(3.7) == 4.0
+
+    def test_clip_categorical_snaps(self):
+        spec = FeatureSpec("x", dtype="categorical", categories=(0, 2, 5))
+        assert spec.clip(1.2) == 2.0
+        assert spec.clip(9.0) == 5.0
+
+    def test_contains(self):
+        spec = FeatureSpec("x", dtype="int", lower=0, upper=5)
+        assert spec.contains(3)
+        assert not spec.contains(3.5)
+        assert not spec.contains(-1)
+        assert not spec.contains(6)
+
+    def test_contains_categorical(self):
+        spec = FeatureSpec("x", dtype="categorical", categories=(0, 1))
+        assert spec.contains(1)
+        assert not spec.contains(2)
+
+
+class TestDatasetSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            DatasetSchema([FeatureSpec("a"), FeatureSpec("a")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            DatasetSchema([])
+
+    def test_index_and_getitem(self, schema):
+        assert schema.index_of("age") == 0
+        assert schema["age"].name == "age"
+        assert schema[0].name == "age"
+        assert "age" in schema
+        assert "bogus" not in schema
+
+    def test_unknown_feature(self, schema):
+        with pytest.raises(SchemaError):
+            schema.index_of("bogus")
+
+    def test_vector_dict_roundtrip(self, schema):
+        values = {
+            "age": 30,
+            "household": 1,
+            "annual_income": 50_000,
+            "monthly_debt": 1_000,
+            "seniority": 5,
+            "loan_amount": 20_000,
+        }
+        x = schema.vector(values)
+        assert schema.as_dict(x) == pytest.approx(values)
+
+    def test_vector_missing_feature(self, schema):
+        with pytest.raises(SchemaError, match="missing"):
+            schema.vector({"age": 30})
+
+    def test_vector_extra_feature(self, schema):
+        values = {name: 1.0 for name in schema.names}
+        values["bogus"] = 1.0
+        with pytest.raises(SchemaError, match="unknown"):
+            schema.vector(values)
+
+    def test_as_dict_wrong_size(self, schema):
+        with pytest.raises(SchemaError):
+            schema.as_dict(np.zeros(3))
+
+    def test_mutable_indices_exclude_age_and_seniority(self, schema):
+        mutable = {schema.names[i] for i in schema.mutable_indices()}
+        assert "age" not in mutable
+        assert "seniority" not in mutable
+        assert "annual_income" in mutable
+
+    def test_temporal_features(self, schema):
+        names = {f.name for f in schema.temporal_features()}
+        assert names == {"age", "seniority"}
+
+    def test_clip_vector(self, schema):
+        x = np.array([150.0, 7.0, -10.0, -5.0, 99.0, 0.0])
+        clipped = schema.clip(x)
+        assert clipped[schema.index_of("age")] == 100
+        assert clipped[schema.index_of("household")] == 2
+        assert clipped[schema.index_of("annual_income")] == 0
+        assert clipped[schema.index_of("loan_amount")] == 1_000
+
+    def test_clip_idempotent(self, schema, rng):
+        x = rng.uniform(-1000, 1_000_000, size=len(schema))
+        once = schema.clip(x)
+        assert np.array_equal(schema.clip(once), once)
+
+    def test_validate_vector(self, schema):
+        good = schema.vector(
+            {
+                "age": 30,
+                "household": 0,
+                "annual_income": 10_000,
+                "monthly_debt": 100,
+                "seniority": 2,
+                "loan_amount": 5_000,
+            }
+        )
+        assert schema.validate_vector(good)
+        bad = good.copy()
+        bad[schema.index_of("age")] = 17
+        assert not schema.validate_vector(bad)
+        assert not schema.validate_vector(good[:3])
+
+    def test_equality(self):
+        a = DatasetSchema([FeatureSpec("x"), FeatureSpec("y")])
+        b = DatasetSchema([FeatureSpec("x"), FeatureSpec("y")])
+        c = DatasetSchema([FeatureSpec("x")])
+        assert a == b
+        assert a != c
+
+    @given(
+        st.lists(
+            st.floats(-1e8, 1e8, allow_nan=False),
+            min_size=6,
+            max_size=6,
+        )
+    )
+    def test_clip_always_valid(self, values):
+        schema = lending_schema()
+        clipped = schema.clip(np.array(values))
+        assert schema.validate_vector(clipped)

@@ -1,0 +1,117 @@
+"""Edge-case and failure-injection tests for the forecasting layer."""
+
+import numpy as np
+import pytest
+
+from repro.data import DatasetSchema, FeatureSpec, TemporalDataset
+from repro.exceptions import ForecastError
+from repro.ml import RandomForestClassifier
+from repro.temporal import (
+    EDDStrategy,
+    LastWindowStrategy,
+    ModelsGenerator,
+    RecencyWeightStrategy,
+    WeightExtrapolationStrategy,
+)
+
+
+def tiny_dataset(n=60, years=(2015.0, 2016.0, 2017.0), seed=0):
+    rng = np.random.default_rng(seed)
+    schema = DatasetSchema([FeatureSpec("a"), FeatureSpec("b")])
+    X = rng.normal(size=(n, 2))
+    y = (X[:, 0] > 0).astype(int)
+    t = rng.choice(years, size=n)
+    return TemporalDataset(X, y, t, schema)
+
+
+class TestStrategyValidation:
+    def test_last_window_positive(self):
+        with pytest.raises(ForecastError):
+            LastWindowStrategy(window=0)
+
+    def test_recency_half_life_positive(self):
+        with pytest.raises(ForecastError):
+            RecencyWeightStrategy(half_life=0)
+
+    def test_weight_extrapolation_window_positive(self):
+        with pytest.raises(ForecastError):
+            WeightExtrapolationStrategy(window=0)
+
+
+class TestDegenerateHistories:
+    def test_weights_needs_two_windows(self):
+        ds = tiny_dataset(years=(2016.0,))
+        mg = ModelsGenerator(T=1, strategy="weights", random_state=0)
+        with pytest.raises(ForecastError, match="2 usable windows"):
+            mg.generate(ds)
+
+    def test_edd_needs_three_windows(self):
+        ds = tiny_dataset(years=(2016.0, 2017.0))
+        mg = ModelsGenerator(
+            T=1, strategy=EDDStrategy(n_herd=20), random_state=0
+        )
+        with pytest.raises(ForecastError, match=">= 3"):
+            mg.generate(ds)
+
+    def test_edd_missing_class_in_window(self):
+        """A window with only one class must fail loudly, not silently."""
+        rng = np.random.default_rng(0)
+        schema = DatasetSchema([FeatureSpec("a")])
+        X = rng.normal(size=(90, 1))
+        y = np.zeros(90, dtype=int)
+        y[:30] = 1  # positives only in the first year
+        t = np.repeat([2015.0, 2016.0, 2017.0], 30)
+        ds = TemporalDataset(X, y, t, schema)
+        mg = ModelsGenerator(T=1, strategy=EDDStrategy(n_herd=20), random_state=0)
+        with pytest.raises(ForecastError, match="no samples of class"):
+            mg.generate(ds)
+
+    def test_single_class_window_still_trains_forest(self):
+        """'last' with a pure-positive recent window yields a constant
+        scorer rather than crashing."""
+        rng = np.random.default_rng(1)
+        schema = DatasetSchema([FeatureSpec("a")])
+        X = rng.normal(size=(40, 1))
+        y = np.r_[rng.integers(0, 2, 20), np.ones(20, dtype=int)]
+        t = np.r_[np.full(20, 2015.0), np.full(20, 2017.5)]
+        ds = TemporalDataset(X, y, t, schema)
+        mg = ModelsGenerator(
+            T=1,
+            strategy=LastWindowStrategy(window=1.0),
+            model_factory=lambda: RandomForestClassifier(
+                n_estimators=3, random_state=0
+            ),
+            random_state=0,
+        )
+        fm = mg.generate(ds)
+        assert np.allclose(fm[0].score(X), 1.0)
+
+    def test_strategy_count_mismatch_detected(self, lending_ds):
+        class Broken(LastWindowStrategy):
+            def build(self, history, times, model_factory, rng):
+                return super().build(history, times, model_factory, rng)[:-1]
+
+        mg = ModelsGenerator(T=2, strategy=Broken(), random_state=0)
+        with pytest.raises(ForecastError, match="models for"):
+            mg.generate(lending_ds)
+
+
+class TestReproducibility:
+    @pytest.mark.parametrize("strategy", ["last", "reweight", "weights"])
+    def test_same_seed_same_models(self, lending_ds, john, strategy):
+        def scores():
+            fm = ModelsGenerator(T=2, strategy=strategy, random_state=7).generate(
+                lending_ds
+            )
+            return [fm.score(john, t) for t in range(3)]
+
+        assert scores() == pytest.approx(scores())
+
+    def test_edd_reproducible(self, lending_ds, john):
+        def scores():
+            fm = ModelsGenerator(
+                T=1, strategy=EDDStrategy(n_herd=60), random_state=7
+            ).generate(lending_ds)
+            return [fm.score(john, t) for t in range(2)]
+
+        assert scores() == pytest.approx(scores())

@@ -1,0 +1,88 @@
+"""Tests for the per-time-point insight series and their chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.app.render import bar_chart
+from repro.core import Candidate, CandidateMetrics, InsightEngine
+from repro.db import CandidateStore
+
+
+def cand(x, time, diff, gap, p):
+    return Candidate(
+        np.asarray(x, dtype=float),
+        time,
+        CandidateMetrics(diff=diff, gap=gap, confidence=p),
+    )
+
+
+@pytest.fixture()
+def engine(schema, john):
+    store = CandidateStore(schema)
+    store.store_temporal_inputs("u", np.vstack([john] * 4))
+    store.store_candidates(
+        "u",
+        [
+            cand(john, 0, diff=2.0, gap=2, p=0.60),
+            cand(john, 0, diff=3.0, gap=3, p=0.70),
+            cand(john, 1, diff=1.0, gap=1, p=0.55),
+            # t=2 has no candidates
+            cand(john, 3, diff=0.5, gap=1, p=0.90),
+        ],
+    )
+    yield InsightEngine(store, "u", [2019.0, 2020.0, 2021.0, 2022.0])
+    store.close()
+
+
+class TestSeries:
+    def test_confidence_series(self, engine):
+        assert engine.confidence_series() == [
+            (0, 0.70),
+            (1, 0.55),
+            (2, None),
+            (3, 0.90),
+        ]
+
+    def test_effort_series(self, engine):
+        assert engine.effort_series() == [
+            (0, 2.0),
+            (1, 1.0),
+            (2, None),
+            (3, 0.5),
+        ]
+
+    def test_gap_series(self, engine):
+        assert engine.gap_series() == [(0, 2.0), (1, 1.0), (2, None), (3, 1.0)]
+
+    def test_count_series_zero_fills(self, engine):
+        assert engine.count_series() == [(0, 2.0), (1, 1.0), (2, 0.0), (3, 1.0)]
+
+    def test_series_on_live_session(self, john_session):
+        series = john_session.engine.confidence_series()
+        assert len(series) == 4  # T=3 horizon in the fixture
+        values = [v for _, v in series if v is not None]
+        assert values and all(0.0 <= v <= 1.0 for v in values)
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        out = bar_chart([(0, 1.0), (1, 0.5)], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_none_renders_dash(self):
+        out = bar_chart([(0, 1.0), (1, None)])
+        assert out.splitlines()[1].rstrip().endswith("-")
+
+    def test_title_included(self):
+        out = bar_chart([(0, 1.0)], title="confidence:")
+        assert out.startswith("confidence:")
+
+    def test_all_none_does_not_crash(self):
+        out = bar_chart([(0, None), (1, None)])
+        assert "t=0" in out and "t=1" in out
+
+    def test_zero_values(self):
+        out = bar_chart([(0, 0.0), (1, 0.0)])
+        assert "#" not in out

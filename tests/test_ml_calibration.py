@@ -1,0 +1,136 @@
+"""Tests for Platt-scaling calibration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml import (
+    CalibratedClassifier,
+    LogisticRegression,
+    RandomForestClassifier,
+    brier_score,
+    log_loss,
+    roc_auc_score,
+)
+
+
+@pytest.fixture(scope="module")
+def noisy_xy():
+    """Overlapping classes: raw forest scores are overconfident here."""
+    rng = np.random.default_rng(0)
+    n = 800
+    X = rng.normal(size=(n, 3))
+    logits = 1.2 * X[:, 0] - 0.8 * X[:, 1]
+    p = 1.0 / (1.0 + np.exp(-logits))
+    y = (rng.random(n) < p).astype(int)
+    return X, y
+
+
+class TestCalibration:
+    def test_improves_probability_quality(self, noisy_xy):
+        X, y = noisy_xy
+        rng = np.random.default_rng(1)
+        test = rng.choice(len(y), size=250, replace=False)
+        train = np.setdiff1d(np.arange(len(y)), test)
+
+        raw = RandomForestClassifier(
+            n_estimators=20, max_depth=None, random_state=0
+        ).fit(X[train], y[train])
+        calibrated = CalibratedClassifier(
+            RandomForestClassifier(n_estimators=20, max_depth=None, random_state=0),
+            random_state=0,
+        ).fit(X[train], y[train])
+
+        raw_loss = log_loss(y[test], raw.decision_score(X[test]))
+        cal_loss = log_loss(y[test], calibrated.decision_score(X[test]))
+        assert cal_loss < raw_loss
+        assert brier_score(
+            y[test], calibrated.decision_score(X[test])
+        ) <= brier_score(y[test], raw.decision_score(X[test])) + 0.01
+
+    def test_preserves_ranking(self, noisy_xy):
+        """The calibration map is monotone: AUC is unchanged vs the
+        wrapper's own base model."""
+        X, y = noisy_xy
+        calibrated = CalibratedClassifier(
+            RandomForestClassifier(n_estimators=15, random_state=0),
+            random_state=0,
+        ).fit(X, y)
+        raw_scores = calibrated.base.decision_score(X)
+        cal_scores = calibrated.decision_score(X)
+        assert roc_auc_score(y, cal_scores) == pytest.approx(
+            roc_auc_score(y, raw_scores), abs=1e-9
+        )
+
+    def test_probabilities_valid(self, noisy_xy):
+        X, y = noisy_xy
+        model = CalibratedClassifier(
+            RandomForestClassifier(n_estimators=10, random_state=0),
+            random_state=0,
+        ).fit(X, y)
+        proba = model.predict_proba(X[:50])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert ((proba >= 0) & (proba <= 1)).all()
+
+    def test_holdout_validation(self):
+        with pytest.raises(ValidationError):
+            CalibratedClassifier(LogisticRegression(), holdout=1.0)
+
+    def test_forwards_split_thresholds(self, noisy_xy):
+        X, y = noisy_xy
+        model = CalibratedClassifier(
+            RandomForestClassifier(n_estimators=5, random_state=0),
+            random_state=0,
+        ).fit(X, y)
+        assert model.split_thresholds()
+
+    def test_forwards_gradient_with_chain_rule(self, noisy_xy):
+        X, y = noisy_xy
+        model = CalibratedClassifier(
+            LogisticRegression(max_iter=300), random_state=0
+        ).fit(X, y)
+        x = X[0]
+        analytic = model.score_gradient(x)
+        eps = 1e-5
+        for j in range(x.size):
+            plus, minus = x.copy(), x.copy()
+            plus[j] += eps
+            minus[j] -= eps
+            numeric = (
+                model.decision_score(plus.reshape(1, -1))[0]
+                - model.decision_score(minus.reshape(1, -1))[0]
+            ) / (2 * eps)
+            assert analytic[j] == pytest.approx(numeric, rel=1e-2, abs=1e-8)
+
+    def test_capabilities_mirror_base(self, noisy_xy):
+        """hasattr must reflect the base model, so the candidate search
+        auto-selects the right move proposers."""
+        X, y = noisy_xy
+        tree_backed = CalibratedClassifier(
+            RandomForestClassifier(n_estimators=3, random_state=0),
+            random_state=0,
+        ).fit(X, y)
+        assert hasattr(tree_backed, "split_thresholds")
+        assert not hasattr(tree_backed, "score_gradient")
+        linear_backed = CalibratedClassifier(
+            LogisticRegression(max_iter=50), random_state=0
+        ).fit(X, y)
+        assert hasattr(linear_backed, "score_gradient")
+        assert not hasattr(linear_backed, "split_thresholds")
+
+    def test_usable_in_candidate_search(self, schema, lending_ds, john):
+        """A calibrated forest drops into the unchanged pipeline."""
+        from repro.core import CandidateGenerator
+
+        recent = lending_ds.window(2016, 2020)
+        model = CalibratedClassifier(
+            RandomForestClassifier(n_estimators=10, max_depth=8, random_state=0),
+            random_state=0,
+        ).fit(recent.X, recent.y)
+        gen = CandidateGenerator(
+            model, 0.5, schema, k=3, max_iter=8, random_state=0,
+            diff_scale=lending_ds.X.std(axis=0),
+        )
+        found = gen.generate(john, time=0)
+        for c in found:
+            assert model.decision_score(c.x.reshape(1, -1))[0] > 0.5

@@ -1,0 +1,95 @@
+"""Tests for the random forest (the paper's model class)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.ml import RandomForestClassifier, roc_auc_score
+
+
+class TestFitPredict:
+    def test_beats_chance_on_lending(self, lending_ds):
+        rf = RandomForestClassifier(n_estimators=10, max_depth=6, random_state=0)
+        recent = lending_ds.window(2016, 2020)
+        rf.fit(recent.X, recent.y)
+        auc = roc_auc_score(recent.y, rf.decision_score(recent.X))
+        assert auc > 0.85
+
+    def test_soft_voting_produces_intermediate_scores(self, small_xy):
+        X, y = small_xy
+        rf = RandomForestClassifier(n_estimators=15, max_depth=3, random_state=0)
+        rf.fit(X, y)
+        scores = rf.decision_score(X)
+        assert ((scores >= 0) & (scores <= 1)).all()
+        # bagging produces more than just {0, 1}
+        assert len(np.unique(np.round(scores, 4))) > 2
+
+    def test_single_tree_forest(self, small_xy):
+        X, y = small_xy
+        rf = RandomForestClassifier(n_estimators=1, random_state=0).fit(X, y)
+        assert len(rf.trees_) == 1
+
+    def test_no_bootstrap_mode(self, small_xy):
+        X, y = small_xy
+        rf = RandomForestClassifier(
+            n_estimators=5, bootstrap=False, random_state=0
+        ).fit(X, y)
+        assert rf.score(X, y) > 0.9
+
+    def test_reproducible_with_seed(self, small_xy):
+        X, y = small_xy
+        a = RandomForestClassifier(n_estimators=5, random_state=9).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=9).fit(X, y)
+        assert np.allclose(a.decision_score(X), b.decision_score(X))
+
+    def test_different_seed_different_forest(self, small_xy):
+        X, y = small_xy
+        a = RandomForestClassifier(n_estimators=5, random_state=1).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=2).fit(X, y)
+        assert not np.allclose(a.decision_score(X), b.decision_score(X))
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict_proba([[0.0]])
+
+
+class TestOob:
+    def test_oob_score_reasonable(self, small_xy):
+        X, y = small_xy
+        rf = RandomForestClassifier(
+            n_estimators=25, oob_score=True, random_state=0
+        ).fit(X, y)
+        assert rf.oob_score_ is not None
+        assert rf.oob_score_ > 0.8
+
+    def test_oob_none_without_flag(self, small_xy):
+        X, y = small_xy
+        rf = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        assert rf.oob_score_ is None
+
+
+class TestIntrospection:
+    def test_split_thresholds_is_union(self, small_xy):
+        X, y = small_xy
+        rf = RandomForestClassifier(n_estimators=5, max_depth=3, random_state=0)
+        rf.fit(X, y)
+        merged = rf.split_thresholds()
+        for tree in rf.trees_:
+            for feature, values in tree.split_thresholds().items():
+                assert np.isin(values, merged[feature]).all()
+
+    def test_split_thresholds_sorted_unique(self, fitted_forest):
+        for values in fitted_forest.split_thresholds().values():
+            assert np.all(np.diff(values) > 0)
+
+    def test_feature_importances_shape(self, fitted_forest):
+        importances = fitted_forest.feature_importances_
+        assert importances.shape == (fitted_forest.n_features_,)
+        assert (importances >= 0).all()
+
+    def test_n_nodes_positive(self, fitted_forest):
+        assert fitted_forest.n_nodes() > len(fitted_forest.trees_)

@@ -1,0 +1,113 @@
+"""Tests for logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml import LogisticRegression, sigmoid
+
+
+class TestSigmoid:
+    def test_known_values(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+        assert sigmoid(np.array([100.0]))[0] == pytest.approx(1.0)
+        assert sigmoid(np.array([-100.0]))[0] == pytest.approx(0.0)
+
+    def test_no_overflow_on_extremes(self):
+        out = sigmoid(np.array([-1e6, 1e6]))
+        assert np.all(np.isfinite(out))
+
+    def test_symmetry(self):
+        z = np.linspace(-5, 5, 11)
+        assert np.allclose(sigmoid(z) + sigmoid(-z), 1.0)
+
+
+class TestFit:
+    def test_learns_separable(self, small_xy):
+        X, y = small_xy
+        model = LogisticRegression(lr=0.5, max_iter=500).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_recovers_coefficient_direction(self, rng):
+        X = rng.normal(size=(800, 2))
+        logits = 2.0 * X[:, 0] - 1.0 * X[:, 1]
+        y = (rng.random(800) < sigmoid(logits)).astype(int)
+        model = LogisticRegression(lr=0.5, max_iter=2000, alpha=0.0).fit(X, y)
+        assert model.coef_[0] > 0
+        assert model.coef_[1] < 0
+        assert abs(model.coef_[0]) > abs(model.coef_[1])
+
+    def test_tol_stops_early(self, small_xy):
+        X, y = small_xy
+        model = LogisticRegression(lr=0.5, max_iter=10_000, tol=1e-3).fit(X, y)
+        assert model.n_iter_ < 10_000
+
+    def test_no_intercept(self, small_xy):
+        X, y = small_xy
+        model = LogisticRegression(fit_intercept=False, max_iter=200).fit(X, y)
+        assert model.intercept_ == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(lr=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(max_iter=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(alpha=-1)
+
+
+class TestSampleWeights:
+    def test_weights_shift_boundary(self, rng):
+        X = np.r_[rng.normal(-1, 0.3, size=(100, 1)), rng.normal(1, 0.3, size=(100, 1))]
+        y = np.r_[np.zeros(100, dtype=int), np.ones(100, dtype=int)]
+        # heavily upweight the positive class -> higher scores overall
+        w_pos = np.r_[np.ones(100), np.full(100, 10.0)]
+        plain = LogisticRegression(max_iter=500).fit(X, y)
+        weighted = LogisticRegression(max_iter=500).fit(X, y, sample_weight=w_pos)
+        grid = np.linspace(-1, 1, 9).reshape(-1, 1)
+        assert weighted.decision_score(grid).mean() > plain.decision_score(grid).mean()
+
+    def test_weight_validation(self, small_xy):
+        X, y = small_xy
+        with pytest.raises(ValidationError):
+            LogisticRegression().fit(X, y, sample_weight=np.ones(3))
+        with pytest.raises(ValidationError):
+            LogisticRegression().fit(X, y, sample_weight=-np.ones(len(y)))
+        with pytest.raises(ValidationError):
+            LogisticRegression().fit(X, y, sample_weight=np.zeros(len(y)))
+
+
+class TestSetWeights:
+    def test_set_weights_installs_model(self):
+        model = LogisticRegression().set_weights([1.0, -2.0], 0.5)
+        assert model.n_features_ == 2
+        score = model.decision_score(np.array([[1.0, 0.0]]))
+        assert score[0] == pytest.approx(sigmoid(np.array([1.5]))[0])
+
+    def test_set_weights_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            LogisticRegression().set_weights([], 0.0)
+
+
+class TestGradient:
+    def test_matches_finite_differences(self, small_xy):
+        X, y = small_xy
+        model = LogisticRegression(max_iter=300).fit(X, y)
+        x = X[0]
+        analytic = model.score_gradient(x)
+        eps = 1e-5
+        for j in range(x.size):
+            plus, minus = x.copy(), x.copy()
+            plus[j] += eps
+            minus[j] -= eps
+            numeric = (
+                model.decision_score(plus.reshape(1, -1))[0]
+                - model.decision_score(minus.reshape(1, -1))[0]
+            ) / (2 * eps)
+            assert analytic[j] == pytest.approx(numeric, rel=1e-3, abs=1e-8)
+
+    def test_gradient_wrong_size(self, small_xy):
+        X, y = small_xy
+        model = LogisticRegression(max_iter=50).fit(X, y)
+        with pytest.raises(ValidationError):
+            model.score_gradient(np.zeros(5))

@@ -1,0 +1,161 @@
+"""Tests for repro.ml.metrics, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.ml import (
+    accuracy_score,
+    brier_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+
+
+class TestAccuracyConfusion:
+    def test_accuracy_known(self):
+        assert accuracy_score([0, 1, 1, 0], [0, 1, 0, 0]) == 0.75
+
+    def test_confusion_known(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert cm.tolist() == [[1, 1], [0, 2]]
+
+    def test_confusion_sums_to_n(self):
+        y_true = [0, 1, 0, 1, 1, 0, 1]
+        y_pred = [1, 1, 0, 0, 1, 0, 1]
+        assert confusion_matrix(y_true, y_pred).sum() == len(y_true)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            accuracy_score([], [])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            accuracy_score([0, 1], [0])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValidationError):
+            confusion_matrix([0, 2], [0, 1])
+
+
+class TestPrecisionRecallF1:
+    def test_known_values(self):
+        y_true = [1, 1, 0, 0, 1]
+        y_pred = [1, 0, 1, 0, 1]
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_zero_division_precision(self):
+        assert precision_score([1, 1], [0, 0]) == 0.0
+        assert precision_score([1, 1], [0, 0], zero_division=1.0) == 1.0
+
+    def test_zero_division_recall(self):
+        assert recall_score([0, 0], [0, 1]) == 0.0
+
+    def test_perfect(self):
+        assert f1_score([0, 1, 1], [0, 1, 1]) == 1.0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1), st.integers(0, 1)),
+            min_size=2,
+            max_size=60,
+        )
+    )
+    def test_f1_between_0_and_1(self, pairs):
+        y_true = [a for a, _ in pairs]
+        y_pred = [b for _, b in pairs]
+        assert 0.0 <= f1_score(y_true, y_pred) <= 1.0
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=4000)
+        s = rng.random(4000)
+        assert abs(roc_auc_score(y, s) - 0.5) < 0.03
+
+    def test_ties_give_half_credit(self):
+        # all scores equal -> AUC exactly 0.5 by midrank convention
+        assert roc_auc_score([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == 0.5
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValidationError, match="both classes"):
+            roc_auc_score([1, 1], [0.4, 0.6])
+
+    @settings(max_examples=40)
+    @given(st.data())
+    def test_invariant_to_monotone_transform(self, data):
+        n = data.draw(st.integers(6, 40))
+        y = data.draw(
+            st.lists(st.integers(0, 1), min_size=n, max_size=n).filter(
+                lambda lst: 0 < sum(lst) < len(lst)
+            )
+        )
+        scores = data.draw(
+            st.lists(
+                st.floats(0.01, 0.99, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        base = roc_auc_score(y, scores)
+        squashed = roc_auc_score(y, [s**3 for s in scores])
+        assert base == pytest.approx(squashed, abs=1e-12)
+
+    def test_roc_curve_monotone(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=100)
+        s = rng.random(100)
+        fpr, tpr, thr = roc_curve(y, s)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == pytest.approx(1.0)
+        assert tpr[-1] == pytest.approx(1.0)
+
+
+class TestProbabilisticMetrics:
+    def test_log_loss_perfect_is_small(self):
+        assert log_loss([0, 1], [0.0, 1.0]) < 1e-10
+
+    def test_log_loss_confident_wrong_is_large(self):
+        assert log_loss([1], [0.0]) > 20
+
+    def test_brier_bounds(self):
+        assert brier_score([0, 1], [0, 1]) == 0.0
+        assert brier_score([0, 1], [1, 0]) == 1.0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1), st.floats(0.0, 1.0, allow_nan=False)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_brier_in_unit_interval(self, pairs):
+        y = [a for a, _ in pairs]
+        s = [b for _, b in pairs]
+        assert 0.0 <= brier_score(y, s) <= 1.0
+
+
+class TestReport:
+    def test_report_mentions_all_metrics(self):
+        report = classification_report([0, 1, 1], [0, 1, 0])
+        for word in ("accuracy", "precision", "recall", "f1", "confusion"):
+            assert word in report

@@ -1,0 +1,181 @@
+"""Tests for the multi-class generalisation (OvR + desired-class adapter)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml import (
+    DecisionTreeClassifier,
+    DesiredClassModel,
+    LogisticRegression,
+    OneVsRestClassifier,
+    RandomForestClassifier,
+)
+
+
+@pytest.fixture(scope="module")
+def three_class_xy():
+    rng = np.random.default_rng(0)
+    centers = np.array([[-3.0, 0.0], [0.0, 3.0], [3.0, 0.0]])
+    X = np.vstack([rng.normal(c, 0.7, size=(120, 2)) for c in centers])
+    y = np.repeat([0, 1, 2], 120)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def fitted_ovr(three_class_xy):
+    X, y = three_class_xy
+    return OneVsRestClassifier(
+        lambda: DecisionTreeClassifier(max_depth=5), random_state=0
+    ).fit(X, y)
+
+
+class TestOneVsRest:
+    def test_learns_blobs(self, fitted_ovr, three_class_xy):
+        X, y = three_class_xy
+        assert fitted_ovr.score(X, y) > 0.95
+
+    def test_proba_rows_sum_to_one(self, fitted_ovr, three_class_xy):
+        X, _ = three_class_xy
+        proba = fitted_ovr.predict_proba(X[:50])
+        assert proba.shape == (50, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+
+    def test_non_contiguous_labels(self, three_class_xy):
+        X, y = three_class_xy
+        y_shifted = y * 10 + 5  # labels 5, 15, 25
+        ovr = OneVsRestClassifier(
+            lambda: DecisionTreeClassifier(max_depth=4), random_state=0
+        ).fit(X, y_shifted)
+        assert set(np.unique(ovr.predict(X))) <= {5, 15, 25}
+
+    def test_works_with_linear_base(self, three_class_xy):
+        X, y = three_class_xy
+        ovr = OneVsRestClassifier(
+            lambda: LogisticRegression(max_iter=200), random_state=0
+        ).fit(X, y)
+        assert ovr.score(X, y) > 0.9
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValidationError):
+            OneVsRestClassifier(lambda: DecisionTreeClassifier()).fit(
+                np.zeros((5, 2)), np.zeros(5)
+            )
+
+    def test_unfitted_guard(self):
+        with pytest.raises(NotFittedError):
+            OneVsRestClassifier(lambda: DecisionTreeClassifier()).predict_proba(
+                [[0.0, 0.0]]
+            )
+
+    def test_class_index(self, fitted_ovr):
+        assert fitted_ovr.class_index(2) == 2
+        with pytest.raises(ValidationError):
+            fitted_ovr.class_index(99)
+
+    def test_reproducible(self, three_class_xy):
+        X, y = three_class_xy
+        a = OneVsRestClassifier(
+            lambda: RandomForestClassifier(n_estimators=5), random_state=1
+        ).fit(X, y)
+        b = OneVsRestClassifier(
+            lambda: RandomForestClassifier(n_estimators=5), random_state=1
+        ).fit(X, y)
+        assert np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+
+class TestDesiredClassModel:
+    def test_binary_contract(self, fitted_ovr, three_class_xy):
+        X, _ = three_class_xy
+        adapter = DesiredClassModel(fitted_ovr, desired_class=1)
+        proba = adapter.predict_proba(X[:20])
+        assert proba.shape == (20, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        full = fitted_ovr.predict_proba(X[:20])
+        assert np.allclose(adapter.decision_score(X[:20]), full[:, 1])
+
+    def test_high_score_inside_desired_cluster(self, fitted_ovr):
+        adapter = DesiredClassModel(fitted_ovr, desired_class=2)
+        inside = adapter.decision_score(np.array([[3.0, 0.0]]))[0]
+        outside = adapter.decision_score(np.array([[-3.0, 0.0]]))[0]
+        assert inside > 0.8 > outside
+
+    def test_unknown_class(self, fitted_ovr):
+        with pytest.raises(ValidationError):
+            DesiredClassModel(fitted_ovr, desired_class=7)
+
+    def test_split_thresholds_forwarded(self, fitted_ovr):
+        adapter = DesiredClassModel(fitted_ovr, desired_class=0)
+        thresholds = adapter.split_thresholds()
+        assert thresholds
+        for values in thresholds.values():
+            assert np.all(np.diff(values) > 0)
+
+    def test_split_thresholds_unavailable_for_linear(self, three_class_xy):
+        X, y = three_class_xy
+        ovr = OneVsRestClassifier(
+            lambda: LogisticRegression(max_iter=100), random_state=0
+        ).fit(X, y)
+        adapter = DesiredClassModel(ovr, desired_class=0)
+        with pytest.raises(ValidationError):
+            adapter.split_thresholds()
+
+
+class TestCandidateSearchOnMulticlass:
+    def test_reaching_the_prime_grade(self, schema, lending_generator):
+        """End to end: the unchanged candidates generator flips a grade."""
+        from repro.constraints import lending_domain_constraints
+        from repro.core import CandidateGenerator
+        from repro.data import john_profile
+
+        X = lending_generator.sample_profiles(800)
+        grades = lending_generator.label_grades(
+            X, np.full(800, 2018.0)
+        )
+        if len(np.unique(grades)) < 3:
+            pytest.skip("degenerate grade draw")
+        ovr = OneVsRestClassifier(
+            lambda: RandomForestClassifier(n_estimators=10, max_depth=8),
+            random_state=0,
+        ).fit(X, grades)
+        prime = DesiredClassModel(ovr, desired_class=2)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        gen = CandidateGenerator(
+            prime,
+            0.5,
+            schema,
+            lending_domain_constraints(schema),
+            k=4,
+            max_iter=10,
+            diff_scale=scale,
+            random_state=0,
+        )
+        john = schema.vector(john_profile())
+        found = gen.generate(john, time=0)
+        assert found, "no path to the prime grade found"
+        for c in found:
+            assert prime.decision_score(c.x.reshape(1, -1))[0] > 0.5
+
+
+class TestGradeLabeling:
+    def test_grades_in_range(self, lending_generator):
+        X = lending_generator.sample_profiles(300)
+        grades = lending_generator.label_grades(X, np.full(300, 2015.0))
+        assert set(np.unique(grades)) <= {0, 1, 2}
+
+    def test_bad_cutoffs(self, lending_generator):
+        X = lending_generator.sample_profiles(10)
+        with pytest.raises(ValidationError):
+            lending_generator.label_grades(
+                X, np.full(10, 2015.0), cutoffs=(0.9, 0.5)
+            )
+
+    def test_grades_track_approval_probability(self, lending_generator):
+        X = lending_generator.sample_profiles(1000)
+        years = np.full(1000, 2016.0)
+        grades = lending_generator.label_grades(X, years)
+        p = lending_generator.ground_truth_probability(X, 2016.0)
+        if (grades == 2).any() and (grades == 0).any():
+            assert p[grades == 2].mean() > p[grades == 0].mean()

@@ -1,0 +1,160 @@
+"""Tests for repro.ml.preprocessing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml import (
+    LabelEncoder,
+    MinMaxScaler,
+    OneHotEncoder,
+    StandardScaler,
+    train_test_split,
+)
+
+finite_matrix = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(2, 25), st.integers(1, 6)),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, width=64),
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.normal(5, 3, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1, atol=1e-9)
+
+    def test_constant_column_not_divided_by_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        assert np.allclose(Z[:, 0], 0.0)
+
+    @settings(max_examples=30)
+    @given(finite_matrix)
+    def test_inverse_roundtrip(self, X):
+        scaler = StandardScaler().fit(X)
+        back = scaler.inverse_transform(scaler.transform(X))
+        assert np.allclose(back, X, rtol=1e-6, atol=1e-6)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform([[1.0]])
+
+    def test_dimension_mismatch(self):
+        scaler = StandardScaler().fit(np.zeros((4, 3)) + np.arange(3))
+        with pytest.raises(ValidationError):
+            scaler.transform(np.zeros((2, 5)))
+
+    def test_with_mean_false(self):
+        X = np.arange(10.0).reshape(-1, 1) + 100
+        Z = StandardScaler(with_mean=False).fit_transform(X)
+        assert Z.min() > 0  # not centred
+
+
+class TestMinMaxScaler:
+    def test_range_is_unit(self, rng):
+        X = rng.normal(size=(50, 3)) * 7 + 3
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.allclose(Z.min(axis=0), 0)
+        assert np.allclose(Z.max(axis=0), 1)
+
+    @settings(max_examples=30)
+    @given(finite_matrix)
+    def test_inverse_roundtrip(self, X):
+        scaler = MinMaxScaler().fit(X)
+        back = scaler.inverse_transform(scaler.transform(X))
+        assert np.allclose(back, X, rtol=1e-6, atol=1e-6)
+
+    def test_constant_column(self):
+        X = np.full((5, 1), 3.0)
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        X = np.array([[0.0], [1.0], [2.0], [1.0]])
+        out = OneHotEncoder().fit_transform(X)
+        assert out.shape == (4, 3)
+        assert np.array_equal(out.sum(axis=1), np.ones(4))
+        assert out[3].tolist() == [0.0, 1.0, 0.0]
+
+    def test_multi_column(self):
+        X = np.array([[0.0, 5.0], [1.0, 6.0]])
+        out = OneHotEncoder().fit_transform(X)
+        assert out.shape == (2, 4)
+
+    def test_unknown_raises(self):
+        enc = OneHotEncoder().fit(np.array([[0.0], [1.0]]))
+        with pytest.raises(ValidationError, match="unknown categories"):
+            enc.transform(np.array([[2.0]]))
+
+    def test_unknown_ignored(self):
+        enc = OneHotEncoder(handle_unknown="ignore").fit(np.array([[0.0], [1.0]]))
+        out = enc.transform(np.array([[2.0]]))
+        assert out.tolist() == [[0.0, 0.0]]
+
+    def test_invalid_handle_unknown(self):
+        with pytest.raises(ValueError):
+            OneHotEncoder(handle_unknown="boom")
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        enc = LabelEncoder()
+        codes = enc.fit_transform(["b", "a", "c", "a"])
+        assert codes.tolist() == [1, 0, 2, 0]
+        assert enc.inverse_transform(codes) == ["b", "a", "c", "a"]
+
+    def test_unknown_label(self):
+        enc = LabelEncoder().fit(["x", "y"])
+        with pytest.raises(ValidationError):
+            enc.transform(["z"])
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = rng.integers(0, 2, size=100)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.25, random_state=0)
+        assert Xte.shape[0] == 25
+        assert Xtr.shape[0] == 75
+        assert ytr.shape[0] == 75 and yte.shape[0] == 25
+
+    def test_disjoint_and_complete(self, rng):
+        X = np.arange(60, dtype=float).reshape(-1, 1)
+        y = rng.integers(0, 2, size=60)
+        Xtr, Xte, _, _ = train_test_split(X, y, test_size=0.3, random_state=1)
+        combined = np.sort(np.concatenate([Xtr, Xte]).ravel())
+        assert np.array_equal(combined, X.ravel())
+
+    def test_stratified_keeps_balance(self, rng):
+        y = np.array([0] * 80 + [1] * 20)
+        X = rng.normal(size=(100, 2))
+        _, _, _, yte = train_test_split(
+            X, y, test_size=0.25, random_state=0, stratify=True
+        )
+        assert abs(yte.mean() - 0.2) < 0.05
+
+    def test_reproducible(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = rng.integers(0, 2, size=50)
+        a = train_test_split(X, y, random_state=3)[0]
+        b = train_test_split(X, y, random_state=3)[0]
+        assert np.array_equal(a, b)
+
+    def test_bad_test_size(self, rng):
+        X = rng.normal(size=(10, 1))
+        y = rng.integers(0, 2, size=10)
+        with pytest.raises(ValidationError):
+            train_test_split(X, y, test_size=1.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            train_test_split(np.zeros((5, 1)), np.zeros(4))

@@ -1,0 +1,85 @@
+"""Tests for cross-validation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml import (
+    DecisionTreeClassifier,
+    KFold,
+    StratifiedKFold,
+    cross_val_score,
+    f1_score,
+)
+
+
+class TestKFold:
+    def test_folds_partition_indices(self, rng):
+        X = rng.normal(size=(53, 2))
+        splits = list(KFold(n_splits=5, random_state=0).split(X))
+        assert len(splits) == 5
+        all_test = np.concatenate([test for _, test in splits])
+        assert sorted(all_test.tolist()) == list(range(53))
+
+    def test_train_test_disjoint(self, rng):
+        X = rng.normal(size=(30, 2))
+        for train, test in KFold(n_splits=3, random_state=0).split(X):
+            assert not np.intersect1d(train, test).size
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValidationError):
+            list(KFold(n_splits=5).split(np.zeros((3, 1))))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValidationError):
+            KFold(n_splits=1)
+
+    def test_no_shuffle_is_contiguous(self):
+        X = np.zeros((10, 1))
+        folds = [test for _, test in KFold(n_splits=2, shuffle=False).split(X)]
+        assert folds[0].tolist() == [0, 1, 2, 3, 4]
+
+
+class TestStratifiedKFold:
+    def test_balance_preserved(self, rng):
+        y = np.array([0] * 90 + [1] * 10)
+        X = rng.normal(size=(100, 2))
+        for _, test in StratifiedKFold(n_splits=5, random_state=0).split(X, y):
+            rate = y[test].mean()
+            assert 0.0 <= rate <= 0.25  # close to the global 0.10
+
+    def test_partition_complete(self, rng):
+        y = rng.integers(0, 2, size=41)
+        X = rng.normal(size=(41, 2))
+        tests = np.concatenate(
+            [t for _, t in StratifiedKFold(n_splits=4, random_state=1).split(X, y)]
+        )
+        assert sorted(tests.tolist()) == list(range(41))
+
+
+class TestCrossValScore:
+    def test_returns_cv_scores(self, small_xy):
+        X, y = small_xy
+        scores = cross_val_score(
+            DecisionTreeClassifier(max_depth=4), X, y, cv=4, random_state=0
+        )
+        assert scores.shape == (4,)
+        assert scores.mean() > 0.85
+
+    def test_custom_scorer(self, small_xy):
+        X, y = small_xy
+        scores = cross_val_score(
+            DecisionTreeClassifier(max_depth=4),
+            X,
+            y,
+            cv=3,
+            scorer=f1_score,
+            random_state=0,
+        )
+        assert ((scores >= 0) & (scores <= 1)).all()
+
+    def test_estimator_not_mutated(self, small_xy):
+        X, y = small_xy
+        est = DecisionTreeClassifier(max_depth=3)
+        cross_val_score(est, X, y, cv=3, random_state=0)
+        assert est.root_ is None  # clones were fitted, not the original

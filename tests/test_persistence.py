@@ -1,0 +1,90 @@
+"""Tests for system persistence and the admin CLI flow."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdminConfig, JustInTime, load_system, save_system
+from repro.data import john_profile, make_lending_dataset
+from repro.exceptions import StorageError
+from repro.temporal import lending_update_function
+
+
+@pytest.fixture(scope="module")
+def trained(schema):
+    system = JustInTime(
+        schema,
+        lending_update_function(schema),
+        AdminConfig(T=2, strategy="last", k=4, max_iter=8, random_state=0),
+    )
+    system.fit(make_lending_dataset(n_per_year=100, random_state=5))
+    return system
+
+
+class TestSaveLoad:
+    def test_roundtrip_scores_identical(self, trained, tmp_path, john):
+        path = tmp_path / "system.pkl"
+        save_system(trained, path)
+        loaded = load_system(path)
+        for t in range(3):
+            assert loaded.future_models.score(john, t) == pytest.approx(
+                trained.future_models.score(john, t)
+            )
+        assert np.allclose(loaded.diff_scale, trained.diff_scale)
+        assert loaded.time_values == trained.time_values
+
+    def test_loaded_system_serves_sessions(self, trained, tmp_path):
+        path = tmp_path / "system.pkl"
+        save_system(trained, path)
+        loaded = load_system(path)
+        session = loaded.create_session(
+            "u", john_profile(), user_constraints=["gap <= 3"]
+        )
+        insights = session.all_insights(alpha=0.6, feature="monthly_debt")
+        assert len(insights) == 6
+
+    def test_sessions_match_original(self, trained, tmp_path):
+        path = tmp_path / "system.pkl"
+        save_system(trained, path)
+        loaded = load_system(path)
+        a = trained.create_session("u", john_profile())
+        b = loaded.create_session("u", john_profile())
+        key = lambda c: (c.time, tuple(np.round(c.x, 9)))
+        assert sorted(map(key, a.candidates)) == sorted(map(key, b.candidates))
+        trained.store.clear_user("u")
+
+    def test_file_backed_store_attachment(self, trained, tmp_path):
+        pkl = tmp_path / "system.pkl"
+        db = tmp_path / "candidates.db"
+        save_system(trained, pkl)
+        loaded = load_system(pkl, store_path=db)
+        loaded.create_session("u", john_profile())
+        count = loaded.store.candidate_count("u")
+        # reopen from disk: the candidates survived
+        again = load_system(pkl, store_path=db)
+        assert again.store.candidate_count("u") == count
+
+    def test_version_check(self, trained, tmp_path):
+        import pickle
+
+        path = tmp_path / "bad.pkl"
+        with path.open("wb") as handle:
+            pickle.dump({"version": 99}, handle)
+        with pytest.raises(StorageError, match="version"):
+            load_system(path)
+
+
+class TestAdminCli:
+    def test_admin_then_load(self, tmp_path, capsys):
+        from repro.app.cli import main
+
+        pkl = tmp_path / "sys.pkl"
+        code = main(
+            ["--n-per-year", "60", "--horizon", "1", "admin",
+             "--save", str(pkl)]
+        )
+        assert code == 0
+        assert pkl.exists()
+        assert "trained 2 future models" in capsys.readouterr().out
+        code = main(["--load", str(pkl), "quickstart"])
+        assert code == 0
+        assert "Plans and Insights" in capsys.readouterr().out

@@ -1,0 +1,109 @@
+"""Cross-cutting hypothesis property tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import ConstraintsFunction, l0_gap, l2_diff, parse_constraint
+from repro.constraints.ast import EvalContext
+from repro.core import CandidateGenerator
+from repro.data import lending_schema
+from repro.exceptions import ConstraintParseError, ReproError
+from repro.ml import DecisionTreeClassifier
+
+SCHEMA = lending_schema()
+
+profile_strategy = st.builds(
+    lambda age, household, income, debt, seniority, loan: np.array(
+        [age, household, income, debt, seniority, loan], dtype=float
+    ),
+    age=st.integers(18, 100),
+    household=st.integers(0, 2),
+    income=st.floats(0, 1_000_000, allow_nan=False),
+    debt=st.floats(0, 50_000, allow_nan=False),
+    seniority=st.integers(0, 60),
+    loan=st.floats(1_000, 200_000, allow_nan=False),
+)
+
+
+class TestDistanceProperties:
+    @given(profile_strategy, profile_strategy)
+    def test_gap_zero_iff_identical(self, a, b):
+        assert (l0_gap(a, b) == 0) == bool(np.allclose(a, b, atol=1e-9))
+
+    @given(profile_strategy, profile_strategy)
+    def test_diff_nonnegative_and_symmetric(self, a, b):
+        assert l2_diff(a, b) >= 0
+        assert l2_diff(a, b) == pytest.approx(l2_diff(b, a))
+
+    @given(profile_strategy, profile_strategy, profile_strategy)
+    def test_diff_triangle_inequality(self, a, b, c):
+        assert l2_diff(a, c) <= l2_diff(a, b) + l2_diff(b, c) + 1e-6
+
+
+class TestParserTotality:
+    """The parser either returns an AST or raises ConstraintParseError —
+    never anything else."""
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=200)
+    def test_arbitrary_text_never_crashes_unexpectedly(self, text):
+        try:
+            expr = parse_constraint(text)
+        except ConstraintParseError:
+            return
+        # parsed: evaluation over a fully-bound context must be boolean
+        ctx = EvalContext(
+            features={name: 1.0 for name in SCHEMA.names},
+            base={name: 1.0 for name in SCHEMA.names},
+            special={"diff": 0.0, "gap": 0.0, "confidence": 0.5, "time": 0.0},
+        )
+        try:
+            result = expr.evaluate(ctx)
+        except ReproError:
+            return  # unknown identifier / division by zero are legal errors
+        assert isinstance(result, bool)
+
+
+class TestSchemaClipProperties:
+    @given(
+        st.lists(st.floats(-1e9, 1e9, allow_nan=False), min_size=6, max_size=6)
+    )
+    def test_clip_idempotent_and_valid(self, values):
+        x = np.array(values)
+        clipped = SCHEMA.clip(x)
+        assert SCHEMA.validate_vector(clipped)
+        assert np.array_equal(SCHEMA.clip(clipped), clipped)
+
+
+class TestCandidateInvariant:
+    """Definition II.3, property-tested over random profiles and trees."""
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(profile=profile_strategy, seed=st.integers(0, 1_000))
+    def test_all_candidates_flip_decision(self, profile, seed):
+        rng = np.random.default_rng(seed)
+        X = np.vstack([SCHEMA.clip(p) for p in rng.normal(
+            loc=[45, 1, 70_000, 1_500, 8, 18_000],
+            scale=[12, 0.8, 30_000, 900, 6, 11_000],
+            size=(120, 6),
+        )])
+        y = (X[:, 2] - 20 * X[:, 3] - X[:, 5] > 0).astype(int)
+        if len(np.unique(y)) < 2:
+            return
+        tree = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        profile = SCHEMA.clip(profile)
+        gen = CandidateGenerator(
+            tree, 0.5, SCHEMA, k=3, max_iter=5, random_state=seed
+        )
+        constraints = ConstraintsFunction.unconstrained(SCHEMA)
+        for c in gen.generate(profile, time=0):
+            score = tree.decision_score(c.x.reshape(1, -1))[0]
+            assert score > 0.5
+            assert SCHEMA.validate_vector(c.x)
+            assert c.gap == l0_gap(c.x, profile)

@@ -1,0 +1,95 @@
+"""Tests for the admin-facing drift diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.data import DatasetSchema, FeatureSpec, LendingGenerator, LendingPolicy, TemporalDataset
+from repro.exceptions import ForecastError
+from repro.temporal import label_shift_profile, mmd_drift_profile, suggest_delta
+
+
+def synthetic_history(shift_per_year: float, n_years: int = 6, n: int = 100, seed=0):
+    rng = np.random.default_rng(seed)
+    schema = DatasetSchema([FeatureSpec("a"), FeatureSpec("b")])
+    blocks, labels, stamps = [], [], []
+    for year in range(n_years):
+        X = rng.normal(loc=[year * shift_per_year, 0.0], size=(n, 2))
+        blocks.append(X)
+        labels.append((X[:, 1] > 0).astype(int))
+        stamps.append(np.full(n, 2010.0 + year) + rng.uniform(0, 1, n))
+    return TemporalDataset(
+        np.vstack(blocks), np.concatenate(labels), np.concatenate(stamps), schema
+    )
+
+
+class TestMmdProfile:
+    def test_drifting_data_scores_higher_than_static(self):
+        drifting = synthetic_history(shift_per_year=1.0)
+        static = synthetic_history(shift_per_year=0.0)
+        drift_mmd = np.mean([v for _, v in mmd_drift_profile(drifting)])
+        static_mmd = np.mean([v for _, v in mmd_drift_profile(static)])
+        assert drift_mmd > 2 * static_mmd
+
+    def test_profile_length(self):
+        history = synthetic_history(shift_per_year=0.5, n_years=5)
+        profile = mmd_drift_profile(history, delta=1.0)
+        assert len(profile) == 4  # consecutive pairs of 5 windows
+
+    def test_boundaries_increasing(self):
+        history = synthetic_history(shift_per_year=0.5)
+        boundaries = [t for t, _ in mmd_drift_profile(history)]
+        assert boundaries == sorted(boundaries)
+
+    def test_too_few_windows_rejected(self):
+        history = synthetic_history(shift_per_year=0.5, n_years=1)
+        with pytest.raises(ForecastError):
+            mmd_drift_profile(history, delta=5.0)
+
+    def test_min_samples_filter(self):
+        history = synthetic_history(shift_per_year=0.5, n=15)
+        with pytest.raises(ForecastError):
+            mmd_drift_profile(history, min_samples=20)
+
+
+class TestLabelShift:
+    def test_lending_crunch_visible(self):
+        """The 2008-09 credit crunch shows as an approval-rate dip."""
+        gen = LendingGenerator(LendingPolicy(drift_strength=1.0), random_state=0)
+        history = gen.generate(n_per_year=300)
+        profile = dict(label_shift_profile(history, delta=1.0))
+        crunch = min(
+            (rate for year, rate in profile.items() if 2008 <= year <= 2010)
+        )
+        later = max(
+            (rate for year, rate in profile.items() if year >= 2013)
+        )
+        assert crunch < later
+
+    def test_rates_in_unit_interval(self, lending_ds):
+        for _, rate in label_shift_profile(lending_ds):
+            assert 0.0 <= rate <= 1.0
+
+    def test_empty_rejected(self):
+        history = synthetic_history(shift_per_year=0.0, n=5)
+        with pytest.raises(ForecastError):
+            label_shift_profile(history, min_samples=50)
+
+
+class TestSuggestDelta:
+    def test_fast_drift_prefers_fine_delta(self):
+        history = synthetic_history(shift_per_year=1.5, n=150)
+        assert suggest_delta(history, candidates=(1.0, 2.0)) == 1.0
+
+    def test_static_data_falls_back_to_coarse(self):
+        history = synthetic_history(shift_per_year=0.0, n=150)
+        assert suggest_delta(history, candidates=(1.0, 2.0)) == 2.0
+
+    def test_empty_candidates_rejected(self, lending_ds):
+        with pytest.raises(ForecastError):
+            suggest_delta(lending_ds, candidates=())
+
+    def test_deterministic(self):
+        history = synthetic_history(shift_per_year=0.8, n=120)
+        a = suggest_delta(history, random_state=3)
+        b = suggest_delta(history, random_state=3)
+        assert a == b

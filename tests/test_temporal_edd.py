@@ -1,0 +1,102 @@
+"""Tests for the EDD dynamics predictor (Lampert CVPR 2015 reimplementation)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ForecastError
+from repro.temporal import EDDPredictor, RBFKernel, WeightedSample, mmd
+
+
+def drifting_gaussians(n_windows=8, n=120, step=0.5, seed=0):
+    """Sample sets from N(mu_t, I) with mu_t moving right by `step`."""
+    rng = np.random.default_rng(seed)
+    return [
+        rng.normal(loc=[t * step, 0.0], scale=0.6, size=(n, 2))
+        for t in range(n_windows)
+    ]
+
+
+class TestFitValidation:
+    def test_needs_three_windows(self):
+        with pytest.raises(ForecastError, match="at least 3"):
+            EDDPredictor().fit(drifting_gaussians(n_windows=2))
+
+    def test_bad_ridge(self):
+        with pytest.raises(ForecastError):
+            EDDPredictor(ridge=0.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ForecastError, match="not fitted"):
+            EDDPredictor().predict_embedding()
+
+    def test_bad_horizon(self):
+        predictor = EDDPredictor().fit(drifting_gaussians(4))
+        with pytest.raises(ForecastError):
+            predictor.predict_embedding(horizon=0)
+
+
+class TestPredictionQuality:
+    def test_edd_beats_last_embedding_on_drift(self):
+        """The core EDD claim: the predicted next embedding is closer (in
+        MMD) to the true future distribution than simply reusing the last
+        observed embedding."""
+        windows = drifting_gaussians(n_windows=9, n=150, step=0.6, seed=1)
+        history, future = windows[:-1], windows[-1]
+        kernel = RBFKernel(gamma=0.4)
+        predictor = EDDPredictor(kernel, ridge=0.05).fit(history)
+        predicted = predictor.predict_embedding(horizon=1)
+        true_future = WeightedSample.mean_embedding(future)
+        last = WeightedSample.mean_embedding(history[-1])
+        err_edd = mmd(kernel, predicted, true_future)
+        err_last = mmd(kernel, last, true_future)
+        assert err_edd < err_last
+
+    def test_static_distribution_prediction_stays_close(self):
+        """With no drift, the prediction should match the common
+        distribution about as well as the last window does."""
+        rng = np.random.default_rng(3)
+        windows = [rng.normal(size=(150, 2)) for _ in range(8)]
+        kernel = RBFKernel(gamma=0.4)
+        predictor = EDDPredictor(kernel, ridge=0.1).fit(windows[:-1])
+        predicted = predictor.predict_embedding(1)
+        truth = WeightedSample.mean_embedding(windows[-1])
+        assert mmd(kernel, predicted, truth) < 0.25
+
+    def test_multi_horizon_extends_drift(self):
+        """Predicting 2 steps ahead should land further along the drift
+        direction than 1 step ahead."""
+        windows = drifting_gaussians(n_windows=8, n=150, step=0.6, seed=2)
+        kernel = RBFKernel(gamma=0.4)
+        predictor = EDDPredictor(kernel, ridge=0.05).fit(windows)
+        one = predictor.predict_embedding(1)
+        two = predictor.predict_embedding(2)
+        mean_of = lambda emb: (emb.weights @ emb.points) / emb.weights.sum()
+        assert mean_of(two)[0] > mean_of(one)[0]
+
+
+class TestRepresentation:
+    def test_predicted_weights_sum_near_one(self):
+        windows = drifting_gaussians(6, n=80)
+        predictor = EDDPredictor(RBFKernel(gamma=0.4), ridge=0.05).fit(windows)
+        predicted = predictor.predict_embedding(1)
+        assert predicted.weights.sum() == pytest.approx(1.0, abs=0.35)
+
+    def test_compress_merges_duplicates(self):
+        emb = WeightedSample(
+            np.array([[1.0, 2.0], [1.0, 2.0], [3.0, 4.0]]),
+            np.array([0.3, 0.2, 0.5]),
+        )
+        compressed = EDDPredictor._compress(emb)
+        assert compressed.points.shape[0] == 2
+        total = {tuple(p): w for p, w in zip(compressed.points, compressed.weights)}
+        assert total[(1.0, 2.0)] == pytest.approx(0.5)
+        assert total[(3.0, 4.0)] == pytest.approx(0.5)
+
+    def test_historical_pool_stacks_all_windows(self):
+        windows = drifting_gaussians(5, n=50)
+        predictor = EDDPredictor(RBFKernel(gamma=0.4)).fit(windows)
+        assert predictor.historical_pool.shape == (250, 2)
+
+    def test_historical_pool_before_fit(self):
+        with pytest.raises(ForecastError):
+            _ = EDDPredictor().historical_pool

@@ -1,0 +1,129 @@
+"""Tests for kernels, mean embeddings and MMD."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ForecastError
+from repro.temporal import (
+    LinearKernel,
+    PolynomialKernel,
+    RBFKernel,
+    WeightedSample,
+    embedding_inner,
+    median_heuristic_gamma,
+    mmd,
+)
+
+
+class TestKernels:
+    def test_rbf_diagonal_is_one(self, rng):
+        X = rng.normal(size=(10, 3))
+        K = RBFKernel(gamma=0.7)(X, X)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_rbf_symmetric(self, rng):
+        X = rng.normal(size=(8, 2))
+        K = RBFKernel(gamma=1.3)(X, X)
+        assert np.allclose(K, K.T)
+
+    def test_rbf_psd(self, rng):
+        X = rng.normal(size=(15, 4))
+        K = RBFKernel(gamma=0.5)(X, X)
+        eigenvalues = np.linalg.eigvalsh(K)
+        assert eigenvalues.min() > -1e-8
+
+    def test_rbf_in_unit_interval(self, rng):
+        K = RBFKernel(gamma=2.0)(rng.normal(size=(5, 2)), rng.normal(size=(7, 2)))
+        assert ((K > 0) & (K <= 1)).all()
+
+    def test_rbf_gamma_validation(self):
+        with pytest.raises(ForecastError):
+            RBFKernel(gamma=0.0)
+
+    def test_linear_matches_dot(self, rng):
+        X = rng.normal(size=(4, 3))
+        Z = rng.normal(size=(5, 3))
+        assert np.allclose(LinearKernel()(X, Z), X @ Z.T)
+
+    def test_polynomial_known(self):
+        X = np.array([[1.0, 0.0]])
+        Z = np.array([[1.0, 0.0]])
+        assert PolynomialKernel(degree=2, c=1.0)(X, Z)[0, 0] == pytest.approx(4.0)
+
+    def test_polynomial_degree_validation(self):
+        with pytest.raises(ForecastError):
+            PolynomialKernel(degree=0)
+
+
+class TestMedianHeuristic:
+    def test_positive(self, rng):
+        X = rng.normal(size=(50, 3))
+        assert median_heuristic_gamma(X) > 0
+
+    def test_degenerate_all_identical(self):
+        X = np.ones((10, 2))
+        assert median_heuristic_gamma(X) == 1.0
+
+    def test_subsampling_path(self, rng):
+        X = rng.normal(size=(800, 2))
+        gamma = median_heuristic_gamma(X, max_points=100, rng=0)
+        assert gamma > 0
+
+    def test_scale_sensitivity(self, rng):
+        X = rng.normal(size=(60, 2))
+        wide = median_heuristic_gamma(X * 10)
+        narrow = median_heuristic_gamma(X)
+        assert wide < narrow  # wider data -> smaller gamma
+
+
+class TestWeightedSample:
+    def test_mean_embedding_uniform(self, rng):
+        points = rng.normal(size=(6, 2))
+        emb = WeightedSample.mean_embedding(points)
+        assert np.allclose(emb.weights, 1 / 6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ForecastError):
+            WeightedSample.mean_embedding(np.zeros((0, 2)))
+
+    def test_mismatched_weights(self):
+        with pytest.raises(ForecastError):
+            WeightedSample(np.zeros((3, 2)), np.zeros(2))
+
+    def test_witness_is_weighted_kernel_sum(self, rng):
+        kernel = RBFKernel(gamma=0.5)
+        points = rng.normal(size=(4, 2))
+        weights = np.array([0.5, 0.2, 0.2, 0.1])
+        emb = WeightedSample(points, weights)
+        query = rng.normal(size=(3, 2))
+        expected = (weights[None, :] @ kernel(points, query)).ravel()
+        assert np.allclose(emb.witness(kernel, query), expected)
+
+
+class TestMMD:
+    def test_zero_on_identical_sample(self, rng):
+        kernel = RBFKernel(gamma=1.0)
+        X = rng.normal(size=(20, 2))
+        a = WeightedSample.mean_embedding(X)
+        assert mmd(kernel, a, a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_detects_mean_shift(self, rng):
+        kernel = RBFKernel(gamma=0.5)
+        a = WeightedSample.mean_embedding(rng.normal(0, 1, size=(200, 2)))
+        b = WeightedSample.mean_embedding(rng.normal(0, 1, size=(200, 2)))
+        c = WeightedSample.mean_embedding(rng.normal(3, 1, size=(200, 2)))
+        assert mmd(kernel, a, c) > 3 * mmd(kernel, a, b)
+
+    def test_symmetry(self, rng):
+        kernel = RBFKernel(gamma=1.0)
+        a = WeightedSample.mean_embedding(rng.normal(size=(30, 2)))
+        b = WeightedSample.mean_embedding(rng.normal(1, 1, size=(30, 2)))
+        assert mmd(kernel, a, b) == pytest.approx(mmd(kernel, b, a))
+
+    def test_inner_product_symmetric(self, rng):
+        kernel = RBFKernel(gamma=1.0)
+        a = WeightedSample.mean_embedding(rng.normal(size=(10, 2)))
+        b = WeightedSample.mean_embedding(rng.normal(size=(12, 2)))
+        assert embedding_inner(kernel, a, b) == pytest.approx(
+            embedding_inner(kernel, b, a)
+        )

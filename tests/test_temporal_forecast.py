@@ -1,0 +1,183 @@
+"""Tests for forecasting strategies and the ModelsGenerator."""
+
+import numpy as np
+import pytest
+
+from repro.data import LendingGenerator, LendingPolicy
+from repro.exceptions import ForecastError
+from repro.ml import LogisticRegression, RandomForestClassifier, roc_auc_score
+from repro.temporal import (
+    EDDStrategy,
+    FutureModel,
+    FutureModels,
+    ModelsGenerator,
+    OracleStrategy,
+    make_strategy,
+)
+
+
+def small_forest():
+    return RandomForestClassifier(n_estimators=8, max_depth=6, random_state=0)
+
+
+class TestMakeStrategy:
+    def test_known_names(self):
+        for name in ("last", "full", "reweight", "weights", "edd"):
+            assert make_strategy(name) is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(ForecastError):
+            make_strategy("crystal-ball")
+
+    def test_kwargs_forwarded(self):
+        strategy = make_strategy("edd", n_herd=99)
+        assert strategy.n_herd == 99
+
+
+class TestModelsGenerator:
+    @pytest.mark.parametrize("strategy", ["last", "full", "reweight", "weights"])
+    def test_produces_T_plus_one_models(self, lending_ds, strategy):
+        mg = ModelsGenerator(
+            T=3, strategy=strategy, model_factory=small_forest, random_state=0
+        )
+        fm = mg.generate(lending_ds)
+        assert len(fm) == 4
+        assert fm.T == 3
+        assert all(isinstance(m, FutureModel) for m in fm)
+
+    def test_edd_produces_models(self, lending_ds):
+        mg = ModelsGenerator(
+            T=2,
+            strategy=EDDStrategy(n_herd=80),
+            model_factory=small_forest,
+            random_state=0,
+        )
+        fm = mg.generate(lending_ds)
+        assert len(fm) == 3
+
+    def test_time_values_spaced_by_delta(self, lending_ds):
+        mg = ModelsGenerator(T=3, delta=2.0, strategy="last", random_state=0)
+        fm = mg.generate(lending_ds, now=2019.0)
+        times = [m.time_value for m in fm]
+        assert times == [2019.0, 2021.0, 2023.0, 2025.0]
+
+    def test_default_now_is_history_end(self, lending_ds):
+        mg = ModelsGenerator(T=1, strategy="last", random_state=0)
+        fm = mg.generate(lending_ds)
+        assert fm.now == pytest.approx(lending_ds.span[1])
+
+    def test_indexing_and_errors(self, lending_ds):
+        mg = ModelsGenerator(T=2, strategy="last", random_state=0)
+        fm = mg.generate(lending_ds)
+        assert fm[0].t == 0
+        with pytest.raises(ForecastError):
+            fm[5]
+        with pytest.raises(ForecastError):
+            fm[-1]
+
+    def test_score_and_decide(self, lending_ds, john):
+        mg = ModelsGenerator(T=1, strategy="last", random_state=0)
+        fm = mg.generate(lending_ds)
+        score = fm.score(john, 0)
+        assert 0.0 <= score <= 1.0
+        assert fm.decides_positive(john, 0) == (score > fm[0].threshold)
+
+    def test_rate_threshold_calibration(self, lending_ds):
+        mg = ModelsGenerator(
+            T=1,
+            strategy="last",
+            threshold_method="rate",
+            target_rate=0.3,
+            random_state=0,
+        )
+        fm = mg.generate(lending_ds)
+        assert 0.0 < fm[0].threshold < 1.0
+
+    def test_empty_history_rejected(self, lending_ds, schema):
+        mg = ModelsGenerator(T=1, strategy="last")
+        empty = lending_ds.window(1900.0, 1901.0)
+        with pytest.raises(ForecastError):
+            mg.generate(empty)
+
+    def test_config_validation(self):
+        with pytest.raises(ForecastError):
+            ModelsGenerator(T=-1)
+        with pytest.raises(ForecastError):
+            ModelsGenerator(delta=0.0)
+
+
+class TestStrategySemantics:
+    def test_last_reuses_same_model(self, lending_ds):
+        fm = ModelsGenerator(T=3, strategy="last", random_state=0).generate(lending_ds)
+        assert all(m.model is fm[0].model for m in fm)
+
+    def test_weights_models_differ_over_time(self, lending_ds, john):
+        fm = ModelsGenerator(T=4, strategy="weights", random_state=0).generate(
+            lending_ds
+        )
+        scores = [fm.score(john, t) for t in range(5)]
+        assert len(set(np.round(scores, 6))) > 1
+
+    def test_weights_tracks_drifting_linear_policy(self):
+        """On strongly drifting data, extrapolated weights should predict
+        the *future* policy better than the last-window model."""
+        gen = LendingGenerator(LendingPolicy(drift_strength=1.5), random_state=0)
+        history = gen.generate(n_per_year=250, start_year=2007, end_year=2016)
+        # truth at 2019 (2 years past history end)
+        X_future = gen.sample_profiles(800)
+        p = gen.ground_truth_probability(X_future, 2019.0)
+        y_future = (p > 0.5).astype(int)
+        if len(np.unique(y_future)) < 2:
+            pytest.skip("degenerate future labels")
+        fm_weights = ModelsGenerator(T=2, strategy="weights", random_state=0).generate(
+            history
+        )
+        fm_last = ModelsGenerator(T=2, strategy="last", random_state=0).generate(
+            history
+        )
+        auc_weights = roc_auc_score(y_future, fm_weights[2].score(X_future))
+        auc_last = roc_auc_score(y_future, fm_last[2].score(X_future))
+        # extrapolation should not be (much) worse, and usually better
+        assert auc_weights > auc_last - 0.02
+
+    def test_reweight_emphasises_recent(self, lending_ds):
+        fm = ModelsGenerator(
+            T=2, strategy="reweight", model_factory=small_forest, random_state=0
+        ).generate(lending_ds)
+        assert len({id(m.model) for m in fm}) == 3  # distinct models per t
+
+    def test_oracle_strategy(self, lending_ds):
+        gen = LendingGenerator(random_state=0)
+        fm = ModelsGenerator(
+            T=1,
+            strategy=OracleStrategy(gen, n_samples=200),
+            model_factory=small_forest,
+            random_state=0,
+        ).generate(lending_ds)
+        assert len(fm) == 2
+
+    def test_edd_strategy_validation(self):
+        with pytest.raises(ForecastError):
+            EDDStrategy(window=0.0)
+        with pytest.raises(ForecastError):
+            EDDStrategy(n_herd=5)
+
+
+class TestScaledLinearModel:
+    def test_gradient_chain_rule(self, lending_ds, john):
+        fm = ModelsGenerator(T=1, strategy="weights", random_state=0).generate(
+            lending_ds
+        )
+        model = fm[1].model
+        analytic = model.score_gradient(john)
+        eps_vec = np.zeros_like(john)
+        for j in range(john.size):
+            eps = max(abs(john[j]) * 1e-6, 1e-6)
+            plus, minus = john.copy(), john.copy()
+            plus[j] += eps
+            minus[j] -= eps
+            numeric = (
+                model.decision_score(plus.reshape(1, -1))[0]
+                - model.decision_score(minus.reshape(1, -1))[0]
+            ) / (2 * eps)
+            assert analytic[j] == pytest.approx(numeric, rel=1e-2, abs=1e-9)

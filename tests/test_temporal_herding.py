@@ -1,0 +1,78 @@
+"""Tests for kernel herding."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ForecastError
+from repro.temporal import RBFKernel, WeightedSample, herd, mmd
+
+
+class TestHerding:
+    def test_output_shape(self, rng):
+        kernel = RBFKernel(gamma=1.0)
+        pool = rng.normal(size=(100, 2))
+        target = WeightedSample.mean_embedding(pool)
+        out = herd(kernel, target, pool, 20)
+        assert out.shape == (20, 2)
+
+    def test_points_come_from_pool_without_jitter(self, rng):
+        kernel = RBFKernel(gamma=1.0)
+        pool = rng.normal(size=(50, 2))
+        target = WeightedSample.mean_embedding(pool)
+        out = herd(kernel, target, pool, 10)
+        for row in out:
+            assert any(np.allclose(row, p) for p in pool)
+
+    def test_herded_embedding_approximates_target(self, rng):
+        """More herded points -> smaller MMD to the target embedding."""
+        kernel = RBFKernel(gamma=0.5)
+        data = rng.normal(size=(300, 2))
+        target = WeightedSample.mean_embedding(data)
+        errors = []
+        for m in (5, 40, 150):
+            herded = herd(kernel, target, data, m)
+            errors.append(mmd(kernel, WeightedSample.mean_embedding(herded), target))
+        assert errors[2] < errors[0]
+        assert errors[2] < 0.1
+
+    def test_herding_prefers_high_density_region(self, rng):
+        """With a bimodal target weighted toward one mode, herding samples
+        that mode more."""
+        kernel = RBFKernel(gamma=2.0)
+        mode_a = rng.normal(-3, 0.3, size=(50, 1))
+        mode_b = rng.normal(3, 0.3, size=(50, 1))
+        pool = np.vstack([mode_a, mode_b])
+        weights = np.r_[np.full(50, 0.9 / 50), np.full(50, 0.1 / 50)]
+        target = WeightedSample(pool, weights)
+        out = herd(kernel, target, pool, 30)
+        frac_a = np.mean(out < 0)
+        assert frac_a > 0.6
+
+    def test_jitter_changes_points(self, rng):
+        kernel = RBFKernel(gamma=1.0)
+        pool = rng.normal(size=(40, 2))
+        target = WeightedSample.mean_embedding(pool)
+        out = herd(kernel, target, pool, 10, jitter=0.1, rng=np.random.default_rng(0))
+        in_pool = sum(any(np.allclose(row, p) for p in pool) for row in out)
+        assert in_pool < 10
+
+    def test_empty_pool_rejected(self, rng):
+        kernel = RBFKernel(gamma=1.0)
+        target = WeightedSample.mean_embedding(rng.normal(size=(5, 2)))
+        with pytest.raises(ForecastError):
+            herd(kernel, target, np.zeros((0, 2)), 5)
+
+    def test_bad_n_samples(self, rng):
+        kernel = RBFKernel(gamma=1.0)
+        pool = rng.normal(size=(5, 2))
+        target = WeightedSample.mean_embedding(pool)
+        with pytest.raises(ForecastError):
+            herd(kernel, target, pool, 0)
+
+    def test_deterministic_without_jitter(self, rng):
+        kernel = RBFKernel(gamma=1.0)
+        pool = rng.normal(size=(60, 2))
+        target = WeightedSample.mean_embedding(pool)
+        a = herd(kernel, target, pool, 15)
+        b = herd(kernel, target, pool, 15)
+        assert np.array_equal(a, b)

@@ -1,0 +1,74 @@
+"""Tests for threshold calibration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ForecastError
+from repro.ml import LogisticRegression
+from repro.temporal import calibrate_threshold
+
+
+@pytest.fixture()
+def model_and_data(small_xy):
+    X, y = small_xy
+    model = LogisticRegression(max_iter=300).fit(X, y)
+    return model, X, y
+
+
+class TestFixed:
+    def test_returns_value(self, model_and_data):
+        model, X, y = model_and_data
+        assert calibrate_threshold(model, X, method="fixed", fixed_value=0.42) == 0.42
+
+    def test_default_half(self, model_and_data):
+        model, X, _ = model_and_data
+        assert calibrate_threshold(model, X) == 0.5
+
+    def test_out_of_range_rejected(self, model_and_data):
+        model, X, _ = model_and_data
+        with pytest.raises(ForecastError):
+            calibrate_threshold(model, X, method="fixed", fixed_value=1.5)
+
+
+class TestRate:
+    def test_approval_rate_matches_target(self, model_and_data):
+        model, X, _ = model_and_data
+        delta = calibrate_threshold(model, X, method="rate", target_rate=0.3)
+        approved = (model.decision_score(X) > delta).mean()
+        assert abs(approved - 0.3) < 0.05
+
+    def test_rate_required(self, model_and_data):
+        model, X, _ = model_and_data
+        with pytest.raises(ForecastError):
+            calibrate_threshold(model, X, method="rate")
+
+    def test_rate_bounds(self, model_and_data):
+        model, X, _ = model_and_data
+        with pytest.raises(ForecastError):
+            calibrate_threshold(model, X, method="rate", target_rate=1.0)
+
+
+class TestF1:
+    def test_f1_beats_default_on_imbalanced(self, rng):
+        # imbalanced data where the optimal threshold is far from 0.5
+        X = np.r_[rng.normal(-1, 1, size=(450, 1)), rng.normal(1.0, 1, size=(50, 1))]
+        y = np.r_[np.zeros(450, dtype=int), np.ones(50, dtype=int)]
+        model = LogisticRegression(max_iter=500).fit(X, y)
+        delta = calibrate_threshold(model, X, y, method="f1")
+        from repro.ml import f1_score
+
+        f1_cal = f1_score(y, (model.decision_score(X) > delta).astype(int))
+        f1_default = f1_score(y, (model.decision_score(X) > 0.5).astype(int))
+        assert f1_cal >= f1_default
+
+    def test_labels_required(self, model_and_data):
+        model, X, _ = model_and_data
+        with pytest.raises(ForecastError):
+            calibrate_threshold(model, X, method="f1")
+
+
+class TestUnknown:
+    def test_unknown_method(self, model_and_data):
+        model, X, _ = model_and_data
+        with pytest.raises(ForecastError, match="unknown calibration"):
+            calibrate_threshold(model, X, method="magic")

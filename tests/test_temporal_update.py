@@ -1,0 +1,109 @@
+"""Tests for the temporal update function (Definition II.4)."""
+
+import numpy as np
+import pytest
+
+from repro.data import DatasetSchema, FeatureSpec
+from repro.exceptions import SchemaError
+from repro.temporal import TemporalUpdateFunction, lending_update_function, linear_rule
+
+
+class TestLinearRule:
+    def test_example_ii5(self):
+        """f(x, 3)[age] = x[age] + 3Δ — the paper's Example II.5."""
+        rule = linear_rule(1.0)
+        assert rule(29.0, 3, 1.0) == 32.0
+        assert rule(29.0, 3, 2.0) == 35.0
+
+    def test_custom_rate(self):
+        rule = linear_rule(0.5)
+        assert rule(10.0, 4, 1.0) == 12.0
+
+
+class TestApply:
+    def test_identity_for_non_temporal(self, schema, john):
+        tuf = lending_update_function(schema)
+        future = tuf.apply(john, 3)
+        for name in ("household", "annual_income", "monthly_debt", "loan_amount"):
+            idx = schema.index_of(name)
+            assert future[idx] == john[idx]
+
+    def test_temporal_features_advance(self, schema, john):
+        tuf = lending_update_function(schema)
+        future = tuf.apply(john, 3)
+        assert future[schema.index_of("age")] == john[schema.index_of("age")] + 3
+        assert (
+            future[schema.index_of("seniority")]
+            == john[schema.index_of("seniority")] + 3
+        )
+
+    def test_t_zero_is_identity(self, schema, john):
+        tuf = lending_update_function(schema)
+        assert np.array_equal(tuf.apply(john, 0), john)
+
+    def test_delta_scales_drift(self, schema, john):
+        tuf = lending_update_function(schema, delta=2.0)
+        future = tuf.apply(john, 2)
+        assert future[schema.index_of("age")] == john[schema.index_of("age")] + 4
+
+    def test_clipped_to_schema_bounds(self, schema):
+        tuf = lending_update_function(schema)
+        old = schema.vector(
+            {
+                "age": 99,
+                "household": 0,
+                "annual_income": 50_000,
+                "monthly_debt": 500,
+                "seniority": 60,
+                "loan_amount": 10_000,
+            }
+        )
+        future = tuf.apply(old, 5)
+        assert future[schema.index_of("age")] == 100  # capped
+        assert future[schema.index_of("seniority")] == 60  # capped
+
+    def test_negative_t_rejected(self, schema, john):
+        with pytest.raises(SchemaError):
+            lending_update_function(schema).apply(john, -1)
+
+    def test_wrong_size_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            lending_update_function(schema).apply(np.zeros(3), 1)
+
+
+class TestTrajectory:
+    def test_shape_and_first_row(self, schema, john):
+        tuf = lending_update_function(schema)
+        traj = tuf.trajectory(john, 5)
+        assert traj.shape == (6, len(schema))
+        assert np.array_equal(traj[0], john)
+
+    def test_rows_match_apply(self, schema, john):
+        tuf = lending_update_function(schema)
+        traj = tuf.trajectory(john, 4)
+        for t in range(5):
+            assert np.array_equal(traj[t], tuf.apply(john, t))
+
+    def test_negative_T(self, schema, john):
+        with pytest.raises(SchemaError):
+            lending_update_function(schema).trajectory(john, -1)
+
+
+class TestConstruction:
+    def test_unknown_feature_rule(self, schema):
+        with pytest.raises(SchemaError):
+            TemporalUpdateFunction(schema, rules={"bogus": linear_rule()})
+
+    def test_bad_delta(self, schema):
+        with pytest.raises(SchemaError):
+            TemporalUpdateFunction(schema, delta=0.0)
+
+    def test_custom_callable_rule(self):
+        schema = DatasetSchema([FeatureSpec("balance")])
+        # compound growth rule
+        tuf = TemporalUpdateFunction(
+            schema,
+            rules={"balance": lambda v, t, d: v * (1.05 ** (t * d))},
+        )
+        out = tuf.apply(np.array([100.0]), 2)
+        assert out[0] == pytest.approx(110.25)
