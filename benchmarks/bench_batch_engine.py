@@ -1,0 +1,150 @@
+"""Throughput benchmark: vectorized batch engine vs the scalar path.
+
+Measures the two workloads the multi-layer refactor targets:
+
+* **single-user** — one ``create_session`` (T+1 candidates generators);
+* **multi-user** — 50 users through ``create_sessions`` (one shared
+  executor, one bulk DB transaction) against the scalar per-user loop.
+
+Both engines are run on identical inputs and the candidate sets are
+asserted identical before any timing is reported, so the speedup is for
+bit-equal results.
+
+Run as a script (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_batch_engine.py [--quick]
+
+``--quick`` shrinks the dataset and user count for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.constraints import lending_domain_constraints
+from repro.core import AdminConfig, JustInTime
+from repro.data import john_profile, lending_schema, make_lending_dataset
+from repro.temporal import lending_update_function
+
+
+def build_system(schema, history, engine: str, n_jobs: int = 1) -> JustInTime:
+    system = JustInTime(
+        schema,
+        lending_update_function(schema),
+        AdminConfig(
+            T=3,
+            strategy="last",
+            k=6,
+            max_iter=10,
+            random_state=0,
+            n_jobs=n_jobs,
+            engine=engine,
+        ),
+        domain_constraints=lending_domain_constraints(schema),
+    )
+    return system.fit(history)
+
+
+def make_users(schema, n_users: int):
+    rng = np.random.default_rng(7)
+    base = schema.vector(john_profile())
+    return [
+        (
+            f"user-{i:03d}",
+            schema.clip(base * rng.uniform(0.75, 1.25, size=base.size)),
+        )
+        for i in range(n_users)
+    ]
+
+
+def assert_equivalent(sessions_a, sessions_b) -> None:
+    assert len(sessions_a) == len(sessions_b)
+    for sa, sb in zip(sessions_a, sessions_b):
+        assert sa.user_id == sb.user_id
+        assert len(sa.candidates) == len(sb.candidates), sa.user_id
+        for ca, cb in zip(sa.candidates, sb.candidates):
+            assert ca.time == cb.time
+            assert np.array_equal(ca.x, cb.x)
+            assert ca.metrics == cb.metrics
+
+
+def bench_single_user(schema, history) -> None:
+    user_id, profile = make_users(schema, 1)[0]
+    results = {}
+    timings = {}
+    for engine in ("scalar", "batch"):
+        system = build_system(schema, history, engine)
+        system.create_session(user_id, profile)  # warm-up (thresholds cache)
+        start = time.perf_counter()
+        results[engine] = [system.create_session(user_id, profile)]
+        timings[engine] = time.perf_counter() - start
+    assert_equivalent(results["scalar"], results["batch"])
+    speedup = timings["scalar"] / timings["batch"]
+    print(
+        f"single-user   scalar {timings['scalar'] * 1e3:8.1f} ms"
+        f"   batch {timings['batch'] * 1e3:8.1f} ms   speedup {speedup:5.2f}x"
+    )
+
+
+def bench_multi_user(schema, history, n_users: int) -> float:
+    users = make_users(schema, n_users)
+
+    scalar_system = build_system(schema, history, "scalar")
+    scalar_system.create_session(*users[0])  # warm-up
+    start = time.perf_counter()
+    scalar_sessions = [
+        scalar_system.create_session(uid, profile) for uid, profile in users
+    ]
+    scalar_elapsed = time.perf_counter() - start
+
+    batch_system = build_system(schema, history, "batch")
+    batch_system.create_session(*users[0])  # warm-up
+    start = time.perf_counter()
+    batch_sessions = batch_system.create_sessions(users)
+    batch_elapsed = time.perf_counter() - start
+
+    assert_equivalent(scalar_sessions, batch_sessions)
+    speedup = scalar_elapsed / batch_elapsed
+    per_user = batch_elapsed / n_users * 1e3
+    print(
+        f"{n_users:3d}-user      scalar {scalar_elapsed * 1e3:8.1f} ms"
+        f"   batch {batch_elapsed * 1e3:8.1f} ms   speedup {speedup:5.2f}x"
+        f"   ({per_user:.1f} ms/user batched)"
+    )
+    return speedup
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small dataset and user count (CI smoke run)",
+    )
+    parser.add_argument(
+        "--users", type=int, default=None, help="multi-user workload size"
+    )
+    args = parser.parse_args()
+
+    n_users = args.users or (8 if args.quick else 50)
+    n_per_year = 80 if args.quick else 150
+
+    schema = lending_schema()
+    history = make_lending_dataset(n_per_year=n_per_year, random_state=1)
+    print(
+        f"batch-engine benchmark (users={n_users}, n_per_year={n_per_year})"
+        " — candidate sets verified identical before timing"
+    )
+    bench_single_user(schema, history)
+    speedup = bench_multi_user(schema, history, n_users)
+    if speedup < 3.0:
+        print(f"WARNING: multi-user speedup {speedup:.2f}x is below the 3x target")
+    else:
+        print(f"multi-user speedup target met: {speedup:.2f}x >= 3x")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,12 @@ which the canned queries and the builders need.
 Expressions evaluate against an :class:`EvalContext` to a bool (boolean
 nodes) or float (arithmetic nodes).  Linearity is enforced structurally:
 multiplication and division require a constant operand.
+
+For the batched hot path the same AST also evaluates against a
+:class:`BatchEvalContext`, where feature and special bindings are arrays
+over ``n`` candidate rows: ``value_batch`` / ``evaluate_batch`` mirror
+``value`` / ``evaluate`` with NumPy elementwise semantics, so one walk of
+the tree replaces ``n`` scalar walks.
 """
 
 from __future__ import annotations
@@ -18,10 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 from repro.exceptions import ConstraintError
 
 __all__ = [
     "EvalContext",
+    "BatchEvalContext",
     "Expr",
     "BoolExpr",
     "ArithExpr",
@@ -50,6 +59,17 @@ _COMPARISON_OPS = {
     ">=": lambda a, b: a >= b,
     "==": lambda a, b: abs(a - b) <= 1e-9,
     "!=": lambda a, b: abs(a - b) > 1e-9,
+}
+
+# NumPy twins of _COMPARISON_OPS (elementwise over candidate rows); the
+# equality tolerance matches the scalar definitions above exactly.
+_BATCH_COMPARISON_OPS = {
+    "<": lambda a, b: np.less(a, b),
+    "<=": lambda a, b: np.less_equal(a, b),
+    ">": lambda a, b: np.greater(a, b),
+    ">=": lambda a, b: np.greater_equal(a, b),
+    "==": lambda a, b: np.abs(a - b) <= 1e-9,
+    "!=": lambda a, b: np.abs(a - b) > 1e-9,
 }
 
 _ARITH_OPS = {
@@ -88,6 +108,42 @@ class EvalContext:
         )
 
 
+@dataclass(frozen=True)
+class BatchEvalContext:
+    """Array-valued bindings: one evaluation over ``n`` candidate rows.
+
+    ``features`` and the per-row entries of ``special`` (diff, gap,
+    confidence) bind ``(n,)`` arrays; ``base`` and ``time`` are scalars
+    shared by every row and broadcast by NumPy.
+    """
+
+    features: dict[str, np.ndarray]
+    base: dict[str, float]
+    special: dict[str, "np.ndarray | float"]
+    n: int
+
+    def resolve(self, name: str) -> "np.ndarray | float":
+        if name in self.features:
+            return self.features[name]
+        if name.startswith(BASE_PREFIX):
+            stripped = name[len(BASE_PREFIX):]
+            if stripped in self.base:
+                return self.base[stripped]
+        if name in self.special:
+            return self.special[name]
+        raise ConstraintError(
+            f"unknown identifier {name!r}; known features:"
+            f" {sorted(self.features)}, specials: {sorted(self.special)}"
+        )
+
+    def broadcast(self, result) -> np.ndarray:
+        """Expand a (possibly scalar) boolean result to an ``(n,)`` mask."""
+        mask = np.asarray(result, dtype=bool)
+        if mask.ndim == 0:
+            return np.full(self.n, bool(mask))
+        return mask
+
+
 class Expr:
     """Base class for all AST nodes."""
 
@@ -110,6 +166,10 @@ class ArithExpr(Expr):
     def value(self, ctx: EvalContext) -> float:
         raise NotImplementedError
 
+    def value_batch(self, ctx: BatchEvalContext) -> "np.ndarray | float":
+        """Vectorized :meth:`value`: scalar or ``(n,)`` array."""
+        raise NotImplementedError
+
     def is_constant(self) -> bool:
         return all(not isinstance(n, Var) for n in self.walk())
 
@@ -120,6 +180,10 @@ class BoolExpr(Expr):
     def evaluate(self, ctx: EvalContext) -> bool:
         raise NotImplementedError
 
+    def evaluate_batch(self, ctx: BatchEvalContext) -> "np.ndarray | bool":
+        """Vectorized :meth:`evaluate`: scalar bool or ``(n,)`` mask."""
+        raise NotImplementedError
+
 
 @dataclass(frozen=True)
 class Num(ArithExpr):
@@ -128,6 +192,9 @@ class Num(ArithExpr):
     number: float
 
     def value(self, ctx: EvalContext) -> float:
+        return self.number
+
+    def value_batch(self, ctx: BatchEvalContext) -> float:
         return self.number
 
     def __str__(self) -> str:
@@ -141,6 +208,9 @@ class Var(ArithExpr):
     name: str
 
     def value(self, ctx: EvalContext) -> float:
+        return ctx.resolve(self.name)
+
+    def value_batch(self, ctx: BatchEvalContext) -> "np.ndarray | float":
         return ctx.resolve(self.name)
 
     def __str__(self) -> str:
@@ -176,6 +246,15 @@ class BinOp(ArithExpr):
             raise ConstraintError(f"division by zero in {self}")
         return _ARITH_OPS[self.op](left, right)
 
+    def value_batch(self, ctx: BatchEvalContext) -> "np.ndarray | float":
+        left = self.left.value_batch(ctx)
+        right = self.right.value_batch(ctx)
+        # '/' structurally requires a constant divisor, so `right` is a
+        # scalar here and the zero check mirrors the scalar path
+        if self.op == "/" and np.any(np.asarray(right) == 0):
+            raise ConstraintError(f"division by zero in {self}")
+        return _ARITH_OPS[self.op](left, right)
+
     def _children(self) -> tuple[Expr, ...]:
         return (self.left, self.right)
 
@@ -198,6 +277,11 @@ class Comparison(BoolExpr):
     def evaluate(self, ctx: EvalContext) -> bool:
         return _COMPARISON_OPS[self.op](self.left.value(ctx), self.right.value(ctx))
 
+    def evaluate_batch(self, ctx: BatchEvalContext) -> "np.ndarray | bool":
+        return _BATCH_COMPARISON_OPS[self.op](
+            self.left.value_batch(ctx), self.right.value_batch(ctx)
+        )
+
     def _children(self) -> tuple[Expr, ...]:
         return (self.left, self.right)
 
@@ -217,6 +301,17 @@ class And(BoolExpr):
 
     def evaluate(self, ctx: EvalContext) -> bool:
         return all(op.evaluate(ctx) for op in self.operands)
+
+    def evaluate_batch(self, ctx: BatchEvalContext) -> "np.ndarray | bool":
+        result = self.operands[0].evaluate_batch(ctx)
+        for op in self.operands[1:]:
+            # short-circuit like scalar all(): once every row is False,
+            # later operands must not be evaluated (they may e.g. divide
+            # by a constant zero that the scalar path never reaches)
+            if not np.any(result):
+                break
+            result = np.logical_and(result, op.evaluate_batch(ctx))
+        return result
 
     def _children(self) -> tuple[Expr, ...]:
         return self.operands
@@ -238,6 +333,16 @@ class Or(BoolExpr):
     def evaluate(self, ctx: EvalContext) -> bool:
         return any(op.evaluate(ctx) for op in self.operands)
 
+    def evaluate_batch(self, ctx: BatchEvalContext) -> "np.ndarray | bool":
+        result = self.operands[0].evaluate_batch(ctx)
+        for op in self.operands[1:]:
+            # short-circuit like scalar any(): once every row is True,
+            # later operands must not be evaluated
+            if np.all(result):
+                break
+            result = np.logical_or(result, op.evaluate_batch(ctx))
+        return result
+
     def _children(self) -> tuple[Expr, ...]:
         return self.operands
 
@@ -254,6 +359,9 @@ class Not(BoolExpr):
     def evaluate(self, ctx: EvalContext) -> bool:
         return not self.operand.evaluate(ctx)
 
+    def evaluate_batch(self, ctx: BatchEvalContext) -> "np.ndarray | bool":
+        return np.logical_not(self.operand.evaluate_batch(ctx))
+
     def _children(self) -> tuple[Expr, ...]:
         return (self.operand,)
 
@@ -266,6 +374,9 @@ class TrueExpr(BoolExpr):
     """Always-true constraint (the identity element for conjunction)."""
 
     def evaluate(self, ctx: EvalContext) -> bool:
+        return True
+
+    def evaluate_batch(self, ctx: BatchEvalContext) -> bool:
         return True
 
     def __str__(self) -> str:

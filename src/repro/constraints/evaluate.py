@@ -22,12 +22,24 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.constraints.ast import BoolExpr, EvalContext, TrueExpr
+from repro.constraints.ast import (
+    BatchEvalContext,
+    BoolExpr,
+    EvalContext,
+    TrueExpr,
+)
 from repro.constraints.parser import parse_constraint
 from repro.data.schema import DatasetSchema
 from repro.exceptions import ConstraintError
 
-__all__ = ["l2_diff", "l0_gap", "ScopedConstraint", "ConstraintsFunction"]
+__all__ = [
+    "l2_diff",
+    "l2_diff_batch",
+    "l0_gap",
+    "l0_gap_batch",
+    "ScopedConstraint",
+    "ConstraintsFunction",
+]
 
 _GAP_TOLERANCE = 1e-9
 
@@ -53,7 +65,44 @@ def l2_diff(x_prime, x, scale=None) -> float:
         if (scale <= 0).any():
             raise ConstraintError("scale entries must be positive")
         delta = delta / scale
-    return float(np.linalg.norm(delta))
+    # sqrt(sum(d*d)) rather than np.linalg.norm: the BLAS dot behind norm
+    # differs from NumPy's pairwise sum in the last ulp, and the batched
+    # path (l2_diff_batch) must agree with this bit-for-bit
+    return float(np.sqrt(np.sum(delta * delta)))
+
+
+def l2_diff_batch(X_prime, x, scale=None) -> np.ndarray:
+    """Row-wise :func:`l2_diff` of an ``(n, d)`` candidate matrix.
+
+    Bit-identical to calling :func:`l2_diff` on each row (same pairwise
+    summation order).
+    """
+    X_prime = np.atleast_2d(np.asarray(X_prime, dtype=float))
+    x = np.asarray(x, dtype=float).ravel()
+    if X_prime.shape[1] != x.shape[0]:
+        raise ConstraintError(
+            f"shape mismatch in diff: {X_prime.shape} vs {x.shape}"
+        )
+    delta = X_prime - x
+    if scale is not None:
+        scale = np.asarray(scale, dtype=float).ravel()
+        if scale.shape != x.shape:
+            raise ConstraintError("scale shape mismatch")
+        if (scale <= 0).any():
+            raise ConstraintError("scale entries must be positive")
+        delta = delta / scale
+    return np.sqrt(np.sum(delta * delta, axis=1))
+
+
+def l0_gap_batch(X_prime, x) -> np.ndarray:
+    """Row-wise :func:`l0_gap` of an ``(n, d)`` candidate matrix."""
+    X_prime = np.atleast_2d(np.asarray(X_prime, dtype=float))
+    x = np.asarray(x, dtype=float).ravel()
+    if X_prime.shape[1] != x.shape[0]:
+        raise ConstraintError(
+            f"shape mismatch in gap: {X_prime.shape} vs {x.shape}"
+        )
+    return np.sum(np.abs(X_prime - x) > _GAP_TOLERANCE, axis=1)
 
 
 def l0_gap(x_prime, x) -> int:
@@ -224,6 +273,99 @@ class ConstraintsFunction:
                 "time": float(time),
             },
         )
+
+    def batch_context(
+        self,
+        X_prime,
+        x_base,
+        *,
+        confidence,
+        time: int,
+        diff=None,
+        gap=None,
+    ) -> BatchEvalContext:
+        """Build one evaluation context for an ``(n, d)`` candidate matrix.
+
+        ``confidence`` is the ``(n,)`` vector of model scores.  Feature
+        bindings are column views of ``X_prime`` — no per-row dicts.
+        Callers that already measured the candidates (the search loop)
+        can pass ``diff``/``gap`` arrays to skip recomputing them.
+        """
+        X_prime = np.atleast_2d(np.asarray(X_prime, dtype=float))
+        x_base = np.asarray(x_base, dtype=float).ravel()
+        n, d = X_prime.shape
+        if d != len(self.schema) or x_base.size != d:
+            raise ConstraintError(
+                f"batch shape {X_prime.shape} does not match schema"
+                f" ({len(self.schema)} features)"
+            )
+        confidence = np.asarray(confidence, dtype=float).ravel()
+        if confidence.size != n:
+            raise ConstraintError(
+                f"confidence has {confidence.size} entries, expected {n}"
+            )
+        names = self.schema.names
+        return BatchEvalContext(
+            features={name: X_prime[:, i] for i, name in enumerate(names)},
+            base={name: float(x_base[i]) for i, name in enumerate(names)},
+            special={
+                "diff": (
+                    l2_diff_batch(X_prime, x_base, self.diff_scale)
+                    if diff is None
+                    else np.asarray(diff, dtype=float).ravel()
+                ),
+                "gap": (
+                    l0_gap_batch(X_prime, x_base).astype(float)
+                    if gap is None
+                    else np.asarray(gap, dtype=float).ravel()
+                ),
+                "confidence": confidence,
+                "time": float(time),
+            },
+            n=n,
+        )
+
+    def is_valid_batch(
+        self,
+        X_prime,
+        x_base,
+        *,
+        confidence,
+        time: int,
+    ) -> np.ndarray:
+        """Vectorized :meth:`is_valid`: ``(n,)`` bool mask over rows."""
+        ctx = self.batch_context(X_prime, x_base, confidence=confidence, time=time)
+        mask = np.ones(ctx.n, dtype=bool)
+        for c in self._constraints:
+            # short-circuit like scalar all(): once every row is invalid,
+            # later constraints must not be evaluated (scalar is_valid
+            # never reaches them, and they may raise on evaluation)
+            if not mask.any():
+                break
+            if c.applies_at(time):
+                mask &= ctx.broadcast(c.expr.evaluate_batch(ctx))
+        return mask
+
+    def violation_counts_batch(
+        self,
+        X_prime,
+        x_base,
+        *,
+        confidence,
+        time: int,
+        diff=None,
+        gap=None,
+    ) -> np.ndarray:
+        """Per-row count of violated constraints (vectorized
+        ``len(self.violated(...))``)."""
+        ctx = self.batch_context(
+            X_prime, x_base, confidence=confidence, time=time, diff=diff, gap=gap
+        )
+        counts = np.zeros(ctx.n, dtype=np.int64)
+        for c in self._constraints:
+            if c.applies_at(time):
+                counts += ~ctx.broadcast(c.expr.evaluate_batch(ctx))
+        return counts
 
     def is_valid(
         self,

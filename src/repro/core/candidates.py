@@ -35,7 +35,13 @@ import numpy as np
 from repro.constraints.evaluate import ConstraintsFunction
 from repro.core.diversity import select_diverse
 from repro.core.moves import MoveProposer, default_proposers
-from repro.core.objectives import CandidateMetrics, Objective, get_objective, measure
+from repro.core.objectives import (
+    CandidateMetrics,
+    Objective,
+    get_objective,
+    measure,
+    measure_batch,
+)
 from repro.data.schema import DatasetSchema
 from repro.exceptions import CandidateSearchError
 from repro.ml.tree import DecisionTreeClassifier
@@ -124,6 +130,17 @@ class CandidateGenerator:
         Move proposers; defaults to capability-matched ones.
     random_state:
         Seeds the random exploration moves.
+    engine:
+        ``'batch'`` (default) evaluates every iteration's proposals as
+        stacked arrays — vectorized constraints, metrics and ranking;
+        ``'scalar'`` is the original row-at-a-time reference path.  Both
+        return bit-identical candidates for the same seed.  Caveat: the
+        batch loop calls each proposer once per iteration (over all beam
+        states) while the scalar loop interleaves proposers per state,
+        so with *custom* proposer lists in which more than one proposer
+        consumes the RNG, the draw order — and hence the random moves —
+        can differ between engines.  The default proposers have exactly
+        one RNG consumer, where both orders coincide.
     """
 
     def __init__(
@@ -141,6 +158,7 @@ class CandidateGenerator:
         diff_scale=None,
         proposers: list[MoveProposer] | None = None,
         random_state: int | None = 0,
+        engine: str = "batch",
     ):
         if k < 1:
             raise CandidateSearchError("k must be >= 1")
@@ -155,6 +173,17 @@ class CandidateGenerator:
         if diff_scale is None and self.constraints.diff_scale is not None:
             diff_scale = self.constraints.diff_scale
         self.diff_scale = diff_scale
+        # metrics diff can be reused for the constraints' 'diff' variable
+        # only when both layers measure in the same scaled space
+        constraint_scale = self.constraints.diff_scale
+        self._shared_diff_scale = (
+            (diff_scale is None and constraint_scale is None)
+            or (
+                diff_scale is not None
+                and constraint_scale is not None
+                and np.array_equal(diff_scale, constraint_scale)
+            )
+        )
         self.k = k
         self.beam_width = beam_width or k
         self.max_iter = max_iter
@@ -162,6 +191,11 @@ class CandidateGenerator:
         self.objective = get_objective(objective)
         self.proposers = proposers if proposers is not None else default_proposers(model)
         self.random_state = random_state
+        if engine not in ("batch", "scalar"):
+            raise CandidateSearchError(
+                f"engine must be 'batch' or 'scalar', got {engine!r}"
+            )
+        self.engine = engine
         self.last_stats_: SearchStats | None = None
 
     # ------------------------------------------------------------ internals
@@ -169,6 +203,17 @@ class CandidateGenerator:
     @staticmethod
     def _state_key(x: np.ndarray) -> tuple:
         return tuple(np.round(x, 9))
+
+    @staticmethod
+    def _row_keys(X: np.ndarray) -> list[bytes]:
+        """Rounded-row dedupe keys for a proposal matrix.
+
+        Equivalent to hashing :meth:`_state_key` tuples: ``+ 0.0``
+        normalises ``-0.0`` to ``+0.0`` so the byte keys collide exactly
+        where tuple equality would.
+        """
+        R = np.round(np.atleast_2d(X), 9) + 0.0
+        return [R[i].tobytes() for i in range(R.shape[0])]
 
     def _beam_key(
         self, metrics: CandidateMetrics, n_violations: int, pool_empty: bool
@@ -190,35 +235,48 @@ class CandidateGenerator:
 
     # -------------------------------------------------------------- search
 
-    def generate(self, x_base, time: int = 0) -> list[Candidate]:
-        """Return up to ``k`` diverse decision-altering candidates.
-
-        ``x_base`` is the temporal input ``f(x, t)`` for this generator's
-        time point; diff/gap are measured against it.
+    def _prologue(self, x_base, time: int, key_fn):
+        """Shared search setup: clip the input, seed the RNG, and pool
+        the unmodified input if it already flips (the paper's Q1, "no
+        modification").  ``key_fn`` is the engine's state-key function.
         """
         x_base = self.schema.clip(np.asarray(x_base, dtype=float).ravel())
         rng = np.random.default_rng(self.random_state)
         stats = SearchStats()
-        pool: dict[tuple, Candidate] = {}
-        visited: set[tuple] = {self._state_key(x_base)}
-        beam: list[np.ndarray] = [x_base]
-
+        pool: dict = {}
+        visited: set = {key_fn(x_base)}
         base_score = float(
             self.model.decision_score(x_base.reshape(1, -1))[0]
         )
         base_metrics = measure(x_base, x_base, base_score, self.diff_scale)
-        # the unmodified input itself may already flip at this time point
-        # (the paper's Q1, "no modification")
         if base_score > self.threshold and self.constraints.is_valid(
             x_base, x_base, confidence=base_score, time=time
         ):
-            pool[self._state_key(x_base)] = Candidate(x_base, time, base_metrics)
+            pool[key_fn(x_base)] = Candidate(x_base, time, base_metrics)
             stats.valid_found += 1
-
         best_key = min(
             (self.objective.key(c.metrics) for c in pool.values()),
             default=np.inf,
         )
+        return x_base, rng, stats, pool, visited, best_key
+
+    def generate(self, x_base, time: int = 0) -> list[Candidate]:
+        """Return up to ``k`` diverse decision-altering candidates.
+
+        ``x_base`` is the temporal input ``f(x, t)`` for this generator's
+        time point; diff/gap are measured against it.  Dispatches to the
+        vectorized batch engine unless ``engine='scalar'`` was requested.
+        """
+        if self.engine == "batch":
+            return self._generate_batch(x_base, time)
+        return self._generate_scalar(x_base, time)
+
+    def _generate_scalar(self, x_base, time: int = 0) -> list[Candidate]:
+        """Row-at-a-time reference implementation (the pre-batch path)."""
+        x_base, rng, stats, pool, visited, best_key = self._prologue(
+            x_base, time, self._state_key
+        )
+        beam: list[np.ndarray] = [x_base]
         stale = 0
         for iteration in range(self.max_iter):
             stats.iterations = iteration + 1
@@ -270,6 +328,120 @@ class CandidateGenerator:
                     break
         self.last_stats_ = stats
         return self._finalise(pool)
+
+    def _generate_batch(self, x_base, time: int = 0) -> list[Candidate]:
+        """Array-native search loop.
+
+        One iteration is: stack all proposals of the beam into an
+        ``(m, d)`` matrix, dedupe by rounded-row byte keys, then compute
+        scores, metrics, constraint-violation counts and beam keys as
+        single array operations.  Every floating-point reduction matches
+        the scalar path's op order, and ranking uses a *stable* top-k, so
+        the returned candidates are bit-identical to
+        :meth:`_generate_scalar` for the same seed.
+        """
+        x_base, rng, stats, pool, visited, best_key = self._prologue(
+            x_base, time, lambda x: self._row_keys(x)[0]
+        )
+        beam: list[np.ndarray] = [x_base]
+        # pool only ever grows, so the best pool key is a running minimum
+        pool_best = best_key
+        stale = 0
+        for iteration in range(self.max_iter):
+            stats.iterations = iteration + 1
+            # per-proposer batches, re-interleaved state-major to match
+            # the scalar loop's proposal order
+            chunks = [
+                proposer.propose_batch(beam, self.model, self.schema, rng)
+                for proposer in self.proposers
+            ]
+            mats = [chunk[s] for s in range(len(beam)) for chunk in chunks]
+            mats = [m for m in mats if m.shape[0]]
+            if not mats:
+                stats.converged = True
+                break
+            proposals = np.vstack(mats)
+            keys = self._row_keys(proposals)
+            fresh_idx = []
+            fresh_keys = []
+            for i, key in enumerate(keys):
+                if key not in visited:
+                    visited.add(key)
+                    fresh_idx.append(i)
+                    fresh_keys.append(key)
+            if not fresh_idx:
+                stats.converged = True
+                break
+            fresh = proposals[fresh_idx]
+            n = fresh.shape[0]
+            stats.proposals_evaluated += n
+            scores = np.asarray(
+                self.model.decision_score(fresh), dtype=float
+            ).ravel()
+            metrics = measure_batch(fresh, x_base, scores, self.diff_scale)
+            violation_counts = self.constraints.violation_counts_batch(
+                fresh,
+                x_base,
+                confidence=scores,
+                time=time,
+                diff=metrics.diff if self._shared_diff_scale else None,
+                gap=metrics.gap,
+            )
+            valid = (violation_counts == 0) & (scores > self.threshold)
+            objective_keys = self.objective.key_batch(metrics)
+            # the scalar loop checks `not pool` after inserting each row,
+            # so the objective down-weighting switches off as soon as any
+            # earlier row (inclusive) entered the pool this iteration
+            if pool:
+                pool_empty = np.zeros(n, dtype=bool)
+            else:
+                pool_empty = np.cumsum(valid) == 0
+            objective_weight = np.where(pool_empty, 0.1, 1.0)
+            beam_keys = (
+                _BOUNDARY_WEIGHT * np.maximum(0.0, self.threshold - scores)
+                + objective_weight * objective_keys
+                + _VIOLATION_PENALTY * violation_counts
+            )
+            for i in np.flatnonzero(valid):
+                pool[fresh_keys[i]] = Candidate(
+                    fresh[i].copy(), time, metrics.row(int(i))
+                )
+                stats.valid_found += 1
+            if valid.any():
+                pool_best = min(pool_best, float(objective_keys[valid].min()))
+            beam = [fresh[i] for i in self._stable_top(beam_keys, self.beam_width)]
+            new_best = pool_best
+            stats.best_key_history.append(new_best)
+            if new_best < best_key - 1e-12:
+                best_key = new_best
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience and pool:
+                    stats.converged = True
+                    break
+        self.last_stats_ = stats
+        return self._finalise(pool)
+
+    @staticmethod
+    def _stable_top(keys: np.ndarray, width: int) -> np.ndarray:
+        """Indices of the ``width`` smallest keys, in stable sorted order.
+
+        One ``argpartition`` plus a tie repair at the cut, equivalent to
+        a full stable sort followed by ``[:width]`` (ties at the boundary
+        resolve to the lowest original indices, like Python's stable
+        ``list.sort`` in the scalar path).
+        """
+        n = keys.size
+        if n <= width:
+            take = np.arange(n)
+        else:
+            part = np.argpartition(keys, width - 1)[:width]
+            cut = keys[part].max()
+            smaller = np.flatnonzero(keys < cut)
+            tied = np.flatnonzero(keys == cut)
+            take = np.concatenate([smaller, tied[: width - smaller.size]])
+        return take[np.argsort(keys[take], kind="stable")]
 
     def _finalise(self, pool: dict[tuple, Candidate]) -> list[Candidate]:
         candidates = list(pool.values())

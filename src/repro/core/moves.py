@@ -18,6 +18,16 @@ single-coordinate modifications of the current search state:
 Moves never touch immutable features and are clipped to schema bounds, so
 every proposal is at least physically plausible before constraint
 checking.
+
+Batched path
+------------
+:meth:`MoveProposer.propose_batch` emits the proposals of *all* beam
+states in one call, returning one ``(m_i, d)`` matrix per state.  The
+default implementation loops over :meth:`propose` (bit-identical,
+including the RNG draw order — only one default proposer consumes the
+RNG, and it draws state-by-state in both paths);
+:class:`ThresholdMoveProposer` overrides it with a fully vectorized
+implementation (searchsorted threshold lookup + one matrix clip).
 """
 
 from __future__ import annotations
@@ -50,6 +60,28 @@ class MoveProposer:
         rng: np.random.Generator,
     ) -> list[np.ndarray]:
         raise NotImplementedError
+
+    def propose_batch(
+        self,
+        states: list[np.ndarray],
+        model,
+        schema: DatasetSchema,
+        rng: np.random.Generator,
+    ) -> list[np.ndarray]:
+        """Proposals for every state: one ``(m_i, d)`` matrix per state.
+
+        The default delegates to :meth:`propose` state-by-state, which
+        preserves the exact RNG draw order of the scalar search loop.
+        """
+        d = len(schema)
+        out = []
+        for state in states:
+            proposals = self.propose(state, model, schema, rng)
+            if proposals:
+                out.append(np.asarray(proposals, dtype=float).reshape(-1, d))
+            else:
+                out.append(np.empty((0, d)))
+        return out
 
 
 def _feature_margin(value: float) -> float:
@@ -104,8 +136,40 @@ class ThresholdMoveProposer(MoveProposer):
                     " use GradientMoveProposer or RandomMoveProposer"
                 )
             self._cache_model = model
-            self._cache_thresholds = model.split_thresholds()
+            # sort defensively: both the nearest-k slicing and the batch
+            # searchsorted lookup require ascending thresholds, which a
+            # duck-typed model may not guarantee
+            self._cache_thresholds = {
+                feature: np.sort(values)
+                for feature, values in model.split_thresholds().items()
+            }
         return self._cache_thresholds
+
+    def _targets_for(self, value: float, feature_thresholds: np.ndarray) -> np.ndarray:
+        """Candidate values for one feature: nearest and quantile-spread
+        thresholds on both sides of ``value``, margin-shifted past the
+        split.  Shared by the scalar and batch paths so their proposals
+        cannot drift apart.  ``feature_thresholds`` is sorted, so the
+        strict >/< splits are two binary searches.
+        """
+        margin = _feature_margin(value)
+        first_above = np.searchsorted(
+            feature_thresholds, value + 1e-12, side="right"
+        )
+        first_at_or_above = np.searchsorted(
+            feature_thresholds, value - 1e-12, side="left"
+        )
+        above = feature_thresholds[first_above:]
+        below = feature_thresholds[:first_at_or_above]
+        return np.concatenate(
+            [
+                above[: self.n_nearest] + margin,
+                below[-self.n_nearest:] - margin,
+                _quantile_spread(above[self.n_nearest:], self.n_far) + margin,
+                _quantile_spread(below[: -self.n_nearest or None], self.n_far)
+                - margin,
+            ]
+        )
 
     def propose(self, x_current, model, schema, rng) -> list[np.ndarray]:
         thresholds = self._thresholds(model)
@@ -115,18 +179,7 @@ class ThresholdMoveProposer(MoveProposer):
             if feature_thresholds is None or feature_thresholds.size == 0:
                 continue
             value = x_current[idx]
-            margin = _feature_margin(value)
-            above = feature_thresholds[feature_thresholds > value + 1e-12]
-            below = feature_thresholds[feature_thresholds < value - 1e-12]
-            targets = np.concatenate(
-                [
-                    above[: self.n_nearest] + margin,
-                    below[-self.n_nearest:] - margin,
-                    _quantile_spread(above[self.n_nearest:], self.n_far) + margin,
-                    _quantile_spread(below[: -self.n_nearest or None], self.n_far)
-                    - margin,
-                ]
-            )
+            targets = self._targets_for(value, feature_thresholds)
             for target in targets:
                 candidate = x_current.copy()
                 candidate[idx] = target
@@ -139,6 +192,56 @@ class ThresholdMoveProposer(MoveProposer):
                         continue
                 proposals.append(candidate)
         return proposals
+
+    def propose_batch(self, states, model, schema, rng) -> list[np.ndarray]:
+        """Vectorized multi-state proposal: identical rows and row order
+        to calling :meth:`propose` per state, but candidate
+        materialization, clipping and the integer-rounding nudge run as
+        matrix operations over all (state, feature, target) rows at once.
+        """
+        thresholds = self._thresholds(model)
+        d = len(schema)
+        if not len(states):
+            return []
+        S = np.atleast_2d(np.asarray(states, dtype=float))
+        mutable = schema.mutable_indices()
+        state_of, col_of, target_chunks = [], [], []
+        for si in range(S.shape[0]):
+            for idx in mutable:
+                feature_thresholds = thresholds.get(int(idx))
+                if feature_thresholds is None or feature_thresholds.size == 0:
+                    continue
+                targets = self._targets_for(S[si, idx], feature_thresholds)
+                if targets.size:
+                    state_of.append(np.full(targets.size, si))
+                    col_of.append(np.full(targets.size, idx))
+                    target_chunks.append(targets)
+        if not target_chunks:
+            return [np.empty((0, d)) for _ in range(S.shape[0])]
+        state_of = np.concatenate(state_of)
+        col_of = np.concatenate(col_of)
+        targets = np.concatenate(target_chunks)
+        m = targets.size
+        rows = np.arange(m)
+        candidates = S[state_of]
+        original = candidates[rows, col_of]
+        candidates[rows, col_of] = targets
+        candidates = schema.clip_matrix(candidates)
+        # integer rounding can undo a crossing; nudge one unit and re-clip
+        undone = candidates[rows, col_of] == original
+        keep = np.ones(m, dtype=bool)
+        if undone.any():
+            which = rows[undone]
+            candidates[which, col_of[undone]] = original[undone] + np.sign(
+                targets[undone] - original[undone]
+            )
+            candidates[which] = schema.clip_matrix(candidates[which])
+            keep[which] = candidates[which, col_of[undone]] != original[undone]
+        candidates = candidates[keep]
+        state_of = state_of[keep]
+        # rows were appended state-major, so one split recovers per-state
+        bounds = np.searchsorted(state_of, np.arange(1, S.shape[0]))
+        return np.split(candidates, bounds)
 
 
 class GradientMoveProposer(MoveProposer):

@@ -13,10 +13,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.constraints.evaluate import l0_gap, l2_diff
+from repro.constraints.evaluate import l0_gap, l0_gap_batch, l2_diff, l2_diff_batch
 from repro.exceptions import CandidateSearchError
 
-__all__ = ["CandidateMetrics", "measure", "Objective", "OBJECTIVE_PRESETS"]
+__all__ = [
+    "CandidateMetrics",
+    "BatchCandidateMetrics",
+    "measure",
+    "measure_batch",
+    "Objective",
+    "OBJECTIVE_PRESETS",
+]
 
 
 @dataclass(frozen=True)
@@ -43,6 +50,40 @@ def measure(x_prime, x_base, confidence: float, diff_scale=None) -> CandidateMet
 
 
 @dataclass(frozen=True)
+class BatchCandidateMetrics:
+    """Metrics of ``n`` candidates as three aligned ``(n,)`` arrays.
+
+    ``row(i)`` recovers the scalar :class:`CandidateMetrics` of one row,
+    bit-identical to calling :func:`measure` on that row alone.
+    """
+
+    diff: np.ndarray
+    gap: np.ndarray
+    confidence: np.ndarray
+
+    def __len__(self) -> int:
+        return self.diff.shape[0]
+
+    def row(self, i: int) -> CandidateMetrics:
+        return CandidateMetrics(
+            diff=float(self.diff[i]),
+            gap=int(self.gap[i]),
+            confidence=float(self.confidence[i]),
+        )
+
+
+def measure_batch(
+    X_prime, x_base, confidence, diff_scale=None
+) -> BatchCandidateMetrics:
+    """Vectorized :func:`measure` over an ``(n, d)`` candidate matrix."""
+    return BatchCandidateMetrics(
+        diff=l2_diff_batch(X_prime, x_base, diff_scale),
+        gap=l0_gap_batch(X_prime, x_base),
+        confidence=np.asarray(confidence, dtype=float).ravel(),
+    )
+
+
+@dataclass(frozen=True)
 class Objective:
     """Weighted scalarisation over (diff, gap, 1 - confidence).
 
@@ -63,6 +104,15 @@ class Objective:
             raise CandidateSearchError("objective needs at least one positive weight")
 
     def key(self, metrics: CandidateMetrics) -> float:
+        return (
+            self.w_diff * metrics.diff
+            + self.w_gap * metrics.gap
+            + self.w_confidence * (1.0 - metrics.confidence)
+        )
+
+    def key_batch(self, metrics: BatchCandidateMetrics) -> np.ndarray:
+        """Elementwise :meth:`key` over batch metrics (same op order, so
+        the floats match the scalar path exactly)."""
         return (
             self.w_diff * metrics.diff
             + self.w_gap * metrics.gap

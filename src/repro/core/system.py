@@ -24,7 +24,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.constraints.domain import schema_domain_constraints
-from repro.constraints.evaluate import ConstraintsFunction, ScopedConstraint
+from repro.constraints.evaluate import ConstraintsFunction
 from repro.core.candidates import Candidate, CandidateGenerator
 from repro.core.insights import Insight, InsightEngine
 from repro.core.objectives import Objective
@@ -61,10 +61,14 @@ class AdminConfig:
     patience: int = 3
     objective: str | Objective = "balanced"
     random_state: int = 0
-    #: candidates generators per time point are independent (§II.B: "they
-    #: can be executed in parallel"); n_jobs > 1 runs them on a thread pool.
-    #: Results are identical to sequential execution (per-t seeds).
+    #: candidates generators per (user, time point) are independent
+    #: (§II.B: "they can be executed in parallel"); n_jobs > 1 runs them
+    #: on one shared thread pool.  Results are identical to sequential
+    #: execution (per-t seeds).
     n_jobs: int = 1
+    #: candidate-search engine: 'batch' (vectorized) or 'scalar'
+    #: (row-at-a-time reference); both produce identical candidates.
+    engine: str = "batch"
     extra: dict = field(default_factory=dict)
 
 
@@ -157,23 +161,43 @@ class JustInTime:
         Existing rows for ``user_id`` are replaced (the demo lets a
         participant revise preferences and re-run).
         """
-        self._require_fitted()
-        x = (
-            self.schema.vector(profile)
-            if isinstance(profile, dict)
-            else np.asarray(profile, dtype=float).ravel()
-        )
-        if x.size != len(self.schema):
-            raise CandidateSearchError(
-                f"profile has {x.size} entries, schema expects {len(self.schema)}"
-            )
-        constraints = self._join_constraints(user_constraints)
-        cfg = self.config
-        trajectory = self.update_function.trajectory(x, cfg.T)
-        self.store.clear_user(user_id)
-        self.store.store_temporal_inputs(user_id, trajectory)
+        return self.create_sessions([(user_id, profile, user_constraints)])[0]
 
-        def run_one(future_model):
+    def create_sessions(self, users) -> "list[UserSession]":
+        """Register a batch of users and generate all their candidates.
+
+        ``users`` is an iterable of ``(user_id, profile)`` or
+        ``(user_id, profile, user_constraints)`` tuples (or dicts with
+        those keys).  All (user × time-point) candidates generators are
+        independent, so they are scheduled as one flat task list on a
+        single shared executor (``AdminConfig.n_jobs`` workers) instead
+        of a pool per user, and all database rows are written in one
+        transaction.  Candidates are identical to calling
+        :meth:`create_session` per user, in order.
+        """
+        self._require_fitted()
+        cfg = self.config
+        specs = [self._user_spec(user) for user in users]
+        seen: set[str] = set()
+        for user_id, _, _ in specs:
+            if user_id in seen:
+                raise CandidateSearchError(
+                    f"duplicate user_id {user_id!r} in create_sessions batch"
+                )
+            seen.add(user_id)
+        prepared = [
+            (
+                user_id,
+                x,
+                self.update_function.trajectory(x, cfg.T),
+                self._join_constraints(user_constraints),
+            )
+            for user_id, x, user_constraints in specs
+        ]
+
+        def run_one(task):
+            user_index, future_model = task
+            _, _, trajectory, constraints = prepared[user_index]
             t = future_model.t
             generator = CandidateGenerator(
                 future_model.model,
@@ -187,31 +211,74 @@ class JustInTime:
                 objective=cfg.objective,
                 diff_scale=self.diff_scale,
                 random_state=cfg.random_state + 7919 * (t + 1),
+                # getattr: AdminConfig objects unpickled from pre-batch
+                # saves lack the field
+                engine=getattr(cfg, "engine", "batch"),
             )
             return generator.generate(trajectory[t], time=t), generator.last_stats_
 
-        if cfg.n_jobs > 1:
+        tasks = [
+            (user_index, future_model)
+            for user_index in range(len(prepared))
+            for future_model in self.future_models
+        ]
+        if cfg.n_jobs > 1 and len(tasks) > 1:
             from concurrent.futures import ThreadPoolExecutor
 
             with ThreadPoolExecutor(max_workers=cfg.n_jobs) as pool:
-                results = list(pool.map(run_one, self.future_models))
+                results = list(pool.map(run_one, tasks))
         else:
-            results = [run_one(fm) for fm in self.future_models]
-        all_candidates: list[Candidate] = []
-        stats = []
-        for found, search_stats in results:
-            stats.append(search_stats)
-            all_candidates.extend(found)
-        self.store.store_candidates(user_id, all_candidates)
-        return UserSession(
-            system=self,
-            user_id=user_id,
-            profile=x,
-            trajectory=trajectory,
-            constraints=constraints,
-            candidates=all_candidates,
-            search_stats=stats,
+            results = [run_one(task) for task in tasks]
+
+        sessions: list[UserSession] = []
+        per_user = len(self.future_models)
+        bulk_rows = []
+        for user_index, (user_id, x, trajectory, constraints) in enumerate(prepared):
+            user_results = results[user_index * per_user : (user_index + 1) * per_user]
+            all_candidates: list[Candidate] = []
+            stats = []
+            for found, search_stats in user_results:
+                stats.append(search_stats)
+                all_candidates.extend(found)
+            bulk_rows.append((user_id, trajectory, all_candidates))
+            sessions.append(
+                UserSession(
+                    system=self,
+                    user_id=user_id,
+                    profile=x,
+                    trajectory=trajectory,
+                    constraints=constraints,
+                    candidates=all_candidates,
+                    search_stats=stats,
+                )
+            )
+        self.store.store_sessions(bulk_rows)
+        return sessions
+
+    def _user_spec(self, user) -> tuple[str, np.ndarray, object]:
+        """Normalise one ``create_sessions`` entry to (id, vector, constraints)."""
+        if isinstance(user, dict):
+            user_id = user["user_id"]
+            profile = user["profile"]
+            user_constraints = user.get("user_constraints")
+        else:
+            if len(user) not in (2, 3):
+                raise CandidateSearchError(
+                    "each user must be (user_id, profile) or"
+                    " (user_id, profile, user_constraints)"
+                )
+            user_id, profile = user[0], user[1]
+            user_constraints = user[2] if len(user) == 3 else None
+        x = (
+            self.schema.vector(profile)
+            if isinstance(profile, dict)
+            else np.asarray(profile, dtype=float).ravel()
         )
+        if x.size != len(self.schema):
+            raise CandidateSearchError(
+                f"profile has {x.size} entries, schema expects {len(self.schema)}"
+            )
+        return str(user_id), x, user_constraints
 
     def _join_constraints(self, user_constraints) -> ConstraintsFunction:
         self._require_fitted()
@@ -221,10 +288,9 @@ class JustInTime:
             return self.domain_constraints.conjoin(user_constraints)
         fn = ConstraintsFunction(self.schema, diff_scale=self.diff_scale)
         for item in user_constraints:
-            if isinstance(item, ScopedConstraint):
-                fn.add(item)
-            else:
-                fn.add(item)
+            # ConstraintsFunction.add accepts DSL text, ASTs and
+            # pre-scoped constraints alike
+            fn.add(item)
         return self.domain_constraints.conjoin(fn)
 
 
@@ -263,6 +329,11 @@ class UserSession:
         the first mutable one)."""
         if feature is None:
             mutable = self.system.schema.mutable_indices()
+            if mutable.size == 0:
+                raise CandidateSearchError(
+                    "all_insights needs a feature for Q3, but the schema has"
+                    " no mutable features; pass feature= explicitly"
+                )
             feature = self.system.schema.names[int(mutable[0])]
         return [
             self.ask("q1"),

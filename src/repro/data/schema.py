@@ -122,6 +122,24 @@ class DatasetSchema:
             raise SchemaError(f"duplicate feature names in schema: {names}")
         self._features: tuple[FeatureSpec, ...] = tuple(features)
         self._index: dict[str, int] = {f.name: i for i, f in enumerate(features)}
+        self._build_clip_cache()
+
+    def _build_clip_cache(self) -> None:
+        """Precompute the arrays backing the vectorized clip_matrix path."""
+        self._lower = np.array(
+            [-np.inf if f.lower is None else f.lower for f in self._features]
+        )
+        self._upper = np.array(
+            [np.inf if f.upper is None else f.upper for f in self._features]
+        )
+        self._int_cols = np.array(
+            [i for i, f in enumerate(self._features) if f.dtype == "int"], dtype=int
+        )
+        self._cat_cols: list[tuple[int, np.ndarray]] = [
+            (i, np.asarray(f.categories, dtype=float))
+            for i, f in enumerate(self._features)
+            if f.dtype == "categorical" and f.categories
+        ]
 
     # ------------------------------------------------------------- basics
 
@@ -205,6 +223,27 @@ class DatasetSchema:
                 f"vector has {x.size} entries, schema expects {len(self)}"
             )
         return np.array([f.clip(v) for f, v in zip(self._features, x)])
+
+    def clip_matrix(self, X) -> np.ndarray:
+        """Vectorized :meth:`clip` over the rows of an ``(n, d)`` matrix.
+
+        Bit-identical to clipping each row (bounds, then categorical snap
+        / integer rounding — NumPy and Python both round half to even).
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != len(self):
+            raise SchemaError(
+                f"matrix has {X.shape[1]} columns, schema expects {len(self)}"
+            )
+        if not hasattr(self, "_lower"):  # unpickled from a pre-batch save
+            self._build_clip_cache()
+        out = np.clip(X, self._lower, self._upper)
+        for i, codes in self._cat_cols:
+            nearest = np.argmin(np.abs(out[:, i, None] - codes), axis=1)
+            out[:, i] = codes[nearest]
+        if self._int_cols.size:
+            out[:, self._int_cols] = np.round(out[:, self._int_cols])
+        return out
 
     def validate_vector(self, x) -> bool:
         """Whether each coordinate of ``x`` is legal for its feature."""

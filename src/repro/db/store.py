@@ -103,34 +103,26 @@ class CandidateStore:
 
     # ------------------------------------------------------------- writes
 
-    def store_temporal_inputs(self, user_id: str, trajectory) -> None:
-        """Insert/replace the rows ``x_0 .. x_T`` for ``user_id``."""
+    def _insert_sql(self, table: str, extra_columns: tuple[str, ...] = ()) -> str:
+        columns = ["user_id", "time", *self.schema.names, *extra_columns]
+        placeholders = ", ".join("?" for _ in columns)
+        return (
+            f"INSERT INTO {table} ({', '.join(columns)}) VALUES ({placeholders})"
+        )
+
+    def _input_rows(self, user_id: str, trajectory) -> list[tuple]:
         trajectory = np.atleast_2d(np.asarray(trajectory, dtype=float))
         if trajectory.shape[1] != len(self.schema):
             raise StorageError(
                 f"trajectory has {trajectory.shape[1]} columns,"
                 f" schema expects {len(self.schema)}"
             )
-        columns = ["user_id", "time", *self.schema.names]
-        placeholders = ", ".join("?" for _ in columns)
-        with self._conn:
-            self._conn.execute(
-                "DELETE FROM temporal_inputs WHERE user_id = ?", (user_id,)
-            )
-            self._conn.executemany(
-                f"INSERT INTO temporal_inputs ({', '.join(columns)})"
-                f" VALUES ({placeholders})",
-                [
-                    (user_id, t, *map(float, row))
-                    for t, row in enumerate(trajectory)
-                ],
-            )
+        return [
+            (user_id, t, *map(float, row)) for t, row in enumerate(trajectory)
+        ]
 
-    def store_candidates(self, user_id: str, candidates: list[Candidate]) -> None:
-        """Append candidates (any time points) for ``user_id``."""
-        columns = ["user_id", "time", *self.schema.names, "diff", "gap", "p"]
-        placeholders = ", ".join("?" for _ in columns)
-        rows = [
+    def _candidate_rows(self, user_id: str, candidates) -> list[tuple]:
+        return [
             (
                 user_id,
                 int(c.time),
@@ -141,11 +133,58 @@ class CandidateStore:
             )
             for c in candidates
         ]
+
+    def store_temporal_inputs(self, user_id: str, trajectory) -> None:
+        """Insert/replace the rows ``x_0 .. x_T`` for ``user_id``."""
+        rows = self._input_rows(user_id, trajectory)
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM temporal_inputs WHERE user_id = ?", (user_id,)
+            )
+            self._conn.executemany(self._insert_sql("temporal_inputs"), rows)
+
+    def store_candidates(self, user_id: str, candidates: list[Candidate]) -> None:
+        """Append candidates (any time points) for ``user_id``."""
+        rows = self._candidate_rows(user_id, candidates)
         with self._conn:
             self._conn.executemany(
-                f"INSERT INTO candidates ({', '.join(columns)})"
-                f" VALUES ({placeholders})",
-                rows,
+                self._insert_sql("candidates", ("diff", "gap", "p")), rows
+            )
+
+    def store_sessions(self, sessions) -> None:
+        """Bulk multi-user write in one transaction.
+
+        ``sessions`` is an iterable of ``(user_id, trajectory,
+        candidates)`` triples.  For every user the existing rows are
+        replaced and the temporal inputs + candidates inserted; a single
+        transaction covers the whole batch, so a 50-user ingest pays one
+        commit instead of 150.
+        """
+        input_rows: list[tuple] = []
+        cand_rows: list[tuple] = []
+        user_ids: list[str] = []
+        seen: set[str] = set()
+        for user_id, trajectory, candidates in sessions:
+            if user_id in seen:
+                raise StorageError(
+                    f"duplicate user_id {user_id!r} in store_sessions batch"
+                )
+            seen.add(user_id)
+            user_ids.append(user_id)
+            input_rows.extend(self._input_rows(user_id, trajectory))
+            cand_rows.extend(self._candidate_rows(user_id, candidates))
+        with self._conn:
+            self._conn.executemany(
+                "DELETE FROM candidates WHERE user_id = ?",
+                [(u,) for u in user_ids],
+            )
+            self._conn.executemany(
+                "DELETE FROM temporal_inputs WHERE user_id = ?",
+                [(u,) for u in user_ids],
+            )
+            self._conn.executemany(self._insert_sql("temporal_inputs"), input_rows)
+            self._conn.executemany(
+                self._insert_sql("candidates", ("diff", "gap", "p")), cand_rows
             )
 
     def clear_user(self, user_id: str) -> None:

@@ -74,6 +74,7 @@ class RandomForestClassifier(BaseClassifier):
 
     def fit(self, X, y) -> "RandomForestClassifier":
         X, y = check_X_y(X, y)
+        self._split_thresholds_cache = None
         n, d = X.shape
         self.n_features_ = d
         rng = as_rng(self.random_state)
@@ -122,15 +123,30 @@ class RandomForestClassifier(BaseClassifier):
         return np.column_stack([1.0 - p1, p1])
 
     def split_thresholds(self) -> dict[int, np.ndarray]:
-        """Union of per-feature split thresholds across all trees, sorted."""
+        """Union of per-feature split thresholds across all trees, sorted.
+
+        Memoized: the forest is walked once per fit, not once per
+        candidates generator (the multi-user service builds one
+        generator per (user, time point) against the same model).
+        """
         check_fitted(self, "trees_")
-        merged: dict[int, set[float]] = {}
-        for tree in self.trees_:
-            for feature, thresholds in tree.split_thresholds().items():
-                merged.setdefault(feature, set()).update(thresholds.tolist())
-        return {
-            feature: np.array(sorted(values)) for feature, values in merged.items()
-        }
+        cached = getattr(self, "_split_thresholds_cache", None)
+        if cached is None:
+            merged: dict[int, set[float]] = {}
+            for tree in self.trees_:
+                for feature, thresholds in tree.split_thresholds().items():
+                    merged.setdefault(feature, set()).update(thresholds.tolist())
+            cached = {
+                feature: np.array(sorted(values))
+                for feature, values in merged.items()
+            }
+            for values in cached.values():
+                values.setflags(write=False)
+            self._split_thresholds_cache = cached
+        # shallow copy + read-only arrays: callers may filter/pop entries,
+        # and in-place array mutation raises instead of corrupting the
+        # cache shared by every generator
+        return dict(cached)
 
     def n_nodes(self) -> int:
         """Total node count across all trees (size diagnostic)."""

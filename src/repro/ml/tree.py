@@ -133,6 +133,7 @@ class DecisionTreeClassifier(BaseClassifier):
         self.n_features_: int | None = None
         self.n_nodes_: int | None = None
         self.feature_importances_: np.ndarray | None = None
+        self._flat: tuple[np.ndarray, ...] | None = None
 
     # ------------------------------------------------------------------ fit
 
@@ -148,6 +149,7 @@ class DecisionTreeClassifier(BaseClassifier):
             importances / total if total > 0 else importances
         )
         self.n_nodes_ = self._assign_ids()
+        self._flat = None
         return self
 
     def _n_split_features(self) -> int:
@@ -268,10 +270,48 @@ class DecisionTreeClassifier(BaseClassifier):
             node = node.left if x[node.feature] <= node.threshold else node.right
         return node
 
+    def _flat_tree(self) -> tuple[np.ndarray, ...]:
+        """Array form of the fitted tree for vectorized prediction.
+
+        ``feature[i] == -1`` marks node ``i`` as a leaf.  Probabilities
+        use the exact :attr:`TreeNode.probability` formula, so batched
+        prediction is bit-identical to node-walk prediction.
+        """
+        # getattr: objects unpickled from pre-batch saves lack the slot
+        if getattr(self, "_flat", None) is None:
+            n = self.n_nodes_
+            feature = np.full(n, -1, dtype=np.int64)
+            threshold = np.zeros(n)
+            left = np.zeros(n, dtype=np.int64)
+            right = np.zeros(n, dtype=np.int64)
+            prob = np.zeros(n)
+            for node in self.root_.iter_nodes():
+                i = node.node_id
+                prob[i] = node.probability
+                if not node.is_leaf:
+                    feature[i] = node.feature
+                    threshold[i] = node.threshold
+                    left[i] = node.left.node_id
+                    right[i] = node.right.node_id
+            self._flat = (feature, threshold, left, right, prob)
+        return self._flat
+
     def predict_proba(self, X) -> np.ndarray:
         X = check_X(X)
         self._check_n_features(X)
-        p1 = np.array([self._leaf_for(row).probability for row in X])
+        feature, threshold, left, right, prob = self._flat_tree()
+        position = np.zeros(X.shape[0], dtype=np.int64)
+        # level-wise descent: one vectorized step routes every sample that
+        # is still at an internal node
+        active = np.flatnonzero(feature[position] >= 0)
+        while active.size:
+            current = position[active]
+            go_left = (
+                X[active, feature[current]] <= threshold[current]
+            )
+            position[active] = np.where(go_left, left[current], right[current])
+            active = active[feature[position[active]] >= 0]
+        p1 = prob[position]
         return np.column_stack([1.0 - p1, p1])
 
     # ---------------------------------------------------------- introspection
