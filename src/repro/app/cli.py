@@ -12,9 +12,13 @@ Subcommands
     scriptable and testable.
 ``justintime quickstart``
     Minimal single-user run printing all six insights for John.
+``justintime refresh``
+    The incremental operator step: ingest new data against a saved
+    system + candidate database and recompute only the stale cells.
 
 All subcommands accept ``--n-per-year``, ``--strategy``, ``--horizon``
-and ``--seed`` to control the backing system.
+and ``--seed`` to control the backing system, plus ``--db`` /
+``--db-backend`` to pick the candidate store.
 """
 
 from __future__ import annotations
@@ -23,11 +27,19 @@ import argparse
 import sys
 from typing import IO
 
+import numpy as np
+
 from repro.constraints import lending_domain_constraints
 from repro.core import AdminConfig, JustInTime, UserSession, load_system, save_system
 from repro.core.insights import QUESTIONS
 from repro.app.render import bar_chart, insight_block, profile_table, screen_header
-from repro.data import LendingGenerator, john_profile, lending_schema, make_lending_dataset
+from repro.data import (
+    LendingGenerator,
+    TemporalDataset,
+    john_profile,
+    lending_schema,
+    make_lending_dataset,
+)
 from repro.temporal import lending_update_function
 
 __all__ = [
@@ -37,6 +49,7 @@ __all__ = [
     "run_demo",
     "run_interactive",
     "run_quickstart",
+    "run_refresh",
 ]
 
 
@@ -48,6 +61,7 @@ def build_system(
     k: int = 6,
     load: str | None = None,
     db: str | None = None,
+    db_backend: str | None = None,
 ) -> JustInTime:
     """Construct (or load) a fitted lending JustInTime system.
 
@@ -57,7 +71,7 @@ def build_system(
     """
     store_path = db or ":memory:"
     if load:
-        return load_system(load, store_path=store_path)
+        return load_system(load, store_path=store_path, store_backend=db_backend)
     schema = lending_schema()
     config = AdminConfig(T=horizon, strategy=strategy, k=k, random_state=seed)
     system = JustInTime(
@@ -66,6 +80,7 @@ def build_system(
         config,
         domain_constraints=lending_domain_constraints(schema),
         store_path=store_path,
+        store_backend=db_backend,
     )
     system.fit(make_lending_dataset(n_per_year=n_per_year, random_state=seed))
     return system
@@ -96,7 +111,8 @@ def run_demo(args, out: IO[str] | None = None) -> int:
     """Five denied applicants, each with different preferences (§III)."""
     out = out if out is not None else sys.stdout
     system = build_system(args.n_per_year, args.strategy, args.horizon,
-                          args.seed, load=args.load, db=args.db)
+                          args.seed, load=args.load, db=args.db,
+                          db_backend=args.db_backend)
     generator = LendingGenerator(random_state=args.seed + 13)
     profiles = generator.sample_rejected(system.time_values[0], n=5)
     preference_sets = [
@@ -129,7 +145,8 @@ def run_quickstart(args, out: IO[str] | None = None) -> int:
     """John's running example end to end."""
     out = out if out is not None else sys.stdout
     system = build_system(args.n_per_year, args.strategy, args.horizon,
-                          args.seed, load=args.load, db=args.db)
+                          args.seed, load=args.load, db=args.db,
+                          db_backend=args.db_backend)
     out.write(screen_header("JustInTime quickstart — John, 29") + "\n")
     out.write(profile_table(system.schema, system.schema.vector(john_profile())) + "\n")
     session = system.create_session(
@@ -153,7 +170,8 @@ def run_interactive(
     out = out if out is not None else sys.stdout
     stdin = stdin if stdin is not None else sys.stdin
     system = build_system(args.n_per_year, args.strategy, args.horizon,
-                          args.seed, load=args.load, db=args.db)
+                          args.seed, load=args.load, db=args.db,
+                          db_backend=args.db_backend)
     schema = system.schema
 
     def ask(prompt: str, default: str) -> str:
@@ -228,6 +246,12 @@ def make_parser() -> argparse.ArgumentParser:
         default=None,
         help="candidate database file (default: in-memory)",
     )
+    parser.add_argument(
+        "--db-backend",
+        default=None,
+        choices=["sqlite", "memory", "sharded"],
+        help="candidate store backend (default: inferred from --db)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("demo", help="five denied applicants, scripted (§III)")
     sub.add_parser("quickstart", help="John's running example")
@@ -236,6 +260,25 @@ def make_parser() -> argparse.ArgumentParser:
         "admin", help="train the future models once and save the system"
     )
     admin.add_argument("--save", required=True, help="output path (.pkl)")
+    refresh = sub.add_parser(
+        "refresh",
+        help="re-forecast on new data and recompute only the stale"
+        " (user × time-point) cells of the stored sessions",
+    )
+    refresh.add_argument(
+        "--new-n", type=int, default=120, help="new samples to ingest"
+    )
+    refresh.add_argument(
+        "--at",
+        type=float,
+        default=None,
+        help="timestamp of the new samples (default: latest history year)",
+    )
+    refresh.add_argument(
+        "--cold",
+        action="store_true",
+        help="disable warm-start (bit-identical to a cold recompute)",
+    )
     return parser
 
 
@@ -243,13 +286,77 @@ def run_admin(args, out: IO[str] | None = None) -> int:
     """The administrator's offline step: fit once, persist to disk."""
     out = out if out is not None else sys.stdout
     system = build_system(
-        args.n_per_year, args.strategy, args.horizon, args.seed, db=args.db
+        args.n_per_year, args.strategy, args.horizon, args.seed, db=args.db,
+        db_backend=args.db_backend,
     )
     save_system(system, args.save)
     out.write(
         f"trained {len(system.future_models)} future models"
         f" (strategy={args.strategy}, T={args.horizon}) -> {args.save}\n"
     )
+    return 0
+
+
+def run_refresh(args, out: IO[str] | None = None) -> int:
+    """The operator's incremental step: ingest new data, refresh sessions.
+
+    Loads the saved system (``--load``) with its candidate database
+    (``--db``), rehydrates the persisted sessions, samples ``--new-n``
+    fresh labeled applications from the lending generator at ``--at``,
+    and refreshes: models are refit, per-time-point fingerprints diffed,
+    and only stale (user × time-point) cells recomputed and upserted.
+    """
+    out = out if out is not None else sys.stdout
+    if not args.load or not args.db:
+        out.write(
+            "refresh needs --load (saved system) and --db (candidate"
+            " database); run 'admin --save' and a session-creating"
+            " command against the same --db first\n"
+        )
+        return 2
+    system = build_system(load=args.load, db=args.db, db_backend=args.db_backend)
+    if system.history is None:
+        out.write(
+            "the saved system carries no training history (pre-refresh"
+            " save format); re-save it with 'admin --save'\n"
+        )
+        return 2
+    resumed = system.resume_sessions()
+    # seed the "new arrivals" stream off the persisted history size so
+    # consecutive refreshes ingest distinct samples, deterministically
+    generator = LendingGenerator(
+        random_state=args.seed + 31 + len(system.history)
+    )
+    at = args.at if args.at is not None else system.history.span[1]
+    X = generator.sample_profiles(args.new_n)
+    years = np.full(args.new_n, float(at))
+    new_data = TemporalDataset(X, generator.label(X, years), years, system.schema)
+    report = system.refresh(new_data, warm_start=not args.cold)
+    # persist the refit models + merged history: the next refresh must
+    # start from this state, and stored model_fp stamps must keep
+    # matching a system that exists on disk
+    save_system(system, args.load)
+    out.write(screen_header("Session refresh") + "\n")
+    out.write(
+        f"ingested {args.new_n} new samples at t={at:.2f};"
+        f" resumed {len(resumed)} stored sessions\n"
+    )
+    out.write(
+        f"stale time points: {list(report.stale_times)}"
+        f" (unchanged: {list(report.fresh_times)})\n"
+    )
+    out.write(
+        f"recomputed {report.cells_recomputed} (user x time-point) cells,"
+        f" wrote {report.candidates_written} candidate rows"
+        f" (warm_start={report.warm_start})\n"
+    )
+    if report.skipped_stale_cells:
+        out.write(
+            f"WARNING: {report.skipped_stale_cells} stored cells are stale"
+            " but belong to users without a resumable session (opaque"
+            " constraints); their candidates remain outdated\n"
+        )
+    out.write(f"saved refreshed system -> {args.load}\n")
     return 0
 
 
@@ -260,6 +367,7 @@ def main(argv: list[str] | None = None) -> int:
         "quickstart": run_quickstart,
         "interactive": run_interactive,
         "admin": run_admin,
+        "refresh": run_refresh,
     }
     return handlers[args.command](args)
 

@@ -25,7 +25,7 @@ from repro.core.objectives import (
 )
 from repro.core.persistence import load_system, save_system
 from repro.core.plans import FeatureChange, Plan, build_plan
-from repro.core.system import AdminConfig, JustInTime, UserSession
+from repro.core.system import AdminConfig, JustInTime, RefreshReport, UserSession
 
 __all__ = [
     "AdminConfig",
@@ -45,6 +45,7 @@ __all__ = [
     "Plan",
     "QUESTIONS",
     "RandomMoveProposer",
+    "RefreshReport",
     "SearchStats",
     "ThresholdMoveProposer",
     "UserSession",

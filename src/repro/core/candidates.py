@@ -235,10 +235,18 @@ class CandidateGenerator:
 
     # -------------------------------------------------------------- search
 
-    def _prologue(self, x_base, time: int, key_fn):
+    def _prologue(self, x_base, time: int, key_fn, warm_start=None):
         """Shared search setup: clip the input, seed the RNG, and pool
         the unmodified input if it already flips (the paper's Q1, "no
         modification").  ``key_fn`` is the engine's state-key function.
+
+        ``warm_start`` is an optional ``(n, d)`` array (or list of
+        vectors) of previously found candidates for this cell; each is
+        clipped, revalidated under the *current* model and constraints
+        (pooled only when still decision-altering and valid), and kept as
+        an extra initial beam seed ranked by the beam key.  With
+        ``warm_start=None`` the search is bit-identical to the historical
+        cold path.
         """
         x_base = self.schema.clip(np.asarray(x_base, dtype=float).ravel())
         rng = np.random.default_rng(self.random_state)
@@ -254,29 +262,67 @@ class CandidateGenerator:
         ):
             pool[key_fn(x_base)] = Candidate(x_base, time, base_metrics)
             stats.valid_found += 1
+        seeds: list[tuple[float, int, np.ndarray]] = []
+        warm_matrix = (
+            None
+            if warm_start is None
+            else np.atleast_2d(np.asarray(warm_start, dtype=float))
+        )
+        if warm_matrix is not None and warm_matrix.size:
+            W = self.schema.clip_matrix(warm_matrix)
+            # one model call for all seeds; constraints stay per-row (the
+            # seed lists are small — at most the stored k of the cell)
+            warm_scores = np.asarray(
+                self.model.decision_score(W), dtype=float
+            ).ravel()
+            for order in range(W.shape[0]):
+                w = W[order]
+                key = key_fn(w)
+                if key in visited:
+                    continue
+                visited.add(key)
+                score = float(warm_scores[order])
+                metrics = measure(w, x_base, score, self.diff_scale)
+                violations = self.constraints.violated(
+                    w, x_base, confidence=score, time=time
+                )
+                stats.proposals_evaluated += 1
+                if not violations and score > self.threshold:
+                    pool[key] = Candidate(w, time, metrics)
+                    stats.valid_found += 1
+                seeds.append(
+                    (self._beam_key(metrics, len(violations), not pool), order, w)
+                )
+            seeds.sort(key=lambda item: (item[0], item[1]))
         best_key = min(
             (self.objective.key(c.metrics) for c in pool.values()),
             default=np.inf,
         )
-        return x_base, rng, stats, pool, visited, best_key
+        beam = [x_base] + [w for _, _, w in seeds[: max(0, self.beam_width - 1)]]
+        return x_base, rng, stats, pool, visited, best_key, beam
 
-    def generate(self, x_base, time: int = 0) -> list[Candidate]:
+    def generate(self, x_base, time: int = 0, warm_start=None) -> list[Candidate]:
         """Return up to ``k`` diverse decision-altering candidates.
 
         ``x_base`` is the temporal input ``f(x, t)`` for this generator's
         time point; diff/gap are measured against it.  Dispatches to the
         vectorized batch engine unless ``engine='scalar'`` was requested.
+        ``warm_start`` optionally seeds the beam from previously stored
+        candidates (see :meth:`_prologue`); the incremental refresh uses
+        it to resume the search near the old optimum instead of from the
+        profile.
         """
         if self.engine == "batch":
-            return self._generate_batch(x_base, time)
-        return self._generate_scalar(x_base, time)
+            return self._generate_batch(x_base, time, warm_start)
+        return self._generate_scalar(x_base, time, warm_start)
 
-    def _generate_scalar(self, x_base, time: int = 0) -> list[Candidate]:
+    def _generate_scalar(
+        self, x_base, time: int = 0, warm_start=None
+    ) -> list[Candidate]:
         """Row-at-a-time reference implementation (the pre-batch path)."""
-        x_base, rng, stats, pool, visited, best_key = self._prologue(
-            x_base, time, self._state_key
+        x_base, rng, stats, pool, visited, best_key, beam = self._prologue(
+            x_base, time, self._state_key, warm_start
         )
-        beam: list[np.ndarray] = [x_base]
         stale = 0
         for iteration in range(self.max_iter):
             stats.iterations = iteration + 1
@@ -329,7 +375,9 @@ class CandidateGenerator:
         self.last_stats_ = stats
         return self._finalise(pool)
 
-    def _generate_batch(self, x_base, time: int = 0) -> list[Candidate]:
+    def _generate_batch(
+        self, x_base, time: int = 0, warm_start=None
+    ) -> list[Candidate]:
         """Array-native search loop.
 
         One iteration is: stack all proposals of the beam into an
@@ -340,10 +388,9 @@ class CandidateGenerator:
         the returned candidates are bit-identical to
         :meth:`_generate_scalar` for the same seed.
         """
-        x_base, rng, stats, pool, visited, best_key = self._prologue(
-            x_base, time, lambda x: self._row_keys(x)[0]
+        x_base, rng, stats, pool, visited, best_key, beam = self._prologue(
+            x_base, time, lambda x: self._row_keys(x)[0], warm_start
         )
-        beam: list[np.ndarray] = [x_base]
         # pool only ever grows, so the best pool key is a running minimum
         pool_best = best_key
         stale = 0

@@ -180,7 +180,7 @@ class InsightEngine:
         """Best single-feature (or zero-change) candidate per covered time."""
         rows = []
         for t in times:
-            got = self.store.sql(
+            got = self.store._read(
                 f"""
                 SELECT c.* FROM candidates c
                 INNER JOIN temporal_inputs ti
@@ -244,7 +244,7 @@ class InsightEngine:
     def _series(
         self, aggregate: str, zero_when_empty: bool = False
     ) -> list[tuple[int, float | None]]:
-        rows = self.store.sql(
+        rows = self.store._read(
             f"SELECT time, {aggregate} AS v FROM candidates"
             " WHERE user_id = ? GROUP BY time",
             (self.user_id,),

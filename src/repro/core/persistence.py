@@ -22,7 +22,10 @@ from repro.exceptions import StorageError
 
 __all__ = ["save_system", "load_system"]
 
-_FORMAT_VERSION = 1
+#: v1 lacked ``history``; v2 adds it so a loaded system can ``refresh``
+#: on incremental data without being handed the full history again.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_system(system: JustInTime, path: str | Path) -> None:
@@ -41,26 +44,32 @@ def save_system(system: JustInTime, path: str | Path) -> None:
         "future_models": system.future_models,
         "diff_scale": system.diff_scale,
         "domain_constraints": system.domain_constraints,
+        "history": system._history,
     }
     path = Path(path)
     with path.open("wb") as handle:
         pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def load_system(path: str | Path, store_path: str | Path = ":memory:") -> JustInTime:
+def load_system(
+    path: str | Path,
+    store_path: str | Path = ":memory:",
+    store_backend=None,
+) -> JustInTime:
     """Reconstruct a system saved by :func:`save_system`.
 
     ``store_path`` points at the candidate database to attach (the same
-    file the original system used, or a fresh one).
+    file the original system used, or a fresh one); ``store_backend``
+    selects its backend as in :class:`JustInTime`.
     """
     path = Path(path)
     with path.open("rb") as handle:
         payload = pickle.load(handle)
     version = payload.get("version")
-    if version != _FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise StorageError(
             f"unsupported system file version {version!r}"
-            f" (expected {_FORMAT_VERSION})"
+            f" (expected one of {_SUPPORTED_VERSIONS})"
         )
     system = JustInTime(
         payload["schema"],
@@ -68,8 +77,10 @@ def load_system(path: str | Path, store_path: str | Path = ":memory:") -> JustIn
         payload["config"],
         domain_constraints=payload["explicit_domain"],
         store_path=store_path,
+        store_backend=store_backend,
     )
     system.future_models = payload["future_models"]
     system.diff_scale = payload["diff_scale"]
     system.domain_constraints = payload["domain_constraints"]
+    system._history = payload.get("history")
     return system

@@ -12,6 +12,11 @@ Wires the full architecture together:
   update function, runs one candidates generator per time point (they are
   independent; here they run sequentially and deterministically), and
   stores temporal inputs and candidates in the relational store;
+* :meth:`JustInTime.refresh` keeps the service *alive*: as new
+  timestamped data arrives the models are re-forecast, the per-time-point
+  content fingerprints are diffed, and only the stale (user × time-point)
+  cells are recomputed and upserted — registered :class:`UserSession`
+  objects survive and see the updated candidates;
 * the returned :class:`UserSession` exposes the canned-question interface
   and expert SQL passthrough.
 """
@@ -27,16 +32,22 @@ from repro.constraints.domain import schema_domain_constraints
 from repro.constraints.evaluate import ConstraintsFunction
 from repro.core.candidates import Candidate, CandidateGenerator
 from repro.core.insights import Insight, InsightEngine
-from repro.core.objectives import Objective
+from repro.core.objectives import OBJECTIVE_PRESETS, Objective
 from repro.core.plans import Plan, build_plan
 from repro.data.dataset import TemporalDataset
 from repro.data.schema import DatasetSchema
+from repro.db.backends import StoreBackend
 from repro.db.store import CandidateStore
 from repro.exceptions import CandidateSearchError, ForecastError
-from repro.temporal.forecast import ForecastStrategy, FutureModels, ModelsGenerator
+from repro.temporal.forecast import (
+    STRATEGY_NAMES,
+    ForecastStrategy,
+    FutureModels,
+    ModelsGenerator,
+)
 from repro.temporal.update import TemporalUpdateFunction
 
-__all__ = ["AdminConfig", "JustInTime", "UserSession"]
+__all__ = ["AdminConfig", "JustInTime", "RefreshReport", "UserSession"]
 
 
 @dataclass
@@ -69,7 +80,58 @@ class AdminConfig:
     #: candidate-search engine: 'batch' (vectorized) or 'scalar'
     #: (row-at-a-time reference); both produce identical candidates.
     engine: str = "batch"
+    #: seed refreshed cells' beams from the previously stored candidates
+    #: (clipped + revalidated under the new model).  A robustness
+    #: feature, not a speed one: still-valid old candidates can never be
+    #: lost to an unlucky fresh search, at ~1.5× the refresh wall-clock
+    #: (the wider initial beam explores more; see
+    #: benchmarks/bench_incremental_refresh.py).  Disable for the
+    #: bit-identical-to-cold-recompute reference path.
+    warm_start: bool = True
     extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        """Eager validation: fail at configuration time, not deep inside
+        the search, and name the allowed values."""
+        if isinstance(self.engine, str) and self.engine not in ("batch", "scalar"):
+            raise ValueError(
+                f"unknown engine {self.engine!r};"
+                " allowed values: ['batch', 'scalar']"
+            )
+        if isinstance(self.strategy, str) and self.strategy not in STRATEGY_NAMES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r};"
+                f" allowed values: {sorted(STRATEGY_NAMES)}"
+                " (or pass a ForecastStrategy instance)"
+            )
+        if isinstance(self.objective, str) and self.objective not in OBJECTIVE_PRESETS:
+            raise ValueError(
+                f"unknown objective {self.objective!r};"
+                f" allowed values: {sorted(OBJECTIVE_PRESETS)}"
+                " (or pass an Objective instance)"
+            )
+
+
+@dataclass(frozen=True)
+class RefreshReport:
+    """Outcome of one :meth:`JustInTime.refresh` pass."""
+
+    #: time indices whose model fingerprint changed (cells recomputed)
+    stale_times: tuple[int, ...]
+    #: time indices whose model content was unchanged (cells untouched)
+    fresh_times: tuple[int, ...]
+    #: registered sessions the refresh covered
+    n_users: int
+    #: (user × stale time point) cells recomputed
+    cells_recomputed: int
+    #: candidate rows written back in the bulk upsert
+    candidates_written: int
+    #: whether the beams were warm-started from stored candidates
+    warm_start: bool
+    #: ledger-stale cells belonging to users with *no* registered session
+    #: (their stored candidates stay outdated until the session is
+    #: resumed — alert on this)
+    skipped_stale_cells: int = 0
 
 
 class JustInTime:
@@ -88,6 +150,12 @@ class JustInTime:
         schema-derived integrity constraints.
     store_path:
         SQLite path or ``':memory:'``.
+    store_backend:
+        Store backend name (``'sqlite'``, ``'memory'``, ``'sharded'``) or
+        :class:`~repro.db.backends.StoreBackend` instance; ``None`` infers
+        from ``store_path``.
+    n_shards:
+        Shard count for the sharded backend.
     """
 
     def __init__(
@@ -97,22 +165,28 @@ class JustInTime:
         config: AdminConfig | None = None,
         domain_constraints: ConstraintsFunction | None = None,
         store_path: str | Path = ":memory:",
+        store_backend: str | StoreBackend | None = None,
+        n_shards: int = 4,
     ):
         self.schema = schema
         self.update_function = update_function
         self.config = config or AdminConfig()
         self._explicit_domain = domain_constraints
-        self.store = CandidateStore(schema, store_path)
+        self.store = CandidateStore(
+            schema, store_path, backend=store_backend, n_shards=n_shards
+        )
         self.future_models: FutureModels | None = None
         self.diff_scale: np.ndarray | None = None
         self.domain_constraints: ConstraintsFunction | None = None
+        #: session registry: UserSession objects survive refreshes
+        self.sessions: dict[str, UserSession] = {}
+        self._history: TemporalDataset | None = None
 
     # ----------------------------------------------------------------- fit
 
-    def fit(self, history: TemporalDataset, now: float | None = None) -> "JustInTime":
-        """Run the models generator (user-independent, done once)."""
-        if history.schema != self.schema:
-            raise ForecastError("history schema does not match system schema")
+    def _fit_models(
+        self, history: TemporalDataset, now: float | None
+    ) -> FutureModels:
         cfg = self.config
         generator = ModelsGenerator(
             T=cfg.T,
@@ -124,7 +198,14 @@ class JustInTime:
             target_rate=cfg.target_rate,
             random_state=cfg.random_state,
         )
-        self.future_models = generator.generate(history, now=now)
+        return generator.generate(history, now=now)
+
+    def fit(self, history: TemporalDataset, now: float | None = None) -> "JustInTime":
+        """Run the models generator (user-independent, done once)."""
+        if history.schema != self.schema:
+            raise ForecastError("history schema does not match system schema")
+        self.future_models = self._fit_models(history, now)
+        self._history = history
         scale = history.X.std(axis=0)
         scale[scale == 0.0] = 1.0
         self.diff_scale = scale
@@ -141,6 +222,22 @@ class JustInTime:
         """Calendar value of each time index t = 0 .. T."""
         self._require_fitted()
         return [fm.time_value for fm in self.future_models]
+
+    @property
+    def history(self) -> TemporalDataset | None:
+        """The training history the current models were fitted on
+        (``None`` for systems loaded from pre-refresh saves)."""
+        return self._history
+
+    @property
+    def model_fingerprints(self) -> dict[int, str]:
+        """``{t: content fingerprint}`` of the current future models
+        (missing fingerprints — pre-fingerprint pickles — map to ``''``,
+        the store ledger's always-stale value)."""
+        self._require_fitted()
+        return {
+            t: fp or "" for t, fp in self.future_models.fingerprints.items()
+        }
 
     def _require_fitted(self) -> None:
         if self.future_models is None:
@@ -199,22 +296,7 @@ class JustInTime:
             user_index, future_model = task
             _, _, trajectory, constraints = prepared[user_index]
             t = future_model.t
-            generator = CandidateGenerator(
-                future_model.model,
-                future_model.threshold,
-                self.schema,
-                constraints,
-                k=cfg.k,
-                beam_width=cfg.beam_width,
-                max_iter=cfg.max_iter,
-                patience=cfg.patience,
-                objective=cfg.objective,
-                diff_scale=self.diff_scale,
-                random_state=cfg.random_state + 7919 * (t + 1),
-                # getattr: AdminConfig objects unpickled from pre-batch
-                # saves lack the field
-                engine=getattr(cfg, "engine", "batch"),
-            )
+            generator = self._cell_generator(t, constraints)
             return generator.generate(trajectory[t], time=t), generator.last_stats_
 
         tasks = [
@@ -222,17 +304,12 @@ class JustInTime:
             for user_index in range(len(prepared))
             for future_model in self.future_models
         ]
-        if cfg.n_jobs > 1 and len(tasks) > 1:
-            from concurrent.futures import ThreadPoolExecutor
-
-            with ThreadPoolExecutor(max_workers=cfg.n_jobs) as pool:
-                results = list(pool.map(run_one, tasks))
-        else:
-            results = [run_one(task) for task in tasks]
+        results = self._run_tasks(run_one, tasks)
 
         sessions: list[UserSession] = []
         per_user = len(self.future_models)
         bulk_rows = []
+        spec_rows = []
         for user_index, (user_id, x, trajectory, constraints) in enumerate(prepared):
             user_results = results[user_index * per_user : (user_index + 1) * per_user]
             all_candidates: list[Candidate] = []
@@ -241,6 +318,9 @@ class JustInTime:
                 stats.append(search_stats)
                 all_candidates.extend(found)
             bulk_rows.append((user_id, trajectory, all_candidates))
+            spec_rows.append(
+                (user_id, x, self._constraint_texts(specs[user_index][2]))
+            )
             sessions.append(
                 UserSession(
                     system=self,
@@ -252,8 +332,297 @@ class JustInTime:
                     search_stats=stats,
                 )
             )
-        self.store.store_sessions(bulk_rows)
+        self.store.store_sessions(
+            bulk_rows, fingerprints=self.model_fingerprints, specs=spec_rows
+        )
+        for session in sessions:
+            self.sessions[session.user_id] = session
         return sessions
+
+    def drop_session(self, user_id: str) -> None:
+        """Fully forget a user: registry entry plus every store row.
+
+        This is the deletion API — calling ``store.clear_user`` alone
+        while the session stays registered would let the next refresh
+        recompute (resurrect) the user's cells from the live session.
+        """
+        self.sessions.pop(str(user_id), None)
+        self.store.clear_user(str(user_id))
+
+    def get_session(self, user_id: str) -> "UserSession":
+        """Look up a registered (live) session by user id."""
+        try:
+            return self.sessions[str(user_id)]
+        except KeyError:
+            raise CandidateSearchError(
+                f"no registered session for user {user_id!r};"
+                " call create_session or resume_sessions first"
+            ) from None
+
+    def resume_sessions(self, include_opaque: bool = False) -> "list[UserSession]":
+        """Rehydrate sessions persisted in the store into the registry.
+
+        A long-running service restarts: the store still holds every
+        user's temporal inputs, candidates and session spec (profile +
+        DSL constraint texts).  Users already present in the registry are
+        left untouched.
+
+        Specs whose constraints were *not* serialisable (opaque
+        :class:`ConstraintsFunction` objects rather than DSL strings) are
+        **skipped** by default: resuming them would drop the user's
+        preferences, and a later refresh would overwrite their
+        preference-respecting candidates with unconstrained ones.  Their
+        rows stay in the store (and show up as stale in the ledger once
+        models move on); pass ``include_opaque=True`` to knowingly resume
+        them under domain constraints only.  Returns the newly restored
+        sessions.
+        """
+        self._require_fitted()
+        restored: list[UserSession] = []
+        for user_id, profile, texts in self.store.load_session_specs():
+            if user_id in self.sessions:
+                continue
+            if texts is None and not include_opaque:
+                continue
+            session = UserSession(
+                system=self,
+                user_id=user_id,
+                profile=profile,
+                trajectory=self.update_function.trajectory(profile, self.config.T),
+                constraints=self._join_constraints(texts),
+                candidates=self.store.load_candidates(user_id),
+                search_stats=[],
+            )
+            self.sessions[user_id] = session
+            restored.append(session)
+        return restored
+
+    # ------------------------------------------------------------ refresh
+
+    def refresh(
+        self,
+        new_data: TemporalDataset | None = None,
+        *,
+        now: float | None = None,
+        history: TemporalDataset | None = None,
+        warm_start: bool | None = None,
+    ) -> RefreshReport:
+        """Re-forecast on fresh data and recompute only the stale cells.
+
+        The paper's system is a living service: models are re-forecast as
+        new timestamped data arrives, and stored temporal insights must
+        track the *current* forecast.  A full cold recompute of every
+        (user × time-point) cell is wasteful when most models did not
+        actually change, so refresh:
+
+        1. refits the future models on ``history + new_data`` (same
+           seeds, same ``now`` unless overridden);
+        2. diffs per-time-point content fingerprints against the previous
+           models, and adds any individual cells the store ledger marks
+           stale (per-cell invalidations via ``clear_user``, rows
+           stamped under an older model);
+        3. recomputes only those (user, t) cells of every registered
+           session through the shared executor — warm-starting each beam
+           from the user's previously stored candidates unless disabled;
+        4. writes all recomputed cells back in one bulk upsert
+           transaction, leaving untouched cells' rows byte-identical.
+
+        ``new_data`` is merged into the fit-time history; alternatively
+        pass a complete ``history``.  ``warm_start`` overrides
+        :attr:`AdminConfig.warm_start` for this call; with warm start
+        disabled, recomputed cells are bit-identical to a cold
+        recompute.  The fit-time ``diff_scale`` is intentionally kept so
+        stored ``diff`` values stay comparable across refreshes.
+        """
+        self._require_fitted()
+        cfg = self.config
+        if history is None:
+            if self._history is None:
+                raise ForecastError(
+                    "refresh needs the training history; this system was"
+                    " loaded without one — pass history= explicitly"
+                )
+            history = self._history
+        if new_data is not None:
+            history = self._merge_history(history, new_data)
+        if history.schema != self.schema:
+            raise ForecastError("history schema does not match system schema")
+        old_models = self.future_models
+        self.future_models = self._fit_models(
+            history, now if now is not None else old_models.now
+        )
+        self._history = history
+        stale = self.future_models.stale_against(old_models)
+        fresh = tuple(t for t in range(len(self.future_models)) if t not in stale)
+        warm = bool(cfg.warm_start if warm_start is None else warm_start)
+        sessions = list(self.sessions.values())
+        # cells to recompute: every registered session at each model-stale
+        # time point, plus individual cells the store ledger marks stale
+        # (clear_user(uid, time=t) invalidations, rows written under an
+        # older model than the one loaded)
+        cell_times: dict[str, set[int]] = {
+            session.user_id: set(stale) for session in sessions
+        }
+        fingerprints = self.model_fingerprints
+        ledger = self.store.ledger_snapshot()  # one scan serves both loops
+        skipped = 0
+        for user_id, cells in ledger.items():
+            for t, fp in cells.items():
+                if t not in fingerprints or fp == (fingerprints[t] or ""):
+                    continue
+                if user_id in cell_times and 0 <= t < len(self.future_models):
+                    cell_times[user_id].add(t)
+                else:
+                    # stored cells of users without a live session: they
+                    # stay stale until resumed — surfaced, never silently
+                    # dropped
+                    skipped += 1
+        horizon = set(range(len(self.future_models)))
+        for session in sessions:
+            # cells absent from the ledger entirely (the user's rows were
+            # cleared while the session stayed live) have no fingerprint
+            # to mismatch — treat them as stale so the store is restored
+            cell_times[session.user_id] |= horizon - set(
+                ledger.get(session.user_id, ())
+            )
+        if not sessions or not any(cell_times.values()):
+            return RefreshReport(
+                tuple(stale), fresh, len(sessions), 0, 0, warm, skipped
+            )
+
+        def run_one(task):
+            session, t, warm_vectors = task
+            generator = self._cell_generator(t, session.constraints)
+            found = generator.generate(
+                session.trajectory[t], time=t, warm_start=warm_vectors
+            )
+            return found, generator.last_stats_
+
+        # warm vectors are prefetched here, on the calling thread: the
+        # sqlite3 connection must not be touched from executor workers
+        tasks = [
+            (
+                session,
+                t,
+                self.store.cell_vectors(session.user_id, t) if warm else None,
+            )
+            for session in sessions
+            for t in sorted(cell_times[session.user_id])
+        ]
+        results = self._run_tasks(run_one, tasks)
+
+        cells = [
+            (session.user_id, t, found, session.trajectory[t])
+            for (session, t, _), (found, _) in zip(tasks, results)
+        ]
+        written = self.store.upsert_cells(cells, fingerprints=fingerprints)
+
+        by_session: dict[str, dict[int, tuple]] = {}
+        for (session, t, _), result in zip(tasks, results):
+            by_session.setdefault(session.user_id, {})[t] = result
+        for session in sessions:
+            by_time = by_session.get(session.user_id, {})
+            rebuilt: list[Candidate] = []
+            for t in range(len(self.future_models)):
+                if t in by_time:
+                    rebuilt.extend(by_time[t][0])
+                else:
+                    rebuilt.extend(c for c in session.candidates if c.time == t)
+            session.candidates = rebuilt
+            if by_time:
+                # resumed sessions start with empty stats; pad so the
+                # recompute's diagnostics are recorded either way
+                while len(session.search_stats) < len(self.future_models):
+                    session.search_stats.append(None)
+                for t, (_, search_stats) in by_time.items():
+                    session.search_stats[t] = search_stats
+        return RefreshReport(
+            tuple(stale), fresh, len(sessions), len(cells), written, warm, skipped
+        )
+
+    def _merge_history(
+        self, history: TemporalDataset, new_data: TemporalDataset
+    ) -> TemporalDataset:
+        if new_data.schema != self.schema:
+            raise ForecastError("new_data schema does not match system schema")
+        return TemporalDataset(
+            np.vstack([history.X, new_data.X]),
+            np.concatenate([history.y, new_data.y]),
+            np.concatenate([history.timestamps, new_data.timestamps]),
+            self.schema,
+        )
+
+    # ------------------------------------------------------------ helpers
+
+    def _cell_generator(
+        self, t: int, constraints: ConstraintsFunction
+    ) -> CandidateGenerator:
+        """One (user, t) cell's candidates generator — the per-t seed
+        formula makes any recompute of the cell deterministic."""
+        cfg = self.config
+        future_model = self.future_models[t]
+        return CandidateGenerator(
+            future_model.model,
+            future_model.threshold,
+            self.schema,
+            constraints,
+            k=cfg.k,
+            beam_width=cfg.beam_width,
+            max_iter=cfg.max_iter,
+            patience=cfg.patience,
+            objective=cfg.objective,
+            diff_scale=self.diff_scale,
+            random_state=cfg.random_state + 7919 * (t + 1),
+            # getattr: AdminConfig objects unpickled from pre-batch
+            # saves lack the field
+            engine=getattr(cfg, "engine", "batch"),
+        )
+
+    def _run_tasks(self, run_one, tasks) -> list:
+        """Run independent (user × time-point) tasks on the shared executor."""
+        cfg = self.config
+        if cfg.n_jobs > 1 and len(tasks) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=cfg.n_jobs) as pool:
+                return list(pool.map(run_one, tasks))
+        return [run_one(task) for task in tasks]
+
+    @staticmethod
+    def _constraint_texts(user_constraints) -> list | None:
+        """JSON-able constraint entries for persistence, or ``None`` when
+        not serialisable (opaque :class:`ConstraintsFunction` objects).
+
+        DSL strings pass through; ASTs render to DSL (the pretty-printer
+        round-trips through the parser); :class:`ScopedConstraint` items
+        become ``{"expr", "times", "label"}`` dicts.
+        """
+        from repro.constraints.ast import BoolExpr
+        from repro.constraints.evaluate import ScopedConstraint
+
+        if user_constraints is None:
+            return []
+        if not isinstance(user_constraints, (list, tuple)):
+            return None
+        entries: list = []
+        for item in user_constraints:
+            if isinstance(item, str):
+                entries.append(item)
+            elif isinstance(item, ScopedConstraint):
+                entries.append(
+                    {
+                        "expr": str(item.expr),
+                        "times": (
+                            None if item.times is None else sorted(item.times)
+                        ),
+                        "label": item.label,
+                    }
+                )
+            elif isinstance(item, BoolExpr):
+                entries.append(str(item))
+            else:
+                return None
+        return entries
 
     def _user_spec(self, user) -> tuple[str, np.ndarray, object]:
         """Normalise one ``create_sessions`` entry to (id, vector, constraints)."""
@@ -288,9 +657,17 @@ class JustInTime:
             return self.domain_constraints.conjoin(user_constraints)
         fn = ConstraintsFunction(self.schema, diff_scale=self.diff_scale)
         for item in user_constraints:
-            # ConstraintsFunction.add accepts DSL text, ASTs and
-            # pre-scoped constraints alike
-            fn.add(item)
+            if isinstance(item, dict):
+                # rehydrated ScopedConstraint spec (see _constraint_texts)
+                fn.add(
+                    item["expr"],
+                    times=item.get("times"),
+                    label=item.get("label", ""),
+                )
+            else:
+                # ConstraintsFunction.add accepts DSL text, ASTs and
+                # pre-scoped constraints alike
+                fn.add(item)
         return self.domain_constraints.conjoin(fn)
 
 

@@ -5,6 +5,14 @@ schema and query SQL match the paper (see :mod:`repro.db.queries` for the
 documented, semantics-preserving deviations).
 """
 
+from repro.db.backends import (
+    BACKEND_NAMES,
+    MemoryBackend,
+    ShardedSQLiteBackend,
+    SQLiteBackend,
+    StoreBackend,
+    make_backend,
+)
 from repro.db.queries import (
     q1_no_modification,
     q2_minimal_features_set,
@@ -18,7 +26,13 @@ from repro.db.queries import (
 from repro.db.store import CandidateStore
 
 __all__ = [
+    "BACKEND_NAMES",
     "CandidateStore",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "ShardedSQLiteBackend",
+    "StoreBackend",
+    "make_backend",
     "q7_affordable_time",
     "q1_no_modification",
     "q2_minimal_features_set",

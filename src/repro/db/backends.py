@@ -1,0 +1,240 @@
+"""Pluggable storage backends for the candidate store.
+
+:class:`~repro.db.store.CandidateStore` owns the relational schema, SQL
+generation and row marshalling; a :class:`StoreBackend` owns *where* the
+rows live.  Three backends are provided:
+
+``SQLiteBackend`` (``'sqlite'``)
+    One SQLite database file — the durable single-node default.
+``MemoryBackend`` (``'memory'``)
+    One in-process ``:memory:`` database — tests, demos, ephemeral
+    sessions.
+``ShardedSQLiteBackend`` (``'sharded'``)
+    ``n_shards`` SQLite databases attached to one router connection;
+    each user's rows live in exactly one shard, chosen by a stable hash
+    of the user id.  Writes address the owning shard directly (separate
+    files → separate write locks when backed by disk), while global
+    reads — the expert SQL passthrough and the Figure-2 canned queries —
+    go through ``UNION ALL`` views, so the query layer is backend
+    agnostic.
+
+All backends speak sqlite3 underneath: the contract is *connection
+topology* (how many databases, which schema a user's rows live in), not
+a new query language.  The shared backend-contract test suite in
+``tests/test_store_backends.py`` runs every public store operation
+against all three.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import zlib
+from pathlib import Path
+
+from repro.exceptions import StorageError
+
+__all__ = [
+    "BACKEND_NAMES",
+    "MemoryBackend",
+    "ShardedSQLiteBackend",
+    "SQLiteBackend",
+    "StoreBackend",
+    "make_backend",
+]
+
+
+class StoreBackend:
+    """Connection topology behind a :class:`~repro.db.store.CandidateStore`.
+
+    Subclasses provide one sqlite3 connection (possibly with several
+    attached databases) and answer two questions: which database schemas
+    hold table copies, and which schema owns a given user's rows.
+    """
+
+    #: the single connection all reads and writes go through
+    conn: sqlite3.Connection
+
+    def schemas(self) -> tuple[str, ...]:
+        """Database schema names holding one copy of each table."""
+        raise NotImplementedError
+
+    def schema_for(self, user_id: str) -> str:
+        """Schema owning ``user_id``'s rows (stable across processes)."""
+        raise NotImplementedError
+
+    @property
+    def sharded(self) -> bool:
+        return len(self.schemas()) > 1
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+class SQLiteBackend(StoreBackend):
+    """Single SQLite database (file-backed unless ``':memory:'``)."""
+
+    name = "sqlite"
+
+    def __init__(self, path: str | Path = ":memory:"):
+        self.path = str(path)
+        self.conn = sqlite3.connect(self.path)
+
+    def schemas(self) -> tuple[str, ...]:
+        return ("main",)
+
+    def schema_for(self, user_id: str) -> str:
+        return "main"
+
+
+class MemoryBackend(SQLiteBackend):
+    """In-process ``:memory:`` database; contents die with the store."""
+
+    name = "memory"
+
+    def __init__(self):
+        super().__init__(":memory:")
+
+
+class ShardedSQLiteBackend(StoreBackend):
+    """``n_shards`` databases attached to one router connection.
+
+    ``path`` of ``':memory:'`` attaches independent in-memory shards;
+    otherwise shard ``i`` lives in ``<path>.shard<i>``.  The shard count
+    is capped by SQLite's attached-database limit (10 by default); the
+    cap here is 8, leaving room for the router and one user attach.
+    """
+
+    name = "sharded"
+    MAX_SHARDS = 8
+
+    def __init__(self, path: str | Path = ":memory:", n_shards: int = 4):
+        if not 1 <= n_shards <= self.MAX_SHARDS:
+            raise StorageError(
+                f"n_shards must be in [1, {self.MAX_SHARDS}], got {n_shards}"
+            )
+        self.path = str(path)
+        self.n_shards = n_shards
+        if self.path != ":memory:":
+            # reopening with a different shard count than exists on disk
+            # would rehome users (crc32 % n_shards): fewer shards hides
+            # rows, more shards duplicates them on the next rewrite
+            existing = _existing_shard_count(self.path)
+            if existing not in (0, n_shards):
+                raise StorageError(
+                    f"{self.path} has {existing} shard files but n_shards"
+                    f"={n_shards}; reopen with the original shard count"
+                )
+        # file-backed shards get a file-backed router at <path> (it holds
+        # no tables, only the journal anchor): SQLite only guarantees
+        # atomic commits across attached databases when the main database
+        # is not ':memory:', and store_sessions promises one atomic
+        # transaction over the whole multi-shard batch
+        router = ":memory:" if self.path == ":memory:" else self.path
+        self.conn = sqlite3.connect(router)
+        for i in range(n_shards):
+            target = (
+                ":memory:" if self.path == ":memory:" else f"{self.path}.shard{i}"
+            )
+            self.conn.execute(f"ATTACH DATABASE ? AS shard{i}", (target,))
+
+    def schemas(self) -> tuple[str, ...]:
+        return tuple(f"shard{i}" for i in range(self.n_shards))
+
+    def schema_for(self, user_id: str) -> str:
+        # crc32 is stable across processes and python versions (unlike
+        # hash()), so a user's shard assignment survives restarts
+        return f"shard{zlib.crc32(str(user_id).encode()) % self.n_shards}"
+
+
+_BACKENDS = {
+    "sqlite": SQLiteBackend,
+    "memory": MemoryBackend,
+    "sharded": ShardedSQLiteBackend,
+}
+
+#: Names accepted wherever a backend is given as a string.
+BACKEND_NAMES: tuple[str, ...] = tuple(sorted(_BACKENDS))
+
+
+def _existing_shard_count(path: str) -> int:
+    """Consecutive ``<path>.shard<i>`` files already on disk."""
+    count = 0
+    while Path(f"{path}.shard{count}").exists():
+        count += 1
+    return count
+
+
+def make_backend(
+    backend: str | StoreBackend | None,
+    path: str | Path = ":memory:",
+    n_shards: int = 4,
+) -> StoreBackend:
+    """Resolve a backend spec to an instance.
+
+    ``None`` infers from ``path``: ``'memory'`` for ``':memory:'``;
+    ``'sharded'`` (with the on-disk shard count) when ``path`` does not
+    exist but ``<path>.shard0`` does — so a sharded database reopens
+    correctly without re-passing the flag; ``'sqlite'`` otherwise,
+    preserving the historical ``CandidateStore(schema, path)``
+    behaviour.
+    """
+    path_str = str(path)
+    if isinstance(backend, StoreBackend):
+        # a pre-built instance carries its own location — a conflicting
+        # explicit path would be silently ignored (data written elsewhere
+        # than the caller believes), so reject the ambiguity
+        instance_path = getattr(backend, "path", ":memory:")
+        if path_str != ":memory:" and instance_path != path_str:
+            raise StorageError(
+                f"backend instance is bound to {instance_path!r} but"
+                f" path={path_str!r} was also given; pass one or the other"
+            )
+        return backend
+    existing_shards = (
+        0 if path_str == ":memory:" else _existing_shard_count(path_str)
+    )
+    if backend is None:
+        if path_str == ":memory:":
+            backend = "memory"
+        elif existing_shards:
+            # <path>.shard0 .. exist: this is a sharded store (the file
+            # at <path> itself is only its router/journal anchor)
+            backend = "sharded"
+            n_shards = existing_shards
+        else:
+            backend = "sqlite"
+    if backend not in _BACKENDS:
+        raise StorageError(
+            f"unknown store backend {backend!r}; choose from {BACKEND_NAMES}"
+        )
+    # backend-type mismatch guard: opening existing data with the wrong
+    # topology would silently present an empty store (sharded views
+    # shadow a plain database; a bare router file has no tables)
+    if (
+        backend == "sharded"
+        and not existing_shards
+        and path_str != ":memory:"
+        and Path(path_str).exists()
+        and Path(path_str).stat().st_size > 0
+    ):
+        raise StorageError(
+            f"{path_str} holds a plain SQLite database (no shard files);"
+            " open it with backend='sqlite'"
+        )
+    if backend == "sqlite" and existing_shards:
+        raise StorageError(
+            f"{path_str} is a sharded store ({existing_shards} shard"
+            " files); open it with backend='sharded'"
+        )
+    if backend == "memory" and path_str != ":memory:":
+        # silently dropping a real path would make the caller believe
+        # their sessions were persisted
+        raise StorageError(
+            f"backend 'memory' cannot take a database path ({path_str});"
+            " drop the path or use backend='sqlite'/'sharded'"
+        )
+    if backend == "memory":
+        return MemoryBackend()
+    if backend == "sharded":
+        return ShardedSQLiteBackend(path, n_shards=n_shards)
+    return SQLiteBackend(path)

@@ -50,7 +50,7 @@ def q1_no_modification(store: CandidateStore, user_id: str) -> int | None:
     Figure 2: ``SELECT Min(time) FROM candidates WHERE diff = 0``.
     Returns the time index, or ``None`` when no such point exists.
     """
-    rows = store.sql(
+    rows = store._read(
         "SELECT MIN(time) AS t FROM candidates"
         " WHERE user_id = ? AND diff <= ?",
         (user_id, _DIFF_EPS),
@@ -72,7 +72,7 @@ def q7_affordable_time(
     """
     if budget < 0:
         raise QueryError("budget must be non-negative")
-    rows = store.sql(
+    rows = store._read(
         """
         SELECT * FROM candidates
         WHERE user_id = ? AND diff <= ?
@@ -92,7 +92,7 @@ def q2_minimal_features_set(
     Figure 2: ``SELECT * FROM candidates ORDER BY gap LIMIT 1`` (diff then
     confidence break ties deterministically).
     """
-    rows = store.sql(
+    rows = store._read(
         "SELECT * FROM candidates WHERE user_id = ?"
         " ORDER BY gap, diff, p DESC LIMIT 1",
         (user_id,),
@@ -114,7 +114,7 @@ def q3_dominant_feature(
         raise QueryError(
             f"unknown feature {feature!r}; schema has {store.schema.names}"
         )
-    rows = store.sql(
+    rows = store._read(
         f"""
         SELECT DISTINCT c.time AS t
         FROM candidates c
@@ -149,7 +149,7 @@ def q4_minimal_overall_modification(
     Figure 2: ``SELECT Min(diff) FROM candidates``; the full achieving row
     is returned so the UI can render the plan, not just the number.
     """
-    rows = store.sql(
+    rows = store._read(
         "SELECT * FROM candidates WHERE user_id = ?"
         " ORDER BY diff, gap, p DESC LIMIT 1",
         (user_id,),
@@ -164,7 +164,7 @@ def q5_maximal_confidence(
 
     Figure 2: ``SELECT * FROM candidates ORDER BY p DESC LIMIT 1``.
     """
-    rows = store.sql(
+    rows = store._read(
         "SELECT * FROM candidates WHERE user_id = ?"
         " ORDER BY p DESC, diff LIMIT 1",
         (user_id,),
@@ -184,7 +184,7 @@ def q6_turning_point(
     """
     if not 0.0 <= alpha <= 1.0:
         raise QueryError("alpha must lie in [0, 1]")
-    rows = store.sql(
+    rows = store._read(
         """
         SELECT MIN(ti.time) AS t
         FROM temporal_inputs ti

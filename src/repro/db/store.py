@@ -1,24 +1,36 @@
-"""SQLite-backed candidate database.
+"""Relational candidate store over pluggable SQLite backends.
 
 The original system stores generated candidates in MySQL; the schema here
 mirrors the paper's two relations (SQLite executes the same SQL92 the
 paper's Figure 2 shows):
 
-``temporal_inputs(user_id, time, <feature columns...>)``
+``temporal_inputs(user_id, time, <feature columns...>, model_fp)``
     The future representations ``x_0 .. x_T`` of each user's profile.
+    ``model_fp`` records the content fingerprint of the future model the
+    cell's candidates were last computed under — one row per (user, t)
+    cell, so it doubles as the refresh subsystem's staleness ledger.
 
-``candidates(id, user_id, time, <feature columns...>, diff, gap, p)``
+``candidates(id, user_id, time, <feature columns...>, diff, gap, p, model_fp)``
     The per-time-point decision-altering candidates; ``p`` is the model
     confidence (the paper's Q5 orders by ``p``), ``diff``/``gap`` the two
-    distance properties.
+    distance properties, ``model_fp`` the producing model's fingerprint.
+
+``user_sessions(user_id, profile, constraints)``
+    Session specs (profile vector + DSL constraint texts as JSON) so a
+    long-running service can rehydrate sessions after a restart and
+    refresh them.
 
 Feature columns are generated from the dataset schema; names are
 validated as SQL identifiers.  All user-supplied *values* go through
-parametrised statements.
+parametrised statements.  Storage topology (single file, in-memory, or
+user-sharded) is delegated to :mod:`repro.db.backends`; on a sharded
+backend every table exists once per shard and reads go through
+``UNION ALL`` views, so all SQL below stays backend agnostic.
 """
 
 from __future__ import annotations
 
+import json
 import re
 import sqlite3
 from pathlib import Path
@@ -26,13 +38,38 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.candidates import Candidate
+from repro.core.objectives import CandidateMetrics
 from repro.data.schema import DatasetSchema
+from repro.db.backends import StoreBackend, make_backend
 from repro.exceptions import StorageError
 
 __all__ = ["CandidateStore"]
 
 _IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
-_RESERVED = {"id", "user_id", "time", "diff", "gap", "p"}
+_RESERVED = {"id", "user_id", "time", "diff", "gap", "p", "model_fp"}
+
+#: statement openers accepted by the read-only expert passthrough
+_READONLY_OPENERS = ("select", "with", "values", "explain")
+
+
+def _strip_leading_comments(query: str) -> str:
+    """Drop leading whitespace and ``--``/``/* */`` SQL comments so the
+    opener check sees the first real token (experts annotate queries)."""
+    s = query
+    while True:
+        s = s.lstrip()
+        if s.startswith("--"):
+            newline = s.find("\n")
+            if newline == -1:
+                return ""
+            s = s[newline + 1 :]
+        elif s.startswith("/*"):
+            end = s.find("*/")
+            if end == -1:
+                return ""
+            s = s[end + 2 :]
+        else:
+            return s
 
 
 class CandidateStore:
@@ -44,9 +81,22 @@ class CandidateStore:
         Dataset schema; one column per feature is created in both tables.
     path:
         Database file, or ``':memory:'`` (default) for an in-process DB.
+    backend:
+        Backend name (``'sqlite'``, ``'memory'``, ``'sharded'``), a
+        :class:`~repro.db.backends.StoreBackend` instance, or ``None`` to
+        infer from ``path``.
+    n_shards:
+        Shard count for the ``'sharded'`` backend (ignored otherwise).
     """
 
-    def __init__(self, schema: DatasetSchema, path: str | Path = ":memory:"):
+    def __init__(
+        self,
+        schema: DatasetSchema,
+        path: str | Path = ":memory:",
+        *,
+        backend: str | StoreBackend | None = None,
+        n_shards: int = 4,
+    ):
         for name in schema.names:
             if not _IDENTIFIER_RE.match(name):
                 raise StorageError(f"feature name {name!r} is not a SQL identifier")
@@ -55,45 +105,94 @@ class CandidateStore:
                     f"feature name {name!r} collides with a reserved column"
                 )
         self.schema = schema
-        self._conn = sqlite3.connect(str(path))
+        self._backend = make_backend(backend, path, n_shards=n_shards)
+        self._conn = self._backend.conn
         self._conn.row_factory = sqlite3.Row
         self._create_tables()
+
+    @property
+    def backend(self) -> StoreBackend:
+        return self._backend
 
     # ------------------------------------------------------------- schema
 
     def _create_tables(self) -> None:
         feature_cols = ", ".join(f"{name} REAL NOT NULL" for name in self.schema.names)
         with self._conn:
-            self._conn.execute(
-                f"""
-                CREATE TABLE IF NOT EXISTS temporal_inputs (
-                    user_id TEXT NOT NULL,
-                    time INTEGER NOT NULL,
-                    {feature_cols},
-                    PRIMARY KEY (user_id, time)
+            for db in self._backend.schemas():
+                self._conn.execute(
+                    f"""
+                    CREATE TABLE IF NOT EXISTS {db}.temporal_inputs (
+                        user_id TEXT NOT NULL,
+                        time INTEGER NOT NULL,
+                        {feature_cols},
+                        model_fp TEXT NOT NULL DEFAULT '',
+                        PRIMARY KEY (user_id, time)
+                    )
+                    """
                 )
-                """
-            )
-            self._conn.execute(
-                f"""
-                CREATE TABLE IF NOT EXISTS candidates (
-                    id INTEGER PRIMARY KEY AUTOINCREMENT,
-                    user_id TEXT NOT NULL,
-                    time INTEGER NOT NULL,
-                    {feature_cols},
-                    diff REAL NOT NULL,
-                    gap INTEGER NOT NULL,
-                    p REAL NOT NULL
+                self._conn.execute(
+                    f"""
+                    CREATE TABLE IF NOT EXISTS {db}.candidates (
+                        id INTEGER PRIMARY KEY AUTOINCREMENT,
+                        user_id TEXT NOT NULL,
+                        time INTEGER NOT NULL,
+                        {feature_cols},
+                        diff REAL NOT NULL,
+                        gap INTEGER NOT NULL,
+                        p REAL NOT NULL,
+                        model_fp TEXT NOT NULL DEFAULT ''
+                    )
+                    """
                 )
-                """
-            )
-            self._conn.execute(
-                "CREATE INDEX IF NOT EXISTS idx_candidates_user_time"
-                " ON candidates (user_id, time)"
-            )
+                self._conn.execute(
+                    f"CREATE INDEX IF NOT EXISTS {db}.idx_candidates_user_time"
+                    " ON candidates (user_id, time)"
+                )
+                self._conn.execute(
+                    f"""
+                    CREATE TABLE IF NOT EXISTS {db}.user_sessions (
+                        user_id TEXT PRIMARY KEY,
+                        profile TEXT NOT NULL,
+                        constraints TEXT
+                    )
+                    """
+                )
+                # migrate databases created before the refresh subsystem:
+                # their tables predate the model_fp column (cells read as
+                # fingerprint '' — i.e. stale, which is the safe default)
+                for table in ("temporal_inputs", "candidates"):
+                    columns = {
+                        row[1]
+                        for row in self._conn.execute(
+                            f"PRAGMA {db}.table_info({table})"
+                        )
+                    }
+                    if "model_fp" not in columns:
+                        self._conn.execute(
+                            f"ALTER TABLE {db}.{table} ADD COLUMN"
+                            " model_fp TEXT NOT NULL DEFAULT ''"
+                        )
+            if self._backend.sharded:
+                # read-side: one UNION ALL view per table so global
+                # queries (expert SQL, Figure-2 canned SQL) are
+                # shard-transparent; sqlite views are read-only, which
+                # suits the expert interface
+                for table in ("temporal_inputs", "candidates", "user_sessions"):
+                    union = " UNION ALL ".join(
+                        f"SELECT * FROM {db}.{table}"
+                        for db in self._backend.schemas()
+                    )
+                    self._conn.execute(
+                        f"CREATE TEMP VIEW IF NOT EXISTS {table} AS {union}"
+                    )
+
+    def _db_for(self, user_id: str) -> str:
+        """Qualified schema prefix owning ``user_id``'s rows."""
+        return self._backend.schema_for(user_id)
 
     def close(self) -> None:
-        self._conn.close()
+        self._backend.close()
 
     def __enter__(self) -> "CandidateStore":
         return self
@@ -103,25 +202,35 @@ class CandidateStore:
 
     # ------------------------------------------------------------- writes
 
-    def _insert_sql(self, table: str, extra_columns: tuple[str, ...] = ()) -> str:
+    def _insert_sql(
+        self, db: str, table: str, extra_columns: tuple[str, ...] = ()
+    ) -> str:
         columns = ["user_id", "time", *self.schema.names, *extra_columns]
         placeholders = ", ".join("?" for _ in columns)
         return (
-            f"INSERT INTO {table} ({', '.join(columns)}) VALUES ({placeholders})"
+            f"INSERT INTO {db}.{table} ({', '.join(columns)})"
+            f" VALUES ({placeholders})"
         )
 
-    def _input_rows(self, user_id: str, trajectory) -> list[tuple]:
+    def _input_rows(
+        self, user_id: str, trajectory, fingerprints: dict[int, str] | None
+    ) -> list[tuple]:
         trajectory = np.atleast_2d(np.asarray(trajectory, dtype=float))
         if trajectory.shape[1] != len(self.schema):
             raise StorageError(
                 f"trajectory has {trajectory.shape[1]} columns,"
                 f" schema expects {len(self.schema)}"
             )
+        fingerprints = fingerprints or {}
         return [
-            (user_id, t, *map(float, row)) for t, row in enumerate(trajectory)
+            (user_id, t, *map(float, row), fingerprints.get(t) or "")
+            for t, row in enumerate(trajectory)
         ]
 
-    def _candidate_rows(self, user_id: str, candidates) -> list[tuple]:
+    def _candidate_rows(
+        self, user_id: str, candidates, fingerprints: dict[int, str] | None
+    ) -> list[tuple]:
+        fingerprints = fingerprints or {}
         return [
             (
                 user_id,
@@ -130,39 +239,76 @@ class CandidateStore:
                 float(c.diff),
                 int(c.gap),
                 float(c.confidence),
+                fingerprints.get(int(c.time)) or "",
             )
             for c in candidates
         ]
 
-    def store_temporal_inputs(self, user_id: str, trajectory) -> None:
+    @staticmethod
+    def _spec_row(user_id: str, profile, constraint_texts) -> tuple:
+        """Marshal one session spec to a ``user_sessions`` row.
+
+        ``constraint_texts`` is a list of JSON-able entries — DSL strings
+        or ``{"expr", "times", "label"}`` dicts for scoped constraints —
+        or ``None`` when the session's constraints are not serialisable
+        (opaque :class:`ConstraintsFunction` objects), in which case the
+        session is not resumable by default.
+        """
+        profile_json = json.dumps([float(v) for v in np.asarray(profile).ravel()])
+        constraints_json = (
+            None
+            if constraint_texts is None
+            else json.dumps(list(constraint_texts))
+        )
+        return (user_id, profile_json, constraints_json)
+
+    def store_temporal_inputs(
+        self, user_id: str, trajectory, fingerprints: dict[int, str] | None = None
+    ) -> None:
         """Insert/replace the rows ``x_0 .. x_T`` for ``user_id``."""
-        rows = self._input_rows(user_id, trajectory)
+        rows = self._input_rows(user_id, trajectory, fingerprints)
+        db = self._db_for(user_id)
         with self._conn:
             self._conn.execute(
-                "DELETE FROM temporal_inputs WHERE user_id = ?", (user_id,)
+                f"DELETE FROM {db}.temporal_inputs WHERE user_id = ?", (user_id,)
             )
-            self._conn.executemany(self._insert_sql("temporal_inputs"), rows)
+            self._conn.executemany(
+                self._insert_sql(db, "temporal_inputs", ("model_fp",)), rows
+            )
 
-    def store_candidates(self, user_id: str, candidates: list[Candidate]) -> None:
+    def store_candidates(
+        self,
+        user_id: str,
+        candidates: list[Candidate],
+        fingerprints: dict[int, str] | None = None,
+    ) -> None:
         """Append candidates (any time points) for ``user_id``."""
-        rows = self._candidate_rows(user_id, candidates)
+        rows = self._candidate_rows(user_id, candidates, fingerprints)
+        db = self._db_for(user_id)
         with self._conn:
             self._conn.executemany(
-                self._insert_sql("candidates", ("diff", "gap", "p")), rows
+                self._insert_sql(db, "candidates", ("diff", "gap", "p", "model_fp")),
+                rows,
             )
 
-    def store_sessions(self, sessions) -> None:
+    def store_sessions(
+        self,
+        sessions,
+        fingerprints: dict[int, str] | None = None,
+        specs=None,
+    ) -> None:
         """Bulk multi-user write in one transaction.
 
         ``sessions`` is an iterable of ``(user_id, trajectory,
         candidates)`` triples.  For every user the existing rows are
         replaced and the temporal inputs + candidates inserted; a single
         transaction covers the whole batch, so a 50-user ingest pays one
-        commit instead of 150.
+        commit instead of 150.  ``fingerprints`` maps time index to the
+        producing model's content fingerprint; ``specs`` is an optional
+        iterable of ``(user_id, profile, constraint_texts_or_None)``
+        persisted to ``user_sessions`` for later rehydration.
         """
-        input_rows: list[tuple] = []
-        cand_rows: list[tuple] = []
-        user_ids: list[str] = []
+        per_db: dict[str, dict[str, list]] = {}
         seen: set[str] = set()
         for user_id, trajectory, candidates in sessions:
             if user_id in seen:
@@ -170,52 +316,215 @@ class CandidateStore:
                     f"duplicate user_id {user_id!r} in store_sessions batch"
                 )
             seen.add(user_id)
-            user_ids.append(user_id)
-            input_rows.extend(self._input_rows(user_id, trajectory))
-            cand_rows.extend(self._candidate_rows(user_id, candidates))
+            bucket = per_db.setdefault(
+                self._db_for(user_id), {"users": [], "inputs": [], "cands": []}
+            )
+            bucket["users"].append((user_id,))
+            bucket["inputs"].extend(
+                self._input_rows(user_id, trajectory, fingerprints)
+            )
+            bucket["cands"].extend(
+                self._candidate_rows(user_id, candidates, fingerprints)
+            )
+        spec_rows: dict[str, list[tuple]] = {}
+        for spec in specs or ():
+            row = self._spec_row(*spec)
+            spec_rows.setdefault(self._db_for(spec[0]), []).append(row)
         with self._conn:
-            self._conn.executemany(
-                "DELETE FROM candidates WHERE user_id = ?",
-                [(u,) for u in user_ids],
-            )
-            self._conn.executemany(
-                "DELETE FROM temporal_inputs WHERE user_id = ?",
-                [(u,) for u in user_ids],
-            )
-            self._conn.executemany(self._insert_sql("temporal_inputs"), input_rows)
-            self._conn.executemany(
-                self._insert_sql("candidates", ("diff", "gap", "p")), cand_rows
-            )
+            for db, bucket in per_db.items():
+                self._conn.executemany(
+                    f"DELETE FROM {db}.candidates WHERE user_id = ?",
+                    bucket["users"],
+                )
+                self._conn.executemany(
+                    f"DELETE FROM {db}.temporal_inputs WHERE user_id = ?",
+                    bucket["users"],
+                )
+                self._conn.executemany(
+                    self._insert_sql(db, "temporal_inputs", ("model_fp",)),
+                    bucket["inputs"],
+                )
+                self._conn.executemany(
+                    self._insert_sql(
+                        db, "candidates", ("diff", "gap", "p", "model_fp")
+                    ),
+                    bucket["cands"],
+                )
+            for db, rows in spec_rows.items():
+                self._conn.executemany(
+                    f"INSERT OR REPLACE INTO {db}.user_sessions"
+                    " (user_id, profile, constraints) VALUES (?, ?, ?)",
+                    rows,
+                )
 
-    def clear_user(self, user_id: str) -> None:
-        """Remove all rows belonging to ``user_id`` from both tables."""
+    def upsert_cells(
+        self, cells, fingerprints: dict[int, str] | None = None
+    ) -> int:
+        """Replace the candidates of specific (user, time) cells.
+
+        ``cells`` is an iterable of ``(user_id, time, candidates)`` or
+        ``(user_id, time, candidates, x_t)`` tuples; all deletes and
+        inserts run in **one transaction** (the incremental refresh
+        writes every recomputed cell through a single call).  Rows of
+        untouched cells are left byte-identical.  The cell's
+        ``temporal_inputs`` ledger row is stamped with the new model
+        fingerprint; if that row is missing (e.g. the user was fully
+        cleared while their session stayed live) it is re-inserted from
+        ``x_t`` when given, and the upsert fails otherwise — candidates
+        without a horizon row would be invisible to the staleness ledger
+        and the Figure-2 horizon queries.  Returns the number of
+        candidate rows written.
+        """
+        fingerprints = fingerprints or {}
+        written = 0
         with self._conn:
-            self._conn.execute(
-                "DELETE FROM candidates WHERE user_id = ?", (user_id,)
-            )
-            self._conn.execute(
-                "DELETE FROM temporal_inputs WHERE user_id = ?", (user_id,)
-            )
+            for cell in cells:
+                user_id, time, candidates = cell[0], int(cell[1]), cell[2]
+                x_t = cell[3] if len(cell) > 3 else None
+                db = self._db_for(user_id)
+                self._conn.execute(
+                    f"DELETE FROM {db}.candidates WHERE user_id = ? AND time = ?",
+                    (user_id, time),
+                )
+                rows = self._candidate_rows(user_id, candidates, fingerprints)
+                for row in rows:
+                    if int(row[1]) != time:
+                        raise StorageError(
+                            f"candidate for time {row[1]} in cell"
+                            f" ({user_id!r}, {time})"
+                        )
+                self._conn.executemany(
+                    self._insert_sql(
+                        db, "candidates", ("diff", "gap", "p", "model_fp")
+                    ),
+                    rows,
+                )
+                cursor = self._conn.execute(
+                    f"UPDATE {db}.temporal_inputs SET model_fp = ?"
+                    " WHERE user_id = ? AND time = ?",
+                    (fingerprints.get(time) or "", user_id, time),
+                )
+                if cursor.rowcount == 0:
+                    if x_t is None:
+                        raise StorageError(
+                            f"cell ({user_id!r}, {time}) has no"
+                            " temporal_inputs row; pass x_t to restore it"
+                        )
+                    vector = np.asarray(x_t, dtype=float).ravel()
+                    if vector.size != len(self.schema):
+                        raise StorageError(
+                            f"x_t has {vector.size} entries, schema"
+                            f" expects {len(self.schema)}"
+                        )
+                    self._conn.execute(
+                        self._insert_sql(db, "temporal_inputs", ("model_fp",)),
+                        (
+                            user_id,
+                            time,
+                            *map(float, vector),
+                            fingerprints.get(time) or "",
+                        ),
+                    )
+                written += len(rows)
+        return written
+
+    def clear_user(self, user_id: str, time: int | None = None) -> None:
+        """Remove rows belonging to ``user_id``.
+
+        With ``time`` given, only that (user, time) cell is invalidated —
+        its candidates are dropped and its ledger row stamped with the
+        empty fingerprint (i.e. stale, so :meth:`stale_cells` reports it
+        and a refresh recomputes it), while the user's still-valid cells
+        at other time points survive untouched.  The temporal-input
+        vector itself stays: it is model independent, and the Figure-2
+        horizon queries (Q3/Q6) must keep seeing the full horizon.
+        Without ``time``, every row of the user is dropped (including
+        the persisted session spec) — note that if the user still has a
+        *registered* live session, the next refresh will recompute and
+        re-store their cells; use :meth:`JustInTime.drop_session` to
+        fully forget a user.
+        """
+        db = self._db_for(user_id)
+        with self._conn:
+            if time is None:
+                self._conn.execute(
+                    f"DELETE FROM {db}.candidates WHERE user_id = ?", (user_id,)
+                )
+                self._conn.execute(
+                    f"DELETE FROM {db}.temporal_inputs WHERE user_id = ?",
+                    (user_id,),
+                )
+                self._conn.execute(
+                    f"DELETE FROM {db}.user_sessions WHERE user_id = ?",
+                    (user_id,),
+                )
+            else:
+                self._conn.execute(
+                    f"DELETE FROM {db}.candidates WHERE user_id = ? AND time = ?",
+                    (user_id, int(time)),
+                )
+                self._conn.execute(
+                    f"UPDATE {db}.temporal_inputs SET model_fp = ''"
+                    " WHERE user_id = ? AND time = ?",
+                    (user_id, int(time)),
+                )
 
     # -------------------------------------------------------------- reads
 
-    def sql(self, query: str, params=()) -> list[sqlite3.Row]:
-        """Expert passthrough: run arbitrary SQL and return rows.
-
-        The paper lets "expert users compose additional SQL queries";
-        this is that interface.
-        """
+    def _read(self, query: str, params=()) -> list[sqlite3.Row]:
+        """Internal read path: trusted, fixed SQL — no expert-interface
+        policing (and none of its per-call PRAGMA round-trips).  Also
+        used by the canned Figure-2 queries (:mod:`repro.db.queries`)
+        and the insights layer; only :meth:`sql` — the expert
+        passthrough behind the canned-question UI — is policed."""
         try:
-            cursor = self._conn.execute(query, params)
+            return self._conn.execute(query, params).fetchall()
         except sqlite3.Error as exc:
             raise StorageError(f"SQL error: {exc}") from exc
-        return cursor.fetchall()
+
+    def sql(self, query: str, params=()) -> list[sqlite3.Row]:
+        """Expert passthrough: run **read-only** SQL and return rows.
+
+        The paper lets "expert users compose additional SQL queries";
+        this is that interface, intended to sit behind a canned-question
+        UI — so it must never be able to mutate the store.  Enforcement
+        is two-layer: a statement-opener check rejects anything that is
+        not a ``SELECT``/``WITH``/``VALUES``/``EXPLAIN`` with a clear
+        error, and ``PRAGMA query_only`` makes the connection itself
+        refuse writes for the duration (catching e.g. a
+        ``WITH ... INSERT`` that passes the opener check).
+        """
+        stripped = _strip_leading_comments(query)
+        opener = stripped.split("(", 1)[0].split(None, 1)
+        if not opener or opener[0].lower() not in _READONLY_OPENERS:
+            raise StorageError(
+                "sql() is read-only: statements must start with one of"
+                f" {tuple(o.upper() for o in _READONLY_OPENERS)};"
+                " use the store's write methods to modify data"
+            )
+        self._conn.execute("PRAGMA query_only = ON")
+        try:
+            cursor = self._conn.execute(query, params)
+            return cursor.fetchall()
+        except (sqlite3.Error, sqlite3.Warning) as exc:
+            lowered = str(exc).lower()
+            # "attempt to write a readonly database" (query_only) or
+            # "cannot modify X because it is a view" (sharded union views)
+            if "readonly" in lowered or "read-only" in lowered or (
+                "cannot modify" in lowered
+            ):
+                raise StorageError(
+                    f"sql() is read-only: statement rejected ({exc})"
+                ) from exc
+            raise StorageError(f"SQL error: {exc}") from exc
+        finally:
+            self._conn.execute("PRAGMA query_only = OFF")
 
     def candidate_count(self, user_id: str | None = None) -> int:
         if user_id is None:
-            rows = self.sql("SELECT COUNT(*) AS n FROM candidates")
+            rows = self._read("SELECT COUNT(*) AS n FROM candidates")
         else:
-            rows = self.sql(
+            rows = self._read(
                 "SELECT COUNT(*) AS n FROM candidates WHERE user_id = ?",
                 (user_id,),
             )
@@ -223,7 +532,7 @@ class CandidateStore:
 
     def temporal_input(self, user_id: str, time: int) -> np.ndarray:
         """Fetch one temporal-input vector back out of the store."""
-        rows = self.sql(
+        rows = self._read(
             "SELECT * FROM temporal_inputs WHERE user_id = ? AND time = ?",
             (user_id, int(time)),
         )
@@ -236,12 +545,117 @@ class CandidateStore:
 
     def times_for(self, user_id: str) -> list[int]:
         """Sorted distinct time points present in temporal_inputs."""
-        rows = self.sql(
+        rows = self._read(
             "SELECT DISTINCT time FROM temporal_inputs WHERE user_id = ?"
             " ORDER BY time",
             (user_id,),
         )
         return [int(r["time"]) for r in rows]
+
+    def user_ids(self) -> list[str]:
+        """Sorted distinct user ids present in temporal_inputs."""
+        rows = self._read(
+            "SELECT DISTINCT user_id FROM temporal_inputs ORDER BY user_id"
+        )
+        return [str(r["user_id"]) for r in rows]
+
+    def cell_fingerprints(self, user_id: str) -> dict[int, str]:
+        """``{time: model fingerprint}`` the user's cells were computed under."""
+        rows = self._read(
+            "SELECT time, model_fp FROM temporal_inputs WHERE user_id = ?"
+            " ORDER BY time",
+            (user_id,),
+        )
+        return {int(r["time"]): str(r["model_fp"]) for r in rows}
+
+    def ledger_snapshot(self) -> dict[str, dict[int, str]]:
+        """The whole staleness ledger in one scan:
+        ``{user_id: {time: model_fp}}`` (one scan beats per-user or
+        per-time queries, which on the sharded backend would each fan out
+        across every shard)."""
+        rows = self._read(
+            "SELECT user_id, time, model_fp FROM temporal_inputs"
+            " ORDER BY user_id, time"
+        )
+        snapshot: dict[str, dict[int, str]] = {}
+        for row in rows:
+            snapshot.setdefault(str(row["user_id"]), {})[int(row["time"])] = str(
+                row["model_fp"]
+            )
+        return snapshot
+
+    def stale_cells(
+        self, fingerprints: dict[int, str]
+    ) -> list[tuple[str, int]]:
+        """(user, time) cells whose ledger fingerprint differs from current.
+
+        ``fingerprints`` maps time index to the *current* model
+        fingerprint; any cell recorded under a different (or empty)
+        fingerprint is stale.  Cells at time points missing from
+        ``fingerprints`` are not reported.
+        """
+        return [
+            (user_id, t)
+            for user_id, cells in sorted(self.ledger_snapshot().items())
+            for t, fp in sorted(cells.items())
+            if t in fingerprints and fp != (fingerprints[t] or "")
+        ]
+
+    def cell_vectors(self, user_id: str, time: int) -> np.ndarray:
+        """Stored candidate feature vectors of one cell, shape ``(n, d)``.
+
+        Insertion-ordered (by rowid); the warm-start path feeds these to
+        the beam as seed states.
+        """
+        rows = self._read(
+            "SELECT * FROM candidates WHERE user_id = ? AND time = ?"
+            " ORDER BY id",
+            (user_id, int(time)),
+        )
+        if not rows:
+            return np.empty((0, len(self.schema)))
+        return np.vstack([self.row_to_vector(row) for row in rows])
+
+    def load_candidates(self, user_id: str) -> list[Candidate]:
+        """Reconstruct the user's :class:`Candidate` objects from rows."""
+        rows = self._read(
+            "SELECT * FROM candidates WHERE user_id = ? ORDER BY time, id",
+            (user_id,),
+        )
+        return [
+            Candidate(
+                self.row_to_vector(row),
+                int(row["time"]),
+                CandidateMetrics(
+                    diff=float(row["diff"]),
+                    gap=int(row["gap"]),
+                    confidence=float(row["p"]),
+                ),
+            )
+            for row in rows
+        ]
+
+    def load_session_specs(self) -> list[tuple[str, np.ndarray, list[str] | None]]:
+        """Persisted session specs: ``(user_id, profile, constraint_texts)``."""
+        rows = self._read(
+            "SELECT user_id, profile, constraints FROM user_sessions"
+            " ORDER BY user_id"
+        )
+        specs = []
+        for row in rows:
+            constraints = (
+                None
+                if row["constraints"] is None
+                else list(json.loads(row["constraints"]))
+            )
+            specs.append(
+                (
+                    str(row["user_id"]),
+                    np.asarray(json.loads(row["profile"]), dtype=float),
+                    constraints,
+                )
+            )
+        return specs
 
     def row_to_vector(self, row: sqlite3.Row) -> np.ndarray:
         """Extract the feature vector from any row with feature columns."""

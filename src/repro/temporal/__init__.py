@@ -22,7 +22,13 @@ from repro.temporal.embedding import (
     median_heuristic_gamma,
     mmd,
 )
+from repro.temporal.fingerprint import (
+    canonical_bytes,
+    content_fingerprint,
+    model_fingerprint,
+)
 from repro.temporal.forecast import (
+    STRATEGY_NAMES,
     EDDStrategy,
     ForecastStrategy,
     FullHistoryStrategy,
@@ -31,6 +37,7 @@ from repro.temporal.forecast import (
     LastWindowStrategy,
     ModelsGenerator,
     OracleStrategy,
+    PerPeriodStrategy,
     RecencyWeightStrategy,
     ScaledLinearModel,
     WeightExtrapolationStrategy,
@@ -56,11 +63,16 @@ __all__ = [
     "LinearKernel",
     "ModelsGenerator",
     "OracleStrategy",
+    "PerPeriodStrategy",
     "PolynomialKernel",
     "RBFKernel",
     "RecencyWeightStrategy",
+    "STRATEGY_NAMES",
     "ScaledLinearModel",
     "TemporalUpdateFunction",
+    "canonical_bytes",
+    "content_fingerprint",
+    "model_fingerprint",
     "WeightExtrapolationStrategy",
     "WeightedSample",
     "calibrate_threshold",

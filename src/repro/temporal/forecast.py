@@ -47,6 +47,7 @@ from repro.ml.linear import LogisticRegression
 from repro.ml.preprocessing import StandardScaler
 from repro.temporal.edd import EDDPredictor
 from repro.temporal.embedding import RBFKernel, median_heuristic_gamma
+from repro.temporal.fingerprint import model_fingerprint
 from repro.temporal.herding import herd
 from repro.temporal.thresholds import calibrate_threshold
 
@@ -62,6 +63,8 @@ __all__ = [
     "EDDStrategy",
     "OracleStrategy",
     "ModelsGenerator",
+    "PerPeriodStrategy",
+    "STRATEGY_NAMES",
     "make_strategy",
 ]
 
@@ -75,12 +78,18 @@ def _default_model_factory() -> BaseClassifier:
 
 @dataclass(frozen=True)
 class FutureModel:
-    """One ``(M_t, δ_t)`` pair plus its calendar position."""
+    """One ``(M_t, δ_t)`` pair plus its calendar position.
+
+    ``fingerprint`` is the deterministic content digest computed by the
+    models generator (see :mod:`repro.temporal.fingerprint`); ``None``
+    only for hand-assembled instances and pre-fingerprint pickles.
+    """
 
     t: int
     time_value: float
     model: BaseClassifier
     threshold: float
+    fingerprint: str | None = None
 
     def score(self, X) -> np.ndarray:
         return self.model.decision_score(X)
@@ -124,6 +133,29 @@ class FutureModels:
 
     def decides_positive(self, x, t: int) -> bool:
         return bool(self.score(x, t) > self[t].threshold)
+
+    @property
+    def fingerprints(self) -> dict[int, str | None]:
+        """``{t: content fingerprint}`` for every time point."""
+        return {fm.t: fm.fingerprint for fm in self._models}
+
+    def stale_against(self, previous: "FutureModels") -> list[int]:
+        """Time indices whose model content differs from ``previous``.
+
+        A time point is stale when its fingerprint changed, when either
+        side lacks a fingerprint (pre-fingerprint pickles: assume stale,
+        never serve silently outdated candidates), or when ``previous``
+        has no model at that index.
+        """
+        stale = []
+        for fm in self._models:
+            if fm.t >= len(previous):
+                stale.append(fm.t)
+                continue
+            old = previous[fm.t].fingerprint
+            if old is None or fm.fingerprint is None or old != fm.fingerprint:
+                stale.append(fm.t)
+        return stale
 
 
 class ScaledLinearModel(BaseClassifier):
@@ -382,6 +414,34 @@ class EDDStrategy(ForecastStrategy):
         return models
 
 
+class PerPeriodStrategy(ForecastStrategy):
+    """Model for time index t trains on the t-th ``window`` of history.
+
+    The simplest forecaster with genuinely per-time-point models — and,
+    more importantly, a *drift-locality harness*: new samples with
+    timestamps inside one window change exactly one model, so it pins
+    "one of T time points drifts" scenarios in refresh tests and
+    ``benchmarks/bench_incremental_refresh.py``.  Not registered under a
+    name (it is a baseline/harness, not a recommended production
+    forecaster); construct it explicitly.
+    """
+
+    def __init__(self, window: float = 1.0):
+        if window <= 0:
+            raise ForecastError("window must be positive")
+        self.window = window
+
+    def build(self, history, times, model_factory, rng):
+        start = float(np.floor(history.span[0]))
+        models = []
+        for i in range(len(times)):
+            window = history.window(
+                start + i * self.window, start + (i + 1) * self.window
+            )
+            models.append(self._fit(model_factory, window.X, window.y, rng))
+        return models
+
+
 class OracleStrategy(ForecastStrategy):
     """Benchmark upper bound: trains on ground-truth-labeled future data.
 
@@ -412,6 +472,10 @@ _STRATEGIES: dict[str, Callable[[], ForecastStrategy]] = {
     "weights": WeightExtrapolationStrategy,
     "edd": EDDStrategy,
 }
+
+#: Names accepted wherever a strategy is given as a string
+#: (``oracle`` must be constructed explicitly).
+STRATEGY_NAMES: tuple[str, ...] = tuple(sorted(_STRATEGIES))
 
 
 def make_strategy(name: str, **kwargs) -> ForecastStrategy:
@@ -507,5 +571,8 @@ class ModelsGenerator:
                 fixed_value=self.fixed_threshold,
                 target_rate=self.target_rate,
             )
-            future.append(FutureModel(t, tau, model, threshold))
+            fingerprint = model_fingerprint(
+                model, threshold, self.strategy, self.random_state
+            )
+            future.append(FutureModel(t, tau, model, threshold, fingerprint))
         return FutureModels(future, delta=self.delta, now=now)

@@ -1,0 +1,400 @@
+"""Shared backend-contract suite for the candidate store.
+
+Every public store operation must behave identically on all three
+backends (single-file SQLite, in-memory, user-sharded SQLite); the
+tests below are parametrised over backend factories so one suite is the
+contract.  Sharding-specific behaviour (routing, cross-shard reads) has
+its own class at the bottom.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Candidate, CandidateMetrics
+from repro.data import DatasetSchema, FeatureSpec
+from repro.db import (
+    BACKEND_NAMES,
+    CandidateStore,
+    MemoryBackend,
+    ShardedSQLiteBackend,
+    SQLiteBackend,
+    make_backend,
+    q4_minimal_overall_modification,
+)
+from repro.exceptions import StorageError
+
+
+def make_candidate(x, time=0, diff=1.0, gap=1, confidence=0.8):
+    return Candidate(
+        np.asarray(x, dtype=float),
+        time,
+        CandidateMetrics(diff=diff, gap=gap, confidence=confidence),
+    )
+
+
+BACKENDS = ["sqlite", "memory", "sharded"]
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request, schema, tmp_path):
+    path = ":memory:" if request.param == "memory" else tmp_path / "cands.db"
+    with CandidateStore(schema, path, backend=request.param) as s:
+        yield s
+
+
+class TestBackendResolution:
+    def test_names_registry(self):
+        assert BACKEND_NAMES == ("memory", "sharded", "sqlite")
+
+    def test_infers_from_path(self, tmp_path):
+        assert isinstance(make_backend(None, ":memory:"), MemoryBackend)
+        backend = make_backend(None, tmp_path / "x.db")
+        assert isinstance(backend, SQLiteBackend)
+        backend.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(StorageError, match="unknown store backend"):
+            make_backend("mysql")
+
+    def test_memory_backend_with_real_path_rejected(self, tmp_path):
+        """A caller passing a db path with backend='memory' would believe
+        their data is persisted — refuse instead of silently dropping."""
+        with pytest.raises(StorageError, match="memory"):
+            make_backend("memory", tmp_path / "x.db")
+
+    def test_instance_passthrough(self, schema):
+        backend = MemoryBackend()
+        store = CandidateStore(schema, backend=backend)
+        assert store.backend is backend
+        store.close()
+
+    def test_instance_with_conflicting_path_rejected(self, schema, tmp_path):
+        """A pre-built backend carries its own location; a different
+        explicit path would be silently ignored — reject the ambiguity."""
+        backend = MemoryBackend()
+        with pytest.raises(StorageError, match="pass one or the other"):
+            CandidateStore(schema, tmp_path / "x.db", backend=backend)
+        backend.close()
+
+    def test_shard_count_bounds(self):
+        with pytest.raises(StorageError, match="n_shards"):
+            ShardedSQLiteBackend(n_shards=0)
+        with pytest.raises(StorageError, match="n_shards"):
+            ShardedSQLiteBackend(n_shards=99)
+
+
+class TestContractWrites:
+    """The original store semantics, now enforced per backend."""
+
+    def test_temporal_inputs_roundtrip(self, store, john):
+        trajectory = np.vstack([john, john, john])
+        trajectory[1, 0] += 1
+        store.store_temporal_inputs("u1", trajectory)
+        assert store.times_for("u1") == [0, 1, 2]
+        assert np.allclose(store.temporal_input("u1", 1), trajectory[1])
+
+    def test_candidates_roundtrip(self, store, john):
+        store.store_candidates("u1", [make_candidate(john), make_candidate(john, 1)])
+        assert store.candidate_count("u1") == 2
+        loaded = store.load_candidates("u1")
+        assert [c.time for c in loaded] == [0, 1]
+        assert np.allclose(loaded[0].x, john)
+
+    def test_store_sessions_bulk(self, store, john):
+        trajectory = np.vstack([john, john])
+        store.store_sessions(
+            [
+                ("u1", trajectory, [make_candidate(john)]),
+                ("u2", trajectory, [make_candidate(john), make_candidate(john, 1)]),
+            ],
+            fingerprints={0: "fp0", 1: "fp1"},
+        )
+        assert store.candidate_count() == 3
+        assert store.user_ids() == ["u1", "u2"]
+        assert store.cell_fingerprints("u1") == {0: "fp0", 1: "fp1"}
+
+    def test_rows_carry_model_fp(self, store, john):
+        store.store_candidates("u1", [make_candidate(john, time=1)], {1: "abc123"})
+        row = store.sql("SELECT * FROM candidates")[0]
+        assert row["model_fp"] == "abc123"
+
+    def test_upsert_cells_replaces_only_target(self, store, john):
+        trajectory = np.vstack([john, john])
+        store.store_sessions(
+            [("u1", trajectory, [make_candidate(john, 0), make_candidate(john, 1)])],
+            fingerprints={0: "old0", 1: "old1"},
+        )
+        before_t0 = [
+            tuple(r)
+            for r in store.sql(
+                "SELECT * FROM candidates WHERE time = 0 ORDER BY id"
+            )
+        ]
+        written = store.upsert_cells(
+            [("u1", 1, [make_candidate(john, 1), make_candidate(john + 1, 1)])],
+            fingerprints={1: "new1"},
+        )
+        assert written == 2
+        after_t0 = [
+            tuple(r)
+            for r in store.sql(
+                "SELECT * FROM candidates WHERE time = 0 ORDER BY id"
+            )
+        ]
+        assert before_t0 == after_t0  # untouched cell byte-identical
+        assert store.cell_fingerprints("u1") == {0: "old0", 1: "new1"}
+        assert store.candidate_count("u1") == 3
+
+    def test_upsert_rejects_cross_time_candidates(self, store, john):
+        store.store_temporal_inputs("u1", np.vstack([john, john]))
+        with pytest.raises(StorageError, match="cell"):
+            store.upsert_cells([("u1", 0, [make_candidate(john, time=1)])])
+
+    def test_stale_cells(self, store, john):
+        trajectory = np.vstack([john, john])
+        store.store_sessions(
+            [
+                ("u1", trajectory, [make_candidate(john)]),
+                ("u2", trajectory, [make_candidate(john)]),
+            ],
+            fingerprints={0: "fp0", 1: "fp1"},
+        )
+        store.upsert_cells([("u2", 1, [make_candidate(john, 1)])], {1: "fp1b"})
+        assert store.stale_cells({0: "fp0", 1: "fp1b"}) == [("u1", 1)]
+        assert store.stale_cells({0: "fp0", 1: "fp1"}) == [("u2", 1)]
+
+    def test_clear_user_per_time(self, store, john):
+        trajectory = np.vstack([john, john])
+        store.store_sessions(
+            [("u1", trajectory, [make_candidate(john, 0), make_candidate(john, 1)])],
+            fingerprints={0: "fp0", 1: "fp1"},
+        )
+        store.clear_user("u1", time=0)
+        # candidates of the cell are gone; the horizon row survives but
+        # reads as stale (empty fingerprint) so a refresh recomputes it
+        assert store.candidate_count("u1") == 1
+        assert store.load_candidates("u1")[0].time == 1
+        assert store.times_for("u1") == [0, 1]
+        assert store.cell_fingerprints("u1") == {0: "", 1: "fp1"}
+        assert store.stale_cells({0: "fp0", 1: "fp1"}) == [("u1", 0)]
+
+    def test_clear_user_all(self, store, john):
+        store.store_sessions(
+            [("u1", john.reshape(1, -1), [make_candidate(john)])],
+            specs=[("u1", john, ["gap <= 2"])],
+        )
+        store.clear_user("u1")
+        assert store.candidate_count("u1") == 0
+        assert store.times_for("u1") == []
+        assert store.load_session_specs() == []
+
+    def test_session_specs_roundtrip(self, store, john):
+        store.store_sessions(
+            [("u1", john.reshape(1, -1), [make_candidate(john)])],
+            specs=[("u1", john, ["gap <= 2"]), ],
+        )
+        specs = store.load_session_specs()
+        assert len(specs) == 1
+        user_id, profile, texts = specs[0]
+        assert user_id == "u1"
+        assert np.allclose(profile, john)
+        assert texts == ["gap <= 2"]
+
+    def test_opaque_constraints_persist_as_none(self, store, john):
+        store.store_sessions(
+            [("u1", john.reshape(1, -1), [])],
+            specs=[("u1", john, None)],
+        )
+        assert store.load_session_specs()[0][2] is None
+
+
+class TestContractReadOnlySql:
+    def test_select_works(self, store, john):
+        store.store_candidates("u1", [make_candidate(john)])
+        assert store.sql("SELECT COUNT(*) AS n FROM candidates")[0]["n"] == 1
+
+    def test_cte_select_works(self, store, john):
+        store.store_candidates("u1", [make_candidate(john)])
+        rows = store.sql("WITH c AS (SELECT * FROM candidates) SELECT * FROM c")
+        assert len(rows) == 1
+
+    def test_comment_prefixed_select_works(self, store, john):
+        store.store_candidates("u1", [make_candidate(john)])
+        rows = store.sql(
+            "-- annotated expert query\n/* multi\nline */ SELECT * FROM candidates"
+        )
+        assert len(rows) == 1
+
+    def test_comment_prefixed_write_still_rejected(self, store, john):
+        store.store_candidates("u1", [make_candidate(john)])
+        with pytest.raises(StorageError, match="read-only"):
+            store.sql("-- sneaky\nDELETE FROM candidates")
+        assert store.candidate_count() == 1
+
+    @pytest.mark.parametrize(
+        "statement",
+        [
+            "DELETE FROM candidates",
+            "INSERT INTO candidates (user_id) VALUES ('x')",
+            "UPDATE candidates SET p = 0",
+            "DROP TABLE candidates",
+            "PRAGMA query_only = OFF",
+            "CREATE TABLE evil (x)",
+        ],
+    )
+    def test_write_statements_rejected(self, store, john, statement):
+        store.store_candidates("u1", [make_candidate(john)])
+        with pytest.raises(StorageError, match="read-only"):
+            store.sql(statement)
+        # nothing was mutated and the store still accepts writes
+        assert store.candidate_count("u1") == 1
+        store.store_candidates("u1", [make_candidate(john, 1)])
+        assert store.candidate_count("u1") == 2
+
+    def test_with_insert_rejected_by_connection(self, store, john):
+        store.store_candidates("u1", [make_candidate(john)])
+        with pytest.raises(StorageError, match="read-only"):
+            store.sql(
+                "WITH c AS (SELECT 1) INSERT INTO candidates"
+                " (user_id, time) VALUES ('x', 0)"
+            )
+        assert store.candidate_count() == 1
+
+    def test_invalid_sql_still_clear_error(self, store):
+        with pytest.raises(StorageError, match="SQL error"):
+            store.sql("SELECT * FROM not_a_table")
+
+
+class TestShardedSpecifics:
+    @pytest.fixture()
+    def sharded(self, schema):
+        with CandidateStore(schema, backend="sharded", n_shards=4) as s:
+            yield s
+
+    def test_users_spread_across_shards(self, sharded, john):
+        users = [f"user-{i}" for i in range(16)]
+        sharded.store_sessions(
+            [(u, john.reshape(1, -1), [make_candidate(john)]) for u in users]
+        )
+        shards = {sharded.backend.schema_for(u) for u in users}
+        assert len(shards) > 1  # 16 users over 4 crc32 buckets
+        # global reads see every shard
+        assert sharded.candidate_count() == 16
+        assert sharded.user_ids() == sorted(users)
+
+    def test_routing_is_stable(self, schema):
+        a = ShardedSQLiteBackend(n_shards=4)
+        b = ShardedSQLiteBackend(n_shards=4)
+        for user in ("john", "jane", "u-123"):
+            assert a.schema_for(user) == b.schema_for(user)
+        a.close()
+        b.close()
+
+    def test_canned_query_over_shards(self, sharded, john):
+        sharded.store_sessions(
+            [
+                ("u1", john.reshape(1, -1), [make_candidate(john, diff=2.0)]),
+                ("u2", john.reshape(1, -1), [make_candidate(john, diff=0.5)]),
+            ]
+        )
+        row = q4_minimal_overall_modification(sharded, "u2")
+        assert row["diff"] == pytest.approx(0.5)
+
+    def test_file_backed_shards_persist(self, schema, john, tmp_path):
+        path = tmp_path / "cands.db"
+        with CandidateStore(schema, path, backend="sharded", n_shards=2) as s:
+            s.store_candidates("u1", [make_candidate(john)])
+        assert (tmp_path / "cands.db.shard0").exists()
+        with CandidateStore(schema, path, backend="sharded", n_shards=2) as s:
+            assert s.candidate_count("u1") == 1
+
+    def test_sharded_layout_inferred_on_reopen(self, schema, john, tmp_path):
+        """Reopening a sharded database without the backend flag must not
+        silently create an empty single-file store next to the shards."""
+        path = tmp_path / "cands.db"
+        with CandidateStore(schema, path, backend="sharded", n_shards=3) as s:
+            s.store_candidates("u1", [make_candidate(john)])
+        with CandidateStore(schema, path) as s:  # no backend given
+            assert isinstance(s.backend, ShardedSQLiteBackend)
+            assert s.backend.n_shards == 3
+            assert s.candidate_count("u1") == 1
+
+    def test_backend_type_mismatch_rejected(self, schema, john, tmp_path):
+        """Opening existing data with the wrong topology must refuse
+        instead of silently presenting an empty store."""
+        plain = tmp_path / "plain.db"
+        with CandidateStore(schema, plain) as s:
+            s.store_candidates("u1", [make_candidate(john)])
+        with pytest.raises(StorageError, match="plain SQLite"):
+            CandidateStore(schema, plain, backend="sharded")
+        assert not (tmp_path / "plain.db.shard0").exists()
+
+        sharded = tmp_path / "sharded.db"
+        with CandidateStore(schema, sharded, backend="sharded", n_shards=2) as s:
+            s.store_candidates("u1", [make_candidate(john)])
+        with pytest.raises(StorageError, match="sharded store"):
+            CandidateStore(schema, sharded, backend="sqlite")
+
+    def test_shard_count_mismatch_rejected(self, schema, john, tmp_path):
+        """A different shard count than exists on disk would rehome users
+        (fewer hides rows, more duplicates them) — refuse to open."""
+        path = tmp_path / "cands.db"
+        with CandidateStore(schema, path, backend="sharded", n_shards=4) as s:
+            s.store_candidates("u1", [make_candidate(john)])
+        with pytest.raises(StorageError, match="shard"):
+            CandidateStore(schema, path, backend="sharded", n_shards=2)
+        with pytest.raises(StorageError, match="shard"):
+            CandidateStore(schema, path, backend="sharded", n_shards=6)
+
+    def test_per_user_rows_live_in_one_shard(self, sharded, john):
+        sharded.store_candidates("u1", [make_candidate(john, t) for t in range(3)])
+        db = sharded.backend.schema_for("u1")
+        rows = sharded._conn.execute(
+            f"SELECT COUNT(*) FROM {db}.candidates WHERE user_id = 'u1'"
+        ).fetchone()
+        assert rows[0] == 3
+
+
+class TestSchemaSafetyStillEnforced:
+    def test_model_fp_reserved(self):
+        bad = DatasetSchema([FeatureSpec("model_fp")])
+        with pytest.raises(StorageError, match="reserved"):
+            CandidateStore(bad)
+
+
+class TestLegacyMigration:
+    def test_pre_model_fp_database_is_migrated(self, schema, john, tmp_path):
+        """DB files written before the refresh subsystem lack model_fp;
+        opening them must add the column, with old cells reading as
+        fingerprint '' (i.e. stale — the safe default)."""
+        import sqlite3
+
+        path = tmp_path / "legacy.db"
+        feature_cols = ", ".join(f"{n} REAL NOT NULL" for n in schema.names)
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.execute(
+                f"CREATE TABLE temporal_inputs (user_id TEXT NOT NULL,"
+                f" time INTEGER NOT NULL, {feature_cols},"
+                " PRIMARY KEY (user_id, time))"
+            )
+            conn.execute(
+                f"CREATE TABLE candidates (id INTEGER PRIMARY KEY"
+                f" AUTOINCREMENT, user_id TEXT NOT NULL, time INTEGER"
+                f" NOT NULL, {feature_cols}, diff REAL NOT NULL,"
+                " gap INTEGER NOT NULL, p REAL NOT NULL)"
+            )
+            conn.execute(
+                "INSERT INTO temporal_inputs VALUES (?, ?, "
+                + ", ".join("?" for _ in schema.names)
+                + ")",
+                ("old-user", 0, *map(float, john)),
+            )
+        conn.close()
+
+        with CandidateStore(schema, path) as store:
+            assert store.cell_fingerprints("old-user") == {0: ""}
+            assert store.stale_cells({0: "fp0"}) == [("old-user", 0)]
+            store.store_temporal_inputs("u2", john.reshape(1, -1), {0: "fp0"})
+            store.store_candidates("u2", [make_candidate(john)], {0: "fp0"})
+            assert store.candidate_count("u2") == 1
