@@ -12,7 +12,6 @@ the exact optimum is available via leaf-box enumeration
 * wall time (the benchmark metric).
 """
 
-import numpy as np
 import pytest
 
 from repro.app.render import table

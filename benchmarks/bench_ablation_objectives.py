@@ -9,7 +9,6 @@ sets with the standard counterfactual-quality axes
 buys — and that validity is always 1.0 (the Definition II.3 audit).
 """
 
-import numpy as np
 import pytest
 
 from repro.app.render import table

@@ -20,7 +20,9 @@ Run as a script (not via pytest)::
 from __future__ import annotations
 
 import argparse
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -71,7 +73,7 @@ def assert_equivalent(sessions_a, sessions_b) -> None:
             assert ca.metrics == cb.metrics
 
 
-def bench_single_user(schema, history) -> None:
+def bench_single_user(schema, history) -> dict:
     user_id, profile = make_users(schema, 1)[0]
     results = {}
     timings = {}
@@ -87,9 +89,14 @@ def bench_single_user(schema, history) -> None:
         f"single-user   scalar {timings['scalar'] * 1e3:8.1f} ms"
         f"   batch {timings['batch'] * 1e3:8.1f} ms   speedup {speedup:5.2f}x"
     )
+    return {
+        "single_scalar_s": timings["scalar"],
+        "single_batch_s": timings["batch"],
+        "single_speedup": speedup,
+    }
 
 
-def bench_multi_user(schema, history, n_users: int) -> float:
+def bench_multi_user(schema, history, n_users: int) -> dict:
     users = make_users(schema, n_users)
 
     scalar_system = build_system(schema, history, "scalar")
@@ -114,7 +121,11 @@ def bench_multi_user(schema, history, n_users: int) -> float:
         f"   batch {batch_elapsed * 1e3:8.1f} ms   speedup {speedup:5.2f}x"
         f"   ({per_user:.1f} ms/user batched)"
     )
-    return speedup
+    return {
+        "multi_scalar_s": scalar_elapsed,
+        "multi_batch_s": batch_elapsed,
+        "multi_speedup": speedup,
+    }
 
 
 def main() -> None:
@@ -127,6 +138,9 @@ def main() -> None:
     parser.add_argument(
         "--users", type=int, default=None, help="multi-user workload size"
     )
+    parser.add_argument(
+        "--json", default=None, help="write timings JSON to this path"
+    )
     args = parser.parse_args()
 
     n_users = args.users or (8 if args.quick else 50)
@@ -138,12 +152,19 @@ def main() -> None:
         f"batch-engine benchmark (users={n_users}, n_per_year={n_per_year})"
         " — candidate sets verified identical before timing"
     )
-    bench_single_user(schema, history)
-    speedup = bench_multi_user(schema, history, n_users)
+    results = {"users": n_users, "n_per_year": n_per_year, "quick": args.quick}
+    results.update(bench_single_user(schema, history))
+    results.update(bench_multi_user(schema, history, n_users))
+    speedup = results["multi_speedup"]
     if speedup < 3.0:
         print(f"WARNING: multi-user speedup {speedup:.2f}x is below the 3x target")
     else:
         print(f"multi-user speedup target met: {speedup:.2f}x >= 3x")
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(results, indent=2))
+        print(f"timings written to {path}")
 
 
 if __name__ == "__main__":

@@ -32,7 +32,9 @@ runs.
 from __future__ import annotations
 
 import argparse
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -146,6 +148,9 @@ def main() -> None:
     parser.add_argument(
         "--users", type=int, default=None, help="workload size"
     )
+    parser.add_argument(
+        "--json", default=None, help="write timings JSON to this path"
+    )
     args = parser.parse_args()
 
     T = 2 if args.quick else 5
@@ -190,6 +195,25 @@ def main() -> None:
         print(f"WARNING: refresh speedup {speedup:.2f}x is below the 2x target")
     else:
         print(f"refresh speedup target met: {speedup:.2f}x >= 2x")
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "users": n_users,
+                    "T": T,
+                    "quick": args.quick,
+                    "cold_s": cold_s,
+                    "incremental_s": incr_s,
+                    "warm_s": warm_s,
+                    "incremental_speedup": speedup,
+                    "warm_speedup": cold_s / warm_s,
+                },
+                indent=2,
+            )
+        )
+        print(f"timings written to {path}")
 
 
 if __name__ == "__main__":

@@ -17,7 +17,6 @@ its time point and needs no more effort than the transplanted static plan
 — frequently the static plan is outright rejected after the drift.
 """
 
-import numpy as np
 
 from repro.constraints import l2_diff, lending_domain_constraints
 from repro.core import AdminConfig, CandidateGenerator, JustInTime

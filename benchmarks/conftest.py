@@ -7,7 +7,6 @@ prepared state.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.constraints import lending_domain_constraints

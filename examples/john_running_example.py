@@ -16,7 +16,6 @@ This script contrasts:
     python examples/john_running_example.py
 """
 
-import numpy as np
 
 from repro import (
     AdminConfig,

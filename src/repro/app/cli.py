@@ -15,6 +15,14 @@ Subcommands
 ``justintime refresh``
     The incremental operator step: ingest new data against a saved
     system + candidate database and recompute only the stale cells.
+``justintime refresh-daemon``
+    The streaming operator: tail an append-only CSV feed and refresh on
+    drift detection (MMD / label shift vs the training history) and/or
+    on a fixed cadence, persisting the refit system after every epoch.
+``justintime refresh-workers``
+    The scale-out operator: refit on new data, then drain the stale
+    (user × time-point) cells with N lease-coordinated worker
+    *processes* sharing the candidate database.
 
 All subcommands accept ``--n-per-year``, ``--strategy``, ``--horizon``
 and ``--seed`` to control the backing system, plus ``--db`` /
@@ -30,16 +38,27 @@ from typing import IO
 import numpy as np
 
 from repro.constraints import lending_domain_constraints
-from repro.core import AdminConfig, JustInTime, UserSession, load_system, save_system
+from repro.core import (
+    AdminConfig,
+    DriftGate,
+    JustInTime,
+    RefreshScheduler,
+    UserSession,
+    load_system,
+    run_worker_pool,
+    save_system,
+)
 from repro.core.insights import QUESTIONS
 from repro.app.render import bar_chart, insight_block, profile_table, screen_header
 from repro.data import (
+    CsvFeed,
     LendingGenerator,
     TemporalDataset,
     john_profile,
     lending_schema,
     make_lending_dataset,
 )
+from repro.db.store import CandidateStore
 from repro.temporal import lending_update_function
 
 __all__ = [
@@ -50,6 +69,8 @@ __all__ = [
     "run_interactive",
     "run_quickstart",
     "run_refresh",
+    "run_refresh_daemon",
+    "run_refresh_workers",
 ]
 
 
@@ -279,6 +300,102 @@ def make_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable warm-start (bit-identical to a cold recompute)",
     )
+    daemon = sub.add_parser(
+        "refresh-daemon",
+        help="stream an append-only CSV feed; refresh on drift detection"
+        " and/or a fixed cadence",
+    )
+    daemon.add_argument(
+        "--feed", required=True, help="append-only CSV file to tail"
+    )
+    daemon.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        help="seconds to sleep between idle polls",
+    )
+    daemon.add_argument(
+        "--cadence",
+        type=float,
+        default=None,
+        help="refresh every this many seconds when rows are pending",
+    )
+    daemon.add_argument(
+        "--drift-mmd",
+        type=float,
+        default=None,
+        help="refresh when pending-batch MMD vs the recent history"
+        " exceeds this",
+    )
+    daemon.add_argument(
+        "--drift-label-shift",
+        type=float,
+        default=None,
+        help="refresh when the pending positive-rate shift exceeds this",
+    )
+    daemon.add_argument(
+        "--min-batch",
+        type=int,
+        default=1,
+        help="buffer at least this many rows before any refresh",
+    )
+    daemon.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="force a refresh when this many rows are buffered",
+    )
+    daemon.add_argument(
+        "--max-polls",
+        type=int,
+        default=None,
+        help="stop after this many polls (default: run forever)",
+    )
+    daemon.add_argument(
+        "--max-epochs",
+        type=int,
+        default=None,
+        help="stop after this many refresh epochs",
+    )
+    daemon.add_argument(
+        "--cold", action="store_true", help="disable warm-start"
+    )
+    workers = sub.add_parser(
+        "refresh-workers",
+        help="refit on new data, then drain the stale cells with N"
+        " lease-coordinated worker processes",
+    )
+    workers.add_argument(
+        "--workers", type=int, default=2, help="worker process count"
+    )
+    workers.add_argument(
+        "--new-n",
+        type=int,
+        default=120,
+        help="new samples to ingest before draining (0: only drain"
+        " already-stale cells)",
+    )
+    workers.add_argument(
+        "--at",
+        type=float,
+        default=None,
+        help="timestamp of the new samples (default: latest history year)",
+    )
+    workers.add_argument(
+        "--claim-batch",
+        type=int,
+        default=2,
+        help="stale cells a worker leases per claim",
+    )
+    workers.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        help="lease duration; expired leases are reclaimable",
+    )
+    workers.add_argument(
+        "--cold", action="store_true", help="disable warm-start"
+    )
     return parser
 
 
@@ -307,30 +424,11 @@ def run_refresh(args, out: IO[str] | None = None) -> int:
     and only stale (user × time-point) cells recomputed and upserted.
     """
     out = out if out is not None else sys.stdout
-    if not args.load or not args.db:
-        out.write(
-            "refresh needs --load (saved system) and --db (candidate"
-            " database); run 'admin --save' and a session-creating"
-            " command against the same --db first\n"
-        )
-        return 2
-    system = build_system(load=args.load, db=args.db, db_backend=args.db_backend)
-    if system.history is None:
-        out.write(
-            "the saved system carries no training history (pre-refresh"
-            " save format); re-save it with 'admin --save'\n"
-        )
+    system = _load_refreshable_system(args, out, "refresh")
+    if system is None:
         return 2
     resumed = system.resume_sessions()
-    # seed the "new arrivals" stream off the persisted history size so
-    # consecutive refreshes ingest distinct samples, deterministically
-    generator = LendingGenerator(
-        random_state=args.seed + 31 + len(system.history)
-    )
-    at = args.at if args.at is not None else system.history.span[1]
-    X = generator.sample_profiles(args.new_n)
-    years = np.full(args.new_n, float(at))
-    new_data = TemporalDataset(X, generator.label(X, years), years, system.schema)
+    new_data, at = _sample_new_arrivals(system, args)
     report = system.refresh(new_data, warm_start=not args.cold)
     # persist the refit models + merged history: the next refresh must
     # start from this state, and stored model_fp stamps must keep
@@ -360,6 +458,190 @@ def run_refresh(args, out: IO[str] | None = None) -> int:
     return 0
 
 
+def _sample_new_arrivals(system, args):
+    """Deterministic "new arrivals" batch for the operator verbs.
+
+    Seeded off the persisted history size so consecutive ingests draw
+    distinct samples, and shared by ``refresh`` and ``refresh-workers``
+    so both verbs draw the *same* stream from the same saved state —
+    the digest-equality comparison between them depends on it.  Returns
+    ``(new_data, at)``.
+    """
+    generator = LendingGenerator(
+        random_state=args.seed + 31 + len(system.history)
+    )
+    at = args.at if args.at is not None else system.history.span[1]
+    X = generator.sample_profiles(args.new_n)
+    years = np.full(args.new_n, float(at))
+    return (
+        TemporalDataset(X, generator.label(X, years), years, system.schema),
+        at,
+    )
+
+
+def _load_refreshable_system(args, out: IO[str], verb: str):
+    """Shared ``--load``/``--db`` validation for the operator verbs;
+    returns the loaded system or ``None`` (after printing why)."""
+    if not args.load or not args.db:
+        out.write(
+            f"{verb} needs --load (saved system) and --db (candidate"
+            " database); run 'admin --save' and a session-creating"
+            " command against the same --db first\n"
+        )
+        return None
+    system = build_system(load=args.load, db=args.db, db_backend=args.db_backend)
+    if system.history is None:
+        out.write(
+            "the saved system carries no training history (pre-refresh"
+            " save format); re-save it with 'admin --save'\n"
+        )
+        return None
+    return system
+
+
+def run_refresh_daemon(args, out: IO[str] | None = None) -> int:
+    """The streaming operator: tail a CSV feed, refresh on drift/cadence.
+
+    Rows appended to ``--feed`` are buffered; a refresh epoch opens when
+    the drift gate fires (``--drift-mmd`` / ``--drift-label-shift``
+    thresholds vs the training history) or ``--cadence`` seconds have
+    elapsed with rows pending.  After every epoch the refit system is
+    saved back to ``--load`` so stored ``model_fp`` stamps keep matching
+    a system that exists on disk (and so worker pools can pick up any
+    remaining stale cells).  The feed's byte offset is checkpointed
+    **inside the same save** (``save_system(..., extra=...)``, one
+    atomic temp-and-rename write) — a restarted daemon resumes *after*
+    the rows already merged into the saved history; two separate files
+    could disagree after a crash and double- or under-ingest the feed.
+    """
+    out = out if out is not None else sys.stdout
+    system = _load_refreshable_system(args, out, "refresh-daemon")
+    if system is None:
+        return 2
+    if (
+        args.cadence is None
+        and args.drift_mmd is None
+        and args.drift_label_shift is None
+    ):
+        out.write(
+            "refresh-daemon needs --cadence and/or a drift threshold"
+            " (--drift-mmd / --drift-label-shift)\n"
+        )
+        return 2
+    resumed = system.resume_sessions()
+    gate = None
+    if args.drift_mmd is not None or args.drift_label_shift is not None:
+        gate = DriftGate(args.drift_mmd, args.drift_label_shift)
+    # the feed cursor rides inside the saved system file — the daemon's
+    # durable state (models+history, feed offset) is one atomic write
+    start_offset = int(system.saved_extra.get("feed_offset", 0))
+    feed = CsvFeed(args.feed, system.schema, start_offset=start_offset)
+    scheduler = RefreshScheduler(
+        system,
+        feed,
+        gate=gate,
+        cadence=args.cadence,
+        min_batch=args.min_batch,
+        max_pending_rows=args.max_pending,
+        warm_start=False if args.cold else None,
+    )
+    out.write(screen_header("Streaming refresh daemon") + "\n")
+    out.write(
+        f"tailing {args.feed} from byte {start_offset};"
+        f" resumed {len(resumed)} stored sessions;"
+        f" gates: drift={'on' if gate else 'off'},"
+        f" cadence={args.cadence}\n"
+    )
+
+    def on_epoch(epoch):
+        # at epoch time every polled row has been merged, so the feed
+        # offset is safe to persist alongside the refit history
+        save_system(system, args.load, extra={"feed_offset": feed.offset})
+        report = epoch.report
+        drift_txt = ""
+        if epoch.drift is not None and epoch.drift.assessed:
+            parts = []
+            if epoch.drift.mmd is not None:
+                parts.append(f"mmd={epoch.drift.mmd:.4f}")
+            if epoch.drift.label_shift is not None:
+                parts.append(f"label-shift={epoch.drift.label_shift:.3f}")
+            drift_txt = f" ({', '.join(parts)})"
+        out.write(
+            f"epoch {epoch.index}: trigger={epoch.trigger}{drift_txt}"
+            f" rows={epoch.rows} stale={list(report.stale_times)}"
+            f" cells={report.cells_recomputed}"
+            f" candidates={report.candidates_written}\n"
+        )
+        out.flush()
+
+    epochs = scheduler.run(
+        max_polls=args.max_polls,
+        max_epochs=args.max_epochs,
+        poll_interval=args.poll_interval,
+        on_epoch=on_epoch,
+    )
+    out.write(
+        f"daemon stopped after {len(epochs)} epochs;"
+        f" {scheduler.pending_rows} rows still pending\n"
+    )
+    return 0
+
+
+def run_refresh_workers(args, out: IO[str] | None = None) -> int:
+    """The scale-out operator: refit, then drain stale cells with a pool.
+
+    Ingests ``--new-n`` fresh samples (like ``refresh``), refits the
+    models *without* recomputing any cells, saves the system, and spawns
+    ``--workers`` processes that drain the store's staleness ledger
+    under claim/renew/release leases.  Prints the store content digest
+    at the end — identical digests across replicas (or vs a
+    single-process ``refresh``) mean byte-identical candidates.
+    """
+    out = out if out is not None else sys.stdout
+    system = _load_refreshable_system(args, out, "refresh-workers")
+    if system is None:
+        return 2
+    if args.new_n:
+        new_data, at = _sample_new_arrivals(system, args)
+        stale = system.refit(new_data)
+        out.write(
+            f"ingested {args.new_n} new samples at t={at:.2f};"
+            f" model-stale time points: {list(stale)}\n"
+        )
+    save_system(system, args.load)
+    n_stale = len(system.store.stale_cells(system.model_fingerprints))
+    schema = system.schema
+    system.store.close()
+    out.write(
+        f"draining {n_stale} stale cells with {args.workers} worker"
+        " processes\n"
+    )
+    report = run_worker_pool(
+        args.load,
+        args.db,
+        n_workers=args.workers,
+        db_backend=args.db_backend,
+        warm_start=False if args.cold else None,
+        claim_batch=args.claim_batch,
+        lease_seconds=args.lease_seconds,
+    )
+    per_worker = ", ".join(
+        f"{w.worker_id}: {len(w.cells)}" for w in report.workers
+    )
+    out.write(
+        f"recomputed {report.cells_recomputed} cells"
+        f" ({report.candidates_written} candidate rows) [{per_worker}]\n"
+    )
+    if report.skipped_cells:
+        out.write(
+            f"WARNING: {len(report.skipped_cells)} stale cells have no"
+            " resumable session spec; their candidates remain outdated\n"
+        )
+    with CandidateStore(schema, args.db, backend=args.db_backend) as store:
+        out.write(f"store digest: {store.contents_digest()}\n")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
     handlers = {
@@ -368,6 +650,8 @@ def main(argv: list[str] | None = None) -> int:
         "interactive": run_interactive,
         "admin": run_admin,
         "refresh": run_refresh,
+        "refresh-daemon": run_refresh_daemon,
+        "refresh-workers": run_refresh_workers,
     }
     return handlers[args.command](args)
 

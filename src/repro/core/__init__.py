@@ -25,7 +25,19 @@ from repro.core.objectives import (
 )
 from repro.core.persistence import load_system, save_system
 from repro.core.plans import FeatureChange, Plan, build_plan
+from repro.core.scheduler import (
+    DriftDecision,
+    DriftGate,
+    RefreshEpoch,
+    RefreshScheduler,
+)
 from repro.core.system import AdminConfig, JustInTime, RefreshReport, UserSession
+from repro.core.worker import (
+    PoolReport,
+    WorkerReport,
+    drain_stale_cells,
+    run_worker_pool,
+)
 
 __all__ = [
     "AdminConfig",
@@ -34,6 +46,8 @@ __all__ = [
     "CandidateMetrics",
     "CandidateSetReport",
     "evaluate_session",
+    "DriftDecision",
+    "DriftGate",
     "FeatureChange",
     "GradientMoveProposer",
     "Insight",
@@ -43,14 +57,19 @@ __all__ = [
     "OBJECTIVE_PRESETS",
     "Objective",
     "Plan",
+    "PoolReport",
     "QUESTIONS",
     "RandomMoveProposer",
+    "RefreshEpoch",
     "RefreshReport",
+    "RefreshScheduler",
     "SearchStats",
     "ThresholdMoveProposer",
     "UserSession",
+    "WorkerReport",
     "brute_force_tree_candidates",
     "build_plan",
+    "drain_stale_cells",
     "load_system",
     "save_system",
     "default_proposers",

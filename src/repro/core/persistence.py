@@ -13,28 +13,44 @@ processes with the same library version.
 
 from __future__ import annotations
 
+import os
 import pickle
 from pathlib import Path
 
 from repro.core.system import JustInTime
-from repro.db.store import CandidateStore
 from repro.exceptions import StorageError
 
 __all__ = ["save_system", "load_system"]
 
 #: v1 lacked ``history``; v2 adds it so a loaded system can ``refresh``
 #: on incremental data without being handed the full history again.
+#: (The optional ``extra`` key is backward/forward compatible within v2.)
 _FORMAT_VERSION = 2
 _SUPPORTED_VERSIONS = (1, 2)
 
 
-def save_system(system: JustInTime, path: str | Path) -> None:
+def save_system(
+    system: JustInTime, path: str | Path, extra: dict | None = None
+) -> None:
     """Serialise a (typically fitted) system to ``path``.
 
     The candidate store's *contents* are not pickled — candidates live in
     the store's own database file (persist them by constructing the
     system with a file-backed ``store_path``).
+
+    ``extra`` is an optional dict of caller state persisted **in the
+    same file** and restored as :attr:`JustInTime.saved_extra` — e.g.
+    the refresh daemon's feed byte offset, which must move atomically
+    with the merged history (two separate files could disagree after a
+    crash, double- or under-ingesting the feed).  ``None`` (the
+    default) preserves the system's current :attr:`saved_extra`, so a
+    `refresh`/`refresh-workers` re-save of a daemon-managed system does
+    not wipe the daemon's feed cursor; pass a dict (possibly empty) to
+    replace it.  The payload is written to a temp file and renamed into
+    place, so a crash mid-save leaves the previous save intact.
     """
+    if extra is None:
+        extra = getattr(system, "saved_extra", None)
     payload = {
         "version": _FORMAT_VERSION,
         "schema": system.schema,
@@ -45,10 +61,13 @@ def save_system(system: JustInTime, path: str | Path) -> None:
         "diff_scale": system.diff_scale,
         "domain_constraints": system.domain_constraints,
         "history": system._history,
+        "extra": dict(extra) if extra else {},
     }
     path = Path(path)
-    with path.open("wb") as handle:
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as handle:
         pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
 
 
 def load_system(
@@ -83,4 +102,5 @@ def load_system(
     system.diff_scale = payload["diff_scale"]
     system.domain_constraints = payload["domain_constraints"]
     system._history = payload.get("history")
+    system.saved_extra = dict(payload.get("extra") or {})
     return system

@@ -1,0 +1,352 @@
+"""Drift-triggered streaming refresh scheduling.
+
+PR 2 made :meth:`~repro.core.system.JustInTime.refresh` incremental; this
+module decides *when* to call it.  A :class:`RefreshScheduler` polls an
+append-only :class:`~repro.data.feed.DataFeed`, buffers arriving rows,
+and opens a **refresh epoch** — one ``refresh()`` call over everything
+buffered — when either
+
+* a :class:`DriftGate` decides the pending rows have drifted away from
+  the training history (MMD on standardised features, or label-shift
+  against the most recent history window — the same RKHS machinery as
+  :mod:`repro.temporal.drift`), or
+* a fixed **cadence** has elapsed since the last refresh, or
+* the pending buffer hits a row cap (back-pressure so a quiet gate can
+  never let the buffer grow without bound).
+
+Drift gating is the cheap path: assessing a batch costs two mean
+embeddings, while a refresh refits every future model and recomputes
+every stale (user × time-point) cell.  On a stationary stream the gate
+never fires and the system does no work beyond buffering.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import TemporalDataset
+from repro.data.feed import DataFeed
+from repro.exceptions import ForecastError
+from repro.ml.preprocessing import StandardScaler
+from repro.temporal.embedding import (
+    RBFKernel,
+    WeightedSample,
+    median_heuristic_gamma,
+    mmd,
+)
+
+__all__ = ["DriftDecision", "DriftGate", "RefreshEpoch", "RefreshScheduler"]
+
+
+@dataclass(frozen=True)
+class DriftDecision:
+    """One :meth:`DriftGate.assess` verdict over a pending batch."""
+
+    #: MMD between the pending batch and the reference window (``None``
+    #: when no MMD threshold is configured)
+    mmd: float | None
+    mmd_threshold: float | None
+    #: absolute difference in positive-label rate vs the reference
+    label_shift: float | None
+    label_shift_threshold: float | None
+    #: whether the batch was large enough to assess at all
+    assessed: bool
+    #: final verdict: any configured threshold exceeded
+    drifted: bool
+
+
+class DriftGate:
+    """Decides whether pending rows drifted from the training history.
+
+    Parameters
+    ----------
+    mmd_threshold:
+        Fire when the MMD between the (standardised) pending batch and
+        the reference window exceeds this.  Calibrate against
+        :func:`repro.temporal.drift.mmd_drift_profile` of the history —
+        a threshold around the profile's ceiling means "as different as
+        the strongest year-over-year drift seen in training".
+    label_shift_threshold:
+        Fire when the positive-rate difference vs the reference window
+        exceeds this (prior drift can move while covariates stay put).
+    min_samples:
+        Batches smaller than this are never assessed (``assessed=False``
+        and ``drifted=False``): tiny-batch MMD is sampling noise, so the
+        scheduler keeps buffering instead.
+    reference_width:
+        Width (in timestamp units) of the trailing history window used
+        as the "present" reference distribution.
+    """
+
+    def __init__(
+        self,
+        mmd_threshold: float | None = None,
+        label_shift_threshold: float | None = None,
+        *,
+        min_samples: int = 20,
+        reference_width: float = 1.0,
+    ):
+        if mmd_threshold is None and label_shift_threshold is None:
+            raise ForecastError(
+                "DriftGate needs mmd_threshold and/or label_shift_threshold"
+            )
+        if reference_width <= 0:
+            raise ForecastError("reference_width must be positive")
+        self.mmd_threshold = mmd_threshold
+        self.label_shift_threshold = label_shift_threshold
+        self.min_samples = int(min_samples)
+        self.reference_width = float(reference_width)
+        # per-history RKHS setup (scaler + kernel + reference embedding):
+        # rebuilt only when the history object changes, i.e. once per
+        # refresh epoch, not once per poll.  The key is a strong
+        # reference compared by identity — an id() key would collide
+        # when CPython reuses a freed history's address, silently
+        # assessing drift against a stale reference
+        self._cache_history: TemporalDataset | None = None
+        self._cache: tuple | None = None
+
+    def _reference_setup(self, history: TemporalDataset):
+        if self._cache_history is not history:
+            lo, hi = history.span
+            start = max(lo, hi - self.reference_width)
+            reference = history.window(start, np.nextafter(hi, np.inf))
+            scaler = StandardScaler().fit(history.X)
+            kernel = RBFKernel(median_heuristic_gamma(scaler.transform(history.X)))
+            embedding = WeightedSample.mean_embedding(
+                scaler.transform(reference.X)
+            )
+            self._cache_history = history
+            self._cache = (scaler, kernel, embedding, float(reference.y.mean()))
+        return self._cache
+
+    def assess(
+        self, history: TemporalDataset, pending: TemporalDataset
+    ) -> DriftDecision:
+        """Compare ``pending`` against the trailing window of ``history``."""
+        if len(pending) < self.min_samples:
+            return DriftDecision(
+                mmd=None,
+                mmd_threshold=self.mmd_threshold,
+                label_shift=None,
+                label_shift_threshold=self.label_shift_threshold,
+                assessed=False,
+                drifted=False,
+            )
+        scaler, kernel, reference, reference_rate = self._reference_setup(history)
+        observed_mmd = None
+        if self.mmd_threshold is not None:
+            batch = WeightedSample.mean_embedding(scaler.transform(pending.X))
+            observed_mmd = float(mmd(kernel, reference, batch))
+        shift = None
+        if self.label_shift_threshold is not None:
+            shift = float(abs(pending.y.mean() - reference_rate))
+        drifted = (
+            self.mmd_threshold is not None
+            and observed_mmd is not None
+            and observed_mmd > self.mmd_threshold
+        ) or (
+            self.label_shift_threshold is not None
+            and shift is not None
+            and shift > self.label_shift_threshold
+        )
+        return DriftDecision(
+            mmd=observed_mmd,
+            mmd_threshold=self.mmd_threshold,
+            label_shift=shift,
+            label_shift_threshold=self.label_shift_threshold,
+            assessed=True,
+            drifted=drifted,
+        )
+
+
+@dataclass(frozen=True)
+class RefreshEpoch:
+    """One scheduler-triggered refresh over the buffered rows."""
+
+    index: int
+    #: rows ingested by this epoch's refresh
+    rows: int
+    #: what opened the epoch: ``'drift'``, ``'cadence'``, ``'pending-cap'``
+    #: or ``'flush'`` (explicit/final flush)
+    trigger: str
+    #: the gate verdict that (did or did not) fire, ``None`` without a gate
+    drift: DriftDecision | None
+    #: the underlying refresh outcome
+    report: object
+
+
+class RefreshScheduler:
+    """Streaming refresh driver over one system and one feed.
+
+    Parameters
+    ----------
+    system:
+        A fitted :class:`~repro.core.system.JustInTime` with registered
+        (or resumed) sessions and a training history.
+    feed:
+        Source of newly arrived labeled rows.
+    gate:
+        Optional :class:`DriftGate`; when given, drift fires a refresh
+        regardless of cadence.
+    cadence:
+        Optional seconds (of ``clock``) between refreshes; elapsed
+        cadence with pending rows fires a refresh even without drift.
+        At least one of ``gate`` / ``cadence`` is required.
+    min_batch:
+        Buffer at least this many rows before any trigger may fire.
+    max_pending_rows:
+        Hard cap on the buffer; reaching it forces a refresh
+        (back-pressure for quiet gates).
+    warm_start:
+        Forwarded to :meth:`JustInTime.refresh` (``None`` = the config
+        default).
+    clock:
+        Monotonic-seconds source, injectable in tests.
+    """
+
+    def __init__(
+        self,
+        system,
+        feed: DataFeed,
+        *,
+        gate: DriftGate | None = None,
+        cadence: float | None = None,
+        min_batch: int = 1,
+        max_pending_rows: int | None = None,
+        warm_start: bool | None = None,
+        clock=time.monotonic,
+    ):
+        if gate is None and cadence is None:
+            raise ForecastError(
+                "RefreshScheduler needs a DriftGate and/or a cadence"
+            )
+        if cadence is not None and cadence < 0:
+            raise ForecastError("cadence must be >= 0")
+        if min_batch < 1:
+            raise ForecastError("min_batch must be >= 1")
+        self.system = system
+        self.feed = feed
+        self.gate = gate
+        self.cadence = cadence
+        self.min_batch = int(min_batch)
+        self.max_pending_rows = max_pending_rows
+        self.warm_start = warm_start
+        self.clock = clock
+        self.epochs: list[RefreshEpoch] = []
+        self._pending: list[TemporalDataset] = []
+        self._pending_rows = 0
+        self._last_refresh = float(clock())
+        # last gate verdict, keyed on the buffer size it was computed
+        # for: idle polls (feed returned nothing) re-use it instead of
+        # re-embedding the whole unchanged pending buffer every poll
+        self._assessed: tuple[int, DriftDecision] | None = None
+
+    # ---------------------------------------------------------------- state
+
+    @property
+    def pending_rows(self) -> int:
+        """Rows buffered but not yet refreshed into the system."""
+        return self._pending_rows
+
+    # ---------------------------------------------------------------- steps
+
+    def poll_once(self) -> RefreshEpoch | None:
+        """One scheduler step: poll the feed, maybe open an epoch.
+
+        Returns the epoch if a refresh ran, else ``None`` (no new data,
+        or data buffered below every trigger).
+        """
+        batch = self.feed.poll()
+        if batch is not None and len(batch):
+            self._pending.append(batch)
+            self._pending_rows += len(batch)
+        if self._pending_rows < self.min_batch:
+            return None
+        decision = None
+        trigger = None
+        if self.gate is not None:
+            if self._assessed is not None and self._assessed[0] == self._pending_rows:
+                decision = self._assessed[1]  # buffer unchanged since last poll
+            else:
+                decision = self.gate.assess(
+                    self.system.history, TemporalDataset.concat(self._pending)
+                )
+                self._assessed = (self._pending_rows, decision)
+            if decision.drifted:
+                trigger = "drift"
+        if trigger is None and self.cadence is not None:
+            if float(self.clock()) - self._last_refresh >= self.cadence:
+                trigger = "cadence"
+        if trigger is None and self.max_pending_rows is not None:
+            if self._pending_rows >= self.max_pending_rows:
+                trigger = "pending-cap"
+        if trigger is None:
+            return None
+        return self._open_epoch(trigger, decision)
+
+    def flush(self) -> RefreshEpoch | None:
+        """Refresh whatever is pending right now, bypassing the gates
+        (end of a finite stream, or operator-forced)."""
+        if not self._pending_rows:
+            return None
+        return self._open_epoch("flush", None)
+
+    def _open_epoch(self, trigger: str, decision) -> RefreshEpoch:
+        data = TemporalDataset.concat(self._pending)
+        report = self.system.refresh(data, warm_start=self.warm_start)
+        epoch = RefreshEpoch(
+            index=len(self.epochs),
+            rows=len(data),
+            trigger=trigger,
+            drift=decision,
+            report=report,
+        )
+        self.epochs.append(epoch)
+        self._pending = []
+        self._pending_rows = 0
+        self._assessed = None
+        self._last_refresh = float(self.clock())
+        return epoch
+
+    def run(
+        self,
+        *,
+        max_polls: int | None = None,
+        max_epochs: int | None = None,
+        poll_interval: float = 0.0,
+        sleep=time.sleep,
+        on_epoch=None,
+        flush_on_exhausted: bool = True,
+    ) -> list[RefreshEpoch]:
+        """Poll until the feed is exhausted or a budget is reached.
+
+        ``on_epoch(epoch)`` is called after every refresh (the CLI daemon
+        persists the refit system there).  With ``flush_on_exhausted`` a
+        finite feed's sub-threshold tail still gets refreshed before the
+        loop ends.  Returns the epochs run during *this* call.
+        """
+        first_epoch = len(self.epochs)
+        polls = 0
+        while True:
+            if max_polls is not None and polls >= max_polls:
+                break
+            if max_epochs is not None and (
+                len(self.epochs) - first_epoch >= max_epochs
+            ):
+                break
+            epoch = self.poll_once()
+            polls += 1
+            if epoch is not None and on_epoch is not None:
+                on_epoch(epoch)
+            if self.feed.exhausted:
+                if flush_on_exhausted:
+                    final = self.flush()
+                    if final is not None and on_epoch is not None:
+                        on_epoch(final)
+                break
+            if epoch is None and poll_interval > 0:
+                sleep(poll_interval)
+        return self.epochs[first_epoch:]

@@ -32,7 +32,7 @@ from repro.constraints.domain import schema_domain_constraints
 from repro.constraints.evaluate import ConstraintsFunction
 from repro.core.candidates import Candidate, CandidateGenerator
 from repro.core.insights import Insight, InsightEngine
-from repro.core.objectives import OBJECTIVE_PRESETS, Objective
+from repro.core.objectives import OBJECTIVE_PRESETS, Objective, get_objective
 from repro.core.plans import Plan, build_plan
 from repro.data.dataset import TemporalDataset
 from repro.data.schema import DatasetSchema
@@ -88,6 +88,16 @@ class AdminConfig:
     #: benchmarks/bench_incremental_refresh.py).  Disable for the
     #: bit-identical-to-cold-recompute reference path.
     warm_start: bool = True
+    #: with warm start on, seed only the top-m stored candidates of each
+    #: cell (ranked by the configured objective) instead of all of them —
+    #: trims the warm beam's extra exploration while keeping the best old
+    #: optima as anchors.  ``None`` seeds every stored candidate.
+    warm_top_m: int | None = None
+    #: tighter no-improvement patience for warm-started cell searches
+    #: (a beam resumed near the old optimum converges in fewer stale
+    #: iterations than a cold search deserves).  ``None`` keeps
+    #: :attr:`patience`.
+    warm_patience: int | None = None
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -109,6 +119,14 @@ class AdminConfig:
                 f"unknown objective {self.objective!r};"
                 f" allowed values: {sorted(OBJECTIVE_PRESETS)}"
                 " (or pass an Objective instance)"
+            )
+        if self.warm_top_m is not None and self.warm_top_m < 1:
+            raise ValueError(
+                f"warm_top_m must be >= 1 or None, got {self.warm_top_m}"
+            )
+        if self.warm_patience is not None and self.warm_patience < 1:
+            raise ValueError(
+                f"warm_patience must be >= 1 or None, got {self.warm_patience}"
             )
 
 
@@ -181,6 +199,9 @@ class JustInTime:
         #: session registry: UserSession objects survive refreshes
         self.sessions: dict[str, UserSession] = {}
         self._history: TemporalDataset | None = None
+        #: caller state restored by :func:`load_system` (e.g. the refresh
+        #: daemon's feed cursor, persisted atomically with the history)
+        self.saved_extra: dict = {}
 
     # ----------------------------------------------------------------- fit
 
@@ -399,6 +420,48 @@ class JustInTime:
 
     # ------------------------------------------------------------ refresh
 
+    def refit(
+        self,
+        new_data: TemporalDataset | None = None,
+        *,
+        now: float | None = None,
+        history: TemporalDataset | None = None,
+    ) -> tuple[int, ...]:
+        """Re-forecast on fresh data **without recomputing any cells**.
+
+        Steps 1–2 of :meth:`refresh`: merge ``new_data`` into the
+        fit-time history (or take a complete ``history``), refit the
+        future models with the same seeds and ``now``, and diff the
+        per-time-point content fingerprints.  Returns the model-stale
+        time indices.
+
+        The store ledger is left untouched, which is the point: every
+        cell stamped under an old fingerprint now reads as stale in
+        :meth:`CandidateStore.stale_cells`, so the recompute work can be
+        drained by a lease-coordinated worker pool
+        (:mod:`repro.core.worker`) instead of this process.  Call
+        :func:`~repro.core.persistence.save_system` after ``refit`` so
+        workers load the refit models.
+        """
+        self._require_fitted()
+        if history is None:
+            if self._history is None:
+                raise ForecastError(
+                    "refit needs the training history; this system was"
+                    " loaded without one — pass history= explicitly"
+                )
+            history = self._history
+        if new_data is not None:
+            history = self._merge_history(history, new_data)
+        if history.schema != self.schema:
+            raise ForecastError("history schema does not match system schema")
+        old_models = self.future_models
+        self.future_models = self._fit_models(
+            history, now if now is not None else old_models.now
+        )
+        self._history = history
+        return tuple(self.future_models.stale_against(old_models))
+
     def refresh(
         self,
         new_data: TemporalDataset | None = None,
@@ -434,25 +497,8 @@ class JustInTime:
         recompute.  The fit-time ``diff_scale`` is intentionally kept so
         stored ``diff`` values stay comparable across refreshes.
         """
-        self._require_fitted()
         cfg = self.config
-        if history is None:
-            if self._history is None:
-                raise ForecastError(
-                    "refresh needs the training history; this system was"
-                    " loaded without one — pass history= explicitly"
-                )
-            history = self._history
-        if new_data is not None:
-            history = self._merge_history(history, new_data)
-        if history.schema != self.schema:
-            raise ForecastError("history schema does not match system schema")
-        old_models = self.future_models
-        self.future_models = self._fit_models(
-            history, now if now is not None else old_models.now
-        )
-        self._history = history
-        stale = self.future_models.stale_against(old_models)
+        stale = self.refit(new_data, now=now, history=history)
         fresh = tuple(t for t in range(len(self.future_models)) if t not in stale)
         warm = bool(cfg.warm_start if warm_start is None else warm_start)
         sessions = list(self.sessions.values())
@@ -492,7 +538,10 @@ class JustInTime:
 
         def run_one(task):
             session, t, warm_vectors = task
-            generator = self._cell_generator(t, session.constraints)
+            use_warm = warm_vectors is not None and warm_vectors.size > 0
+            generator = self._cell_generator(
+                t, session.constraints, warm=use_warm
+            )
             found = generator.generate(
                 session.trajectory[t], time=t, warm_start=warm_vectors
             )
@@ -504,7 +553,7 @@ class JustInTime:
             (
                 session,
                 t,
-                self.store.cell_vectors(session.user_id, t) if warm else None,
+                self._warm_vectors(session.user_id, t) if warm else None,
             )
             for session in sessions
             for t in sorted(cell_times[session.user_id])
@@ -545,22 +594,40 @@ class JustInTime:
     ) -> TemporalDataset:
         if new_data.schema != self.schema:
             raise ForecastError("new_data schema does not match system schema")
-        return TemporalDataset(
-            np.vstack([history.X, new_data.X]),
-            np.concatenate([history.y, new_data.y]),
-            np.concatenate([history.timestamps, new_data.timestamps]),
-            self.schema,
-        )
+        return TemporalDataset.concat([history, new_data])
 
     # ------------------------------------------------------------ helpers
 
+    def _warm_vectors(self, user_id: str, t: int) -> np.ndarray:
+        """Stored candidate vectors seeding one cell's warm beam.
+
+        With :attr:`AdminConfig.warm_top_m` set, only the m best stored
+        candidates (by the configured objective) are seeded — the
+        ROADMAP warm-start tuning: the old optima still anchor the beam,
+        without the full stored set widening the explored frontier.
+        """
+        m = getattr(self.config, "warm_top_m", None)
+        if m is None:
+            return self.store.cell_vectors(user_id, t)
+        candidates = self.store.load_candidates(user_id, time=t)
+        if not candidates:
+            return np.empty((0, len(self.schema)))
+        objective = get_objective(self.config.objective)
+        ranked = sorted(candidates, key=lambda c: objective.key(c.metrics))
+        return np.vstack([c.x for c in ranked[:m]])
+
     def _cell_generator(
-        self, t: int, constraints: ConstraintsFunction
+        self, t: int, constraints: ConstraintsFunction, *, warm: bool = False
     ) -> CandidateGenerator:
         """One (user, t) cell's candidates generator — the per-t seed
-        formula makes any recompute of the cell deterministic."""
+        formula makes any recompute of the cell deterministic.  ``warm``
+        marks a search actually seeded with stored candidates, which may
+        run under the tighter :attr:`AdminConfig.warm_patience`."""
         cfg = self.config
         future_model = self.future_models[t]
+        patience = cfg.patience
+        if warm and getattr(cfg, "warm_patience", None) is not None:
+            patience = cfg.warm_patience
         return CandidateGenerator(
             future_model.model,
             future_model.threshold,
@@ -569,7 +636,7 @@ class JustInTime:
             k=cfg.k,
             beam_width=cfg.beam_width,
             max_iter=cfg.max_iter,
-            patience=cfg.patience,
+            patience=patience,
             objective=cfg.objective,
             diff_scale=self.diff_scale,
             random_state=cfg.random_state + 7919 * (t + 1),

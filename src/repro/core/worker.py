@@ -1,0 +1,347 @@
+"""Lease-coordinated refresh workers: drain stale cells across processes.
+
+:meth:`JustInTime.refresh` recomputes stale cells inline; at service
+scale the recompute is the expensive part (one beam search per stale
+(user × time-point) cell), and the cells are embarrassingly parallel.
+This module turns the store's staleness ledger into a **work queue**:
+
+1. the coordinator refits the models (:meth:`JustInTime.refit`) and
+   saves the system — every stored cell stamped under an old fingerprint
+   is now stale;
+2. N worker *processes* each load the saved system, open their own
+   connection to the shared store, and run :func:`drain_stale_cells`:
+   claim a few stale cells under a lease
+   (:meth:`CandidateStore.claim_stale_cells` — atomic across processes),
+   recompute them from the persisted session specs, upsert, release,
+   repeat until the ledger is clean;
+3. leases expire, so a worker that dies mid-cell merely delays that
+   cell until another worker reclaims it — no cell is lost and none is
+   computed twice while a lease is live.
+
+Every cell's recompute is deterministic (per-t seeds, spec-rehydrated
+constraints), so the final store contents are **byte-identical** to a
+single-process ``refresh()`` no matter how cells were distributed —
+``CandidateStore.contents_digest`` asserts exactly that in the tests,
+the CI smoke and ``benchmarks/bench_streaming_refresh.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.persistence import load_system
+from repro.exceptions import StorageError
+
+__all__ = ["PoolReport", "WorkerReport", "drain_stale_cells", "run_worker_pool"]
+
+
+@dataclass
+class WorkerReport:
+    """Outcome of one worker's :func:`drain_stale_cells` run."""
+
+    worker_id: str
+    #: (user, time) cells this worker recomputed and released
+    cells: list = field(default_factory=list)
+    #: candidate rows this worker upserted
+    candidates_written: int = 0
+    #: stale cells claimed but not computable by anyone — no persisted
+    #: session spec, or opaque (non-serialised) constraints; released
+    #: and excluded from this worker's further claims
+    skipped_cells: list = field(default_factory=list)
+    #: claims whose lease had already expired and been taken over by
+    #: another worker before the compute started (crash-recovery path)
+    lost_leases: int = 0
+
+
+@dataclass(frozen=True)
+class PoolReport:
+    """Aggregate outcome of :func:`run_worker_pool`."""
+
+    workers: tuple
+    cells_recomputed: int
+    candidates_written: int
+    #: distinct uncomputable cells observed across the pool
+    skipped_cells: tuple
+
+
+def drain_stale_cells(
+    system,
+    *,
+    worker_id: str | None = None,
+    claim_batch: int = 2,
+    lease_seconds: float = 30.0,
+    warm_start: bool | None = None,
+    max_cells: int | None = None,
+    clock=time.time,
+    sleep=time.sleep,
+) -> WorkerReport:
+    """Claim → recompute → upsert → release until the ledger is clean.
+
+    ``system`` is a fitted :class:`~repro.core.system.JustInTime` whose
+    store is (typically) shared with other workers.  Cells are claimed
+    in small batches under ``lease_seconds`` leases and recomputed from
+    the *persisted* session specs — profile and DSL constraint texts —
+    so a worker process needs no live :class:`UserSession` objects.
+    Users without a resumable spec are skipped (released + reported),
+    mirroring :meth:`JustInTime.resume_sessions`.
+
+    ``warm_start`` overrides :attr:`AdminConfig.warm_start`; the
+    bit-identical-to-``refresh()`` reference path is ``warm_start=False``
+    on both sides (and warm runs are identical too, since warm seeds
+    come from the same stored rows either way).  ``max_cells`` bounds
+    this worker's total work (tests); ``clock`` injects the lease clock.
+
+    When a claim comes back empty but computable stale cells remain
+    under **live foreign leases**, the worker waits (``sleep``, in small
+    steps) instead of exiting: if the holder finishes, the cells leave
+    the stale set and the drain ends; if the holder crashed, their
+    leases expire and this worker reclaims the cells — the
+    crash-recovery guarantee would be vacuous if survivors exited while
+    the crashed worker's leases were still ticking.
+    """
+    system._require_fitted()
+    cfg = system.config
+    store = system.store
+    if worker_id is None:
+        worker_id = f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    warm = bool(cfg.warm_start if warm_start is None else warm_start)
+    fingerprints = system.model_fingerprints
+    specs = {
+        user_id: (profile, texts)
+        for user_id, profile, texts in store.load_session_specs()
+    }
+    trajectories: dict[str, object] = {}
+    constraints: dict[str, object] = {}
+    report = WorkerReport(worker_id=worker_id)
+    unrecoverable: set[tuple[str, int]] = set()
+    while True:
+        budget = (
+            claim_batch
+            if max_cells is None
+            else min(claim_batch, max_cells - len(report.cells))
+        )
+        if budget < 1:
+            break
+        claimed = store.claim_stale_cells(
+            fingerprints,
+            worker_id,
+            limit=budget,
+            lease_seconds=lease_seconds,
+            now=clock(),
+            exclude=unrecoverable,
+        )
+        if not claimed:
+            if not store.has_stale_cells(fingerprints, exclude=unrecoverable):
+                break  # queue genuinely drained
+            # remaining stale cells are leased to other workers: wait for
+            # them to finish (cells go fresh) or crash (leases expire and
+            # the next claim picks the cells up)
+            sleep(min(1.0, max(float(lease_seconds) / 4.0, 0.05)))
+            continue
+        for user_id, t in claimed:
+            spec = specs.get(user_id)
+            if spec is None or spec[1] is None:
+                # not recomputable by any worker: hand the lease back and
+                # never claim the cell again (it stays stale until the
+                # user's session is recreated — surfaced, like refresh's
+                # skipped_stale_cells)
+                unrecoverable.add((user_id, t))
+                store.release_cells(worker_id, [(user_id, t)])
+                report.skipped_cells.append((user_id, t))
+                continue
+            # re-arm the lease for the compute ahead; a failed renewal
+            # means it expired and another worker owns the cell now
+            renewed = store.renew_leases(
+                worker_id,
+                [(user_id, t)],
+                lease_seconds=lease_seconds,
+                now=clock(),
+            )
+            if not renewed:
+                report.lost_leases += 1
+                continue
+            if user_id not in trajectories:
+                profile, texts = spec
+                trajectories[user_id] = system.update_function.trajectory(
+                    profile, cfg.T
+                )
+                constraints[user_id] = system._join_constraints(texts)
+            trajectory = trajectories[user_id]
+            warm_vectors = system._warm_vectors(user_id, t) if warm else None
+            use_warm = warm_vectors is not None and warm_vectors.size > 0
+            generator = system._cell_generator(
+                t, constraints[user_id], warm=use_warm
+            )
+            found = generator.generate(
+                trajectory[t], time=t, warm_start=warm_vectors
+            )
+            # the compute may have outlived the lease (loaded machine,
+            # search longer than lease_seconds): re-verify ownership
+            # before writing — if the lease expired, another worker has
+            # (or will) recompute the cell, and writing here would
+            # double-report the work
+            if not store.renew_leases(
+                worker_id,
+                [(user_id, t)],
+                lease_seconds=lease_seconds,
+                now=clock(),
+            ):
+                report.lost_leases += 1
+                continue
+            report.candidates_written += store.upsert_cells(
+                [(user_id, t, found, trajectory[t])], fingerprints=fingerprints
+            )
+            store.release_cells(worker_id, [(user_id, t)])
+            report.cells.append((user_id, t))
+    return report
+
+
+def worker_main(
+    system_path: str,
+    db_path: str,
+    worker_id: str,
+    *,
+    db_backend: str | None = None,
+    warm_start: bool | None = None,
+    claim_batch: int = 2,
+    lease_seconds: float = 30.0,
+    result_path: str | None = None,
+) -> WorkerReport:
+    """Process entry point: load the saved system, drain, report.
+
+    Each worker opens its **own** sqlite connection(s) to the shared
+    store — connections are never shared across processes.  With
+    ``result_path`` set, a JSON summary is written for the coordinator.
+    """
+    system = load_system(
+        system_path, store_path=db_path, store_backend=db_backend
+    )
+    try:
+        report = drain_stale_cells(
+            system,
+            worker_id=worker_id,
+            claim_batch=claim_batch,
+            lease_seconds=lease_seconds,
+            warm_start=warm_start,
+        )
+    finally:
+        system.store.close()
+    if result_path is not None:
+        payload = {
+            "worker_id": report.worker_id,
+            "cells": [[u, t] for u, t in report.cells],
+            "candidates_written": report.candidates_written,
+            "skipped_cells": [[u, t] for u, t in report.skipped_cells],
+            "lost_leases": report.lost_leases,
+        }
+        Path(result_path).write_text(json.dumps(payload))
+    return report
+
+
+def _pool_context(start_method: str | None):
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    # fork shares the parent's already-loaded interpreter state, so
+    # worker startup is milliseconds instead of a fresh import chain;
+    # fall back to spawn where fork does not exist (Windows) — the
+    # module-level worker_main is spawn-safe
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_worker_pool(
+    system_path: str | Path,
+    db_path: str | Path,
+    *,
+    n_workers: int,
+    db_backend: str | None = None,
+    warm_start: bool | None = None,
+    claim_batch: int = 2,
+    lease_seconds: float = 30.0,
+    start_method: str | None = None,
+    timeout: float | None = None,
+) -> PoolReport:
+    """Spawn ``n_workers`` processes draining one shared store.
+
+    The saved system at ``system_path`` must already hold the *refit*
+    models (run :meth:`JustInTime.refit` + ``save_system`` first — the
+    ``refresh-workers`` CLI verb does both).  Raises
+    :class:`StorageError` if any worker exits non-zero; cells leased by
+    a crashed worker are recovered by the survivors once the lease
+    expires, so a partial pool failure leaves the store consistent,
+    merely unfinished.
+    """
+    if n_workers < 1:
+        raise StorageError("n_workers must be >= 1")
+    ctx = _pool_context(start_method)
+    with tempfile.TemporaryDirectory(prefix="repro-pool-") as tmp:
+        procs = []
+        result_paths = []
+        for i in range(n_workers):
+            result_path = str(Path(tmp) / f"worker-{i}.json")
+            result_paths.append(result_path)
+            procs.append(
+                ctx.Process(
+                    target=worker_main,
+                    args=(str(system_path), str(db_path), f"worker-{i}"),
+                    kwargs=dict(
+                        db_backend=db_backend,
+                        warm_start=warm_start,
+                        claim_batch=claim_batch,
+                        lease_seconds=lease_seconds,
+                        result_path=result_path,
+                    ),
+                )
+            )
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout)
+        # a worker still alive after its join window timed out: kill it
+        # *before* raising — an orphan would keep writing to the shared
+        # store (and into this soon-to-be-deleted result directory)
+        # while the caller believes the pool is done
+        for proc in procs:
+            if proc.exitcode is None:
+                proc.terminate()
+                proc.join(5.0)
+                if proc.exitcode is None:
+                    proc.kill()
+                    proc.join()
+        failures = [
+            f"worker-{i} exitcode {proc.exitcode}"
+            for i, proc in enumerate(procs)
+            if proc.exitcode != 0
+        ]
+        if failures:
+            raise StorageError(
+                f"worker pool failed: {', '.join(failures)}"
+            )
+        reports = []
+        for result_path in result_paths:
+            payload = json.loads(Path(result_path).read_text())
+            reports.append(
+                WorkerReport(
+                    worker_id=payload["worker_id"],
+                    cells=[(u, int(t)) for u, t in payload["cells"]],
+                    candidates_written=int(payload["candidates_written"]),
+                    skipped_cells=[
+                        (u, int(t)) for u, t in payload["skipped_cells"]
+                    ],
+                    lost_leases=int(payload["lost_leases"]),
+                )
+            )
+    skipped = sorted({cell for r in reports for cell in r.skipped_cells})
+    return PoolReport(
+        workers=tuple(reports),
+        cells_recomputed=sum(len(r.cells) for r in reports),
+        candidates_written=sum(r.candidates_written for r in reports),
+        skipped_cells=tuple(skipped),
+    )

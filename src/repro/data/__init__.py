@@ -7,6 +7,7 @@ seeded generator whose ground-truth approval policy drifts year over year
 
 from repro.data.dataset import TemporalDataset
 from repro.data.drift import LendingPolicy, PolicyWeights
+from repro.data.feed import CsvFeed, DataFeed, IteratorFeed
 from repro.data.io import load_csv, save_csv
 from repro.data.lending import (
     LendingGenerator,
@@ -17,8 +18,11 @@ from repro.data.lending import (
 from repro.data.schema import DatasetSchema, FeatureSpec
 
 __all__ = [
+    "CsvFeed",
+    "DataFeed",
     "DatasetSchema",
     "FeatureSpec",
+    "IteratorFeed",
     "LendingGenerator",
     "LendingPolicy",
     "PolicyWeights",

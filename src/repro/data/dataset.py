@@ -46,6 +46,25 @@ class TemporalDataset:
 
     # ------------------------------------------------------------- basics
 
+    @classmethod
+    def concat(cls, datasets) -> "TemporalDataset":
+        """Concatenate datasets over a shared schema (rows re-sort by
+        timestamp in the constructor).  The streaming feed buffers
+        per-poll batches and merges them into one refresh epoch."""
+        datasets = list(datasets)
+        if not datasets:
+            raise ValidationError("concat needs at least one dataset")
+        schema = datasets[0].schema
+        for ds in datasets[1:]:
+            if ds.schema != schema:
+                raise ValidationError("concat: datasets disagree on schema")
+        return cls(
+            np.vstack([ds.X for ds in datasets]),
+            np.concatenate([ds.y for ds in datasets]),
+            np.concatenate([ds.timestamps for ds in datasets]),
+            schema,
+        )
+
     def __len__(self) -> int:
         return self.X.shape[0]
 

@@ -17,10 +17,49 @@ from repro.data.dataset import TemporalDataset
 from repro.data.schema import DatasetSchema
 from repro.exceptions import ValidationError
 
-__all__ = ["save_csv", "load_csv"]
+__all__ = ["column_map", "load_csv", "parse_data_rows", "save_csv"]
 
 _LABEL_COLUMN = "label"
 _TIME_COLUMN = "timestamp"
+
+
+def column_map(
+    header: list[str], schema: DatasetSchema, path
+) -> dict[str, int]:
+    """Validate a header against the schema and map column name → index.
+
+    Shared by :func:`load_csv` and the streaming
+    :class:`~repro.data.feed.CsvFeed`, so one definition of "a valid
+    file" governs both readers.
+    """
+    required = set(schema.names) | {_LABEL_COLUMN, _TIME_COLUMN}
+    missing = required - set(header)
+    if missing:
+        raise ValidationError(f"{path} is missing columns: {sorted(missing)}")
+    return {name: header.index(name) for name in header}
+
+
+def parse_data_rows(numbered_rows, col: dict[str, int], schema: DatasetSchema, path):
+    """Parse ``(line_no, row)`` pairs into ``(X, y, t)`` lists.
+
+    The single row-parsing loop behind both CSV readers; malformed rows
+    raise :class:`ValidationError` naming the file line.
+    """
+    rows_X: list[list[float]] = []
+    rows_y: list[int] = []
+    rows_t: list[float] = []
+    for line_no, row in numbered_rows:
+        if not row:
+            continue
+        try:
+            rows_X.append([float(row[col[name]]) for name in schema.names])
+            rows_y.append(int(float(row[col[_LABEL_COLUMN]])))
+            rows_t.append(float(row[col[_TIME_COLUMN]]))
+        except (ValueError, IndexError) as exc:
+            raise ValidationError(
+                f"{path}:{line_no}: malformed row: {exc}"
+            ) from exc
+    return rows_X, rows_y, rows_t
 
 
 def save_csv(dataset: TemporalDataset, path: str | Path) -> None:
@@ -47,27 +86,10 @@ def load_csv(path: str | Path, schema: DatasetSchema) -> TemporalDataset:
             header = next(reader)
         except StopIteration:
             raise ValidationError(f"{path} is empty") from None
-        required = set(schema.names) | {_LABEL_COLUMN, _TIME_COLUMN}
-        missing = required - set(header)
-        if missing:
-            raise ValidationError(f"{path} is missing columns: {sorted(missing)}")
-        col = {name: header.index(name) for name in header}
-        rows_X: list[list[float]] = []
-        rows_y: list[int] = []
-        rows_t: list[float] = []
-        for line_no, row in enumerate(reader, start=2):
-            if not row:
-                continue
-            try:
-                rows_X.append(
-                    [float(row[col[name]]) for name in schema.names]
-                )
-                rows_y.append(int(float(row[col[_LABEL_COLUMN]])))
-                rows_t.append(float(row[col[_TIME_COLUMN]]))
-            except (ValueError, IndexError) as exc:
-                raise ValidationError(
-                    f"{path}:{line_no}: malformed row: {exc}"
-                ) from exc
+        col = column_map(header, schema, path)
+        rows_X, rows_y, rows_t = parse_data_rows(
+            enumerate(reader, start=2), col, schema, path
+        )
     if not rows_X:
         raise ValidationError(f"{path} contains no data rows")
     return TemporalDataset(

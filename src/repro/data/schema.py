@@ -16,7 +16,7 @@ DB layer and the UI both rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

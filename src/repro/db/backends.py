@@ -33,6 +33,12 @@ from pathlib import Path
 
 from repro.exceptions import StorageError
 
+#: SQLite busy timeout (seconds).  Worker-pool processes contend on the
+#: shared file's write lock during lease claims and cell upserts; the
+#: sqlite3 default of 5s is too twitchy when a claim scan lands behind a
+#: bulk upsert on a loaded machine.
+_BUSY_TIMEOUT_S = 30.0
+
 __all__ = [
     "BACKEND_NAMES",
     "MemoryBackend",
@@ -77,7 +83,7 @@ class SQLiteBackend(StoreBackend):
 
     def __init__(self, path: str | Path = ":memory:"):
         self.path = str(path)
-        self.conn = sqlite3.connect(self.path)
+        self.conn = sqlite3.connect(self.path, timeout=_BUSY_TIMEOUT_S)
 
     def schemas(self) -> tuple[str, ...]:
         return ("main",)
@@ -130,7 +136,7 @@ class ShardedSQLiteBackend(StoreBackend):
         # is not ':memory:', and store_sessions promises one atomic
         # transaction over the whole multi-shard batch
         router = ":memory:" if self.path == ":memory:" else self.path
-        self.conn = sqlite3.connect(router)
+        self.conn = sqlite3.connect(router, timeout=_BUSY_TIMEOUT_S)
         for i in range(n_shards):
             target = (
                 ":memory:" if self.path == ":memory:" else f"{self.path}.shard{i}"

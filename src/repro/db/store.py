@@ -20,6 +20,16 @@ paper's Figure 2 shows):
     long-running service can rehydrate sessions after a restart and
     refresh them.
 
+``refresh_leases(user_id, time, worker_id, lease_expires_at)``
+    Cross-process refresh coordination: a worker that intends to
+    recompute a stale (user, t) cell first *claims* it by writing a
+    lease row.  Claims are atomic (``BEGIN IMMEDIATE`` serialises them
+    on the main database's write lock, which every process of a shared
+    file-backed store contends on), so a pool of worker processes can
+    drain :meth:`CandidateStore.stale_cells` concurrently without
+    double-computing; expired leases are reclaimable, which is how the
+    pool recovers cells from crashed workers.
+
 Feature columns are generated from the dataset schema; names are
 validated as SQL identifiers.  All user-supplied *values* go through
 parametrised statements.  Storage topology (single file, in-memory, or
@@ -30,9 +40,11 @@ backend every table exists once per shard and reads go through
 
 from __future__ import annotations
 
+import hashlib
 import json
 import re
 import sqlite3
+import time as _time
 from pathlib import Path
 
 import numpy as np
@@ -158,6 +170,17 @@ class CandidateStore:
                     )
                     """
                 )
+                self._conn.execute(
+                    f"""
+                    CREATE TABLE IF NOT EXISTS {db}.refresh_leases (
+                        user_id TEXT NOT NULL,
+                        time INTEGER NOT NULL,
+                        worker_id TEXT NOT NULL,
+                        lease_expires_at REAL NOT NULL,
+                        PRIMARY KEY (user_id, time)
+                    )
+                    """
+                )
                 # migrate databases created before the refresh subsystem:
                 # their tables predate the model_fp column (cells read as
                 # fingerprint '' — i.e. stale, which is the safe default)
@@ -178,7 +201,12 @@ class CandidateStore:
                 # queries (expert SQL, Figure-2 canned SQL) are
                 # shard-transparent; sqlite views are read-only, which
                 # suits the expert interface
-                for table in ("temporal_inputs", "candidates", "user_sessions"):
+                for table in (
+                    "temporal_inputs",
+                    "candidates",
+                    "user_sessions",
+                    "refresh_leases",
+                ):
                     union = " UNION ALL ".join(
                         f"SELECT * FROM {db}.{table}"
                         for db in self._backend.schemas()
@@ -593,13 +621,220 @@ class CandidateStore:
         fingerprint; any cell recorded under a different (or empty)
         fingerprint is stale.  Cells at time points missing from
         ``fingerprints`` are not reported.
+
+        **Ordering contract:** rows come back ``ORDER BY user_id, time``
+        (SQLite BINARY collation), evaluated inside the database on every
+        backend — on the sharded backend the ORDER BY applies to the
+        ``UNION ALL`` view output, so the order is identical across
+        ``sqlite`` / ``memory`` / ``sharded`` rather than reflecting
+        shard layout.  Worker pools claim cells in this order, which
+        makes claim sequences reproducible in tests.
         """
+        if not fingerprints:
+            return []
+        pairs = sorted((int(t), fp or "") for t, fp in fingerprints.items())
+        placeholders = ", ".join("(?, ?)" for _ in pairs)
+        rows = self._read(
+            "SELECT ti.user_id AS user_id, ti.time AS time"
+            " FROM temporal_inputs AS ti"
+            f" JOIN (VALUES {placeholders}) AS fp"
+            " ON ti.time = fp.column1 AND ti.model_fp != fp.column2"
+            " ORDER BY ti.user_id, ti.time",
+            [value for pair in pairs for value in pair],
+        )
+        return [(str(r["user_id"]), int(r["time"])) for r in rows]
+
+    # ------------------------------------------------------------- leases
+
+    def _begin_immediate(self) -> None:
+        """Open an IMMEDIATE transaction (write lock on the main database
+        up front).  Every process sharing a file-backed store — plain or
+        sharded, whose router file is the main database — contends on
+        that one lock, so everything until COMMIT is atomic across the
+        worker pool."""
+        if self._conn.in_transaction:
+            raise StorageError(
+                "cannot start a lease claim inside an open transaction"
+            )
+        try:
+            self._conn.execute("BEGIN IMMEDIATE")
+        except sqlite3.Error as exc:
+            raise StorageError(f"could not lock store for claim: {exc}") from exc
+
+    def claim_stale_cells(
+        self,
+        fingerprints: dict[int, str],
+        worker_id: str,
+        *,
+        limit: int = 4,
+        lease_seconds: float = 30.0,
+        now: float | None = None,
+        exclude=(),
+    ) -> list[tuple[str, int]]:
+        """Atomically lease up to ``limit`` stale cells to ``worker_id``.
+
+        Walks :meth:`stale_cells` in its deterministic (user, time) order
+        and writes a lease row for each cell that is unleased, expired,
+        or already held by this worker (re-claiming one's own lease just
+        extends it, so a retrying worker is idempotent).  The scan and
+        all lease writes happen in **one** ``BEGIN IMMEDIATE``
+        transaction, so two workers can never claim the same cell: the
+        loser of the lock race sees the winner's fresh leases and skips
+        them.
+
+        ``now`` is the caller's clock (``time.time()`` by default) —
+        injectable for tests; a lease is free again once
+        ``lease_expires_at <= now``, which is how cells of crashed
+        workers get recovered.  ``exclude`` lists (user, time) cells to
+        skip, e.g. cells this worker found uncomputable (no resumable
+        session spec) that would otherwise be re-claimed forever.
+        Returns the claimed cells, in ledger order.
+        """
+        if limit < 1:
+            raise StorageError("limit must be >= 1")
+        now = float(_time.time() if now is None else now)
+        expires = now + float(lease_seconds)
+        excluded = {(str(u), int(t)) for u, t in exclude}
+        claimed: list[tuple[str, int]] = []
+        self._begin_immediate()
+        try:
+            candidates = self._claimable_cells(
+                fingerprints, worker_id, now, limit + len(excluded)
+            )
+            for user_id, t in candidates:
+                if len(claimed) >= limit:
+                    break
+                if (user_id, t) in excluded:
+                    continue
+                db = self._db_for(user_id)
+                cursor = self._conn.execute(
+                    f"""
+                    INSERT INTO {db}.refresh_leases
+                        (user_id, time, worker_id, lease_expires_at)
+                    VALUES (?, ?, ?, ?)
+                    ON CONFLICT (user_id, time) DO UPDATE SET
+                        worker_id = excluded.worker_id,
+                        lease_expires_at = excluded.lease_expires_at
+                    WHERE refresh_leases.lease_expires_at <= ?
+                       OR refresh_leases.worker_id = excluded.worker_id
+                    """,
+                    (user_id, t, str(worker_id), expires, now),
+                )
+                if cursor.rowcount:
+                    claimed.append((user_id, t))
+            self._conn.commit()
+        except BaseException:
+            self._conn.rollback()
+            raise
+        return claimed
+
+    def _claimable_cells(
+        self, fingerprints: dict[int, str], worker_id: str, now: float, limit: int
+    ) -> list[tuple[str, int]]:
+        """Stale cells not blocked by a live foreign lease, in ledger
+        order, at most ``limit`` — the lease filter runs inside SQL so a
+        claim round scans one bounded query instead of materialising the
+        whole stale set under the write lock."""
+        if not fingerprints or limit < 1:
+            return []
+        pairs = sorted((int(t), fp or "") for t, fp in fingerprints.items())
+        placeholders = ", ".join("(?, ?)" for _ in pairs)
+        rows = self._read(
+            "SELECT ti.user_id AS user_id, ti.time AS time"
+            " FROM temporal_inputs AS ti"
+            f" JOIN (VALUES {placeholders}) AS fp"
+            " ON ti.time = fp.column1 AND ti.model_fp != fp.column2"
+            " LEFT JOIN refresh_leases AS rl"
+            " ON rl.user_id = ti.user_id AND rl.time = ti.time"
+            " WHERE rl.user_id IS NULL OR rl.lease_expires_at <= ?"
+            " OR rl.worker_id = ?"
+            " ORDER BY ti.user_id, ti.time LIMIT ?",
+            [
+                *(value for pair in pairs for value in pair),
+                now,
+                str(worker_id),
+                int(limit),
+            ],
+        )
+        return [(str(r["user_id"]), int(r["time"])) for r in rows]
+
+    def has_stale_cells(
+        self, fingerprints: dict[int, str], exclude=()
+    ) -> bool:
+        """Whether any stale cell remains outside ``exclude`` —
+        regardless of leases.  Workers use this to distinguish "queue
+        drained" from "remaining cells are leased to someone else"
+        (the latter may become claimable again if that worker dies)."""
+        excluded = {(str(u), int(t)) for u, t in exclude}
+        return any(
+            cell not in excluded for cell in self.stale_cells(fingerprints)
+        )
+
+    def renew_leases(
+        self,
+        worker_id: str,
+        cells,
+        *,
+        lease_seconds: float = 30.0,
+        now: float | None = None,
+    ) -> int:
+        """Extend this worker's live leases on ``cells``; returns how many
+        were actually renewed.  A lease that already expired is *not*
+        renewed (another worker may have legitimately reclaimed the
+        cell), so a return value below ``len(cells)`` tells the worker
+        to drop the lost cells instead of writing a result it no longer
+        owns."""
+        now = float(_time.time() if now is None else now)
+        expires = now + float(lease_seconds)
+        renewed = 0
+        with self._conn:
+            for user_id, t in cells:
+                db = self._db_for(str(user_id))
+                cursor = self._conn.execute(
+                    f"UPDATE {db}.refresh_leases SET lease_expires_at = ?"
+                    " WHERE user_id = ? AND time = ? AND worker_id = ?"
+                    " AND lease_expires_at > ?",
+                    (expires, str(user_id), int(t), str(worker_id), now),
+                )
+                renewed += cursor.rowcount
+        return renewed
+
+    def release_cells(self, worker_id: str, cells) -> int:
+        """Drop this worker's lease rows for ``cells`` (after the cell's
+        recompute was upserted, or to hand an unprocessed cell back to
+        the pool early).  Releasing a cell leased to another worker is a
+        no-op.  Returns the number of leases released."""
+        released = 0
+        with self._conn:
+            for user_id, t in cells:
+                db = self._db_for(str(user_id))
+                cursor = self._conn.execute(
+                    f"DELETE FROM {db}.refresh_leases"
+                    " WHERE user_id = ? AND time = ? AND worker_id = ?",
+                    (str(user_id), int(t), str(worker_id)),
+                )
+                released += cursor.rowcount
+        return released
+
+    def lease_rows(self) -> list[tuple[str, int, str, float]]:
+        """Current lease table, ``(user_id, time, worker_id,
+        lease_expires_at)`` ordered by (user, time) — monitoring and
+        test introspection."""
+        rows = self._read(
+            "SELECT user_id, time, worker_id, lease_expires_at"
+            " FROM refresh_leases ORDER BY user_id, time"
+        )
         return [
-            (user_id, t)
-            for user_id, cells in sorted(self.ledger_snapshot().items())
-            for t, fp in sorted(cells.items())
-            if t in fingerprints and fp != (fingerprints[t] or "")
+            (
+                str(r["user_id"]),
+                int(r["time"]),
+                str(r["worker_id"]),
+                float(r["lease_expires_at"]),
+            )
+            for r in rows
         ]
+
+    # -------------------------------------------------------------- reads
 
     def cell_vectors(self, user_id: str, time: int) -> np.ndarray:
         """Stored candidate feature vectors of one cell, shape ``(n, d)``.
@@ -616,12 +851,23 @@ class CandidateStore:
             return np.empty((0, len(self.schema)))
         return np.vstack([self.row_to_vector(row) for row in rows])
 
-    def load_candidates(self, user_id: str) -> list[Candidate]:
-        """Reconstruct the user's :class:`Candidate` objects from rows."""
-        rows = self._read(
-            "SELECT * FROM candidates WHERE user_id = ? ORDER BY time, id",
-            (user_id,),
-        )
+    def load_candidates(
+        self, user_id: str, time: int | None = None
+    ) -> list[Candidate]:
+        """Reconstruct the user's :class:`Candidate` objects from rows,
+        optionally restricted to one time point (the warm-start top-m
+        selection ranks a single cell's stored candidates)."""
+        if time is None:
+            rows = self._read(
+                "SELECT * FROM candidates WHERE user_id = ? ORDER BY time, id",
+                (user_id,),
+            )
+        else:
+            rows = self._read(
+                "SELECT * FROM candidates WHERE user_id = ? AND time = ?"
+                " ORDER BY id",
+                (user_id, int(time)),
+            )
         return [
             Candidate(
                 self.row_to_vector(row),
@@ -660,3 +906,36 @@ class CandidateStore:
     def row_to_vector(self, row: sqlite3.Row) -> np.ndarray:
         """Extract the feature vector from any row with feature columns."""
         return np.array([row[name] for name in self.schema.names], dtype=float)
+
+    def contents_digest(self) -> str:
+        """SHA-256 over the store's canonical logical contents.
+
+        Two stores holding the same sessions, temporal inputs and
+        candidates produce the same digest **regardless of which worker
+        wrote which cell**: rows are serialised in (user, time) order and
+        the ``candidates.id`` autoincrement — pure storage metadata whose
+        global values depend on cell *completion* order across a worker
+        pool — is excluded.  Per-cell candidate order is preserved (rows
+        of one cell are written by a single worker in generation order,
+        so ``id`` still sorts them within the cell).  This is the
+        identity check behind "an N-process refresh equals the
+        single-process refresh byte for byte".
+        """
+        digest = hashlib.sha256()
+        feature_cols = ", ".join(self.schema.names)
+        for row in self._read(
+            f"SELECT user_id, time, {feature_cols}, model_fp"
+            " FROM temporal_inputs ORDER BY user_id, time"
+        ):
+            digest.update(repr(tuple(row)).encode())
+        for row in self._read(
+            f"SELECT user_id, time, {feature_cols}, diff, gap, p, model_fp"
+            " FROM candidates ORDER BY user_id, time, id"
+        ):
+            digest.update(repr(tuple(row)).encode())
+        for row in self._read(
+            "SELECT user_id, profile, constraints FROM user_sessions"
+            " ORDER BY user_id"
+        ):
+            digest.update(repr(tuple(row)).encode())
+        return digest.hexdigest()

@@ -2,13 +2,11 @@
 
 import io
 
-import numpy as np
 import pytest
 
 from repro.app import (
     build_system,
     insight_block,
-    main,
     profile_table,
     run_demo,
     run_interactive,

@@ -15,7 +15,7 @@ from repro.constraints import (
     parse_constraint,
     tokenize,
 )
-from repro.constraints.ast import BinOp, EvalContext
+from repro.constraints.ast import EvalContext
 from repro.exceptions import ConstraintParseError
 
 

@@ -10,7 +10,7 @@ from repro.core import (
     default_proposers,
 )
 from repro.exceptions import CandidateSearchError
-from repro.ml import LogisticRegression, RandomForestClassifier
+from repro.ml import LogisticRegression
 
 
 class TestThresholdMoves:

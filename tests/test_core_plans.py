@@ -1,6 +1,5 @@
 """Tests for plan construction and rendering."""
 
-import numpy as np
 import pytest
 
 from repro.core import Candidate, CandidateMetrics, build_plan

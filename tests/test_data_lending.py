@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import LendingGenerator, LendingPolicy, john_profile, lending_schema
+from repro.data import LendingGenerator, LendingPolicy, john_profile
 from repro.data.lending import standardise_profile
 from repro.exceptions import ValidationError
 

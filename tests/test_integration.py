@@ -8,12 +8,11 @@ from repro.core import AdminConfig, JustInTime
 from repro.data import (
     LendingGenerator,
     john_profile,
-    lending_schema,
     load_csv,
     make_lending_dataset,
     save_csv,
 )
-from repro.ml import GradientBoostingClassifier, LogisticRegression
+from repro.ml import GradientBoostingClassifier
 from repro.temporal import EDDStrategy, lending_update_function
 
 

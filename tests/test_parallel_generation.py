@@ -37,7 +37,9 @@ class TestParallelEqualsSequential:
             "u", john_profile()
         )
         assert len(seq.candidates) == len(par.candidates)
-        key = lambda c: (c.time, tuple(np.round(c.x, 9)))
+        def key(c):
+            return (c.time, tuple(np.round(c.x, 9)))
+
         for a, b in zip(sorted(seq.candidates, key=key),
                         sorted(par.candidates, key=key)):
             assert a.time == b.time

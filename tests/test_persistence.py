@@ -48,7 +48,9 @@ class TestSaveLoad:
         loaded = load_system(path)
         a = trained.create_session("u", john_profile())
         b = loaded.create_session("u", john_profile())
-        key = lambda c: (c.time, tuple(np.round(c.x, 9)))
+        def key(c):
+            return (c.time, tuple(np.round(c.x, 9)))
+
         assert sorted(map(key, a.candidates)) == sorted(map(key, b.candidates))
         trained.store.clear_user("u")
 

@@ -70,7 +70,9 @@ class TestPredictionQuality:
         predictor = EDDPredictor(kernel, ridge=0.05).fit(windows)
         one = predictor.predict_embedding(1)
         two = predictor.predict_embedding(2)
-        mean_of = lambda emb: (emb.weights @ emb.points) / emb.weights.sum()
+        def mean_of(emb):
+            return (emb.weights @ emb.points) / emb.weights.sum()
+
         assert mean_of(two)[0] > mean_of(one)[0]
 
 

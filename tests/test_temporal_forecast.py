@@ -5,11 +5,10 @@ import pytest
 
 from repro.data import LendingGenerator, LendingPolicy
 from repro.exceptions import ForecastError
-from repro.ml import LogisticRegression, RandomForestClassifier, roc_auc_score
+from repro.ml import RandomForestClassifier, roc_auc_score
 from repro.temporal import (
     EDDStrategy,
     FutureModel,
-    FutureModels,
     ModelsGenerator,
     OracleStrategy,
     make_strategy,

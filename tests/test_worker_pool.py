@@ -1,0 +1,293 @@
+"""Worker-pool refresh tests: lease-draining equals inline refresh.
+
+The load-bearing invariant: however the stale cells are distributed —
+one in-process drain, or N worker processes racing over leases — the
+final store contents are byte-identical to a single-process
+``JustInTime.refresh()`` (``CandidateStore.contents_digest``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.constraints import lending_domain_constraints
+from repro.core import (
+    AdminConfig,
+    JustInTime,
+    drain_stale_cells,
+    load_system,
+    run_worker_pool,
+    save_system,
+)
+from repro.data import (
+    LendingGenerator,
+    TemporalDataset,
+    john_profile,
+    make_lending_dataset,
+)
+from repro.exceptions import StorageError
+from repro.temporal import PerPeriodStrategy, lending_update_function
+
+DRIFT_T = 1
+N_USERS = 6
+
+
+@pytest.fixture(scope="module")
+def history():
+    return make_lending_dataset(n_per_year=60, random_state=1)
+
+
+@pytest.fixture(scope="module")
+def drift_data(history):
+    start = float(np.floor(history.span[0]))
+    generator = LendingGenerator(random_state=99)
+    X = generator.sample_profiles(50)
+    years = np.full(50, start + DRIFT_T + 0.5)
+    return TemporalDataset(X, generator.label(X, years), years, history.schema)
+
+
+def make_users(schema, n=N_USERS):
+    rng = np.random.default_rng(7)
+    base = schema.vector(john_profile())
+    return [
+        (
+            f"user-{i:02d}",
+            schema.clip(base * rng.uniform(0.8, 1.2, size=base.size)),
+            ["annual_income <= base_annual_income * 1.3"],
+        )
+        for i in range(n)
+    ]
+
+
+def build_populated(schema, history, db, backend, **overrides):
+    config = dict(
+        T=2, strategy=PerPeriodStrategy(), k=4, max_iter=8, random_state=0
+    )
+    config.update(overrides)
+    system = JustInTime(
+        schema,
+        lending_update_function(schema),
+        AdminConfig(**config),
+        domain_constraints=lending_domain_constraints(schema),
+        store_path=db,
+        store_backend=backend,
+        n_shards=4,
+    )
+    system.fit(history)
+    system.create_sessions(make_users(schema))
+    return system
+
+
+class TestDrain:
+    def test_single_drain_matches_inline_refresh(
+        self, schema, history, drift_data, tmp_path
+    ):
+        inline = build_populated(schema, history, tmp_path / "a.db", "sqlite")
+        inline.refresh(drift_data, warm_start=False)
+        expected = inline.store.contents_digest()
+
+        drained = build_populated(schema, history, tmp_path / "b.db", "sqlite")
+        stale = drained.refit(drift_data)
+        assert stale == (DRIFT_T,)
+        report = drain_stale_cells(drained, warm_start=False)
+        assert sorted(report.cells) == [
+            (f"user-{i:02d}", DRIFT_T) for i in range(N_USERS)
+        ]
+        assert not report.skipped_cells
+        assert drained.store.contents_digest() == expected
+        assert drained.store.stale_cells(drained.model_fingerprints) == []
+        assert drained.store.lease_rows() == []
+
+    def test_warm_drain_matches_warm_refresh(
+        self, schema, history, drift_data, tmp_path
+    ):
+        """Warm seeds come from the same stored rows either way, so the
+        warm paths agree too (refresh and drain rank/seed identically)."""
+        inline = build_populated(schema, history, tmp_path / "a.db", "sqlite",
+                                 warm_top_m=2, warm_patience=1)
+        inline.refresh(drift_data, warm_start=True)
+        drained = build_populated(schema, history, tmp_path / "b.db", "sqlite",
+                                  warm_top_m=2, warm_patience=1)
+        drained.refit(drift_data)
+        drain_stale_cells(drained, warm_start=True)
+        assert (
+            drained.store.contents_digest() == inline.store.contents_digest()
+        )
+
+    def test_drain_skips_unrecoverable_users_and_terminates(
+        self, schema, history, drift_data, tmp_path
+    ):
+        from repro.constraints.evaluate import ConstraintsFunction
+
+        system = build_populated(schema, history, tmp_path / "a.db", "sqlite")
+        opaque = ConstraintsFunction(schema)
+        opaque.add("gap <= 3")
+        system.create_session("ghost", john_profile(), user_constraints=opaque)
+        system.refit(drift_data)
+        report = drain_stale_cells(system, warm_start=False)
+        assert ("ghost", DRIFT_T) in report.skipped_cells
+        assert ("ghost", DRIFT_T) in system.store.stale_cells(
+            system.model_fingerprints
+        )  # stays stale, surfaced — never silently dropped
+        assert len(report.cells) == N_USERS
+        assert system.store.lease_rows() == []  # skipped leases handed back
+
+    def test_drain_waits_out_foreign_lease_and_recovers(
+        self, schema, history, drift_data, tmp_path
+    ):
+        """Claim comes back empty while a crashed worker's lease is
+        live: the drain must wait for expiry and reclaim, not exit with
+        the cell still stale (the crash-recovery guarantee)."""
+        from repro.db.store import CandidateStore
+
+        db = tmp_path / "a.db"
+        system = build_populated(schema, history, db, "sqlite")
+        system.refit(drift_data)
+        # a "crashed" worker holds every stale cell on a short lease
+        crashed = CandidateStore(schema, db, backend="sqlite")
+        victims = crashed.claim_stale_cells(
+            system.model_fingerprints, "wDead", limit=99, lease_seconds=0.4
+        )
+        assert len(victims) == N_USERS
+        crashed.close()  # dies without releasing
+        sleeps = []
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            import time
+
+            time.sleep(seconds)
+
+        report = drain_stale_cells(
+            system, warm_start=False, lease_seconds=0.4, sleep=sleep
+        )
+        assert sleeps  # it actually waited instead of exiting
+        assert sorted(report.cells) == sorted(victims)
+        assert system.store.stale_cells(system.model_fingerprints) == []
+
+    def test_drain_max_cells_budget(
+        self, schema, history, drift_data, tmp_path
+    ):
+        system = build_populated(schema, history, tmp_path / "a.db", "sqlite")
+        system.refit(drift_data)
+        report = drain_stale_cells(system, warm_start=False, max_cells=2)
+        assert len(report.cells) == 2
+        assert (
+            len(system.store.stale_cells(system.model_fingerprints))
+            == N_USERS - 2
+        )
+
+
+class TestWorkerPool:
+    @pytest.mark.parametrize("backend", ["sqlite", "sharded"])
+    def test_two_process_pool_matches_inline_refresh(
+        self, schema, history, drift_data, tmp_path, backend
+    ):
+        """The acceptance invariant (also CI's worker-pool smoke)."""
+        inline = build_populated(
+            schema, history, tmp_path / "a.db", backend
+        )
+        inline.refresh(drift_data, warm_start=False)
+        expected = inline.store.contents_digest()
+        inline.store.close()
+
+        db = tmp_path / "b.db"
+        pkl = tmp_path / "b.pkl"
+        pooled = build_populated(schema, history, db, backend)
+        pooled.refit(drift_data)
+        save_system(pooled, pkl)
+        pooled.store.close()
+        report = run_worker_pool(
+            pkl, db, n_workers=2, db_backend=backend, warm_start=False
+        )
+        assert report.cells_recomputed == N_USERS
+        assert not report.skipped_cells
+
+        reopened = load_system(pkl, store_path=db, store_backend=backend)
+        assert reopened.store.contents_digest() == expected
+        assert (
+            reopened.store.stale_cells(reopened.model_fingerprints) == []
+        )
+        assert reopened.store.lease_rows() == []
+
+    def test_pool_rejects_bad_worker_count(self, tmp_path):
+        with pytest.raises(StorageError, match="n_workers"):
+            run_worker_pool(tmp_path / "x.pkl", tmp_path / "x.db", n_workers=0)
+
+
+class TestWarmTuning:
+    def test_warm_top_m_limits_seeds(self, schema, history, tmp_path):
+        system = build_populated(
+            schema, history, tmp_path / "a.db", "sqlite", warm_top_m=2, k=5
+        )
+        uid = "user-00"
+        stored = system.store.cell_vectors(uid, 0)
+        assert stored.shape[0] > 2  # tuning has something to trim
+        seeds = system._warm_vectors(uid, 0)
+        assert seeds.shape == (2, len(schema))
+        # the seeds are the objective-best stored candidates
+        from repro.core import get_objective
+
+        candidates = system.store.load_candidates(uid, time=0)
+        objective = get_objective(system.config.objective)
+        best = sorted(candidates, key=lambda c: objective.key(c.metrics))[:2]
+        assert np.array_equal(seeds, np.vstack([c.x for c in best]))
+
+    def test_warm_top_m_refresh_still_valid(
+        self, schema, history, drift_data, tmp_path
+    ):
+        system = build_populated(
+            schema,
+            history,
+            tmp_path / "a.db",
+            "sqlite",
+            warm_top_m=1,
+            warm_patience=1,
+        )
+        report = system.refresh(drift_data)  # warm on by default
+        assert report.warm_start
+        for uid, _, _ in make_users(schema):
+            session = system.get_session(uid)
+            for c in session.candidates:
+                if c.time != DRIFT_T:
+                    continue
+                fm = system.future_models[c.time]
+                assert fm.decides_positive(c.x.reshape(1, -1))[0]
+                assert session.constraints.is_valid(
+                    c.x,
+                    session.trajectory[c.time],
+                    confidence=c.confidence,
+                    time=c.time,
+                )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="warm_top_m"):
+            AdminConfig(warm_top_m=0)
+        with pytest.raises(ValueError, match="warm_patience"):
+            AdminConfig(warm_patience=0)
+
+
+class TestWorkersCli:
+    def test_refresh_workers_flow(self, tmp_path, capsys):
+        from repro.app.cli import main
+
+        pkl = tmp_path / "sys.pkl"
+        db = tmp_path / "cands.db"
+        assert main(
+            ["--n-per-year", "60", "--horizon", "1", "--db", str(db),
+             "admin", "--save", str(pkl)]
+        ) == 0
+        assert main(["--load", str(pkl), "--db", str(db), "quickstart"]) == 0
+        capsys.readouterr()
+        assert main(
+            ["--load", str(pkl), "--db", str(db), "refresh-workers",
+             "--workers", "2", "--new-n", "40", "--cold"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "worker processes" in out
+        assert "store digest: " in out
+
+    def test_refresh_workers_requires_load_and_db(self, capsys):
+        from repro.app.cli import main
+
+        assert main(["refresh-workers"]) == 2
+        assert "--load" in capsys.readouterr().out
