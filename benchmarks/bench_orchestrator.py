@@ -1,0 +1,410 @@
+"""Orchestrator end-to-end: feed → drift epoch → refit → pool → resume.
+
+Three things the unified refresh orchestrator must prove with numbers:
+
+1. **Identity** — a CsvFeed stream consumed by the orchestrator (drift
+   gate opens one epoch; refit marks the ledger stale; a 2-worker pool
+   drains it) leaves the store byte-identical to a one-shot
+   ``JustInTime.refresh()`` over the same parsed rows.
+2. **Kill-safety** — an orchestrator killed right after its pre-drain
+   checkpoint, whose pool half-finished, resumes from disk: recovery
+   recomputes only the unfinished cells and converges to the same
+   digest.
+3. **Indexed claims** — ``EXPLAIN QUERY PLAN`` on the claim scan shows
+   the covering ledger index on every shard (no O(cells) table scan).
+
+Run as a script (not via pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_orchestrator.py
+        [--quick] [--smoke] [--json PATH]
+
+``--quick`` shrinks the workload for CI; ``--smoke`` runs the identity
++ resume + plan assertions only (the CI orchestrator smoke job);
+``--json`` writes timings for artifact upload.  Pool speedup needs real
+cores — the script reports availability like the streaming bench.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.constraints import lending_domain_constraints
+from repro.core import (
+    AdminConfig,
+    DriftGate,
+    JustInTime,
+    RefreshOrchestrator,
+    drain_stale_cells,
+    load_system,
+    save_system,
+)
+from repro.data import (
+    CsvFeed,
+    LendingGenerator,
+    TemporalDataset,
+    john_profile,
+    lending_schema,
+    make_lending_dataset,
+    save_csv,
+)
+from repro.db.store import CandidateStore
+from repro.temporal import PerPeriodStrategy, lending_update_function
+
+N_SHARDS = 4
+
+
+class OrchestratorKilled(RuntimeError):
+    """Raised by the fault hook to simulate the process dying."""
+
+
+def available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        return os.cpu_count() or 1
+
+
+def make_users(schema, n_users: int):
+    rng = np.random.default_rng(7)
+    base = schema.vector(john_profile())
+    return [
+        (
+            f"user-{i:03d}",
+            schema.clip(base * rng.uniform(0.75, 1.25, size=base.size)),
+            ["annual_income <= base_annual_income * 1.3"],
+        )
+        for i in range(n_users)
+    ]
+
+
+def make_batch(schema, history, n, *, seed, scale=1.0, year_offset=1.5):
+    start = float(np.floor(history.span[0]))
+    generator = LendingGenerator(random_state=seed)
+    X = generator.sample_profiles(n) * scale
+    years = np.full(n, start + year_offset)
+    return TemporalDataset(X, generator.label(X, years), years, schema)
+
+
+def build_state(workdir: Path, schema, history, users, T: int) -> None:
+    system = JustInTime(
+        schema,
+        lending_update_function(schema),
+        AdminConfig(
+            T=T, strategy=PerPeriodStrategy(), k=6, max_iter=10, random_state=0
+        ),
+        domain_constraints=lending_domain_constraints(schema),
+        store_path=workdir / "cands.db",
+        store_backend="sharded",
+        n_shards=N_SHARDS,
+    )
+    system.fit(history)
+    system.create_sessions(users)
+    save_system(system, workdir / "system.pkl")
+    system.store.close()
+
+
+def replicate(state_dir: Path, into: Path) -> None:
+    into.mkdir()
+    for item in state_dir.iterdir():
+        shutil.copy(item, into / item.name)
+
+
+def open_state(workdir: Path):
+    return load_system(
+        workdir / "system.pkl",
+        store_path=workdir / "cands.db",
+        store_backend="sharded",
+    )
+
+
+def digest_of(workdir: Path, schema) -> str:
+    with CandidateStore(
+        schema, workdir / "cands.db", backend="sharded"
+    ) as store:
+        return store.contents_digest()
+
+
+def write_feed(workdir: Path, schema, batches) -> tuple[Path, list]:
+    """One feed CSV holding every batch, plus the CSV-parsed batches the
+    reference refresh must consume (save_csv rounds to 6 significant
+    digits, and identity is judged on what was actually ingested)."""
+    feed_csv = workdir / "feed.csv"
+    scratch = workdir / "scratch.csv"
+    parsed = []
+    reader = CsvFeed(feed_csv, schema)
+    for batch in batches:
+        save_csv(batch, scratch)
+        text = scratch.read_text()
+        if feed_csv.exists():
+            text = text.split("\n", 1)[1]
+        with feed_csv.open("a", newline="") as handle:
+            handle.write(text)
+        parsed.append(reader.poll())
+    scratch.unlink()
+    return feed_csv, parsed
+
+
+def make_orchestrator(workdir, system, feed_csv, schema, n_workers, hook=None):
+    system_path = workdir / "system.pkl"
+    start_offset = int(system.saved_extra.get("feed_offset", 0))
+    return RefreshOrchestrator(
+        system,
+        CsvFeed(feed_csv, schema, start_offset=start_offset),
+        system_path=system_path,
+        db_path=workdir / "cands.db",
+        db_backend="sharded",
+        n_workers=n_workers,
+        gate=DriftGate(mmd_threshold=0.25),
+        warm_start=False,
+        fault_hook=hook,
+    )
+
+
+def run_orchestrated(tmp, schema, feed_batches, n_workers) -> dict:
+    """Replicate the state, stream the feed through the orchestrator."""
+    workdir = tmp / f"orch-{n_workers}w"
+    replicate(tmp / "state", workdir)
+    feed_csv, _ = write_feed(workdir, schema, feed_batches)
+    system = open_state(workdir)
+    orchestrator = make_orchestrator(
+        workdir, system, feed_csv, schema, n_workers
+    )
+    start = time.perf_counter()
+    epochs = orchestrator.run(max_polls=3, poll_interval=0.0)
+    elapsed = time.perf_counter() - start
+    outcome = epochs[-1].report if epochs else None
+    system.store.close()
+    return {
+        "workdir": workdir,
+        "seconds": elapsed,
+        "epochs": len(epochs),
+        "triggers": [e.trigger for e in epochs],
+        "cells": outcome.cells_recomputed if outcome else 0,
+    }
+
+
+def run_reference(tmp, schema, parsed_batches) -> tuple[Path, float]:
+    """Single-process one-shot refresh over the merged parsed stream."""
+    workdir = tmp / "reference"
+    replicate(tmp / "state", workdir)
+    system = open_state(workdir)
+    system.resume_sessions()
+    merged = TemporalDataset.concat(parsed_batches)
+    start = time.perf_counter()
+    system.refresh(merged, warm_start=False)
+    elapsed = time.perf_counter() - start
+    save_system(system, workdir / "system.pkl")
+    system.store.close()
+    return workdir, elapsed
+
+
+def run_kill_resume(tmp, schema, feed_batches, n_workers) -> dict:
+    """Kill after the pre-drain checkpoint, half-drain, resume."""
+    workdir = tmp / "killed"
+    replicate(tmp / "state", workdir)
+    feed_csv, _ = write_feed(workdir, schema, feed_batches)
+    system = open_state(workdir)
+
+    def kill(stage):
+        if stage == "epoch-saved":
+            raise OrchestratorKilled(stage)
+
+    orchestrator = make_orchestrator(
+        workdir, system, feed_csv, schema, n_workers, hook=kill
+    )
+    killed = False
+    try:
+        orchestrator.run(max_polls=3, poll_interval=0.0)
+    except OrchestratorKilled:
+        killed = True
+    assert killed, "fault hook never fired — no epoch opened?"
+    stale_at_kill = len(
+        system.store.stale_cells(system.model_fingerprints)
+    )
+    system.store.close()
+
+    # a dying pool finished two cells before the machine went down
+    half_drained = open_state(workdir)
+    drain_stale_cells(half_drained, max_cells=2, warm_start=False)
+    half_drained.store.close()
+
+    resumed_system = open_state(workdir)
+    resumed = make_orchestrator(
+        workdir, resumed_system, feed_csv, schema, n_workers
+    )
+    start = time.perf_counter()
+    resumed.run(max_polls=1, poll_interval=0.0)
+    elapsed = time.perf_counter() - start
+    recovered = resumed.last_recovery
+    assert recovered is not None, "resume did not recover the drain"
+    assert recovered.cells_recomputed == stale_at_kill - 2, (
+        "resume recomputed finished cells:"
+        f" {recovered.cells_recomputed} != {stale_at_kill} - 2"
+    )
+    resumed_system.store.close()
+    return {
+        "workdir": workdir,
+        "resume_seconds": elapsed,
+        "stale_at_kill": stale_at_kill,
+        "recovered_cells": recovered.cells_recomputed,
+    }
+
+
+def check_claim_plan(workdir: Path, schema) -> list[str]:
+    with CandidateStore(
+        schema, workdir / "cands.db", backend="sharded"
+    ) as store:
+        plan = store.claim_query_plan()
+    probes = [p for p in plan if "idx_temporal_inputs_ledger" in p]
+    # every shard probes through the covering index (the bench store is
+    # small, so the planner may use one time=? probe instead of the
+    # at-scale fingerprint range seeks — tests cover that shape); a
+    # table scan anywhere is the regression being guarded against
+    assert len(probes) >= N_SHARDS, plan
+    assert not any(
+        "temporal_inputs" in p and "idx_temporal_inputs_ledger" not in p
+        for p in plan
+    ), f"claim scan not fully indexed: {plan}"
+    return probes
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-smoke workload sizes"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="identity + resume + plan assertions only (fast)",
+    )
+    parser.add_argument("--users", type=int, default=None)
+    parser.add_argument(
+        "--json", default=None, help="write timings JSON to this path"
+    )
+    args = parser.parse_args()
+
+    quick = args.quick or args.smoke
+    T = 2 if quick else 3
+    n_users = args.users or (6 if args.smoke else 16 if args.quick else 32)
+    n_per_year = 60 if quick else 120
+    drift_t = 1
+
+    schema = lending_schema()
+    history = make_lending_dataset(n_per_year=n_per_year, random_state=1)
+    users = make_users(schema, n_users)
+    # two quiet batches buffer below the gate; the drifted batch fires
+    # one epoch over all three
+    feed_batches = [
+        make_batch(schema, history, n_per_year // 2, seed=500, year_offset=9.5),
+        make_batch(schema, history, n_per_year // 2, seed=501, year_offset=9.5),
+        make_batch(
+            schema,
+            history,
+            n_per_year,
+            seed=99,
+            scale=3.0,
+            year_offset=drift_t + 0.5,
+        ),
+    ]
+    cores = available_cores()
+    print(
+        f"orchestrator benchmark (users={n_users}, T={T},"
+        f" shards={N_SHARDS}, cores available: {cores})"
+    )
+
+    results: dict = {
+        "users": n_users,
+        "T": T,
+        "cores": cores,
+        "quick": args.quick,
+        "smoke": args.smoke,
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-orchestrator-") as tmpname:
+        tmp = Path(tmpname)
+        state = tmp / "state"
+        state.mkdir()
+        build_state(state, schema, history, users, T)
+
+        # identity: orchestrated stream == one-shot refresh
+        orchestrated = run_orchestrated(tmp, schema, feed_batches, n_workers=2)
+        assert orchestrated["epochs"] == 1, orchestrated
+        assert orchestrated["triggers"] == ["drift"], orchestrated
+        (tmp / "parse-only").mkdir()
+        _, parsed = write_feed(tmp / "parse-only", schema, feed_batches)
+        ref_dir, ref_seconds = run_reference(tmp, schema, parsed)
+        orch_digest = digest_of(orchestrated["workdir"], schema)
+        ref_digest = digest_of(ref_dir, schema)
+        assert orch_digest == ref_digest, (
+            f"orchestrated store diverged: {orch_digest} != {ref_digest}"
+        )
+        print(
+            "verified: orchestrated run (drift epoch → refit → 2-worker"
+            " drain) byte-identical to one-shot refresh"
+            f" (digest {orch_digest[:16]}…)"
+        )
+        results["identity"] = "ok"
+        results["orchestrated_2w_seconds"] = orchestrated["seconds"]
+        results["oneshot_refresh_seconds"] = ref_seconds
+        results["cells_per_epoch"] = orchestrated["cells"]
+
+        # kill-safety: resume recomputes only the unfinished cells
+        resume = run_kill_resume(tmp, schema, feed_batches, n_workers=2)
+        resumed_digest = digest_of(resume["workdir"], schema)
+        assert resumed_digest == ref_digest, (
+            f"resumed store diverged: {resumed_digest} != {ref_digest}"
+        )
+        print(
+            "verified: killed orchestrator resumed without re-ingesting or"
+            f" double-computing ({resume['recovered_cells']} of"
+            f" {resume['stale_at_kill']} stale cells recomputed on resume,"
+            " 2 were already drained)"
+        )
+        results["kill_resume"] = "ok"
+        results["resume_seconds"] = resume["resume_seconds"]
+
+        # scale guard-rail: the claim scan is index-backed on every shard
+        probes = check_claim_plan(orchestrated["workdir"], schema)
+        print(
+            f"verified: claim scan probes the covering ledger index on"
+            f" all {N_SHARDS} shards (e.g. {probes[0]!r})"
+        )
+        results["claim_plan"] = "ok"
+
+        if args.smoke:
+            print("smoke mode: assertions only, no extra timings")
+        else:
+            single = run_orchestrated(tmp, schema, feed_batches, n_workers=1)
+            results["orchestrated_1w_seconds"] = single["seconds"]
+            print(
+                f"one-shot refresh      {ref_seconds * 1e3:8.1f} ms\n"
+                f"orchestrated, 1 worker {single['seconds'] * 1e3:8.1f} ms\n"
+                f"orchestrated, 2 workers"
+                f" {orchestrated['seconds'] * 1e3:8.1f} ms\n"
+                f"resume after kill      "
+                f" {resume['resume_seconds'] * 1e3:8.1f} ms"
+            )
+            if cores < 2:
+                print(
+                    "NB: 1 core available — pool workers serialise, so"
+                    " orchestrated epochs cannot beat the inline refresh"
+                    " here; see CI/multicore hardware for scaling"
+                )
+
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(results, indent=2))
+        print(f"timings written to {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,12 @@ Subcommands
     The scale-out operator: refit on new data, then drain the stale
     (user × time-point) cells with N lease-coordinated worker
     *processes* sharing the candidate database.
+``justintime refresh-orchestrator``
+    The deployable continuous-refresh service: one process that tails
+    the feed, opens drift/cadence-gated epochs, refits, and dispatches
+    a worker pool per epoch — checkpointing (models, feed cursor, store
+    digest) atomically so a killed orchestrator resumes without
+    re-ingesting or double-computing.
 
 All subcommands accept ``--n-per-year``, ``--strategy``, ``--horizon``
 and ``--seed`` to control the backing system, plus ``--db`` /
@@ -33,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import IO
 
 import numpy as np
@@ -42,6 +49,7 @@ from repro.core import (
     AdminConfig,
     DriftGate,
     JustInTime,
+    RefreshOrchestrator,
     RefreshScheduler,
     UserSession,
     load_system,
@@ -70,6 +78,7 @@ __all__ = [
     "run_quickstart",
     "run_refresh",
     "run_refresh_daemon",
+    "run_refresh_orchestrator",
     "run_refresh_workers",
 ]
 
@@ -396,6 +405,96 @@ def make_parser() -> argparse.ArgumentParser:
     workers.add_argument(
         "--cold", action="store_true", help="disable warm-start"
     )
+    orchestrator = sub.add_parser(
+        "refresh-orchestrator",
+        help="the unified continuous-refresh service: tail a feed, refit"
+        " on drift/cadence epochs, drain each epoch with a worker pool,"
+        " checkpoint atomically for kill-safe resume",
+    )
+    orchestrator.add_argument(
+        "--feed", required=True, help="append-only CSV file to tail"
+    )
+    orchestrator.add_argument(
+        "--workers", type=int, default=2, help="worker processes per epoch"
+    )
+    orchestrator.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        help="seconds to sleep between idle polls",
+    )
+    orchestrator.add_argument(
+        "--cadence",
+        type=float,
+        default=None,
+        help="refresh every this many seconds when rows are pending",
+    )
+    orchestrator.add_argument(
+        "--drift-mmd",
+        type=float,
+        default=None,
+        help="refresh when pending MMD vs the recent history exceeds this",
+    )
+    orchestrator.add_argument(
+        "--drift-label-shift",
+        type=float,
+        default=None,
+        help="refresh when the pending positive-rate shift exceeds this",
+    )
+    orchestrator.add_argument(
+        "--gate-mode",
+        default="merged",
+        choices=["merged", "batch", "ewma"],
+        help="what the drift gate assesses: the merged pending buffer"
+        " (default), each polled batch (sticky verdict), or an"
+        " exponentially-weighted pending window",
+    )
+    orchestrator.add_argument(
+        "--ewma-halflife",
+        type=float,
+        default=2.0,
+        help="half-life, in batches, of the ewma gate-mode weights"
+        " (a row's weight halves every this many later arrivals)",
+    )
+    orchestrator.add_argument(
+        "--min-batch",
+        type=int,
+        default=1,
+        help="buffer at least this many rows before any refresh",
+    )
+    orchestrator.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="force a refresh when this many rows are buffered",
+    )
+    orchestrator.add_argument(
+        "--max-polls",
+        type=int,
+        default=None,
+        help="stop after this many polls (default: run forever)",
+    )
+    orchestrator.add_argument(
+        "--max-epochs",
+        type=int,
+        default=None,
+        help="stop after this many refresh epochs",
+    )
+    orchestrator.add_argument(
+        "--claim-batch",
+        type=int,
+        default=2,
+        help="stale cells a worker leases per claim",
+    )
+    orchestrator.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        help="lease duration; expired leases are reclaimable",
+    )
+    orchestrator.add_argument(
+        "--cold", action="store_true", help="disable warm-start"
+    )
     return parser
 
 
@@ -479,6 +578,33 @@ def _sample_new_arrivals(system, args):
     )
 
 
+def _format_drift(decision) -> str:
+    """Epoch-log suffix describing the gate verdict, '' if unassessed
+    (shared by the daemon's and the orchestrator's epoch reporting)."""
+    if decision is None or not decision.assessed:
+        return ""
+    parts = []
+    if decision.mmd is not None:
+        parts.append(f"mmd={decision.mmd:.4f}")
+    if decision.label_shift is not None:
+        parts.append(f"label-shift={decision.label_shift:.3f}")
+    return f" ({', '.join(parts)})"
+
+
+def _feed_start_offset(system, feed_path) -> int:
+    """The checkpointed feed cursor, but only if it belongs to this feed.
+
+    The saved byte offset is meaningless against a different file — and
+    dangerous: resuming a larger new feed at the old offset would
+    silently skip its head.  A checkpoint that recorded no path (pre-PR4
+    saves) is trusted as before.
+    """
+    saved_path = system.saved_extra.get("feed_path")
+    if saved_path and Path(saved_path).resolve() != Path(feed_path).resolve():
+        return 0
+    return int(system.saved_extra.get("feed_offset", 0))
+
+
 def _load_refreshable_system(args, out: IO[str], verb: str):
     """Shared ``--load``/``--db`` validation for the operator verbs;
     returns the loaded system or ``None`` (after printing why)."""
@@ -534,7 +660,7 @@ def run_refresh_daemon(args, out: IO[str] | None = None) -> int:
         gate = DriftGate(args.drift_mmd, args.drift_label_shift)
     # the feed cursor rides inside the saved system file — the daemon's
     # durable state (models+history, feed offset) is one atomic write
-    start_offset = int(system.saved_extra.get("feed_offset", 0))
+    start_offset = _feed_start_offset(system, args.feed)
     feed = CsvFeed(args.feed, system.schema, start_offset=start_offset)
     scheduler = RefreshScheduler(
         system,
@@ -555,19 +681,18 @@ def run_refresh_daemon(args, out: IO[str] | None = None) -> int:
 
     def on_epoch(epoch):
         # at epoch time every polled row has been merged, so the feed
-        # offset is safe to persist alongside the refit history
-        save_system(system, args.load, extra={"feed_offset": feed.offset})
+        # offset is safe to persist alongside the refit history (the
+        # path binds the cursor to this feed file); merge into the
+        # existing extra so other verbs' state survives
+        extra = dict(system.saved_extra)
+        extra["feed_offset"] = feed.offset
+        extra["feed_path"] = str(Path(args.feed).resolve())
+        system.saved_extra = extra
+        save_system(system, args.load, extra=extra)
         report = epoch.report
-        drift_txt = ""
-        if epoch.drift is not None and epoch.drift.assessed:
-            parts = []
-            if epoch.drift.mmd is not None:
-                parts.append(f"mmd={epoch.drift.mmd:.4f}")
-            if epoch.drift.label_shift is not None:
-                parts.append(f"label-shift={epoch.drift.label_shift:.3f}")
-            drift_txt = f" ({', '.join(parts)})"
         out.write(
-            f"epoch {epoch.index}: trigger={epoch.trigger}{drift_txt}"
+            f"epoch {epoch.index}: trigger={epoch.trigger}"
+            f"{_format_drift(epoch.drift)}"
             f" rows={epoch.rows} stale={list(report.stale_times)}"
             f" cells={report.cells_recomputed}"
             f" candidates={report.candidates_written}\n"
@@ -642,6 +767,110 @@ def run_refresh_workers(args, out: IO[str] | None = None) -> int:
     return 0
 
 
+def run_refresh_orchestrator(args, out: IO[str] | None = None) -> int:
+    """The unified service: drift → refit → pool dispatch, kill-safe.
+
+    Combines ``refresh-daemon`` and ``refresh-workers`` into the one
+    deployable loop: rows appended to ``--feed`` are buffered, an epoch
+    opens on drift/cadence/pending-cap, the models are refit (marking
+    stored cells stale in the ledger), and ``--workers`` lease-
+    coordinated processes drain the ledger.  The models, merged history
+    and feed cursor are checkpointed in **one atomic write** before the
+    drain and again (with the store digest) after it, so a killed
+    orchestrator restarts exactly where it died: no row is re-ingested,
+    no finished cell recomputed.  Live sessions are never materialised
+    here — workers recompute from the persisted session specs.
+    """
+    out = out if out is not None else sys.stdout
+    system = _load_refreshable_system(args, out, "refresh-orchestrator")
+    if system is None:
+        return 2
+    if (
+        args.cadence is None
+        and args.drift_mmd is None
+        and args.drift_label_shift is None
+    ):
+        out.write(
+            "refresh-orchestrator needs --cadence and/or a drift threshold"
+            " (--drift-mmd / --drift-label-shift)\n"
+        )
+        return 2
+    gate = None
+    if args.drift_mmd is not None or args.drift_label_shift is not None:
+        gate = DriftGate(args.drift_mmd, args.drift_label_shift)
+    if args.gate_mode != "merged" and gate is None:
+        out.write(
+            f"--gate-mode {args.gate_mode} needs a drift threshold"
+            " (--drift-mmd / --drift-label-shift)\n"
+        )
+        return 2
+    start_offset = _feed_start_offset(system, args.feed)
+    feed = CsvFeed(args.feed, system.schema, start_offset=start_offset)
+    orchestrator = RefreshOrchestrator(
+        system,
+        feed,
+        system_path=args.load,
+        db_path=args.db,
+        db_backend=args.db_backend,
+        n_workers=args.workers,
+        gate=gate,
+        cadence=args.cadence,
+        min_batch=args.min_batch,
+        max_pending_rows=args.max_pending,
+        gate_mode=args.gate_mode,
+        ewma_halflife=args.ewma_halflife,
+        warm_start=False if args.cold else None,
+        claim_batch=args.claim_batch,
+        lease_seconds=args.lease_seconds,
+    )
+    out.write(screen_header("Refresh orchestrator") + "\n")
+    out.write(
+        f"tailing {args.feed} from byte {start_offset};"
+        f" gates: drift={'on' if gate else 'off'}"
+        f" (mode={args.gate_mode}), cadence={args.cadence};"
+        f" pool: {args.workers} workers\n"
+    )
+    recovered = orchestrator.recover()
+    if recovered is not None:
+        out.write(
+            f"recovered an interrupted drain: {recovered.cells_recomputed}"
+            f" cells ({recovered.candidates_written} candidate rows)\n"
+        )
+
+    def on_epoch(epoch):
+        outcome = epoch.report
+        digest_txt = (
+            f" digest={outcome.store_digest[:16]}…"
+            if outcome.store_digest
+            else ""
+        )
+        out.write(
+            f"epoch {epoch.index}: trigger={epoch.trigger}"
+            f"{_format_drift(epoch.drift)}"
+            f" rows={outcome.rows}"
+            f" model-stale={list(outcome.stale_times)}"
+            f" cells={outcome.cells_recomputed}"
+            f" candidates={outcome.candidates_written}"
+            f"{digest_txt}\n"
+        )
+        out.flush()
+
+    epochs = orchestrator.run(
+        max_polls=args.max_polls,
+        max_epochs=args.max_epochs,
+        poll_interval=args.poll_interval,
+        on_epoch=on_epoch,
+    )
+    out.write(
+        f"orchestrator stopped after {len(epochs)} epochs"
+        f" ({orchestrator.epochs_completed} completed over the system's"
+        f" lifetime); {orchestrator.pending_rows} rows still pending\n"
+    )
+    out.write(f"store digest: {system.store.contents_digest()}\n")
+    system.store.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
     handlers = {
@@ -652,6 +881,7 @@ def main(argv: list[str] | None = None) -> int:
         "refresh": run_refresh,
         "refresh-daemon": run_refresh_daemon,
         "refresh-workers": run_refresh_workers,
+        "refresh-orchestrator": run_refresh_orchestrator,
     }
     return handlers[args.command](args)
 

@@ -23,6 +23,7 @@ from repro.core.objectives import (
     get_objective,
     measure,
 )
+from repro.core.orchestrator import EpochOutcome, RefreshOrchestrator
 from repro.core.persistence import load_system, save_system
 from repro.core.plans import FeatureChange, Plan, build_plan
 from repro.core.scheduler import (
@@ -48,6 +49,7 @@ __all__ = [
     "evaluate_session",
     "DriftDecision",
     "DriftGate",
+    "EpochOutcome",
     "FeatureChange",
     "GradientMoveProposer",
     "Insight",
@@ -61,6 +63,7 @@ __all__ = [
     "QUESTIONS",
     "RandomMoveProposer",
     "RefreshEpoch",
+    "RefreshOrchestrator",
     "RefreshReport",
     "RefreshScheduler",
     "SearchStats",

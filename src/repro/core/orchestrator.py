@@ -1,0 +1,352 @@
+"""Unified continuous refresh: drift → refit → worker-pool dispatch.
+
+PR 3 shipped the streaming pieces as two separate operator verbs: a
+``refresh-daemon`` that tails a feed and refreshes **inline**, and a
+``refresh-workers`` pool that drains the staleness ledger out of
+process.  The :class:`RefreshOrchestrator` closes that gap — one
+process that runs the whole continuous-refresh loop:
+
+1. tail a :class:`~repro.data.feed.DataFeed` and buffer arrivals
+   (all the :class:`~repro.core.scheduler.RefreshScheduler` machinery:
+   drift gate, cadence, pending cap, gate modes);
+2. when an epoch opens, **refit** the future models on the merged
+   history (:meth:`JustInTime.refit`) — every stored cell stamped under
+   an old fingerprint is now stale in the ledger, but nothing is
+   recomputed inline;
+3. durably **checkpoint**: the refit models, the merged history and the
+   feed cursor go into one atomic ``save_system`` write;
+4. dispatch :func:`~repro.core.worker.run_worker_pool` — N worker
+   processes drain the ledger under leases — and checkpoint again with
+   the resulting store digest.
+
+The two checkpoints bracket the drain, which is what makes a killed
+orchestrator resumable **without re-ingesting or double-computing**:
+
+* killed before checkpoint 3 — the previous save is intact (temp file +
+  rename), the feed cursor still points at the unmerged rows, and the
+  restarted orchestrator simply re-buffers them;
+* killed during the drain — the saved system already holds the refit
+  models and the advanced feed cursor; the restarted orchestrator finds
+  stale cells in the ledger (:meth:`RefreshOrchestrator.recover`) and
+  re-dispatches the pool, which recomputes **only** the cells the dead
+  pool never finished (fresh cells left the stale set when they were
+  upserted; in-flight cells come back once their leases expire);
+* killed between the drain and checkpoint 4 — recovery sees a clean
+  ledger and merely rewrites the final checkpoint.
+
+Per-cell recomputes are deterministic, so however the loop is cut, the
+final store contents are byte-identical to a one-shot ``refresh()``
+over the merged stream (``CandidateStore.contents_digest`` — asserted
+in the tests, the CI smoke and ``benchmarks/bench_orchestrator.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.persistence import save_system
+from repro.core.scheduler import DriftGate, RefreshEpoch, RefreshScheduler
+from repro.core.worker import PoolReport, run_worker_pool
+from repro.data.feed import DataFeed
+from repro.exceptions import StorageError
+
+__all__ = ["EpochOutcome", "RefreshOrchestrator"]
+
+
+@dataclass(frozen=True)
+class EpochOutcome:
+    """What one orchestrated epoch did (``RefreshEpoch.report``)."""
+
+    #: model-stale time indices reported by the refit
+    stale_times: tuple
+    #: rows merged into the history by this epoch
+    rows: int
+    #: the worker pool's aggregate drain report
+    pool: PoolReport
+    #: store content digest after the drain (the identity check value);
+    #: ``None`` when digest checkpointing is disabled
+    store_digest: str | None
+    #: feed cursor persisted with this epoch (``None``: feed not resumable)
+    feed_offset: int | None
+
+    @property
+    def cells_recomputed(self) -> int:
+        return self.pool.cells_recomputed
+
+    @property
+    def candidates_written(self) -> int:
+        return self.pool.candidates_written
+
+
+class RefreshOrchestrator:
+    """One-process driver of the feed → refit → pool-drain loop.
+
+    Parameters
+    ----------
+    system:
+        A fitted :class:`~repro.core.system.JustInTime` over a
+        **file-backed** store (worker processes must be able to open
+        their own connections to it).  Live sessions are *not* needed:
+        workers recompute cells from the persisted session specs.
+    feed:
+        The arrival source.  Resumable feeds (:class:`CsvFeed`) have
+        their cursor checkpointed inside every save.
+    system_path:
+        Where the system pickle lives; every checkpoint rewrites it
+        atomically and the worker processes load it from there.
+    db_path:
+        The shared candidate-store database handed to the pool.
+    gate / cadence / min_batch / max_pending_rows / gate_mode /
+    ewma_halflife / warm_start / clock:
+        Forwarded to the underlying
+        :class:`~repro.core.scheduler.RefreshScheduler`.
+    n_workers / db_backend / claim_batch / lease_seconds / start_method:
+        Forwarded to :func:`~repro.core.worker.run_worker_pool`.
+    checkpoint_digest:
+        Whether the post-drain checkpoint records
+        ``contents_digest()``.  The digest is the replica-comparison /
+        identity-audit value, but computing it re-reads and hashes the
+        **whole** store — O(total rows), not O(cells recomputed) — so
+        very large deployments with small frequent epochs may turn it
+        off; recovery never needs it.
+    fault_hook:
+        Test/benchmark instrumentation: ``callable(stage)`` invoked at
+        ``'epoch-saved'`` (after the pre-drain checkpoint) and
+        ``'epoch-complete'`` (after the post-drain checkpoint).  Raising
+        from the hook simulates the orchestrator process dying at that
+        point; production runs leave it ``None``.
+    """
+
+    def __init__(
+        self,
+        system,
+        feed: DataFeed,
+        *,
+        system_path: str | Path,
+        db_path: str | Path,
+        db_backend: str | None = None,
+        n_workers: int = 2,
+        gate: DriftGate | None = None,
+        cadence: float | None = None,
+        min_batch: int = 1,
+        max_pending_rows: int | None = None,
+        gate_mode: str = "merged",
+        ewma_halflife: float = 2.0,
+        warm_start: bool | None = None,
+        claim_batch: int = 2,
+        lease_seconds: float = 30.0,
+        start_method: str | None = None,
+        clock=time.monotonic,
+        checkpoint_digest: bool = True,
+        fault_hook=None,
+    ):
+        if n_workers < 1:
+            raise StorageError("n_workers must be >= 1")
+        if getattr(system.store.backend, "path", ":memory:") == ":memory:":
+            raise StorageError(
+                "the orchestrator needs a file-backed store: worker"
+                " processes open their own connections to it"
+            )
+        self.system = system
+        self.feed = feed
+        self.system_path = Path(system_path)
+        self.db_path = Path(db_path)
+        self.db_backend = db_backend
+        self.n_workers = int(n_workers)
+        self.warm_start = warm_start
+        self.claim_batch = int(claim_batch)
+        self.lease_seconds = float(lease_seconds)
+        self.start_method = start_method
+        self.checkpoint_digest = bool(checkpoint_digest)
+        self.fault_hook = fault_hook
+        state = dict(system.saved_extra.get("orchestrator") or {})
+        self._epochs_completed = int(state.get("epochs", 0))
+        self._recovered = False
+        #: pool report of the startup :meth:`recover` drain, if one ran
+        self.last_recovery: PoolReport | None = None
+        self.scheduler = RefreshScheduler(
+            system,
+            feed,
+            gate=gate,
+            cadence=cadence,
+            min_batch=min_batch,
+            max_pending_rows=max_pending_rows,
+            warm_start=warm_start,
+            clock=clock,
+            gate_mode=gate_mode,
+            ewma_halflife=ewma_halflife,
+            refresh=self._run_epoch,
+        )
+
+    # ------------------------------------------------------------- state
+
+    @property
+    def epochs(self) -> list[RefreshEpoch]:
+        """Epochs run by this orchestrator (``report`` holds the
+        :class:`EpochOutcome`)."""
+        return self.scheduler.epochs
+
+    @property
+    def epochs_completed(self) -> int:
+        """Durable epoch counter (survives restarts via the checkpoint)."""
+        return self._epochs_completed
+
+    @property
+    def pending_rows(self) -> int:
+        return self.scheduler.pending_rows
+
+    # ------------------------------------------------------------ epochs
+
+    def _checkpoint(self, phase: str, *, digest: str | None = None) -> None:
+        """One atomic durable write of the orchestrator's full state:
+        models + merged history (the pickle payload), the feed cursor,
+        and the loop phase — a single temp-and-rename ``save_system``,
+        so a crash can never leave the cursor ahead of the history it
+        belongs to."""
+        extra = dict(self.system.saved_extra)
+        cursor = self.feed.checkpoint
+        if cursor is not None:
+            extra["feed_offset"] = int(cursor)
+            # bind the cursor to its feed file: a byte offset applied to
+            # a *different* feed would silently skip that file's head
+            feed_path = getattr(self.feed, "path", None)
+            if feed_path is not None:
+                extra["feed_path"] = str(Path(feed_path).resolve())
+        state = {"phase": phase, "epochs": self._epochs_completed}
+        if digest is not None:
+            state["store_digest"] = digest
+        extra["orchestrator"] = state
+        # keep the in-memory copy in sync so later saves (ours or another
+        # operator verb's) carry the cursor forward instead of wiping it
+        self.system.saved_extra = extra
+        save_system(self.system, self.system_path, extra=extra)
+
+    def _epoch_digest(self) -> str | None:
+        """The post-drain store digest, or ``None`` when disabled
+        (``checkpoint_digest=False`` — the digest is an O(store-size)
+        scan-and-hash, the only per-epoch cost not proportional to the
+        recomputed cells)."""
+        if not self.checkpoint_digest:
+            return None
+        return self.system.store.contents_digest()
+
+    def _dispatch_pool(self) -> PoolReport:
+        return run_worker_pool(
+            self.system_path,
+            self.db_path,
+            n_workers=self.n_workers,
+            db_backend=self.db_backend,
+            warm_start=self.warm_start,
+            claim_batch=self.claim_batch,
+            lease_seconds=self.lease_seconds,
+            start_method=self.start_method,
+        )
+
+    def _drain_and_checkpoint(self) -> tuple[PoolReport, str | None]:
+        """The kill-safety epilogue — checkpoint ``'draining'`` →
+        dispatch pool → digest → count the epoch → checkpoint ``'idle'``
+        — shared verbatim by normal epochs and :meth:`recover`, so the
+        two paths can never diverge on the checkpoint protocol.  The
+        fault hooks fire in both, letting the fault-injection suite kill
+        recovery drains too."""
+        self._checkpoint("draining")
+        if self.fault_hook is not None:
+            self.fault_hook("epoch-saved")
+        pool = self._dispatch_pool()
+        digest = self._epoch_digest()
+        self._epochs_completed += 1
+        self._checkpoint("idle", digest=digest)
+        if self.fault_hook is not None:
+            self.fault_hook("epoch-complete")
+        return pool, digest
+
+    def _run_epoch(self, data, warm_start) -> EpochOutcome:
+        """The scheduler's epoch executor: refit → checkpoint → drain →
+        checkpoint.  ``warm_start`` equals the scheduler's setting and is
+        forwarded to the pool (already captured in ``self.warm_start``)."""
+        stale = self.system.refit(data)
+        pool, digest = self._drain_and_checkpoint()
+        return EpochOutcome(
+            stale_times=tuple(stale),
+            rows=len(data),
+            pool=pool,
+            store_digest=digest,
+            feed_offset=self.feed.checkpoint,
+        )
+
+    # ----------------------------------------------------------- running
+
+    def recover(self) -> PoolReport | None:
+        """Finish a drain a previous orchestrator did not live to see.
+
+        Stale cells in the ledger at startup mean the dead orchestrator
+        already refit the models and durably advanced the feed cursor,
+        but its pool never (fully) drained — so the one correct move is
+        to drain now, **before** polling for new data.  Cells the dead
+        pool completed are fresh and are not recomputed; cells still
+        under a dead worker's lease come back when the lease expires.
+        A clean ledger with a ``'draining'`` phase on record means the
+        kill landed between the drain and its final checkpoint: only the
+        checkpoint is rewritten.  Returns the recovery pool's report, or
+        ``None`` if there was nothing to recover.
+
+        Stale cells of users **without a resumable session spec** do not
+        count: no pool can ever compute them (they surface as
+        ``skipped_cells``), so treating them as an interrupted drain
+        would dispatch a do-nothing pool — and bump the epoch counter —
+        on every startup for as long as those users stay stale.
+        """
+        self._recovered = True
+        fingerprints = self.system.model_fingerprints
+        state = dict(self.system.saved_extra.get("orchestrator") or {})
+        resumable = {
+            user_id
+            for user_id, _, texts in self.system.store.load_session_specs()
+            if texts is not None
+        }
+        recoverable = [
+            cell
+            for cell in self.system.store.stale_cells(fingerprints)
+            if cell[0] in resumable
+        ]
+        if not recoverable:
+            if state.get("phase") == "draining":
+                self._epochs_completed += 1
+                self._checkpoint("idle", digest=self._epoch_digest())
+            return None
+        # the pre-drain checkpoint also guarantees the saved pickle
+        # carries the current (refit) models before workers load it
+        pool, _ = self._drain_and_checkpoint()
+        self.last_recovery = pool
+        return pool
+
+    def poll_once(self) -> RefreshEpoch | None:
+        """One scheduler step (poll the feed, maybe run a full epoch)."""
+        return self.scheduler.poll_once()
+
+    def run(
+        self,
+        *,
+        max_polls: int | None = None,
+        max_epochs: int | None = None,
+        poll_interval: float = 0.0,
+        sleep=time.sleep,
+        on_epoch=None,
+        flush_on_exhausted: bool = True,
+    ) -> list[RefreshEpoch]:
+        """Recover any interrupted drain (unless :meth:`recover` already
+        ran on this instance — the CLI calls it explicitly first to
+        report the result), then poll until the feed is exhausted or a
+        budget is reached (see :meth:`RefreshScheduler.run`)."""
+        if not self._recovered:
+            self.recover()
+        return self.scheduler.run(
+            max_polls=max_polls,
+            max_epochs=max_epochs,
+            poll_interval=poll_interval,
+            sleep=sleep,
+            on_epoch=on_epoch,
+            flush_on_exhausted=flush_on_exhausted,
+        )

@@ -123,9 +123,19 @@ class DriftGate:
         return self._cache
 
     def assess(
-        self, history: TemporalDataset, pending: TemporalDataset
+        self,
+        history: TemporalDataset,
+        pending: TemporalDataset,
+        weights: np.ndarray | None = None,
     ) -> DriftDecision:
-        """Compare ``pending`` against the trailing window of ``history``."""
+        """Compare ``pending`` against the trailing window of ``history``.
+
+        ``weights`` (optional, one non-negative value per pending row)
+        turns both statistics into their weighted forms: the batch
+        embedding becomes ``Σ w_i φ(x_i) / Σ w_i`` and the positive rate
+        a weighted mean — the scheduler's exponentially-weighted pending
+        window assesses recent arrivals more than stale buffered rows.
+        """
         if len(pending) < self.min_samples:
             return DriftDecision(
                 mmd=None,
@@ -135,14 +145,36 @@ class DriftGate:
                 assessed=False,
                 drifted=False,
             )
+        if weights is not None:
+            weights = np.asarray(weights, dtype=float).ravel()
+            if weights.shape[0] != len(pending):
+                raise ForecastError(
+                    f"{weights.shape[0]} weights for {len(pending)} pending rows"
+                )
+            total = float(weights.sum())
+            if np.any(weights < 0) or total <= 0:
+                raise ForecastError(
+                    "weights must be non-negative with a positive sum"
+                )
+            weights = weights / total
         scaler, kernel, reference, reference_rate = self._reference_setup(history)
         observed_mmd = None
         if self.mmd_threshold is not None:
-            batch = WeightedSample.mean_embedding(scaler.transform(pending.X))
+            standardised = scaler.transform(pending.X)
+            batch = (
+                WeightedSample.mean_embedding(standardised)
+                if weights is None
+                else WeightedSample(standardised, weights)
+            )
             observed_mmd = float(mmd(kernel, reference, batch))
         shift = None
         if self.label_shift_threshold is not None:
-            shift = float(abs(pending.y.mean() - reference_rate))
+            rate = (
+                pending.y.mean()
+                if weights is None
+                else float(weights @ pending.y)
+            )
+            shift = float(abs(rate - reference_rate))
         drifted = (
             self.mmd_threshold is not None
             and observed_mmd is not None
@@ -205,7 +237,28 @@ class RefreshScheduler:
         default).
     clock:
         Monotonic-seconds source, injectable in tests.
+    gate_mode:
+        How the gate sees the pending rows.  ``'merged'`` (default, the
+        original behaviour) assesses the whole concatenated buffer —
+        which lets quiet buffered rows dilute a drifted batch below the
+        threshold.  ``'batch'`` assesses each polled batch on arrival
+        (small polls accumulate until ``gate.min_samples`` rows) and a
+        drifted verdict **sticks** until the next epoch, so a drifted
+        batch buried under later quiet arrivals still fires.  ``'ewma'``
+        assesses the merged buffer under exponentially decaying weights
+        (recent batches count more; see ``ewma_halflife``) — a softer
+        compromise that still ages quiet rows out of the statistic.
+    ewma_halflife:
+        Half-life, in *batches*, of the ``'ewma'`` weights: a row's
+        weight halves every this many batches that arrive after it.
+    refresh:
+        The epoch executor, ``callable(data, warm_start) -> report``;
+        defaults to ``system.refresh``.  The orchestrator substitutes
+        refit + worker-pool dispatch here, reusing all the
+        buffering/gating machinery above it.
     """
+
+    GATE_MODES = ("merged", "batch", "ewma")
 
     def __init__(
         self,
@@ -218,6 +271,9 @@ class RefreshScheduler:
         max_pending_rows: int | None = None,
         warm_start: bool | None = None,
         clock=time.monotonic,
+        gate_mode: str = "merged",
+        ewma_halflife: float = 2.0,
+        refresh=None,
     ):
         if gate is None and cadence is None:
             raise ForecastError(
@@ -227,6 +283,16 @@ class RefreshScheduler:
             raise ForecastError("cadence must be >= 0")
         if min_batch < 1:
             raise ForecastError("min_batch must be >= 1")
+        if gate_mode not in self.GATE_MODES:
+            raise ForecastError(
+                f"gate_mode must be one of {self.GATE_MODES}, got {gate_mode!r}"
+            )
+        if gate_mode != "merged" and gate is None:
+            raise ForecastError(
+                f"gate_mode {gate_mode!r} needs a DriftGate"
+            )
+        if ewma_halflife <= 0:
+            raise ForecastError("ewma_halflife must be positive")
         self.system = system
         self.feed = feed
         self.gate = gate
@@ -235,6 +301,9 @@ class RefreshScheduler:
         self.max_pending_rows = max_pending_rows
         self.warm_start = warm_start
         self.clock = clock
+        self.gate_mode = gate_mode
+        self.ewma_halflife = float(ewma_halflife)
+        self._refresh = refresh
         self.epochs: list[RefreshEpoch] = []
         self._pending: list[TemporalDataset] = []
         self._pending_rows = 0
@@ -243,6 +312,12 @@ class RefreshScheduler:
         # for: idle polls (feed returned nothing) re-use it instead of
         # re-embedding the whole unchanged pending buffer every poll
         self._assessed: tuple[int, DriftDecision] | None = None
+        # 'batch' mode state: polled rows not yet assessed (arrivals
+        # smaller than the gate's min_samples accumulate until one
+        # assessment covers them) and the sticky drifted verdict
+        self._unassessed: list[TemporalDataset] = []
+        self._sticky: DriftDecision | None = None
+        self._last_batch_decision: DriftDecision | None = None
 
     # ---------------------------------------------------------------- state
 
@@ -263,19 +338,15 @@ class RefreshScheduler:
         if batch is not None and len(batch):
             self._pending.append(batch)
             self._pending_rows += len(batch)
+            if self.gate is not None and self.gate_mode == "batch":
+                self._assess_arrival(batch)
         if self._pending_rows < self.min_batch:
             return None
         decision = None
         trigger = None
         if self.gate is not None:
-            if self._assessed is not None and self._assessed[0] == self._pending_rows:
-                decision = self._assessed[1]  # buffer unchanged since last poll
-            else:
-                decision = self.gate.assess(
-                    self.system.history, TemporalDataset.concat(self._pending)
-                )
-                self._assessed = (self._pending_rows, decision)
-            if decision.drifted:
+            decision = self._gate_decision()
+            if decision is not None and decision.drifted:
                 trigger = "drift"
         if trigger is None and self.cadence is not None:
             if float(self.clock()) - self._last_refresh >= self.cadence:
@@ -287,6 +358,70 @@ class RefreshScheduler:
             return None
         return self._open_epoch(trigger, decision)
 
+    def _assess_arrival(self, batch: TemporalDataset) -> None:
+        """'batch' mode: assess newly polled rows on arrival.
+
+        Arrivals smaller than the gate's ``min_samples`` accumulate in
+        an unassessed tail until one assessment can cover them; a
+        drifted verdict sticks (``self._sticky``) until the next epoch,
+        so quiet rows arriving later can never bury it.
+        """
+        self._unassessed.append(batch)
+        tail = (
+            self._unassessed[0]
+            if len(self._unassessed) == 1
+            else TemporalDataset.concat(self._unassessed)
+        )
+        if len(tail) < self.gate.min_samples:
+            return
+        decision = self.gate.assess(self.system.history, tail)
+        self._unassessed = []
+        self._last_batch_decision = decision
+        if decision.drifted and self._sticky is None:
+            self._sticky = decision
+
+    def _gate_decision(self) -> DriftDecision | None:
+        """The gate verdict for the current pending buffer, per mode."""
+        if self.gate_mode == "batch":
+            return (
+                self._sticky
+                if self._sticky is not None
+                else self._last_batch_decision
+            )
+        if self._assessed is not None and self._assessed[0] == self._pending_rows:
+            return self._assessed[1]  # buffer unchanged since last poll
+        pending = TemporalDataset.concat(self._pending)
+        weights = self._ewma_weights() if self.gate_mode == "ewma" else None
+        decision = self.gate.assess(self.system.history, pending, weights=weights)
+        self._assessed = (self._pending_rows, decision)
+        return decision
+
+    def _ewma_weights(self) -> np.ndarray:
+        """Per-row weights decaying with batch age: the newest batch has
+        weight 1, a batch ``a`` arrivals older ``0.5 ** (a / halflife)``.
+        Ages are measured in buffered batches, so idle polls change
+        nothing and the pending-size cache stays valid.
+
+        ``TemporalDataset`` re-sorts rows by timestamp on construction,
+        so the arrival-order weights are permuted by the same stable
+        argsort :meth:`TemporalDataset.concat` applies — weight ``i``
+        lands on the row it was computed for.
+        """
+        newest = len(self._pending) - 1
+        raw = np.concatenate(
+            [
+                np.full(
+                    len(batch),
+                    0.5 ** ((newest - i) / self.ewma_halflife),
+                )
+                for i, batch in enumerate(self._pending)
+            ]
+        )
+        timestamps = np.concatenate(
+            [batch.timestamps for batch in self._pending]
+        )
+        return raw[np.argsort(timestamps, kind="stable")]
+
     def flush(self) -> RefreshEpoch | None:
         """Refresh whatever is pending right now, bypassing the gates
         (end of a finite stream, or operator-forced)."""
@@ -296,7 +431,10 @@ class RefreshScheduler:
 
     def _open_epoch(self, trigger: str, decision) -> RefreshEpoch:
         data = TemporalDataset.concat(self._pending)
-        report = self.system.refresh(data, warm_start=self.warm_start)
+        if self._refresh is None:
+            report = self.system.refresh(data, warm_start=self.warm_start)
+        else:
+            report = self._refresh(data, self.warm_start)
         epoch = RefreshEpoch(
             index=len(self.epochs),
             rows=len(data),
@@ -308,6 +446,9 @@ class RefreshScheduler:
         self._pending = []
         self._pending_rows = 0
         self._assessed = None
+        self._unassessed = []
+        self._sticky = None
+        self._last_batch_decision = None
         self._last_refresh = float(self.clock())
         return epoch
 

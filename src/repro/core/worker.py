@@ -79,7 +79,7 @@ def drain_stale_cells(
     lease_seconds: float = 30.0,
     warm_start: bool | None = None,
     max_cells: int | None = None,
-    clock=time.time,
+    clock=None,
     sleep=time.sleep,
 ) -> WorkerReport:
     """Claim → recompute → upsert → release until the ledger is clean.
@@ -96,7 +96,10 @@ def drain_stale_cells(
     bit-identical-to-``refresh()`` reference path is ``warm_start=False``
     on both sides (and warm runs are identical too, since warm seeds
     come from the same stored rows either way).  ``max_cells`` bounds
-    this worker's total work (tests); ``clock`` injects the lease clock.
+    this worker's total work (tests); ``clock`` injects the lease clock
+    and defaults to the **store-side** clock
+    (:meth:`CandidateStore.clock_now`), so workers on hosts with skewed
+    wall clocks still agree on lease expiry.
 
     When a claim comes back empty but computable stale cells remain
     under **live foreign leases**, the worker waits (``sleep``, in small
@@ -109,6 +112,8 @@ def drain_stale_cells(
     system._require_fitted()
     cfg = system.config
     store = system.store
+    if clock is None:
+        clock = store.clock_now
     if worker_id is None:
         worker_id = f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
     warm = bool(cfg.warm_start if warm_start is None else warm_start)
@@ -139,7 +144,12 @@ def drain_stale_cells(
         )
         if not claimed:
             if not store.has_stale_cells(fingerprints, exclude=unrecoverable):
-                break  # queue genuinely drained
+                # queue genuinely drained; sweep expired lease rows left
+                # behind by workers that died after upserting a cell but
+                # before releasing it (the cell is fresh, so nothing
+                # would ever claim — and thereby clean up — its lease)
+                store.prune_expired_leases(now=clock())
+                break
             # remaining stale cells are leased to other workers: wait for
             # them to finish (cells go fresh) or crash (leases expire and
             # the next claim picks the cells up)

@@ -52,6 +52,16 @@ class DataFeed:
         feeds flip to ``True`` once consumed."""
         return False
 
+    @property
+    def checkpoint(self) -> int | None:
+        """Durable resume cursor for this feed, or ``None`` if the feed
+        cannot resume (scripted iterators).  For :class:`CsvFeed` this
+        is the byte :attr:`~CsvFeed.offset`; consumers (the refresh
+        daemon, the orchestrator) persist it atomically with the state
+        the polled rows were merged into, and pass it back as
+        ``start_offset`` after a restart."""
+        return None
+
 
 class IteratorFeed(DataFeed):
     """Feed over a finite iterable of pre-built dataset batches.
@@ -131,6 +141,10 @@ class CsvFeed(DataFeed):
         """Byte position up to which the file has been consumed —
         checkpoint this (after the polled rows were durably ingested)
         and pass it back as ``start_offset`` to resume."""
+        return self._offset
+
+    @property
+    def checkpoint(self) -> int:
         return self._offset
 
     def _parse_header(self, line: str) -> None:

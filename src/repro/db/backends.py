@@ -55,10 +55,24 @@ class StoreBackend:
     Subclasses provide one sqlite3 connection (possibly with several
     attached databases) and answer two questions: which database schemas
     hold table copies, and which schema owns a given user's rows.
+
+    The backend also owns the **store-side clock** (:meth:`clock_sql`):
+    lease timestamps are taken from an SQL expression evaluated *by the
+    database*, not from ``time.time()`` in whichever process happens to
+    call — so every worker sharing a store reads the same clock source
+    and host clock skew cannot shrink or stretch leases.  For the
+    sqlite3 family that is ``julianday('now')`` converted to Unix
+    seconds; an out-of-process backend would return its server-side
+    equivalent (e.g. ``EXTRACT(EPOCH FROM now())``).
     """
 
     #: the single connection all reads and writes go through
     conn: sqlite3.Connection
+
+    #: Unix-epoch seconds as computed by SQLite itself.  2440587.5 is the
+    #: julian day of 1970-01-01T00:00:00Z; julianday('now') has ~1 ms
+    #: resolution, ample for multi-second leases.
+    CLOCK_SQL = "(julianday('now') - 2440587.5) * 86400.0"
 
     def schemas(self) -> tuple[str, ...]:
         """Database schema names holding one copy of each table."""
@@ -67,6 +81,10 @@ class StoreBackend:
     def schema_for(self, user_id: str) -> str:
         """Schema owning ``user_id``'s rows (stable across processes)."""
         raise NotImplementedError
+
+    def clock_sql(self) -> str:
+        """SQL expression yielding the store-side clock in Unix seconds."""
+        return self.CLOCK_SQL
 
     @property
     def sharded(self) -> bool:

@@ -1,0 +1,292 @@
+"""Fault-injection suite: workers dying at arbitrary points must not
+corrupt the store.
+
+A worker's drain loop touches the store through a small set of
+operations (claim → renew → upsert → release, plus the drained-queue
+probes).  :class:`CrashingStore` wraps a real store and raises
+:class:`WorkerCrashed` when a scheduled operation count is reached —
+simulating the process dying *between* store operations, which is the
+only granularity that exists: each operation is itself a transaction,
+so a kill lands either before or after it, never inside.
+
+The invariant under test, across seeded random crash points and both
+file-backed backends: after the dead worker's leases expire, a survivor
+drains the remainder and the final store contents are **byte-identical**
+to an uninterrupted run (``CandidateStore.contents_digest``), with a
+clean ledger and no lingering leases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constraints import lending_domain_constraints
+from repro.core import AdminConfig, JustInTime, drain_stale_cells
+from repro.data import (
+    LendingGenerator,
+    TemporalDataset,
+    john_profile,
+    make_lending_dataset,
+)
+from repro.temporal import PerPeriodStrategy, lending_update_function
+
+DRIFT_T = 1
+N_USERS = 4
+LEASE_SECONDS = 30.0
+
+#: store operations the drain loop issues, in loop order — a crash is
+#: scheduled as "die before the k-th operation of any of these kinds"
+DRAIN_OPS = (
+    "claim_stale_cells",
+    "has_stale_cells",
+    "renew_leases",
+    "upsert_cells",
+    "release_cells",
+    "prune_expired_leases",
+)
+
+
+class WorkerCrashed(RuntimeError):
+    """The simulated kill -9."""
+
+
+class CrashingStore:
+    """Store proxy that dies before its ``crash_at``-th drain operation.
+
+    Only the operations in :data:`DRAIN_OPS` count (reads like
+    ``load_session_specs`` are harmless to interrupt — nothing was
+    mutated yet).  Everything else delegates untouched, so the wrapped
+    store keeps behaving like the real one up to the crash.
+    """
+
+    def __init__(self, inner, crash_at: int):
+        self._inner = inner
+        self._crash_at = int(crash_at)
+        self.ops = 0
+
+    def __getattr__(self, name):
+        attr = getattr(self._inner, name)
+        if name in DRAIN_OPS:
+            def guarded(*args, _attr=attr, **kwargs):
+                if self.ops >= self._crash_at:
+                    raise WorkerCrashed(
+                        f"killed before {name} (op {self.ops})"
+                    )
+                self.ops += 1
+                return _attr(*args, **kwargs)
+
+            return guarded
+        return attr
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = float(now)
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture(scope="module")
+def history():
+    return make_lending_dataset(n_per_year=60, random_state=1)
+
+
+@pytest.fixture(scope="module")
+def drift_data(history):
+    start = float(np.floor(history.span[0]))
+    generator = LendingGenerator(random_state=99)
+    X = generator.sample_profiles(40) * 3.0
+    years = np.full(40, start + DRIFT_T + 0.5)
+    return TemporalDataset(X, generator.label(X, years), years, history.schema)
+
+
+def make_users(schema, n=N_USERS):
+    rng = np.random.default_rng(7)
+    base = schema.vector(john_profile())
+    return [
+        (
+            f"user-{i:02d}",
+            schema.clip(base * rng.uniform(0.8, 1.2, size=base.size)),
+            ["annual_income <= base_annual_income * 1.3"],
+        )
+        for i in range(n)
+    ]
+
+
+def build_refit_system(schema, history, drift_data, db, backend):
+    """A populated system whose models were refit (ledger fully stale)."""
+    system = JustInTime(
+        schema,
+        lending_update_function(schema),
+        AdminConfig(
+            T=2, strategy=PerPeriodStrategy(), k=4, max_iter=8, random_state=0
+        ),
+        domain_constraints=lending_domain_constraints(schema),
+        store_path=db,
+        store_backend=backend,
+        n_shards=4,
+    )
+    system.fit(history)
+    system.create_sessions(make_users(schema))
+    system.refit(drift_data)
+    return system
+
+
+@pytest.fixture(scope="module")
+def reference_digests(schema, history, drift_data, tmp_path_factory):
+    """Uninterrupted-drain digest per backend — the identity target."""
+    digests = {}
+    for backend in ("sqlite", "sharded"):
+        db = tmp_path_factory.mktemp("ref") / f"{backend}.db"
+        system = build_refit_system(schema, history, drift_data, db, backend)
+        clock = FakeClock()
+        report = drain_stale_cells(
+            system, warm_start=False, clock=clock, lease_seconds=LEASE_SECONDS
+        )
+        assert len(report.cells) >= N_USERS
+        digests[backend] = (system.store.contents_digest(), len(report.cells))
+        system.store.close()
+    return digests
+
+
+@pytest.mark.parametrize("backend", ["sqlite", "sharded"])
+class TestCrashRecoveryDigestIdentity:
+    def drain_with_crash(
+        self, schema, history, drift_data, tmp_path, backend, crash_at
+    ):
+        """Crash one worker at operation ``crash_at``, recover with a
+        survivor after lease expiry, return (digest, survivor report)."""
+        db = tmp_path / "cands.db"
+        system = build_refit_system(schema, history, drift_data, db, backend)
+        clock = FakeClock(1000.0)
+        real_store = system.store
+        crashing = CrashingStore(real_store, crash_at)
+        system.store = crashing
+        crashed = False
+        try:
+            drain_stale_cells(
+                system,
+                worker_id="doomed",
+                warm_start=False,
+                clock=clock,
+                lease_seconds=LEASE_SECONDS,
+            )
+        except WorkerCrashed:
+            crashed = True
+        finally:
+            system.store = real_store
+        # before expiry, the dead worker's claims are still protected:
+        # a survivor can finish every *unleased* cell but not steal live
+        # leases; afterwards everything is reclaimable
+        clock.now += LEASE_SECONDS + 1.0
+        survivor = drain_stale_cells(
+            system,
+            worker_id="survivor",
+            warm_start=False,
+            clock=clock,
+            lease_seconds=LEASE_SECONDS,
+        )
+        digest = system.store.contents_digest()
+        stale = system.store.stale_cells(system.model_fingerprints)
+        leases = system.store.lease_rows()
+        system.store.close()
+        assert stale == []
+        assert leases == []  # released or pruned, even after the crash
+        return crashed, digest, survivor
+
+    def test_seeded_random_crash_points(
+        self, schema, history, drift_data, tmp_path, backend, reference_digests
+    ):
+        """Randomised (seeded) crash schedule over the whole drain loop:
+        every crash point must recover to the reference digest."""
+        expected, total_cells = reference_digests[backend]
+        rng = np.random.default_rng(0xFA171)
+        # an uninterrupted drain issues ~6 ops per cell; sample crash
+        # points across that whole range, always including the edges
+        upper = 6 * total_cells + 4
+        points = sorted(
+            {0, 1, upper, *(int(p) for p in rng.integers(2, upper, size=6))}
+        )
+        for crash_at in points:
+            workdir = tmp_path / f"crash-{crash_at}"
+            workdir.mkdir()
+            crashed, digest, survivor = self.drain_with_crash(
+                schema, history, drift_data, workdir, backend, crash_at
+            )
+            assert digest == expected, (
+                f"store diverged after crash at op {crash_at}"
+            )
+            if not crashed:
+                # schedule beyond the drain's op count: clean run
+                assert survivor.cells == []
+
+    def test_crash_mid_cell_does_not_double_write(
+        self, schema, history, drift_data, tmp_path, backend, reference_digests
+    ):
+        """Die immediately after an upsert (before release): the cell is
+        fresh, the survivor never recomputes it, and its orphaned lease
+        is pruned — not inherited."""
+        expected, total_cells = reference_digests[backend]
+        # op sequence: claim(0) renew(1) renew(2) upsert(3) → die
+        # before release, i.e. crash_at=4
+        crashed, digest, survivor = self.drain_with_crash(
+            schema, history, drift_data, tmp_path, backend, 4
+        )
+        assert crashed
+        assert digest == expected
+        # exactly one cell was completed by the dead worker
+        assert len(survivor.cells) == total_cells - 1
+
+
+class TestLostLeaseIsNotWritten:
+    def test_slow_compute_past_expiry_discards_then_recovers(
+        self, schema, history, drift_data, tmp_path, reference_digests
+    ):
+        """A worker whose compute outlives its lease must not write
+        under it: the post-compute renewal fails, the result is
+        discarded (``lost_leases``), and the cell is recomputed under a
+        fresh lease — the final store still matches the reference."""
+        expected, _ = reference_digests["sqlite"]
+        db = tmp_path / "cands.db"
+        system = build_refit_system(
+            schema, history, drift_data, db, "sqlite"
+        )
+        clock = FakeClock(1000.0)
+        real_store = system.store
+        jumped = []
+
+        class SlowFirstComputeStore:
+            """Delegates everything; after the *first* pre-compute
+            renewal, jumps the clock past the lease — as if that one
+            beam search took longer than lease_seconds."""
+
+            def __getattr__(self, name):
+                attr = getattr(real_store, name)
+                if name == "renew_leases" and not jumped:
+                    def slow(*args, _attr=attr, **kwargs):
+                        renewed = _attr(*args, **kwargs)
+                        if not jumped:
+                            jumped.append(True)
+                            clock.now += LEASE_SECONDS + 1.0
+                        return renewed
+
+                    return slow
+                return attr
+
+        system.store = SlowFirstComputeStore()
+        try:
+            report = drain_stale_cells(
+                system,
+                worker_id="sluggish",
+                warm_start=False,
+                clock=clock,
+                lease_seconds=LEASE_SECONDS,
+            )
+        finally:
+            system.store = real_store
+        # the slow cell's post-compute renewal failed → discarded once,
+        # then legitimately recomputed under a later claim
+        assert report.lost_leases >= 1
+        assert real_store.stale_cells(system.model_fingerprints) == []
+        assert real_store.contents_digest() == expected
+        real_store.close()

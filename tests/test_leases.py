@@ -1,8 +1,12 @@
-"""Lease coordination tests: the cross-process refresh work queue.
+"""Cross-connection lease tests: multiple connections to one store file.
 
-Covers the deterministic stale-cell ordering contract, atomic
-claim/renew/release semantics, expiry-based recovery of crashed workers'
-cells, and two-connection claim contention on a shared database file.
+The single-connection lease/ledger contract (ordering, claim, expiry,
+renew/release, the indexed claim scan, the store-side clock) lives in
+the parametrised backend suite in ``tests/test_store_backends.py`` and
+runs against sqlite/memory/sharded alike.  What remains here is the
+behaviour that *needs* several connections to one shared database file:
+crash recovery of another process's leases, and concurrent claim
+contention on the write lock — so only the file-backed backends appear.
 """
 
 import threading
@@ -13,9 +17,6 @@ import pytest
 from repro.core.candidates import Candidate
 from repro.core.objectives import CandidateMetrics
 from repro.db.store import CandidateStore
-from repro.exceptions import StorageError
-
-BACKENDS = ["sqlite", "memory", "sharded"]
 
 #: user ids chosen to land in more than one shard (crc32 % 4)
 USERS = ["u-a", "u-b", "u-c", "u-d"]
@@ -35,124 +36,12 @@ def all_cells():
     return [(uid, t) for uid in sorted(USERS) for t in (0, 1)]
 
 
-@pytest.fixture(params=BACKENDS)
-def store(request, schema, tmp_path):
-    path = ":memory:" if request.param == "memory" else tmp_path / "leases.db"
-    with CandidateStore(schema, path, backend=request.param) as s:
-        populate(s)
-        yield s
-
-
 def make_candidate(schema, t):
     return Candidate(
         np.arange(len(schema), dtype=float),
         t,
         CandidateMetrics(diff=1.0, gap=1, confidence=0.9),
     )
-
-
-class TestStaleOrdering:
-    def test_order_is_user_then_time(self, store):
-        assert store.stale_cells(FPS) == all_cells()
-
-    def test_order_identical_across_backends(self, schema, tmp_path):
-        """The satellite fix: claim order must not depend on backend
-        topology (shard layout used to leak into the ledger order)."""
-        results = {}
-        for backend in BACKENDS:
-            path = (
-                ":memory:" if backend == "memory" else tmp_path / f"{backend}.db"
-            )
-            with CandidateStore(schema, path, backend=backend) as s:
-                populate(s)
-                results[backend] = s.stale_cells(FPS)
-        assert results["sqlite"] == results["memory"] == results["sharded"]
-
-    def test_empty_fingerprints(self, store):
-        assert store.stale_cells({}) == []
-
-
-class TestClaim:
-    def test_claim_takes_ledger_prefix(self, store):
-        claimed = store.claim_stale_cells(FPS, "w1", limit=3, now=100.0)
-        assert claimed == all_cells()[:3]
-        assert [row[:3] for row in store.lease_rows()] == [
-            (uid, t, "w1") for uid, t in claimed
-        ]
-
-    def test_second_worker_gets_disjoint_cells(self, store):
-        first = store.claim_stale_cells(FPS, "w1", limit=3, now=100.0)
-        second = store.claim_stale_cells(FPS, "w2", limit=99, now=100.0)
-        assert not set(first) & set(second)
-        assert sorted(first + second) == all_cells()
-
-    def test_reclaim_by_same_worker_is_idempotent(self, store):
-        first = store.claim_stale_cells(FPS, "w1", limit=2, now=100.0)
-        again = store.claim_stale_cells(FPS, "w1", limit=2, now=101.0)
-        assert again == first
-
-    def test_exclude_skips_cells(self, store):
-        claimed = store.claim_stale_cells(
-            FPS, "w1", limit=2, now=100.0, exclude=[all_cells()[0]]
-        )
-        assert claimed == all_cells()[1:3]
-
-    def test_limit_validated(self, store):
-        with pytest.raises(StorageError, match="limit"):
-            store.claim_stale_cells(FPS, "w1", limit=0)
-
-    def test_fresh_cells_not_claimable(self, store):
-        """Upserting a cell stamps the current fingerprint, so it leaves
-        the work queue."""
-        store.upsert_cells(
-            [("u-a", 0, [make_candidate(store.schema, 0)])], fingerprints=FPS
-        )
-        claimed = store.claim_stale_cells(FPS, "w1", limit=99, now=100.0)
-        assert ("u-a", 0) not in claimed
-        assert len(claimed) == len(all_cells()) - 1
-
-
-class TestExpiry:
-    def test_live_lease_not_stealable(self, store):
-        store.claim_stale_cells(
-            FPS, "w1", limit=99, now=100.0, lease_seconds=30.0
-        )
-        assert store.claim_stale_cells(FPS, "w2", limit=99, now=129.0) == []
-
-    def test_expired_lease_reclaimed(self, store):
-        store.claim_stale_cells(
-            FPS, "w1", limit=99, now=100.0, lease_seconds=30.0
-        )
-        reclaimed = store.claim_stale_cells(FPS, "w2", limit=99, now=130.0)
-        assert reclaimed == all_cells()
-        assert all(row[2] == "w2" for row in store.lease_rows())
-
-    def test_renew_extends_live_lease(self, store):
-        cells = store.claim_stale_cells(
-            FPS, "w1", limit=1, now=100.0, lease_seconds=30.0
-        )
-        assert store.renew_leases(
-            "w1", cells, lease_seconds=30.0, now=120.0
-        ) == 1
-        # the renewal pushed expiry to 150: not reclaimable at 140
-        assert store.claim_stale_cells(FPS, "w2", limit=1, now=140.0) == [
-            all_cells()[1]
-        ]
-
-    def test_renew_refuses_expired_or_foreign_lease(self, store):
-        cells = store.claim_stale_cells(
-            FPS, "w1", limit=1, now=100.0, lease_seconds=30.0
-        )
-        assert store.renew_leases("w2", cells, now=110.0) == 0  # foreign
-        assert store.renew_leases("w1", cells, now=130.0) == 0  # expired
-
-    def test_release(self, store):
-        cells = store.claim_stale_cells(FPS, "w1", limit=2, now=100.0)
-        assert store.release_cells("w2", cells) == 0  # foreign: no-op
-        assert store.release_cells("w1", cells) == 2
-        assert store.lease_rows() == []
-        # released cells are claimable again immediately
-        assert store.claim_stale_cells(FPS, "w2", limit=2, now=100.0) == cells
 
 
 class TestCrashRecovery:

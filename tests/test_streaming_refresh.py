@@ -359,6 +359,131 @@ class TestScheduler:
         assert scheduler.pending_rows == 0
 
 
+class TestGateModes:
+    """The merged-buffer dilution fix: a drifted batch buried in quiet
+    rows must still trigger under the flag-gated 'batch' / 'ewma' modes
+    (the default 'merged' mode keeps the original diluted behaviour)."""
+
+    THRESHOLD = 0.25  # drifted batch alone ~0.80, diluted merge ~0.18
+
+    def quiet_then_drifted(self, schema, history):
+        return [
+            make_batch(schema, history, 60, year_offset=9.5, seed=1),
+            make_batch(schema, history, 60, year_offset=9.5, seed=2),
+            make_batch(schema, history, 30, year_offset=1.5, seed=3, scale=3.0),
+        ]
+
+    def scheduler_for(self, schema, history, batches, **kwargs):
+        system = build_system(schema).fit(history)
+        system.create_sessions(USERS)
+        return RefreshScheduler(
+            system,
+            IteratorFeed(batches),
+            gate=DriftGate(mmd_threshold=self.THRESHOLD),
+            warm_start=False,
+            clock=FakeClock(),
+            **kwargs,
+        )
+
+    def test_merged_mode_dilutes_buried_drift(self, schema, history):
+        """Regression anchor for the default: 120 quiet buffered rows
+        dilute the 30-row drifted batch below the threshold."""
+        scheduler = self.scheduler_for(
+            schema, history, self.quiet_then_drifted(schema, history)
+        )
+        assert scheduler.poll_once() is None
+        assert scheduler.poll_once() is None
+        assert scheduler.poll_once() is None  # drifted batch buried
+        assert scheduler.pending_rows == 150
+        assert scheduler._assessed[1].mmd < self.THRESHOLD
+
+    def test_batch_mode_fires_on_buried_drifted_batch(self, schema, history):
+        scheduler = self.scheduler_for(
+            schema,
+            history,
+            self.quiet_then_drifted(schema, history),
+            gate_mode="batch",
+        )
+        assert scheduler.poll_once() is None
+        assert scheduler.poll_once() is None
+        epoch = scheduler.poll_once()  # same stream, arrival-wise gating
+        assert epoch is not None
+        assert epoch.trigger == "drift"
+        assert epoch.drift.mmd > self.THRESHOLD
+        assert epoch.rows == 150  # buffered quiet rows ride along
+
+    def test_batch_mode_verdict_sticks_until_epoch(self, schema, history):
+        """Drifted rows arriving *first* and then buried under quiet
+        arrivals (while min_batch blocks the epoch) still fire once the
+        epoch can open — the verdict is sticky, not re-diluted."""
+        batches = list(reversed(self.quiet_then_drifted(schema, history)))
+        scheduler = self.scheduler_for(
+            schema, history, batches, gate_mode="batch", min_batch=100
+        )
+        assert scheduler.poll_once() is None  # drifted 30 < min_batch
+        assert scheduler._sticky is not None
+        assert scheduler.poll_once() is None  # 90 rows < min_batch
+        epoch = scheduler.poll_once()
+        assert epoch is not None and epoch.trigger == "drift"
+        assert epoch.drift.mmd > self.THRESHOLD
+        # epoch reset the sticky verdict
+        assert scheduler._sticky is None
+
+    def test_batch_mode_accumulates_small_arrivals(self, schema, history):
+        """Polls smaller than the gate's min_samples accumulate until
+        one assessment covers them instead of being skipped forever."""
+        drifted = make_batch(schema, history, 30, seed=3, scale=3.0)
+        X, y, t = drifted.X, drifted.y, drifted.timestamps
+        halves = [
+            TemporalDataset(X[:12], y[:12], t[:12], schema),
+            TemporalDataset(X[12:], y[12:], t[12:], schema),
+        ]
+        scheduler = self.scheduler_for(
+            schema, history, halves, gate_mode="batch"
+        )
+        assert scheduler.poll_once() is None  # 12 rows < min_samples=20
+        assert scheduler._unassessed and scheduler._sticky is None
+        epoch = scheduler.poll_once()  # 30 accumulated rows assessed
+        assert epoch is not None and epoch.trigger == "drift"
+
+    def test_ewma_mode_ages_out_quiet_rows(self, schema, history):
+        scheduler = self.scheduler_for(
+            schema,
+            history,
+            self.quiet_then_drifted(schema, history),
+            gate_mode="ewma",
+            ewma_halflife=1.0,
+        )
+        assert scheduler.poll_once() is None
+        assert scheduler.poll_once() is None
+        epoch = scheduler.poll_once()
+        assert epoch is not None and epoch.trigger == "drift"
+        # weighted statistic sits between the pure batch and the dilution
+        assert self.THRESHOLD < epoch.drift.mmd < 0.8
+
+    def test_gate_mode_validated(self, schema, history):
+        system = build_system(schema).fit(history)
+        with pytest.raises(ForecastError, match="gate_mode"):
+            RefreshScheduler(
+                system,
+                IteratorFeed([]),
+                gate=DriftGate(mmd_threshold=0.2),
+                gate_mode="bogus",
+            )
+        with pytest.raises(ForecastError, match="needs a DriftGate"):
+            RefreshScheduler(
+                system, IteratorFeed([]), cadence=0.0, gate_mode="batch"
+            )
+
+    def test_weighted_assess_validates_weights(self, schema, history):
+        gate = DriftGate(mmd_threshold=0.2)
+        batch = make_batch(schema, history, 25)
+        with pytest.raises(ForecastError, match="weights"):
+            gate.assess(history, batch, weights=np.ones(3))
+        with pytest.raises(ForecastError, match="non-negative"):
+            gate.assess(history, batch, weights=np.full(25, -1.0))
+
+
 class TestDaemonCli:
     def test_daemon_over_csv_feed(self, schema, history, tmp_path, capsys):
         from repro.app.cli import main
