@@ -29,6 +29,10 @@ Subcommands
     a worker pool per epoch — checkpointing (models, feed cursor, store
     digest) atomically so a killed orchestrator resumes without
     re-ingesting or double-computing.
+``justintime rebalance``
+    The storage operator: migrate a file-backed sharded candidate
+    database to a new shard count, digest-invariant and crash-safe
+    (an interrupted migration is healed on the next open).
 
 All subcommands accept ``--n-per-year``, ``--strategy``, ``--horizon``
 and ``--seed`` to control the backing system, plus ``--db`` /
@@ -67,6 +71,7 @@ from repro.data import (
     make_lending_dataset,
 )
 from repro.db.store import CandidateStore
+from repro.exceptions import StorageError
 from repro.temporal import lending_update_function
 
 __all__ = [
@@ -76,6 +81,7 @@ __all__ = [
     "run_demo",
     "run_interactive",
     "run_quickstart",
+    "run_rebalance",
     "run_refresh",
     "run_refresh_daemon",
     "run_refresh_orchestrator",
@@ -403,7 +409,24 @@ def make_parser() -> argparse.ArgumentParser:
         help="lease duration; expired leases are reclaimable",
     )
     workers.add_argument(
+        "--shard-affinity",
+        action="store_true",
+        help="pin worker i to shard i %% n_shards so each worker's"
+        " upserts commit on its own shard file (sharded stores)",
+    )
+    workers.add_argument(
         "--cold", action="store_true", help="disable warm-start"
+    )
+    rebalance = sub.add_parser(
+        "rebalance",
+        help="migrate a sharded candidate database to a new shard count"
+        " (digest-invariant, crash-safe)",
+    )
+    rebalance.add_argument(
+        "--to-shards",
+        type=int,
+        required=True,
+        help="target shard count (1-8)",
     )
     orchestrator = sub.add_parser(
         "refresh-orchestrator",
@@ -491,6 +514,12 @@ def make_parser() -> argparse.ArgumentParser:
         type=float,
         default=30.0,
         help="lease duration; expired leases are reclaimable",
+    )
+    orchestrator.add_argument(
+        "--shard-affinity",
+        action="store_true",
+        help="pin worker i to shard i %% n_shards so each worker's"
+        " upserts commit on its own shard file (sharded stores)",
     )
     orchestrator.add_argument(
         "--cold", action="store_true", help="disable warm-start"
@@ -749,6 +778,7 @@ def run_refresh_workers(args, out: IO[str] | None = None) -> int:
         warm_start=False if args.cold else None,
         claim_batch=args.claim_batch,
         lease_seconds=args.lease_seconds,
+        shard_affinity=args.shard_affinity,
     )
     per_worker = ", ".join(
         f"{w.worker_id}: {len(w.cells)}" for w in report.workers
@@ -822,6 +852,7 @@ def run_refresh_orchestrator(args, out: IO[str] | None = None) -> int:
         warm_start=False if args.cold else None,
         claim_batch=args.claim_batch,
         lease_seconds=args.lease_seconds,
+        shard_affinity=args.shard_affinity,
     )
     out.write(screen_header("Refresh orchestrator") + "\n")
     out.write(
@@ -871,6 +902,47 @@ def run_refresh_orchestrator(args, out: IO[str] | None = None) -> int:
     return 0
 
 
+def run_rebalance(args, out: IO[str] | None = None) -> int:
+    """The storage operator: migrate the store to a new shard count.
+
+    Opens the candidate database at ``--db`` (the backend and current
+    shard count are inferred from the files on disk), migrates every
+    user to ``crc32(user_id) % --to-shards``, and proves digest
+    invariance before reporting: the store's canonical content hash
+    must be byte-identical across the migration.  Interrupted
+    migrations are healed automatically on the next open (build phase:
+    rolled back; swap phase: rolled forward).
+    """
+    out = out if out is not None else sys.stdout
+    if not args.db:
+        out.write(
+            "rebalance needs --db (candidate database); in-memory stores"
+            " have nothing to migrate\n"
+        )
+        return 2
+    out.write(screen_header("Shard rebalance") + "\n")
+    try:
+        with CandidateStore(
+            lending_schema(), args.db, backend=args.db_backend
+        ) as store:
+            before = store.contents_digest()
+            old_n = getattr(store.backend, "n_shards", 1)
+            outcome = store.rebalance(args.to_shards)
+            after = store.contents_digest()
+    except StorageError as exc:
+        out.write(f"rebalance failed: {exc}\n")
+        return 2
+    if before != after:  # pragma: no cover - the invariant the suite pins
+        out.write("ERROR: store digest changed across the migration\n")
+        return 1
+    out.write(
+        f"migrated {args.db}: {old_n} -> {outcome['n_shards']} shards,"
+        f" {outcome['moved_users']} users rehomed\n"
+    )
+    out.write(f"store digest (unchanged): {before}\n")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
     handlers = {
@@ -882,6 +954,7 @@ def main(argv: list[str] | None = None) -> int:
         "refresh-daemon": run_refresh_daemon,
         "refresh-workers": run_refresh_workers,
         "refresh-orchestrator": run_refresh_orchestrator,
+        "rebalance": run_rebalance,
     }
     return handlers[args.command](args)
 

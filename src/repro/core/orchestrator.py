@@ -102,8 +102,12 @@ class RefreshOrchestrator:
     ewma_halflife / warm_start / clock:
         Forwarded to the underlying
         :class:`~repro.core.scheduler.RefreshScheduler`.
-    n_workers / db_backend / claim_batch / lease_seconds / start_method:
-        Forwarded to :func:`~repro.core.worker.run_worker_pool`.
+    n_workers / db_backend / claim_batch / lease_seconds /
+    shard_affinity / start_method:
+        Forwarded to :func:`~repro.core.worker.run_worker_pool`;
+        ``shard_affinity=True`` pins worker *i* to shard ``i %
+        n_shards`` so each epoch's drain exploits the store's per-shard
+        parallel write path (digest-identical either way).
     checkpoint_digest:
         Whether the post-drain checkpoint records
         ``contents_digest()``.  The digest is the replica-comparison /
@@ -137,6 +141,7 @@ class RefreshOrchestrator:
         warm_start: bool | None = None,
         claim_batch: int = 2,
         lease_seconds: float = 30.0,
+        shard_affinity: bool = False,
         start_method: str | None = None,
         clock=time.monotonic,
         checkpoint_digest: bool = True,
@@ -158,6 +163,7 @@ class RefreshOrchestrator:
         self.warm_start = warm_start
         self.claim_batch = int(claim_batch)
         self.lease_seconds = float(lease_seconds)
+        self.shard_affinity = bool(shard_affinity)
         self.start_method = start_method
         self.checkpoint_digest = bool(checkpoint_digest)
         self.fault_hook = fault_hook
@@ -241,6 +247,7 @@ class RefreshOrchestrator:
             warm_start=self.warm_start,
             claim_batch=self.claim_batch,
             lease_seconds=self.lease_seconds,
+            shard_affinity=self.shard_affinity,
             start_method=self.start_method,
         )
 

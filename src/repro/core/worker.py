@@ -79,6 +79,7 @@ def drain_stale_cells(
     lease_seconds: float = 30.0,
     warm_start: bool | None = None,
     max_cells: int | None = None,
+    claim_schema: str | None = None,
     clock=None,
     sleep=time.sleep,
 ) -> WorkerReport:
@@ -100,6 +101,15 @@ def drain_stale_cells(
     and defaults to the **store-side** clock
     (:meth:`CandidateStore.clock_now`), so workers on hosts with skewed
     wall clocks still agree on lease expiry.
+
+    ``claim_schema`` pins this worker's **shard affinity**: claims
+    drain that schema's stale cells first, so on a sharded store each
+    worker's upserts land on its own shard file's write connection and
+    never serialise against the other workers (the per-shard parallel
+    write path).  Workers fall through to foreign shards once their own
+    is clean, so the drain still finishes everything.  The final store
+    contents are byte-identical either way — cells are deterministic,
+    only the claim order changes.
 
     When a claim comes back empty but computable stale cells remain
     under **live foreign leases**, the worker waits (``sleep``, in small
@@ -141,6 +151,7 @@ def drain_stale_cells(
             lease_seconds=lease_seconds,
             now=clock(),
             exclude=unrecoverable,
+            prefer_schema=claim_schema,
         )
         if not claimed:
             if not store.has_stale_cells(fingerprints, exclude=unrecoverable):
@@ -222,17 +233,25 @@ def worker_main(
     warm_start: bool | None = None,
     claim_batch: int = 2,
     lease_seconds: float = 30.0,
+    affinity_index: int | None = None,
     result_path: str | None = None,
 ) -> WorkerReport:
     """Process entry point: load the saved system, drain, report.
 
     Each worker opens its **own** sqlite connection(s) to the shared
-    store — connections are never shared across processes.  With
+    store — connections are never shared across processes.
+    ``affinity_index`` pins the worker to shard ``index % n_shards``
+    (its claims drain that shard first, so its per-shard write
+    connection never contends with the other workers').  With
     ``result_path`` set, a JSON summary is written for the coordinator.
     """
     system = load_system(
         system_path, store_path=db_path, store_backend=db_backend
     )
+    claim_schema = None
+    if affinity_index is not None:
+        schemas = system.store.backend.schemas()
+        claim_schema = schemas[int(affinity_index) % len(schemas)]
     try:
         report = drain_stale_cells(
             system,
@@ -240,6 +259,7 @@ def worker_main(
             claim_batch=claim_batch,
             lease_seconds=lease_seconds,
             warm_start=warm_start,
+            claim_schema=claim_schema,
         )
     finally:
         system.store.close()
@@ -275,6 +295,7 @@ def run_worker_pool(
     warm_start: bool | None = None,
     claim_batch: int = 2,
     lease_seconds: float = 30.0,
+    shard_affinity: bool = False,
     start_method: str | None = None,
     timeout: float | None = None,
 ) -> PoolReport:
@@ -282,7 +303,10 @@ def run_worker_pool(
 
     The saved system at ``system_path`` must already hold the *refit*
     models (run :meth:`JustInTime.refit` + ``save_system`` first — the
-    ``refresh-workers`` CLI verb does both).  Raises
+    ``refresh-workers`` CLI verb does both).  ``shard_affinity=True``
+    pins worker *i* to shard ``i % n_shards`` so each worker's upserts
+    commit on a distinct shard file (the parallel write path); the
+    store contents are byte-identical either way.  Raises
     :class:`StorageError` if any worker exits non-zero; cells leased by
     a crashed worker are recovered by the survivors once the lease
     expires, so a partial pool failure leaves the store consistent,
@@ -306,6 +330,7 @@ def run_worker_pool(
                         warm_start=warm_start,
                         claim_batch=claim_batch,
                         lease_seconds=lease_seconds,
+                        affinity_index=i if shard_affinity else None,
                         result_path=result_path,
                     ),
                 )

@@ -12,6 +12,7 @@ from repro.db.backends import (
     SQLiteBackend,
     StoreBackend,
     make_backend,
+    recover_rebalance,
 )
 from repro.db.queries import (
     q1_no_modification,
@@ -40,5 +41,6 @@ __all__ = [
     "q4_minimal_overall_modification",
     "q5_maximal_confidence",
     "q6_turning_point",
+    "recover_rebalance",
     "row_to_dict",
 ]

@@ -19,8 +19,13 @@ rows live.  Three backends are provided:
     agnostic.
 
 All backends speak sqlite3 underneath: the contract is *connection
-topology* (how many databases, which schema a user's rows live in), not
-a new query language.  The shared backend-contract test suite in
+topology* (how many databases, which schema a user's rows live in) plus
+a small **DB-API dialect seam** (:meth:`StoreBackend.placeholder`,
+:meth:`StoreBackend.begin_immediate_sql`,
+:meth:`StoreBackend.clock_sql`, :meth:`StoreBackend.write_connection`)
+— the handful of spots where SQL engines actually differ — so an
+out-of-process backend (postgres/mysql) is a ~100-line subclass, not a
+store rewrite.  The shared backend-contract test suite in
 ``tests/test_store_backends.py`` runs every public store operation
 against all three.
 """
@@ -46,6 +51,7 @@ __all__ = [
     "SQLiteBackend",
     "StoreBackend",
     "make_backend",
+    "recover_rebalance",
 ]
 
 
@@ -56,17 +62,43 @@ class StoreBackend:
     attached databases) and answer two questions: which database schemas
     hold table copies, and which schema owns a given user's rows.
 
-    The backend also owns the **store-side clock** (:meth:`clock_sql`):
-    lease timestamps are taken from an SQL expression evaluated *by the
-    database*, not from ``time.time()`` in whichever process happens to
-    call — so every worker sharing a store reads the same clock source
-    and host clock skew cannot shrink or stretch leases.  For the
-    sqlite3 family that is ``julianday('now')`` converted to Unix
-    seconds; an out-of-process backend would return its server-side
-    equivalent (e.g. ``EXTRACT(EPOCH FROM now())``).
+    The backend also owns the **SQL dialect seam** — the four spots
+    where relational engines actually differ, so the store's SQL
+    generation stays engine agnostic:
+
+    :meth:`placeholder`
+        Bind-parameter marker (sqlite3 ``?``; a postgres/mysql backend
+        returns ``%s``).
+    :meth:`begin_immediate_sql`
+        Statement opening a transaction that takes the coordination
+        write lock *up front* — what serialises lease claims across
+        processes.  SQLite: ``BEGIN IMMEDIATE``; postgres would return
+        ``BEGIN`` and rely on ``SELECT ... FOR UPDATE`` row locks
+        (:meth:`for_update_suffix`).
+    :meth:`for_update_suffix`
+        Row-lock suffix appended to the claim scan.  Empty for the
+        sqlite3 family (the immediate transaction already owns the
+        database write lock); ``" FOR UPDATE"`` on server backends.
+    :meth:`clock_sql`
+        The **store-side clock**: lease timestamps are taken from an
+        SQL expression evaluated *by the database*, not from
+        ``time.time()`` in whichever process happens to call — so every
+        worker sharing a store reads the same clock source and host
+        clock skew cannot shrink or stretch leases.  For the sqlite3
+        family that is ``julianday('now')`` converted to Unix seconds;
+        an out-of-process backend would return its server-side
+        equivalent (e.g. ``EXTRACT(EPOCH FROM now())``).
+
+    Finally the backend owns **write routing**
+    (:meth:`write_connection`): which connection a bulk write to one
+    schema should use.  Single-connection backends return ``self.conn``;
+    the file-backed sharded backend returns a dedicated per-shard
+    connection so writes to different shards commit in parallel
+    (:attr:`parallel_write_schemas`), coordinated by the store's
+    two-phase group commit.
     """
 
-    #: the single connection all reads and writes go through
+    #: the router connection: global reads, lease claims, coordination
     conn: sqlite3.Connection
 
     #: Unix-epoch seconds as computed by SQLite itself.  2440587.5 is the
@@ -82,9 +114,43 @@ class StoreBackend:
         """Schema owning ``user_id``'s rows (stable across processes)."""
         raise NotImplementedError
 
+    # ------------------------------------------------------ dialect seam
+
+    def placeholder(self) -> str:
+        """Bind-parameter marker of the engine's DB-API paramstyle."""
+        return "?"
+
+    def begin_immediate_sql(self) -> str:
+        """Statement opening a write-lock-up-front transaction."""
+        return "BEGIN IMMEDIATE"
+
+    def for_update_suffix(self) -> str:
+        """Row-lock suffix for the claim scan ('' when the transaction
+        lock already covers it)."""
+        return ""
+
     def clock_sql(self) -> str:
         """SQL expression yielding the store-side clock in Unix seconds."""
         return self.CLOCK_SQL
+
+    # ----------------------------------------------------- write routing
+
+    def write_connection(self, schema: str) -> tuple[sqlite3.Connection, str]:
+        """``(connection, schema prefix)`` for bulk writes to ``schema``.
+
+        The returned prefix qualifies table names on that connection:
+        single-connection backends keep the schema name; a dedicated
+        per-shard connection sees its shard as ``main``.
+        """
+        return self.conn, schema
+
+    @property
+    def parallel_write_schemas(self) -> bool:
+        """Whether :meth:`write_connection` hands out independent
+        connections whose commits do not serialise on one lock (the
+        store then runs multi-schema writes as a two-phase group
+        commit)."""
+        return False
 
     @property
     def sharded(self) -> bool:
@@ -139,6 +205,9 @@ class ShardedSQLiteBackend(StoreBackend):
         self.path = str(path)
         self.n_shards = n_shards
         if self.path != ":memory:":
+            # a crashed rebalance may have left the shard files mid-swap;
+            # finish (or roll back) the migration before counting them
+            recover_rebalance(self.path)
             # reopening with a different shard count than exists on disk
             # would rehome users (crc32 % n_shards): fewer shards hides
             # rows, more shards duplicates them on the next rewrite
@@ -149,10 +218,11 @@ class ShardedSQLiteBackend(StoreBackend):
                     f"={n_shards}; reopen with the original shard count"
                 )
         # file-backed shards get a file-backed router at <path> (it holds
-        # no tables, only the journal anchor): SQLite only guarantees
-        # atomic commits across attached databases when the main database
-        # is not ':memory:', and store_sessions promises one atomic
-        # transaction over the whole multi-shard batch
+        # the coordination tables — group-commit markers, rebalance
+        # state — never user rows): SQLite only guarantees atomic
+        # commits across attached databases when the main database is
+        # not ':memory:', and the lease claim path relies on the
+        # router's write lock
         router = ":memory:" if self.path == ":memory:" else self.path
         self.conn = sqlite3.connect(router, timeout=_BUSY_TIMEOUT_S)
         for i in range(n_shards):
@@ -160,14 +230,57 @@ class ShardedSQLiteBackend(StoreBackend):
                 ":memory:" if self.path == ":memory:" else f"{self.path}.shard{i}"
             )
             self.conn.execute(f"ATTACH DATABASE ? AS shard{i}", (target,))
+        #: lazily opened dedicated per-shard write connections
+        self._shard_conns: dict[str, sqlite3.Connection] = {}
 
     def schemas(self) -> tuple[str, ...]:
         return tuple(f"shard{i}" for i in range(self.n_shards))
 
+    @staticmethod
+    def shard_index(user_id: str, n_shards: int) -> int:
+        """Stable shard assignment: crc32 survives processes and python
+        versions (unlike ``hash()``), so it also survives restarts —
+        and rebalancing reuses the same function for the target
+        layout."""
+        return zlib.crc32(str(user_id).encode()) % n_shards
+
     def schema_for(self, user_id: str) -> str:
-        # crc32 is stable across processes and python versions (unlike
-        # hash()), so a user's shard assignment survives restarts
-        return f"shard{zlib.crc32(str(user_id).encode()) % self.n_shards}"
+        return f"shard{self.shard_index(user_id, self.n_shards)}"
+
+    def write_connection(self, schema: str) -> tuple[sqlite3.Connection, str]:
+        """A dedicated connection to ``schema``'s shard file.
+
+        Separate files have separate write locks, so bulk writes to
+        different shards commit concurrently instead of serialising on
+        the router.  In-memory shards are reachable only through the
+        router's ATTACHes, so they keep the single-connection path.
+        ``check_same_thread=False`` lets the store's group commit drive
+        the per-shard phase-1 transactions from worker threads; each
+        connection is only ever used by one thread at a time.
+        """
+        if self.path == ":memory:":
+            return self.conn, schema
+        conn = self._shard_conns.get(schema)
+        if conn is None:
+            index = int(schema.removeprefix("shard"))
+            conn = sqlite3.connect(
+                f"{self.path}.shard{index}",
+                timeout=_BUSY_TIMEOUT_S,
+                check_same_thread=False,
+            )
+            conn.row_factory = sqlite3.Row
+            self._shard_conns[schema] = conn
+        return conn, "main"
+
+    @property
+    def parallel_write_schemas(self) -> bool:
+        return self.path != ":memory:"
+
+    def close(self) -> None:
+        for conn in self._shard_conns.values():
+            conn.close()
+        self._shard_conns.clear()
+        super().close()
 
 
 _BACKENDS = {
@@ -186,6 +299,115 @@ def _existing_shard_count(path: str) -> int:
     while Path(f"{path}.shard{count}").exists():
         count += 1
     return count
+
+
+# -------------------------------------------------- rebalance recovery
+#
+# `CandidateStore.rebalance(n_shards)` migrates a file-backed sharded
+# store to a new shard count in two durable phases recorded in the
+# router's `rebalance_state` table:
+#
+#   phase 'build' — the new layout is written to staging files
+#       `<path>.rebal<i>`; the live shard files are never touched, so a
+#       crash here simply aborts (staging files are disposable).
+#   phase 'swap'  — staging files replace the shard files one atomic
+#       rename at a time (old files are parked at `<path>.old<i>` until
+#       the state row clears).  Each index has exactly one consistent
+#       action, so the swap is restartable from any crash point.
+#
+# `recover_rebalance(path)` is called before any shard-count inference
+# (`make_backend`, `ShardedSQLiteBackend.__init__`) so a half-swapped
+# directory is healed before anything reads it.
+
+
+def recover_rebalance(path: str | Path) -> str | None:
+    """Finish or roll back a rebalance a dead process left half done.
+
+    Returns ``'completed'`` (swap rolled forward), ``'aborted'`` (build
+    discarded) or ``None`` (no migration was in flight).  Safe to call
+    any time the store is not actively rebalancing; parked ``.old<i>``
+    files of a fully finished swap are swept as a side effect.
+    """
+    router = Path(path)
+    if not router.exists():
+        return None
+    conn = sqlite3.connect(str(router), timeout=_BUSY_TIMEOUT_S)
+    try:
+        try:
+            row = conn.execute(
+                "SELECT phase, old_shards, new_shards FROM rebalance_state"
+            ).fetchone()
+        except sqlite3.DatabaseError as exc:
+            lowered = str(exc).lower()
+            if "no such table" in lowered or "not a database" in lowered:
+                # no state table was ever created (or the path is not
+                # SQLite at all — the real open will say so properly):
+                # nothing was in flight
+                return None
+            # anything else (e.g. 'database is locked' past the busy
+            # timeout) must NOT read as 'no migration in flight' — the
+            # caller would infer a shard layout from a possibly
+            # half-swapped directory
+            raise StorageError(
+                f"could not check for an interrupted rebalance: {exc}"
+            ) from exc
+        if row is None:
+            _sweep_files(str(router), "old")
+            return None
+        phase, old_n, new_n = str(row[0]), int(row[1]), int(row[2])
+        if phase == "build":
+            # live shards untouched: discard staging, forget the intent
+            _sweep_files(str(router), "rebal")
+            with conn:
+                conn.execute("DELETE FROM rebalance_state")
+            return "aborted"
+        complete_swap(str(router), old_n, new_n, conn)
+        return "completed"
+    finally:
+        conn.close()
+
+
+def complete_swap(
+    path: str, old_n: int, new_n: int, state_conn: sqlite3.Connection,
+    fault_hook=None,
+) -> None:
+    """Roll the rename phase of a rebalance forward to completion.
+
+    Idempotent and restartable: for every shard index exactly one
+    consistent action remains (`.rebal<i>` present → it is the new
+    shard; absent with ``i >= new_n`` → the old shard is surplus), and
+    each step is a single atomic :func:`os.replace`.  ``fault_hook`` is
+    test instrumentation — raising from it simulates the process dying
+    between renames.
+    """
+    for i in range(max(old_n, new_n)):
+        staging = Path(f"{path}.rebal{i}")
+        shard = Path(f"{path}.shard{i}")
+        parked = Path(f"{path}.old{i}")
+        if staging.exists():
+            if shard.exists():
+                shard.replace(parked)
+            staging.replace(shard)
+        elif i >= new_n and shard.exists():
+            shard.replace(parked)  # shrinking: surplus shard retired
+        if fault_hook is not None:
+            fault_hook(f"swapped:{i}")
+    with state_conn:
+        state_conn.execute("DELETE FROM rebalance_state")
+    if fault_hook is not None:
+        fault_hook("state-cleared")
+    _sweep_files(path, "old")
+
+
+def _sweep_files(path: str, tag: str) -> None:
+    """Delete every ``<path>.<tag><i>`` file (parked/staging leftovers).
+
+    Globbed, not counted: a crash mid-swap can park a non-contiguous
+    index set (e.g. only ``.old2``).
+    """
+    router = Path(path)
+    for leftover in router.parent.glob(f"{router.name}.{tag}[0-9]*"):
+        leftover.unlink()
 
 
 def make_backend(
@@ -214,6 +436,14 @@ def make_backend(
                 f" path={path_str!r} was also given; pass one or the other"
             )
         return backend
+    if path_str != ":memory:":
+        # heal a crashed rebalance before the shard files are counted —
+        # a half-swapped directory would otherwise infer a wrong layout.
+        # ShardedSQLiteBackend.__init__ runs the same (idempotent, two
+        # cheap queries) probe so *direct* construction is covered too;
+        # this call must stay because the inference and mismatch guards
+        # below read the shard files before any backend exists.
+        recover_rebalance(path_str)
     existing_shards = (
         0 if path_str == ":memory:" else _existing_shard_count(path_str)
     )

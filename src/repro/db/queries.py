@@ -16,6 +16,11 @@ Deviations from the verbatim Figure-2 SQL, all semantic-preserving:
 
 Every function returns plain Python values / row dicts, ready for the
 insights layer.
+
+Positional bind parameters go through the store backend's dialect seam
+(``StoreBackend.placeholder()``) so the canned SQL survives a move to a
+``%s``-style DB-API driver unchanged; the named-parameter queries
+(Q3/Q6) bind dicts, which every DB-API paramstyle family also supports.
 """
 
 from __future__ import annotations
@@ -50,9 +55,10 @@ def q1_no_modification(store: CandidateStore, user_id: str) -> int | None:
     Figure 2: ``SELECT Min(time) FROM candidates WHERE diff = 0``.
     Returns the time index, or ``None`` when no such point exists.
     """
+    ph = store._ph
     rows = store._read(
         "SELECT MIN(time) AS t FROM candidates"
-        " WHERE user_id = ? AND diff <= ?",
+        f" WHERE user_id = {ph} AND diff <= {ph}",
         (user_id, _DIFF_EPS),
     )
     value = rows[0]["t"]
@@ -72,10 +78,11 @@ def q7_affordable_time(
     """
     if budget < 0:
         raise QueryError("budget must be non-negative")
+    ph = store._ph
     rows = store._read(
-        """
+        f"""
         SELECT * FROM candidates
-        WHERE user_id = ? AND diff <= ?
+        WHERE user_id = {ph} AND diff <= {ph}
         ORDER BY time, diff, p DESC
         LIMIT 1
         """,
@@ -93,7 +100,7 @@ def q2_minimal_features_set(
     confidence break ties deterministically).
     """
     rows = store._read(
-        "SELECT * FROM candidates WHERE user_id = ?"
+        f"SELECT * FROM candidates WHERE user_id = {store._ph}"
         " ORDER BY gap, diff, p DESC LIMIT 1",
         (user_id,),
     )
@@ -150,7 +157,7 @@ def q4_minimal_overall_modification(
     is returned so the UI can render the plan, not just the number.
     """
     rows = store._read(
-        "SELECT * FROM candidates WHERE user_id = ?"
+        f"SELECT * FROM candidates WHERE user_id = {store._ph}"
         " ORDER BY diff, gap, p DESC LIMIT 1",
         (user_id,),
     )
@@ -165,7 +172,7 @@ def q5_maximal_confidence(
     Figure 2: ``SELECT * FROM candidates ORDER BY p DESC LIMIT 1``.
     """
     rows = store._read(
-        "SELECT * FROM candidates WHERE user_id = ?"
+        f"SELECT * FROM candidates WHERE user_id = {store._ph}"
         " ORDER BY p DESC, diff LIMIT 1",
         (user_id,),
     )

@@ -41,6 +41,21 @@ parametrised statements.  Storage topology (single file, in-memory, or
 user-sharded) is delegated to :mod:`repro.db.backends`; on a sharded
 backend every table exists once per shard and reads go through
 ``UNION ALL`` views, so all SQL below stays backend agnostic.
+
+**Parallel write path** — on a file-backed sharded backend every bulk
+write is grouped per shard and committed on that shard's *dedicated*
+connection (separate files → separate write locks), so N workers
+upserting cells of different shards never serialise on one lock.  A
+batch spanning several shards goes through a **two-phase group
+commit**: each shard's transaction stashes an undo journal
+(``txn_journal``) beside its rows (phase 1), then a commit marker is
+written in the router (``txn_commits``, phase 2), then journals and
+marker are released.  Recovery (:meth:`CandidateStore.
+recover_pending_groups`, run on every open) rolls half-committed groups
+back (no marker) or forward (marker present), so a crash at any point
+leaves ``contents_digest()`` equal to a store that either completed the
+write or never started it.  ``txn_pending`` rows lease the group to its
+writer so recovery never unwinds a *live* writer's phase-1 work.
 """
 
 from __future__ import annotations
@@ -49,6 +64,8 @@ import hashlib
 import json
 import re
 import sqlite3
+import uuid
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 import numpy as np
@@ -56,7 +73,12 @@ import numpy as np
 from repro.core.candidates import Candidate
 from repro.core.objectives import CandidateMetrics
 from repro.data.schema import DatasetSchema
-from repro.db.backends import StoreBackend, make_backend
+from repro.db.backends import (
+    ShardedSQLiteBackend,
+    StoreBackend,
+    complete_swap,
+    make_backend,
+)
 from repro.exceptions import StorageError
 
 __all__ = ["CandidateStore"]
@@ -88,6 +110,13 @@ def _strip_leading_comments(query: str) -> str:
             return s
 
 
+def _batched(seq, size):
+    """Fixed-size chunks of ``seq`` (IN-list batches stay well under
+    SQLite's bind-variable limit)."""
+    for start in range(0, len(seq), size):
+        yield seq[start : start + size]
+
+
 class CandidateStore:
     """Candidate + temporal-input relational store over sqlite3.
 
@@ -103,7 +132,22 @@ class CandidateStore:
         infer from ``path``.
     n_shards:
         Shard count for the ``'sharded'`` backend (ignored otherwise).
+    parallel_writes:
+        Route bulk writes through per-shard connections (two-phase
+        group commit when a batch spans shards).  ``None`` (default)
+        follows the backend's
+        :attr:`~repro.db.backends.StoreBackend.parallel_write_schemas`;
+        ``False`` forces the serial single-transaction path (the
+        reference the parallel path is asserted byte-identical to).
+        ``True`` is honoured only on backends that actually hand out
+        per-schema connections — elsewhere (e.g. in-memory shards,
+        reachable only through the router) it clamps back to serial.
     """
+
+    #: seconds a prepared-but-unmarked commit group stays protected from
+    #: recovery — long enough for any live writer to reach phase 2,
+    #: short enough that a crashed writer's group is unwound promptly
+    txn_grace_seconds: float = 60.0
 
     def __init__(
         self,
@@ -112,6 +156,7 @@ class CandidateStore:
         *,
         backend: str | StoreBackend | None = None,
         n_shards: int = 4,
+        parallel_writes: bool | None = None,
     ):
         for name in schema.names:
             if not _IDENTIFIER_RE.match(name):
@@ -121,8 +166,28 @@ class CandidateStore:
                     f"feature name {name!r} collides with a reserved column"
                 )
         self.schema = schema
-        self._backend = make_backend(backend, path, n_shards=n_shards)
-        self._conn = self._backend.conn
+        #: test/bench instrumentation: ``callable(stage)`` fired between
+        #: the group-commit steps (``'pending'``, ``'prepared:<db>'``,
+        #: ``'committed'``, ``'released'``); raising simulates the
+        #: writing process dying at that point.  When set, phase 1 runs
+        #: serially in schema order so crash points are deterministic.
+        self.txn_fault_hook = None
+        self._attach_backend(make_backend(backend, path, n_shards=n_shards))
+        # forcing True on a single-connection backend would drive that
+        # one connection from the group-commit worker threads — clamp to
+        # what the topology can actually parallelise
+        self.parallel_writes = (
+            self._backend.parallel_write_schemas
+            if parallel_writes is None
+            else bool(parallel_writes) and self._backend.parallel_write_schemas
+        )
+        self.recover_pending_groups()
+
+    def _attach_backend(self, backend: StoreBackend) -> None:
+        """Bind this store to ``backend`` (initial open and the
+        post-rebalance reopen): router connection, row factory, DDL."""
+        self._backend = backend
+        self._conn = backend.conn
         self._conn.row_factory = sqlite3.Row
         self._create_tables()
 
@@ -132,59 +197,107 @@ class CandidateStore:
 
     # ------------------------------------------------------------- schema
 
-    def _create_tables(self) -> None:
+    def _table_ddl(self, db: str) -> list[str]:
+        """Per-schema DDL, shared by :meth:`_create_tables` and the
+        rebalance staging-shard builder (which runs it against a fresh
+        file where ``db`` is ``main``)."""
         feature_cols = ", ".join(f"{name} REAL NOT NULL" for name in self.schema.names)
+        return [
+            f"""
+            CREATE TABLE IF NOT EXISTS {db}.temporal_inputs (
+                user_id TEXT NOT NULL,
+                time INTEGER NOT NULL,
+                {feature_cols},
+                model_fp TEXT NOT NULL DEFAULT '',
+                PRIMARY KEY (user_id, time)
+            )
+            """,
+            f"""
+            CREATE TABLE IF NOT EXISTS {db}.candidates (
+                id INTEGER PRIMARY KEY AUTOINCREMENT,
+                user_id TEXT NOT NULL,
+                time INTEGER NOT NULL,
+                {feature_cols},
+                diff REAL NOT NULL,
+                gap INTEGER NOT NULL,
+                p REAL NOT NULL,
+                model_fp TEXT NOT NULL DEFAULT ''
+            )
+            """,
+            f"CREATE INDEX IF NOT EXISTS {db}.idx_candidates_user_time"
+            " ON candidates (user_id, time)",
+            f"""
+            CREATE TABLE IF NOT EXISTS {db}.user_sessions (
+                user_id TEXT PRIMARY KEY,
+                profile TEXT NOT NULL,
+                constraints TEXT
+            )
+            """,
+            f"""
+            CREATE TABLE IF NOT EXISTS {db}.refresh_leases (
+                user_id TEXT NOT NULL,
+                time INTEGER NOT NULL,
+                worker_id TEXT NOT NULL,
+                lease_expires_at REAL NOT NULL,
+                PRIMARY KEY (user_id, time)
+            )
+            """,
+            # per-shard undo journal of the two-phase group commit; rows
+            # exist only while a multi-shard write is in flight
+            f"""
+            CREATE TABLE IF NOT EXISTS {db}.txn_journal (
+                group_id TEXT PRIMARY KEY,
+                payload TEXT NOT NULL
+            )
+            """,
+        ]
+
+    def _ledger_index_sql(self, db: str) -> str:
+        """The staleness-ledger covering index.  The claim scan probes
+        (time = ?, model_fp mismatch): the equality seeks straight to
+        the time partition and the mismatch — spelled as two range
+        seeks, see :data:`_STALE_PREDICATE` — skips the (usually
+        dominant) fresh-fingerprint run inside it, so a claim round
+        touches only the stale rows instead of scanning O(cells).
+        user_id makes the index covering — the scan never reads the
+        (wide) table rows at all."""
+        return (
+            f"CREATE INDEX IF NOT EXISTS {db}.idx_temporal_inputs_ledger"
+            " ON temporal_inputs (time, model_fp, user_id)"
+        )
+
+    #: coordination tables, always in the router's ``main`` schema: the
+    #: group-commit marker + writer lease, and the rebalance phase row
+    #: read by :func:`repro.db.backends.recover_rebalance`
+    _COORDINATOR_DDL = (
+        """
+        CREATE TABLE IF NOT EXISTS main.txn_commits (
+            group_id TEXT PRIMARY KEY,
+            committed_at REAL NOT NULL
+        )
+        """,
+        """
+        CREATE TABLE IF NOT EXISTS main.txn_pending (
+            group_id TEXT PRIMARY KEY,
+            expires_at REAL NOT NULL
+        )
+        """,
+        """
+        CREATE TABLE IF NOT EXISTS main.rebalance_state (
+            phase TEXT NOT NULL,
+            old_shards INTEGER NOT NULL,
+            new_shards INTEGER NOT NULL
+        )
+        """,
+    )
+
+    def _create_tables(self) -> None:
         with self._conn:
+            for statement in self._COORDINATOR_DDL:
+                self._conn.execute(statement)
             for db in self._backend.schemas():
-                self._conn.execute(
-                    f"""
-                    CREATE TABLE IF NOT EXISTS {db}.temporal_inputs (
-                        user_id TEXT NOT NULL,
-                        time INTEGER NOT NULL,
-                        {feature_cols},
-                        model_fp TEXT NOT NULL DEFAULT '',
-                        PRIMARY KEY (user_id, time)
-                    )
-                    """
-                )
-                self._conn.execute(
-                    f"""
-                    CREATE TABLE IF NOT EXISTS {db}.candidates (
-                        id INTEGER PRIMARY KEY AUTOINCREMENT,
-                        user_id TEXT NOT NULL,
-                        time INTEGER NOT NULL,
-                        {feature_cols},
-                        diff REAL NOT NULL,
-                        gap INTEGER NOT NULL,
-                        p REAL NOT NULL,
-                        model_fp TEXT NOT NULL DEFAULT ''
-                    )
-                    """
-                )
-                self._conn.execute(
-                    f"CREATE INDEX IF NOT EXISTS {db}.idx_candidates_user_time"
-                    " ON candidates (user_id, time)"
-                )
-                self._conn.execute(
-                    f"""
-                    CREATE TABLE IF NOT EXISTS {db}.user_sessions (
-                        user_id TEXT PRIMARY KEY,
-                        profile TEXT NOT NULL,
-                        constraints TEXT
-                    )
-                    """
-                )
-                self._conn.execute(
-                    f"""
-                    CREATE TABLE IF NOT EXISTS {db}.refresh_leases (
-                        user_id TEXT NOT NULL,
-                        time INTEGER NOT NULL,
-                        worker_id TEXT NOT NULL,
-                        lease_expires_at REAL NOT NULL,
-                        PRIMARY KEY (user_id, time)
-                    )
-                    """
-                )
+                for statement in self._table_ddl(db):
+                    self._conn.execute(statement)
                 # migrate databases created before the refresh subsystem:
                 # their tables predate the model_fp column (cells read as
                 # fingerprint '' — i.e. stale, which is the safe default)
@@ -200,20 +313,8 @@ class CandidateStore:
                             f"ALTER TABLE {db}.{table} ADD COLUMN"
                             " model_fp TEXT NOT NULL DEFAULT ''"
                         )
-                # staleness-ledger index, created after the legacy
-                # migration so model_fp always exists.  The claim scan
-                # probes (time = ?, model_fp mismatch): the equality
-                # seeks straight to the time partition and the mismatch
-                # — spelled as two range seeks, see _STALE_PREDICATE —
-                # skips the (usually dominant) fresh-fingerprint run
-                # inside it, so a claim round touches only the stale
-                # rows instead of scanning O(cells).  user_id makes the
-                # index covering — the scan never reads the (wide)
-                # table rows at all.
-                self._conn.execute(
-                    f"CREATE INDEX IF NOT EXISTS {db}.idx_temporal_inputs_ledger"
-                    " ON temporal_inputs (time, model_fp, user_id)"
-                )
+                # created after the legacy migration so model_fp exists
+                self._conn.execute(self._ledger_index_sql(db))
             if self._backend.sharded:
                 # read-side: one UNION ALL view per table so global
                 # queries (expert SQL, Figure-2 canned SQL) are
@@ -256,11 +357,16 @@ class CandidateStore:
 
     # ------------------------------------------------------------- writes
 
+    @property
+    def _ph(self) -> str:
+        """The backend dialect's bind-parameter marker (DB-API seam)."""
+        return self._backend.placeholder()
+
     def _insert_sql(
         self, db: str, table: str, extra_columns: tuple[str, ...] = ()
     ) -> str:
         columns = ["user_id", "time", *self.schema.names, *extra_columns]
-        placeholders = ", ".join("?" for _ in columns)
+        placeholders = ", ".join(self._ph for _ in columns)
         return (
             f"INSERT INTO {db}.{table} ({', '.join(columns)})"
             f" VALUES ({placeholders})"
@@ -316,18 +422,27 @@ class CandidateStore:
         )
         return (user_id, profile_json, constraints_json)
 
+    def _write_target(self, db: str) -> tuple[sqlite3.Connection, str]:
+        """``(connection, prefix)`` a write to schema ``db`` should use:
+        the shard's dedicated connection on a parallel backend, the
+        router otherwise."""
+        if self.parallel_writes:
+            return self._backend.write_connection(db)
+        return self._conn, db
+
     def store_temporal_inputs(
         self, user_id: str, trajectory, fingerprints: dict[int, str] | None = None
     ) -> None:
         """Insert/replace the rows ``x_0 .. x_T`` for ``user_id``."""
         rows = self._input_rows(user_id, trajectory, fingerprints)
-        db = self._db_for(user_id)
-        with self._conn:
-            self._conn.execute(
-                f"DELETE FROM {db}.temporal_inputs WHERE user_id = ?", (user_id,)
+        conn, prefix = self._write_target(self._db_for(user_id))
+        with conn:
+            conn.execute(
+                f"DELETE FROM {prefix}.temporal_inputs WHERE user_id = {self._ph}",
+                (user_id,),
             )
-            self._conn.executemany(
-                self._insert_sql(db, "temporal_inputs", ("model_fp",)), rows
+            conn.executemany(
+                self._insert_sql(prefix, "temporal_inputs", ("model_fp",)), rows
             )
 
     def store_candidates(
@@ -338,10 +453,10 @@ class CandidateStore:
     ) -> None:
         """Append candidates (any time points) for ``user_id``."""
         rows = self._candidate_rows(user_id, candidates, fingerprints)
-        db = self._db_for(user_id)
-        with self._conn:
-            self._conn.executemany(
-                self._insert_sql(db, "candidates", ("diff", "gap", "p", "model_fp")),
+        conn, prefix = self._write_target(self._db_for(user_id))
+        with conn:
+            conn.executemany(
+                self._insert_sql(prefix, "candidates", ("diff", "gap", "p", "model_fp")),
                 rows,
             )
 
@@ -351,18 +466,22 @@ class CandidateStore:
         fingerprints: dict[int, str] | None = None,
         specs=None,
     ) -> None:
-        """Bulk multi-user write in one transaction.
+        """Bulk multi-user write, grouped and committed per shard.
 
         ``sessions`` is an iterable of ``(user_id, trajectory,
         candidates)`` triples.  For every user the existing rows are
-        replaced and the temporal inputs + candidates inserted; a single
-        transaction covers the whole batch, so a 50-user ingest pays one
-        commit instead of 150.  ``fingerprints`` maps time index to the
-        producing model's content fingerprint; ``specs`` is an optional
-        iterable of ``(user_id, profile, constraint_texts_or_None)``
-        persisted to ``user_sessions`` for later rehydration.
+        replaced and the temporal inputs + candidates inserted; each
+        shard's row group is one transaction (a 50-user ingest pays one
+        commit per touched shard instead of 150), shards commit on
+        their own connections in parallel, and a batch spanning shards
+        is protected by the two-phase group commit so recovery restores
+        all-or-nothing semantics after a crash.  ``fingerprints`` maps
+        time index to the producing model's content fingerprint;
+        ``specs`` is an optional iterable of ``(user_id, profile,
+        constraint_texts_or_None)`` persisted to ``user_sessions`` for
+        later rehydration.
         """
-        per_db: dict[str, dict[str, list]] = {}
+        per_db: dict[str, list] = {}
         seen: set[str] = set()
         for user_id, trajectory, candidates in sessions:
             if user_id in seen:
@@ -370,46 +489,14 @@ class CandidateStore:
                     f"duplicate user_id {user_id!r} in store_sessions batch"
                 )
             seen.add(user_id)
-            bucket = per_db.setdefault(
-                self._db_for(user_id), {"users": [], "inputs": [], "cands": []}
+            per_db.setdefault(self._db_for(user_id), []).append(
+                _SessionWrite(self, user_id, trajectory, candidates, fingerprints)
             )
-            bucket["users"].append((user_id,))
-            bucket["inputs"].extend(
-                self._input_rows(user_id, trajectory, fingerprints)
-            )
-            bucket["cands"].extend(
-                self._candidate_rows(user_id, candidates, fingerprints)
-            )
-        spec_rows: dict[str, list[tuple]] = {}
         for spec in specs or ():
-            row = self._spec_row(*spec)
-            spec_rows.setdefault(self._db_for(spec[0]), []).append(row)
-        with self._conn:
-            for db, bucket in per_db.items():
-                self._conn.executemany(
-                    f"DELETE FROM {db}.candidates WHERE user_id = ?",
-                    bucket["users"],
-                )
-                self._conn.executemany(
-                    f"DELETE FROM {db}.temporal_inputs WHERE user_id = ?",
-                    bucket["users"],
-                )
-                self._conn.executemany(
-                    self._insert_sql(db, "temporal_inputs", ("model_fp",)),
-                    bucket["inputs"],
-                )
-                self._conn.executemany(
-                    self._insert_sql(
-                        db, "candidates", ("diff", "gap", "p", "model_fp")
-                    ),
-                    bucket["cands"],
-                )
-            for db, rows in spec_rows.items():
-                self._conn.executemany(
-                    f"INSERT OR REPLACE INTO {db}.user_sessions"
-                    " (user_id, profile, constraints) VALUES (?, ?, ?)",
-                    rows,
-                )
+            per_db.setdefault(self._db_for(spec[0]), []).append(
+                _SpecWrite(self, spec)
+            )
+        self._grouped_write(per_db)
 
     def upsert_cells(
         self, cells, fingerprints: dict[int, str] | None = None
@@ -417,10 +504,13 @@ class CandidateStore:
         """Replace the candidates of specific (user, time) cells.
 
         ``cells`` is an iterable of ``(user_id, time, candidates)`` or
-        ``(user_id, time, candidates, x_t)`` tuples; all deletes and
-        inserts run in **one transaction** (the incremental refresh
-        writes every recomputed cell through a single call).  Rows of
-        untouched cells are left byte-identical.  The cell's
+        ``(user_id, time, candidates, x_t)`` tuples; the cells are
+        grouped per shard and each shard's group runs in **one
+        transaction** on that shard's write connection — a worker whose
+        claimed cells live in one shard commits without ever touching
+        the router's lock, and a batch spanning shards goes through the
+        two-phase group commit (all-or-nothing after recovery).  Rows
+        of untouched cells are left byte-identical.  The cell's
         ``temporal_inputs`` ledger row is stamped with the new model
         fingerprint; if that row is missing (e.g. the user was fully
         cleared while their session stayed live) it is re-inserted from
@@ -430,57 +520,540 @@ class CandidateStore:
         candidate rows written.
         """
         fingerprints = fingerprints or {}
-        written = 0
+        per_db: dict[str, list] = {}
+        for cell in cells:
+            user_id, time, candidates = cell[0], int(cell[1]), cell[2]
+            x_t = cell[3] if len(cell) > 3 else None
+            per_db.setdefault(self._db_for(user_id), []).append(
+                _CellWrite(self, user_id, time, candidates, x_t, fingerprints)
+            )
+        return self._grouped_write(per_db)
+
+    # ---------------------------------------------- two-phase group commit
+
+    def _grouped_write(self, ops_by_db: dict[str, list]) -> int:
+        """Commit per-schema op groups; returns candidate rows written.
+
+        One schema → one ordinary transaction on that schema's write
+        connection (no coordination cost — the common worker-upsert
+        case).  Several schemas on a serial backend → one router
+        transaction spanning them all (SQLite multi-database atomic
+        commit).  Several schemas on a parallel backend → the two-phase
+        protocol of :meth:`_two_phase_commit`.
+        """
+        ops_by_db = {db: ops for db, ops in ops_by_db.items() if ops}
+        if not ops_by_db:
+            return 0
+        if len(ops_by_db) == 1:
+            ((db, ops),) = ops_by_db.items()
+            conn, prefix = self._write_target(db)
+            with conn:
+                return sum(op.apply(self, conn, prefix) for op in ops)
+        if not self.parallel_writes:
+            with self._conn:
+                return sum(
+                    op.apply(self, self._conn, db)
+                    for db, ops in ops_by_db.items()
+                    for op in ops
+                )
+        return self._two_phase_commit(ops_by_db)
+
+    def _two_phase_commit(self, ops_by_db: dict[str, list]) -> int:
+        """Atomically-recoverable multi-shard write.
+
+        1. a ``txn_pending`` row leases the group to this writer (so
+           concurrent recovery leaves live phase-1 work alone);
+        2. **phase 1** — every shard, on its own connection and in
+           parallel, stashes an undo journal beside its applied rows
+           and commits;
+        3. **phase 2** — the commit marker lands in the router's
+           ``txn_commits`` (the group's single durable commit point);
+        4. journals and marker are released.
+
+        A crash before the marker rolls the group back via the
+        journals; after the marker, recovery merely finishes the
+        release — either way ``contents_digest()`` equals a run that
+        completed the write or never started it.
+        """
+        ph = self._ph
+        group_id = uuid.uuid4().hex
+        killed = False
+
+        def fire(stage: str) -> None:
+            # a raise from the hook simulates the *process dying* at this
+            # stage: the flag keeps the live-writer abort below from
+            # cleaning up, so the journals survive for open-time recovery
+            # to resolve — exactly what a real kill leaves behind
+            nonlocal killed
+            if self.txn_fault_hook is not None:
+                killed = True
+                self.txn_fault_hook(stage)
+                killed = False
+
         with self._conn:
-            for cell in cells:
-                user_id, time, candidates = cell[0], int(cell[1]), cell[2]
-                x_t = cell[3] if len(cell) > 3 else None
-                db = self._db_for(user_id)
+            self._conn.execute(
+                f"INSERT INTO main.txn_pending (group_id, expires_at)"
+                f" VALUES ({ph}, {ph})",
+                (group_id, self.clock_now() + float(self.txn_grace_seconds)),
+            )
+        fire("pending")
+        items = sorted(ops_by_db.items())
+        prepared: list[str] = []
+        written = 0
+        try:
+            if self.txn_fault_hook is not None:
+                # deterministic schema order so fault-injection tests can
+                # name exact crash points
+                for db, ops in items:
+                    written += self._prepare_schema(group_id, db, ops)
+                    prepared.append(db)
+                    fire(f"prepared:{db}")
+            else:
+                # phase 1 in parallel: sqlite3 releases the GIL while each
+                # shard's transaction runs, so the per-file work overlaps
+                with ThreadPoolExecutor(max_workers=len(items)) as pool:
+                    futures = [
+                        (db, pool.submit(self._prepare_schema, group_id, db, ops))
+                        for db, ops in items
+                    ]
+                    failure: BaseException | None = None
+                    for db, future in futures:
+                        try:
+                            written += future.result()
+                            prepared.append(db)
+                        except BaseException as exc:  # noqa: BLE001 — rollback all
+                            failure = failure or exc
+                    if failure is not None:
+                        raise failure
+        except BaseException:
+            if not killed:
+                self._abort_group(group_id, prepared)
+            raise
+        try:
+            with self._conn:
                 self._conn.execute(
-                    f"DELETE FROM {db}.candidates WHERE user_id = ? AND time = ?",
-                    (user_id, time),
+                    f"INSERT INTO main.txn_commits (group_id, committed_at)"
+                    f" VALUES ({ph}, {ph})",
+                    (group_id, self.clock_now()),
                 )
-                rows = self._candidate_rows(user_id, candidates, fingerprints)
-                for row in rows:
-                    if int(row[1]) != time:
-                        raise StorageError(
-                            f"candidate for time {row[1]} in cell"
-                            f" ({user_id!r}, {time})"
-                        )
-                self._conn.executemany(
-                    self._insert_sql(
-                        db, "candidates", ("diff", "gap", "p", "model_fp")
-                    ),
-                    rows,
+                self._conn.execute(
+                    f"DELETE FROM main.txn_pending WHERE group_id = {ph}",
+                    (group_id,),
                 )
-                cursor = self._conn.execute(
-                    f"UPDATE {db}.temporal_inputs SET model_fp = ?"
-                    " WHERE user_id = ? AND time = ?",
-                    (fingerprints.get(time) or "", user_id, time),
-                )
-                if cursor.rowcount == 0:
-                    if x_t is None:
-                        raise StorageError(
-                            f"cell ({user_id!r}, {time}) has no"
-                            " temporal_inputs row; pass x_t to restore it"
-                        )
-                    vector = np.asarray(x_t, dtype=float).ravel()
-                    if vector.size != len(self.schema):
-                        raise StorageError(
-                            f"x_t has {vector.size} entries, schema"
-                            f" expects {len(self.schema)}"
-                        )
-                    self._conn.execute(
-                        self._insert_sql(db, "temporal_inputs", ("model_fp",)),
-                        (
-                            user_id,
-                            time,
-                            *map(float, vector),
-                            fingerprints.get(time) or "",
-                        ),
-                    )
-                written += len(rows)
+        except sqlite3.Error:
+            # the marker never landed, so the group is uncommitted — and
+            # this writer is alive and holds the journals, so it must
+            # unwind its phase-1 commits itself rather than report a
+            # failed write whose rows stay visible until some later
+            # recovery rolls them back
+            self._abort_group(group_id, prepared)
+            raise
+        fire("committed")
+        self._release_group(group_id, prepared)
+        fire("released")
         return written
+
+    def _prepare_schema(self, group_id: str, db: str, ops: list) -> int:
+        """Phase 1 for one shard: journal the undo state, apply, commit."""
+        conn, prefix = self._backend.write_connection(db)
+        ph = self._ph
+        try:
+            conn.execute(self._backend.begin_immediate_sql())
+            payloads = [op.undo(self, conn, prefix) for op in ops]
+            conn.execute(
+                f"INSERT INTO {prefix}.txn_journal (group_id, payload)"
+                f" VALUES ({ph}, {ph})",
+                (group_id, json.dumps(payloads)),
+            )
+            written = sum(op.apply(self, conn, prefix) for op in ops)
+            conn.commit()
+            return written
+        except BaseException:
+            conn.rollback()
+            raise
+
+    def _abort_group(self, group_id: str, prepared: list[str]) -> None:
+        """Unwind a group whose phase 1 failed partway: already-prepared
+        shards are rolled back via their journals, the pending lease is
+        dropped."""
+        for db in prepared:
+            conn, prefix = self._backend.write_connection(db)
+            self._rollback_journal(conn, prefix, group_id)
+        with self._conn:
+            self._conn.execute(
+                f"DELETE FROM main.txn_pending WHERE group_id = {self._ph}",
+                (group_id,),
+            )
+
+    def _rollback_journal(
+        self, conn: sqlite3.Connection, prefix: str, group_id: str
+    ) -> bool:
+        """Restore one shard's pre-group state from its undo journal."""
+        ph = self._ph
+        row = conn.execute(
+            f"SELECT payload FROM {prefix}.txn_journal WHERE group_id = {ph}",
+            (group_id,),
+        ).fetchone()
+        if row is None:
+            return False
+        payloads = json.loads(row[0])
+        with conn:
+            for payload in reversed(payloads):
+                self._apply_undo(conn, prefix, payload)
+            conn.execute(
+                f"DELETE FROM {prefix}.txn_journal WHERE group_id = {ph}",
+                (group_id,),
+            )
+        return True
+
+    def _release_group(self, group_id: str, dbs: list[str]) -> None:
+        """Phase 3: drop the shard journals, then the commit marker.
+        Order matters — a marker without journals is a finished commit,
+        journals without a marker mean rollback."""
+        ph = self._ph
+        for db in dbs:
+            conn, prefix = self._backend.write_connection(db)
+            with conn:
+                conn.execute(
+                    f"DELETE FROM {prefix}.txn_journal WHERE group_id = {ph}",
+                    (group_id,),
+                )
+        with self._conn:
+            self._conn.execute(
+                f"DELETE FROM main.txn_commits WHERE group_id = {ph}", (group_id,)
+            )
+
+    def _restore_rows(
+        self, conn, prefix: str, table: str, columns: list[str], rows
+    ) -> None:
+        if not rows:
+            return
+        ph = self._ph
+        conn.executemany(
+            f"INSERT INTO {prefix}.{table} ({', '.join(columns)})"
+            f" VALUES ({', '.join(ph for _ in columns)})",
+            [tuple(row) for row in rows],
+        )
+
+    def _undo_columns(self) -> tuple[list[str], list[str]]:
+        """(candidate columns incl. ``id``, temporal-input columns) of
+        the undo journal.  ``id`` is captured and restored explicitly:
+        the digest sorts a cell's rows by it, so a rollback must hand
+        back the original intra-cell order."""
+        feats = list(self.schema.names)
+        return (
+            ["id", "user_id", "time", *feats, "diff", "gap", "p", "model_fp"],
+            ["user_id", "time", *feats, "model_fp"],
+        )
+
+    def _apply_undo(self, conn, prefix: str, payload: dict) -> None:
+        """Apply one journaled undo record (rollback and crash
+        recovery): delete the scope the write touched, re-insert the
+        stashed pre-write rows."""
+        ph = self._ph
+        cand_cols, input_cols = self._undo_columns()
+        kind = payload["kind"]
+        if kind == "cell":
+            user, t = payload["user"], int(payload["time"])
+            conn.execute(
+                f"DELETE FROM {prefix}.candidates"
+                f" WHERE user_id = {ph} AND time = {ph}",
+                (user, t),
+            )
+            conn.execute(
+                f"DELETE FROM {prefix}.temporal_inputs"
+                f" WHERE user_id = {ph} AND time = {ph}",
+                (user, t),
+            )
+            self._restore_rows(
+                conn, prefix, "candidates", cand_cols, payload["candidates"]
+            )
+            if payload["ledger"] is not None:
+                self._restore_rows(
+                    conn, prefix, "temporal_inputs", input_cols,
+                    [payload["ledger"]],
+                )
+        elif kind == "user":
+            user = payload["user"]
+            conn.execute(
+                f"DELETE FROM {prefix}.candidates WHERE user_id = {ph}", (user,)
+            )
+            conn.execute(
+                f"DELETE FROM {prefix}.temporal_inputs WHERE user_id = {ph}",
+                (user,),
+            )
+            self._restore_rows(
+                conn, prefix, "candidates", cand_cols, payload["candidates"]
+            )
+            self._restore_rows(
+                conn, prefix, "temporal_inputs", input_cols, payload["inputs"]
+            )
+        elif kind == "spec":
+            user = payload["user"]
+            conn.execute(
+                f"DELETE FROM {prefix}.user_sessions WHERE user_id = {ph}",
+                (user,),
+            )
+            if payload["session"] is not None:
+                self._restore_rows(
+                    conn, prefix, "user_sessions",
+                    ["user_id", "profile", "constraints"],
+                    [payload["session"]],
+                )
+        else:
+            raise StorageError(f"unknown undo payload kind {kind!r}")
+
+    def recover_pending_groups(self, now: float | None = None) -> dict[str, int]:
+        """Resolve group commits a dead writer left half done.
+
+        Runs on every store open (and is safe to call any time): shard
+        journals with a ``txn_commits`` marker are **rolled forward**
+        (the commit stood — only the release was interrupted); journals
+        without a marker are **rolled back** to the journaled pre-write
+        state — unless a live ``txn_pending`` lease (``expires_at`` in
+        the future of the store clock) shows the writing process is
+        still mid-commit, in which case the group is left alone.
+        Writers must therefore finish a group within
+        :attr:`txn_grace_seconds`; the bulk writes this store issues
+        take milliseconds.  Returns ``{'rolled_back': n, 'completed':
+        m}``.
+        """
+        ph = self._ph
+        journaled: dict[str, list[str]] = {}
+        for db in self._backend.schemas():
+            conn, prefix = self._backend.write_connection(db)
+            for row in conn.execute(
+                f"SELECT group_id FROM {prefix}.txn_journal"
+            ).fetchall():
+                journaled.setdefault(str(row[0]), []).append(db)
+        now = float(self.clock_now() if now is None else now)
+        stats = {"rolled_back": 0, "completed": 0}
+        if journaled:
+            committed = {
+                str(r[0])
+                for r in self._conn.execute("SELECT group_id FROM main.txn_commits")
+            }
+            pending = {
+                str(r[0]): float(r[1])
+                for r in self._conn.execute(
+                    "SELECT group_id, expires_at FROM main.txn_pending"
+                )
+            }
+            for group_id, dbs in sorted(journaled.items()):
+                if group_id in committed:
+                    self._release_group(group_id, dbs)
+                    stats["completed"] += 1
+                elif pending.get(group_id, -1.0) > now:
+                    continue  # live writer mid-commit: not ours to unwind
+                else:
+                    for db in dbs:
+                        conn, prefix = self._backend.write_connection(db)
+                        self._rollback_journal(conn, prefix, group_id)
+                    with self._conn:
+                        self._conn.execute(
+                            f"DELETE FROM main.txn_pending WHERE group_id = {ph}",
+                            (group_id,),
+                        )
+                    stats["rolled_back"] += 1
+        # hygiene, aged past the grace window so a racing live writer is
+        # never touched: markers whose journals are all released (writer
+        # died inside the release loop) and expired pending leases
+        with self._conn:
+            self._conn.execute(
+                f"DELETE FROM main.txn_commits WHERE committed_at <= {ph}",
+                (now - float(self.txn_grace_seconds),),
+            )
+            self._conn.execute(
+                f"DELETE FROM main.txn_pending WHERE expires_at <= {ph}", (now,)
+            )
+        return stats
+
+    # --------------------------------------------------------- rebalancing
+
+    def rebalance(self, n_shards: int, *, fault_hook=None) -> dict:
+        """Migrate a file-backed sharded store to ``n_shards`` shards.
+
+        Every user is rehomed to ``crc32(user_id) % n_shards`` with
+        **digest invariance**: ``contents_digest()`` and the
+        ``stale_cells()`` ordering are identical before and after (the
+        digest excludes storage ids and both orderings are global
+        ``(user, time)``, not per-shard concatenation).  The migration
+        is crash-recoverable at every point:
+
+        * **build** — the new layout is written to ``<path>.rebal<i>``
+          staging files; the live shards are never touched, so a crash
+          aborts cleanly (next open discards the staging files);
+        * **swap** — staging files replace the shard files one atomic
+          rename at a time, rolled forward by
+          :func:`repro.db.backends.recover_rebalance` on the next open
+          if interrupted.
+
+        The phase ledger lives in the router's ``rebalance_state``
+        table.  Other writers must be quiescent (a live two-phase group
+        is refused; lease workers should be drained first — leases are
+        carried over, so an operator mistake delays work rather than
+        losing it).  ``fault_hook`` is test instrumentation: raising
+        from it simulates the process dying at that stage, with no
+        cleanup.  Returns ``{'n_shards': m, 'moved_users': k}``.
+        """
+        backend = self._backend
+        if not isinstance(backend, ShardedSQLiteBackend) or backend.path == ":memory:":
+            raise StorageError(
+                "rebalance needs a file-backed 'sharded' store; open the"
+                " database with backend='sharded' first"
+            )
+        m = int(n_shards)
+        if not 1 <= m <= ShardedSQLiteBackend.MAX_SHARDS:
+            raise StorageError(
+                f"n_shards must be in [1, {ShardedSQLiteBackend.MAX_SHARDS}],"
+                f" got {m}"
+            )
+        old_n = backend.n_shards
+        if m == old_n:
+            return {"n_shards": m, "moved_users": 0}
+        ph = self._ph
+        # resolve any group a *crashed* writer left half-committed since
+        # this store opened: the staging copy below carries no undo
+        # journals, so an unresolved group would be frozen into the new
+        # layout as committed data
+        self.recover_pending_groups()
+        live = self._conn.execute(
+            f"SELECT COUNT(*) FROM main.txn_pending WHERE expires_at > {ph}",
+            (self.clock_now(),),
+        ).fetchone()[0]
+        if live:
+            raise StorageError(
+                "a group commit is in flight; retry rebalance once it settles"
+            )
+        path = backend.path
+        killed = False
+
+        def fire(stage: str) -> None:
+            nonlocal killed
+            if fault_hook is not None:
+                killed = True
+                fault_hook(stage)
+                killed = False
+
+        with self._conn:
+            self._conn.execute("DELETE FROM main.rebalance_state")
+            self._conn.execute(
+                "INSERT INTO main.rebalance_state"
+                f" (phase, old_shards, new_shards) VALUES ({ph}, {ph}, {ph})",
+                ("build", old_n, m),
+            )
+        fire("state-build")
+        try:
+            moved = self._build_rebalance_shards(path, old_n, m, fire)
+            with self._conn:
+                self._conn.execute(
+                    f"UPDATE main.rebalance_state SET phase = {ph}", ("swap",)
+                )
+            fire("state-swap")
+        except BaseException:
+            if killed:
+                raise  # simulated kill -9: leave the crash site as it fell
+            # real failure (disk full, bad data): abort cleanly — the
+            # live shards were never touched during the build
+            for i in range(m):
+                Path(f"{path}.rebal{i}").unlink(missing_ok=True)
+            with self._conn:
+                self._conn.execute("DELETE FROM main.rebalance_state")
+            raise
+        # the rename phase shuffles files under the open handles: close
+        # every connection, roll the swap forward, reopen on the new
+        # layout
+        self._backend.close()
+        state_conn = sqlite3.connect(path)
+        try:
+            complete_swap(path, old_n, m, state_conn, fault_hook=fault_hook)
+        finally:
+            state_conn.close()
+        self._attach_backend(make_backend("sharded", path, n_shards=m))
+        return {"n_shards": m, "moved_users": moved}
+
+    def _build_rebalance_shards(
+        self, path: str, old_n: int, new_n: int, fire
+    ) -> int:
+        """Write the new shard layout to ``<path>.rebal<i>`` staging
+        files, copying whole users in global ``(user, time, id)`` order
+        (``id`` itself is left to the fresh AUTOINCREMENT so intra-cell
+        candidate order — the only id property the digest depends on —
+        survives).  Returns how many users changed shards."""
+        ddl = [*self._table_ddl("main"), self._ledger_index_sql("main")]
+        feats = ", ".join(self.schema.names)
+        copies = (
+            (
+                "temporal_inputs",
+                f"user_id, time, {feats}, model_fp",
+                "ORDER BY user_id, time",
+            ),
+            (
+                "candidates",
+                f"user_id, time, {feats}, diff, gap, p, model_fp",
+                "ORDER BY user_id, time, id",
+            ),
+            ("user_sessions", "user_id, profile, constraints", "ORDER BY user_id"),
+            (
+                "refresh_leases",
+                "user_id, time, worker_id, lease_expires_at",
+                "ORDER BY user_id, time",
+            ),
+        )
+        # enumerate each old shard's users once, pre-grouped by target
+        # shard (not once per target — that would rescan every old
+        # shard new_n times): {old_i: {target_i: [users...]}}
+        routing: dict[int, dict[int, list[str]]] = {}
+        moved = 0
+        for old_i in range(old_n):
+            source = sqlite3.connect(f"{path}.shard{old_i}")
+            try:
+                users = sorted(
+                    str(r[0])
+                    for r in source.execute(
+                        "SELECT user_id FROM temporal_inputs"
+                        " UNION SELECT user_id FROM candidates"
+                        " UNION SELECT user_id FROM user_sessions"
+                        " UNION SELECT user_id FROM refresh_leases"
+                    )
+                )
+            finally:
+                source.close()
+            per_target = routing.setdefault(old_i, {})
+            for user in users:
+                target = ShardedSQLiteBackend.shard_index(user, new_n)
+                per_target.setdefault(target, []).append(user)
+                if ShardedSQLiteBackend.shard_index(user, old_n) != target:
+                    moved += 1
+        for i in range(new_n):
+            staging = f"{path}.rebal{i}"
+            Path(staging).unlink(missing_ok=True)
+            conn = sqlite3.connect(staging)
+            try:
+                for statement in ddl:
+                    conn.execute(statement)
+                for old_i in range(old_n):
+                    mine = routing[old_i].get(i)
+                    if not mine:
+                        continue
+                    conn.execute(
+                        "ATTACH DATABASE ? AS src", (f"{path}.shard{old_i}",)
+                    )
+                    for batch in _batched(mine, 400):
+                        marks = ", ".join(self._ph for _ in batch)
+                        for table, columns, order in copies:
+                            conn.execute(
+                                f"INSERT INTO main.{table} ({columns})"
+                                f" SELECT {columns} FROM src.{table}"
+                                f" WHERE user_id IN ({marks}) {order}",
+                                batch,
+                            )
+                    conn.commit()
+                    conn.execute("DETACH DATABASE src")
+            finally:
+                conn.close()
+            fire(f"built:{i}")
+        return moved
 
     def clear_user(self, user_id: str, time: int | None = None) -> None:
         """Remove rows belonging to ``user_id``.
@@ -498,28 +1071,31 @@ class CandidateStore:
         re-store their cells; use :meth:`JustInTime.drop_session` to
         fully forget a user.
         """
-        db = self._db_for(user_id)
-        with self._conn:
+        conn, prefix = self._write_target(self._db_for(user_id))
+        ph = self._ph
+        with conn:
             if time is None:
-                self._conn.execute(
-                    f"DELETE FROM {db}.candidates WHERE user_id = ?", (user_id,)
-                )
-                self._conn.execute(
-                    f"DELETE FROM {db}.temporal_inputs WHERE user_id = ?",
+                conn.execute(
+                    f"DELETE FROM {prefix}.candidates WHERE user_id = {ph}",
                     (user_id,),
                 )
-                self._conn.execute(
-                    f"DELETE FROM {db}.user_sessions WHERE user_id = ?",
+                conn.execute(
+                    f"DELETE FROM {prefix}.temporal_inputs WHERE user_id = {ph}",
+                    (user_id,),
+                )
+                conn.execute(
+                    f"DELETE FROM {prefix}.user_sessions WHERE user_id = {ph}",
                     (user_id,),
                 )
             else:
-                self._conn.execute(
-                    f"DELETE FROM {db}.candidates WHERE user_id = ? AND time = ?",
+                conn.execute(
+                    f"DELETE FROM {prefix}.candidates"
+                    f" WHERE user_id = {ph} AND time = {ph}",
                     (user_id, int(time)),
                 )
-                self._conn.execute(
-                    f"UPDATE {db}.temporal_inputs SET model_fp = ''"
-                    " WHERE user_id = ? AND time = ?",
+                conn.execute(
+                    f"UPDATE {prefix}.temporal_inputs SET model_fp = ''"
+                    f" WHERE user_id = {ph} AND time = {ph}",
                     (user_id, int(time)),
                 )
 
@@ -685,9 +1261,8 @@ class CandidateStore:
         " AND (ti.model_fp < fp.column2 OR ti.model_fp > fp.column2)"
     )
 
-    @staticmethod
     def _fingerprint_values(
-        fingerprints: dict[int, str],
+        self, fingerprints: dict[int, str]
     ) -> tuple[str, list]:
         """``(values_sql, params)`` of the staleness predicate's
         ``(time, fingerprint)`` VALUES join — with
@@ -695,7 +1270,8 @@ class CandidateStore:
         :meth:`stale_cells`, the claim scan and the stale probe, so the
         three can never diverge on what "stale" means."""
         pairs = sorted((int(t), fp or "") for t, fp in fingerprints.items())
-        values = ", ".join("(?, ?)" for _ in pairs)
+        ph = self._ph
+        values = ", ".join(f"({ph}, {ph})" for _ in pairs)
         return values, [value for pair in pairs for value in pair]
 
     def clock_now(self) -> float:
@@ -725,7 +1301,7 @@ class CandidateStore:
                 "cannot start a lease claim inside an open transaction"
             )
         try:
-            self._conn.execute("BEGIN IMMEDIATE")
+            self._conn.execute(self._backend.begin_immediate_sql())
         except sqlite3.Error as exc:
             raise StorageError(f"could not lock store for claim: {exc}") from exc
 
@@ -738,6 +1314,7 @@ class CandidateStore:
         lease_seconds: float = 30.0,
         now: float | None = None,
         exclude=(),
+        prefer_schema: str | None = None,
     ) -> list[tuple[str, int]]:
         """Atomically lease up to ``limit`` stale cells to ``worker_id``.
 
@@ -756,8 +1333,15 @@ class CandidateStore:
         which is how cells of crashed workers get recovered.
         ``exclude`` lists (user, time) cells to skip, e.g. cells this
         worker found uncomputable (no resumable session spec) that would
-        otherwise be re-claimed forever.  Returns the claimed cells, in
-        ledger order.
+        otherwise be re-claimed forever.
+
+        ``prefer_schema`` is the **shard-affinity** knob for worker
+        pools on a sharded store: the claim scan drains that schema
+        first (falling through to the others only when it has no stale
+        cells left), so workers pinned to distinct shards upsert into
+        distinct shard files and their writes never contend on one
+        lock.  ``None`` keeps the global ledger order.  Returns the
+        claimed cells.
         """
         if limit < 1:
             raise StorageError("limit must be >= 1")
@@ -768,7 +1352,8 @@ class CandidateStore:
         self._begin_immediate()
         try:
             candidates = self._claimable_cells(
-                fingerprints, worker_id, now, limit + len(excluded)
+                fingerprints, worker_id, now, limit + len(excluded),
+                prefer_schema=prefer_schema,
             )
             for user_id, t in candidates:
                 if len(claimed) >= limit:
@@ -776,15 +1361,16 @@ class CandidateStore:
                 if (user_id, t) in excluded:
                     continue
                 db = self._db_for(user_id)
+                ph = self._ph
                 cursor = self._conn.execute(
                     f"""
                     INSERT INTO {db}.refresh_leases
                         (user_id, time, worker_id, lease_expires_at)
-                    VALUES (?, ?, ?, ?)
+                    VALUES ({ph}, {ph}, {ph}, {ph})
                     ON CONFLICT (user_id, time) DO UPDATE SET
                         worker_id = excluded.worker_id,
                         lease_expires_at = excluded.lease_expires_at
-                    WHERE refresh_leases.lease_expires_at <= ?
+                    WHERE refresh_leases.lease_expires_at <= {ph}
                        OR refresh_leases.worker_id = excluded.worker_id
                     """,
                     (user_id, t, str(worker_id), expires, now),
@@ -821,6 +1407,7 @@ class CandidateStore:
         verification).
         """
         values, fp_params = self._fingerprint_values(fingerprints)
+        ph = self._ph
         query = (
             "SELECT ti.user_id AS user_id, ti.time AS time"
             f" FROM {db}.temporal_inputs AS ti"
@@ -828,14 +1415,20 @@ class CandidateStore:
             f" ON {self._STALE_PREDICATE}"
             f" LEFT JOIN {db}.refresh_leases AS rl"
             " ON rl.user_id = ti.user_id AND rl.time = ti.time"
-            " WHERE rl.user_id IS NULL OR rl.lease_expires_at <= ?"
-            " OR rl.worker_id = ?"
-            " ORDER BY ti.user_id, ti.time LIMIT ?"
+            f" WHERE rl.user_id IS NULL OR rl.lease_expires_at <= {ph}"
+            f" OR rl.worker_id = {ph}"
+            f" ORDER BY ti.user_id, ti.time LIMIT {ph}"
+            f"{self._backend.for_update_suffix()}"
         )
         return query, [*fp_params, float(now), str(worker_id), int(limit)]
 
     def _claimable_cells(
-        self, fingerprints: dict[int, str], worker_id: str, now: float, limit: int
+        self,
+        fingerprints: dict[int, str],
+        worker_id: str,
+        now: float,
+        limit: int,
+        prefer_schema: str | None = None,
     ) -> list[tuple[str, int]]:
         """Stale cells not blocked by a live foreign lease, in ledger
         order, at most ``limit`` (see :meth:`_claim_scan_sql`).
@@ -846,18 +1439,31 @@ class CandidateStore:
         time)`` matches SQLite's BINARY collation — UTF-8 byte order and
         code-point order agree — so the merged order equals the global
         ledger order of :meth:`stale_cells`.
+
+        With ``prefer_schema`` set (shard affinity), that schema is
+        scanned first and later schemas only until the limit fills —
+        the claim order becomes shard-local ledger order, still
+        deterministic for a given lease state.
         """
         if not fingerprints or limit < 1:
             return []
+        schemas = list(self._backend.schemas())
+        affinity = prefer_schema in schemas
+        if affinity:
+            schemas.remove(prefer_schema)
+            schemas.insert(0, prefer_schema)
         cells: list[tuple[str, int]] = []
-        for db in self._backend.schemas():
+        for db in schemas:
             query, params = self._claim_scan_sql(
-                db, fingerprints, worker_id, now, limit
+                db, fingerprints, worker_id, now, limit - len(cells) if affinity else limit
             )
             cells.extend(
                 (str(r["user_id"]), int(r["time"])) for r in self._read(query, params)
             )
-        cells.sort()
+            if affinity and len(cells) >= limit:
+                break
+        if not affinity:
+            cells.sort()
         return cells[:limit]
 
     def claim_query_plan(
@@ -914,7 +1520,7 @@ class CandidateStore:
                 f" FROM {db}.temporal_inputs AS ti"
                 f" JOIN (VALUES {values}) AS fp"
                 f" ON {self._STALE_PREDICATE}"
-                " LIMIT ?",
+                f" LIMIT {self._ph}",
                 [*params, limit],
             )
             if any(
@@ -941,34 +1547,50 @@ class CandidateStore:
         (:meth:`clock_now`)."""
         now = float(self.clock_now() if now is None else now)
         expires = now + float(lease_seconds)
+        ph = self._ph
         renewed = 0
-        with self._conn:
-            for user_id, t in cells:
-                db = self._db_for(str(user_id))
-                cursor = self._conn.execute(
-                    f"UPDATE {db}.refresh_leases SET lease_expires_at = ?"
-                    " WHERE user_id = ? AND time = ? AND worker_id = ?"
-                    " AND lease_expires_at > ?",
-                    (expires, str(user_id), int(t), str(worker_id), now),
-                )
-                renewed += cursor.rowcount
+        # routed per shard (each cell is an independent conditional
+        # update, so no cross-shard transaction is needed): a worker's
+        # renewals never contend with another shard's writers
+        for db, db_cells in self._cells_by_db(cells).items():
+            conn, prefix = self._write_target(db)
+            with conn:
+                for user_id, t in db_cells:
+                    cursor = conn.execute(
+                        f"UPDATE {prefix}.refresh_leases SET lease_expires_at = {ph}"
+                        f" WHERE user_id = {ph} AND time = {ph} AND worker_id = {ph}"
+                        f" AND lease_expires_at > {ph}",
+                        (expires, user_id, t, str(worker_id), now),
+                    )
+                    renewed += cursor.rowcount
         return renewed
+
+    def _cells_by_db(self, cells) -> dict[str, list[tuple[str, int]]]:
+        """Group (user, time) cells by owning schema, input order kept."""
+        grouped: dict[str, list[tuple[str, int]]] = {}
+        for user_id, t in cells:
+            grouped.setdefault(self._db_for(str(user_id)), []).append(
+                (str(user_id), int(t))
+            )
+        return grouped
 
     def release_cells(self, worker_id: str, cells) -> int:
         """Drop this worker's lease rows for ``cells`` (after the cell's
         recompute was upserted, or to hand an unprocessed cell back to
         the pool early).  Releasing a cell leased to another worker is a
         no-op.  Returns the number of leases released."""
+        ph = self._ph
         released = 0
-        with self._conn:
-            for user_id, t in cells:
-                db = self._db_for(str(user_id))
-                cursor = self._conn.execute(
-                    f"DELETE FROM {db}.refresh_leases"
-                    " WHERE user_id = ? AND time = ? AND worker_id = ?",
-                    (str(user_id), int(t), str(worker_id)),
-                )
-                released += cursor.rowcount
+        for db, db_cells in self._cells_by_db(cells).items():
+            conn, prefix = self._write_target(db)
+            with conn:
+                for user_id, t in db_cells:
+                    cursor = conn.execute(
+                        f"DELETE FROM {prefix}.refresh_leases"
+                        f" WHERE user_id = {ph} AND time = {ph} AND worker_id = {ph}",
+                        (user_id, t, str(worker_id)),
+                    )
+                    released += cursor.rowcount
         return released
 
     def prune_expired_leases(self, now: float | None = None) -> int:
@@ -988,7 +1610,7 @@ class CandidateStore:
             for db in self._backend.schemas():
                 cursor = self._conn.execute(
                     f"DELETE FROM {db}.refresh_leases"
-                    " WHERE lease_expires_at <= ?",
+                    f" WHERE lease_expires_at <= {self._ph}",
                     (now,),
                 )
                 pruned += cursor.rowcount
@@ -1117,3 +1739,180 @@ class CandidateStore:
         ):
             digest.update(repr(tuple(row)).encode())
         return digest.hexdigest()
+
+
+# --------------------------------------------------------------- write ops
+#
+# One shard-local unit of a grouped write.  Rows are marshalled (and
+# validated) at construction time — before any transaction opens — and
+# both methods run inside the owning shard's transaction: ``undo``
+# SELECTs the pre-write state into a JSON-able payload (phase-1
+# journalling; only invoked on the multi-shard two-phase path, and
+# floats survive the JSON round trip exactly — Python serialises them
+# via shortest-round-trip repr), ``apply`` executes the deletes/inserts
+# and returns the number of candidate rows written.
+
+
+def _dump_rows(conn, sql: str, params) -> list[list]:
+    return [list(row) for row in conn.execute(sql, params).fetchall()]
+
+
+class _CellWrite:
+    """Replace one (user, time) cell — see :meth:`CandidateStore.upsert_cells`."""
+
+    __slots__ = ("user_id", "time", "rows", "ledger_fp", "x_row")
+
+    def __init__(self, store, user_id, time, candidates, x_t, fingerprints):
+        self.user_id = str(user_id)
+        self.time = int(time)
+        self.rows = store._candidate_rows(self.user_id, candidates, fingerprints)
+        for row in self.rows:
+            if int(row[1]) != self.time:
+                raise StorageError(
+                    f"candidate for time {row[1]} in cell"
+                    f" ({self.user_id!r}, {self.time})"
+                )
+        self.ledger_fp = fingerprints.get(self.time) or ""
+        if x_t is None:
+            self.x_row = None
+        else:
+            vector = np.asarray(x_t, dtype=float).ravel()
+            if vector.size != len(store.schema):
+                raise StorageError(
+                    f"x_t has {vector.size} entries, schema"
+                    f" expects {len(store.schema)}"
+                )
+            self.x_row = (
+                self.user_id, self.time, *map(float, vector), self.ledger_fp
+            )
+
+    def undo(self, store, conn, prefix) -> dict:
+        ph = store._ph
+        cand_cols, input_cols = store._undo_columns()
+        ledger = conn.execute(
+            f"SELECT {', '.join(input_cols)} FROM {prefix}.temporal_inputs"
+            f" WHERE user_id = {ph} AND time = {ph}",
+            (self.user_id, self.time),
+        ).fetchone()
+        return {
+            "kind": "cell",
+            "user": self.user_id,
+            "time": self.time,
+            "candidates": _dump_rows(
+                conn,
+                f"SELECT {', '.join(cand_cols)} FROM {prefix}.candidates"
+                f" WHERE user_id = {ph} AND time = {ph} ORDER BY id",
+                (self.user_id, self.time),
+            ),
+            "ledger": None if ledger is None else list(ledger),
+        }
+
+    def apply(self, store, conn, prefix) -> int:
+        ph = store._ph
+        conn.execute(
+            f"DELETE FROM {prefix}.candidates"
+            f" WHERE user_id = {ph} AND time = {ph}",
+            (self.user_id, self.time),
+        )
+        conn.executemany(
+            store._insert_sql(prefix, "candidates", ("diff", "gap", "p", "model_fp")),
+            self.rows,
+        )
+        cursor = conn.execute(
+            f"UPDATE {prefix}.temporal_inputs SET model_fp = {ph}"
+            f" WHERE user_id = {ph} AND time = {ph}",
+            (self.ledger_fp, self.user_id, self.time),
+        )
+        if cursor.rowcount == 0:
+            if self.x_row is None:
+                raise StorageError(
+                    f"cell ({self.user_id!r}, {self.time}) has no"
+                    " temporal_inputs row; pass x_t to restore it"
+                )
+            conn.execute(
+                store._insert_sql(prefix, "temporal_inputs", ("model_fp",)),
+                self.x_row,
+            )
+        return len(self.rows)
+
+
+class _SessionWrite:
+    """Replace one user's full horizon — the per-user unit of
+    :meth:`CandidateStore.store_sessions`."""
+
+    __slots__ = ("user_id", "input_rows", "cand_rows")
+
+    def __init__(self, store, user_id, trajectory, candidates, fingerprints):
+        self.user_id = str(user_id)
+        self.input_rows = store._input_rows(user_id, trajectory, fingerprints)
+        self.cand_rows = store._candidate_rows(user_id, candidates, fingerprints)
+
+    def undo(self, store, conn, prefix) -> dict:
+        ph = store._ph
+        cand_cols, input_cols = store._undo_columns()
+        return {
+            "kind": "user",
+            "user": self.user_id,
+            "candidates": _dump_rows(
+                conn,
+                f"SELECT {', '.join(cand_cols)} FROM {prefix}.candidates"
+                f" WHERE user_id = {ph} ORDER BY id",
+                (self.user_id,),
+            ),
+            "inputs": _dump_rows(
+                conn,
+                f"SELECT {', '.join(input_cols)} FROM {prefix}.temporal_inputs"
+                f" WHERE user_id = {ph} ORDER BY time",
+                (self.user_id,),
+            ),
+        }
+
+    def apply(self, store, conn, prefix) -> int:
+        ph = store._ph
+        conn.execute(
+            f"DELETE FROM {prefix}.candidates WHERE user_id = {ph}",
+            (self.user_id,),
+        )
+        conn.execute(
+            f"DELETE FROM {prefix}.temporal_inputs WHERE user_id = {ph}",
+            (self.user_id,),
+        )
+        conn.executemany(
+            store._insert_sql(prefix, "temporal_inputs", ("model_fp",)),
+            self.input_rows,
+        )
+        conn.executemany(
+            store._insert_sql(prefix, "candidates", ("diff", "gap", "p", "model_fp")),
+            self.cand_rows,
+        )
+        return len(self.cand_rows)
+
+
+class _SpecWrite:
+    """Persist one session spec (``user_sessions`` upsert)."""
+
+    __slots__ = ("row",)
+
+    def __init__(self, store, spec):
+        self.row = store._spec_row(*spec)
+
+    def undo(self, store, conn, prefix) -> dict:
+        existing = conn.execute(
+            f"SELECT user_id, profile, constraints FROM {prefix}.user_sessions"
+            f" WHERE user_id = {store._ph}",
+            (self.row[0],),
+        ).fetchone()
+        return {
+            "kind": "spec",
+            "user": self.row[0],
+            "session": None if existing is None else list(existing),
+        }
+
+    def apply(self, store, conn, prefix) -> int:
+        ph = store._ph
+        conn.execute(
+            f"INSERT OR REPLACE INTO {prefix}.user_sessions"
+            f" (user_id, profile, constraints) VALUES ({ph}, {ph}, {ph})",
+            self.row,
+        )
+        return 0

@@ -113,3 +113,69 @@ class TestBuildSystem:
         system = build_system(n_per_year=60, strategy="last", horizon=1, seed=0)
         assert system.future_models is not None
         assert len(system.future_models) == 2
+
+
+class TestRebalanceVerb:
+    def _populated_sharded(self, schema, john, db_path, n_shards=4):
+        import numpy as np
+
+        from repro.db import CandidateStore
+
+        with CandidateStore(
+            schema, db_path, backend="sharded", n_shards=n_shards
+        ) as store:
+            store.store_sessions(
+                [
+                    (f"u{i}", np.vstack([john, john + i]), [])
+                    for i in range(10)
+                ],
+                fingerprints={0: "fp0", 1: "fp1"},
+            )
+            return store.contents_digest()
+
+    def test_rebalance_verb_migrates_and_keeps_digest(
+        self, schema, john, tmp_path
+    ):
+        from repro.app.cli import main
+        from repro.db import CandidateStore, ShardedSQLiteBackend
+
+        db = tmp_path / "cands.db"
+        digest = self._populated_sharded(schema, john, db)
+        out = io.StringIO()
+        from repro.app.cli import run_rebalance
+
+        args = make_parser().parse_args(
+            ["--db", str(db), "rebalance", "--to-shards", "6"]
+        )
+        assert run_rebalance(args, out) == 0
+        text = out.getvalue()
+        assert "4 -> 6 shards" in text
+        assert digest in text  # digest printed unchanged
+        with CandidateStore(schema, db) as store:
+            assert isinstance(store.backend, ShardedSQLiteBackend)
+            assert store.backend.n_shards == 6
+            assert store.contents_digest() == digest
+        # and it is wired through main()
+        assert main(["--db", str(db), "rebalance", "--to-shards", "2"]) == 0
+
+    def test_rebalance_verb_requires_db(self):
+        from repro.app.cli import run_rebalance
+
+        args = make_parser().parse_args(["rebalance", "--to-shards", "2"])
+        out = io.StringIO()
+        assert run_rebalance(args, out) == 2
+        assert "--db" in out.getvalue()
+
+    def test_rebalance_verb_rejects_plain_store(self, schema, john, tmp_path):
+        from repro.app.cli import run_rebalance
+        from repro.db import CandidateStore
+
+        db = tmp_path / "plain.db"
+        with CandidateStore(schema, db) as store:
+            store.store_temporal_inputs("u1", john.reshape(1, -1))
+        args = make_parser().parse_args(
+            ["--db", str(db), "rebalance", "--to-shards", "2"]
+        )
+        out = io.StringIO()
+        assert run_rebalance(args, out) == 2
+        assert "failed" in out.getvalue()

@@ -290,3 +290,85 @@ class TestLostLeaseIsNotWritten:
         assert real_store.stale_cells(system.model_fingerprints) == []
         assert real_store.contents_digest() == expected
         real_store.close()
+
+
+class TestAffinityDrainIdentity:
+    """Shard-pinned drains (the parallel per-shard write path) are
+    byte-identical to the reference drain — including when a pinned
+    worker crashes and a differently-pinned survivor takes over."""
+
+    def test_affinity_drains_match_reference(
+        self, schema, history, drift_data, tmp_path, reference_digests
+    ):
+        expected, total_cells = reference_digests["sharded"]
+        db = tmp_path / "cands.db"
+        system = build_refit_system(schema, history, drift_data, db, "sharded")
+        clock = FakeClock(1000.0)
+        backend = system.store.backend
+        # pin w0 to a shard that actually owns stale cells (4 users over
+        # 4 crc32 buckets can leave a shard empty)
+        stale = system.store.stale_cells(system.model_fingerprints)
+        home_schema = backend.schema_for(stale[0][0])
+        other = next(
+            s for s in reversed(backend.schemas()) if s != home_schema
+        )
+        first = drain_stale_cells(
+            system,
+            worker_id="w0",
+            warm_start=False,
+            clock=clock,
+            claim_schema=home_schema,
+            max_cells=total_cells // 2,
+        )
+        second = drain_stale_cells(
+            system,
+            worker_id="w1",
+            warm_start=False,
+            clock=clock,
+            claim_schema=other,
+        )
+        assert len(first.cells) + len(second.cells) == total_cells
+        # w0's very first claim came from its home shard
+        assert backend.schema_for(first.cells[0][0]) == home_schema
+        assert system.store.contents_digest() == expected
+        system.store.close()
+
+    def test_crashed_affinity_worker_recovered_by_other_shard(
+        self, schema, history, drift_data, tmp_path, reference_digests
+    ):
+        """A pinned worker dies mid-drain; a survivor pinned to a
+        *different* shard falls through once its own shard is clean and
+        finishes the dead worker's cells after lease expiry."""
+        expected, _ = reference_digests["sharded"]
+        db = tmp_path / "cands.db"
+        system = build_refit_system(schema, history, drift_data, db, "sharded")
+        clock = FakeClock(1000.0)
+        schemas = system.store.backend.schemas()
+        real_store = system.store
+        system.store = CrashingStore(real_store, 4)  # die before release
+        try:
+            drain_stale_cells(
+                system,
+                worker_id="doomed",
+                warm_start=False,
+                clock=clock,
+                lease_seconds=LEASE_SECONDS,
+                claim_schema=schemas[0],
+            )
+        except WorkerCrashed:
+            pass
+        finally:
+            system.store = real_store
+        clock.now += LEASE_SECONDS + 1.0
+        drain_stale_cells(
+            system,
+            worker_id="survivor",
+            warm_start=False,
+            clock=clock,
+            lease_seconds=LEASE_SECONDS,
+            claim_schema=schemas[-1],
+        )
+        assert real_store.stale_cells(system.model_fingerprints) == []
+        assert real_store.lease_rows() == []
+        assert real_store.contents_digest() == expected
+        real_store.close()

@@ -6,14 +6,22 @@ tests below are parametrised over backend factories so one suite is the
 contract.  That includes the **lease/ledger contract** (stale-cell
 ordering, atomic claim/renew/release, expiry semantics, the indexed
 claim scan and the store-side clock) — consolidated here so every new
-backend automatically proves the whole refresh-coordination surface.
-Sharding-specific behaviour (routing, cross-shard reads) has its own
-class at the bottom; *cross-connection* lease behaviour (crash
-recovery, write-lock contention) needs multiple connections to one file
-and lives in ``tests/test_leases.py``.
+backend automatically proves the whole refresh-coordination surface —
+and the **concurrency contract**: shard-count-invariant digests and
+stale ordering, parallel per-shard writes byte-identical to the serial
+path, two-phase group commits recovering from a kill at any seeded
+stage, and N concurrent writers with interleaved
+claim/upsert/release converging to the serial digest (the storage
+torture section at the bottom).  Sharding-specific behaviour (routing,
+cross-shard reads) has its own class; *cross-connection* lease
+behaviour (crash recovery, write-lock contention) needs multiple
+connections to one file and lives in ``tests/test_leases.py``.
 """
 
+import shutil
+import threading
 import time
+import zlib
 
 import numpy as np
 import pytest
@@ -633,6 +641,471 @@ class TestSchemaSafetyStillEnforced:
         bad = DatasetSchema([FeatureSpec("model_fp")])
         with pytest.raises(StorageError, match="reserved"):
             CandidateStore(bad)
+
+
+def _content_users():
+    """User ids spread over every shard count the invariance suite uses."""
+    return [f"user-{i:02d}" for i in range(12)]
+
+
+def populate_contents(store: CandidateStore) -> None:
+    """Identical full contents (inputs + candidates + specs) regardless
+    of backend, written in one deterministic insertion order."""
+    base = np.arange(len(store.schema), dtype=float)
+    store.store_sessions(
+        [
+            (
+                uid,
+                np.vstack([base + i, base + i + 1]),
+                [
+                    make_candidate(base + i, 0, diff=float(i)),
+                    make_candidate(base + i + 1, 1, diff=float(i) + 0.5),
+                    make_candidate(base + i + 2, 1, diff=float(i) + 0.25),
+                ],
+            )
+            for i, uid in enumerate(_content_users())
+        ],
+        fingerprints={0: "fp0", 1: "old1"},
+        specs=[(uid, base + i, ["gap <= 2"]) for i, uid in enumerate(_content_users())],
+    )
+
+
+class TestShardCountInvariance:
+    """`contents_digest()` and `stale_cells()` must be functions of the
+    store's *logical* contents only — global ``(user, time)`` ordering,
+    never per-shard concatenation — so replicas with different shard
+    layouts (and rebalanced stores) stay byte-comparable."""
+
+    CONFIGS = (
+        ("sqlite", None),
+        ("memory", None),
+        ("sharded", 1),
+        ("sharded", 2),
+        ("sharded", 4),
+        ("sharded", 7),
+    )
+
+    def _results(self, schema, tmp_path):
+        out = {}
+        for backend, n_shards in self.CONFIGS:
+            path = (
+                ":memory:"
+                if backend == "memory"
+                else tmp_path / f"{backend}{n_shards}.db"
+            )
+            kwargs = {} if n_shards is None else {"n_shards": n_shards}
+            with CandidateStore(schema, path, backend=backend, **kwargs) as s:
+                populate_contents(s)
+                out[(backend, n_shards)] = (
+                    s.contents_digest(),
+                    s.stale_cells({0: "fp0", 1: "new1"}),
+                )
+        return out
+
+    def test_digest_and_stale_order_identical(self, schema, tmp_path):
+        results = self._results(schema, tmp_path)
+        digests = {d for d, _ in results.values()}
+        assert len(digests) == 1, f"digests diverge across layouts: {results}"
+        stales = [tuple(st) for _, st in results.values()]
+        assert len(set(stales)) == 1
+        # and the stale order is the documented global (user, time) order
+        reference = sorted(stales[0])
+        assert list(stales[0]) == reference
+
+
+# ---------------------------------------------------------------- torture
+#
+# The concurrency contract: the parallel per-shard write path must be
+# byte-identical to the serial one, a kill at any seeded stage of the
+# two-phase group commit must recover to a digest an uninterrupted run
+# could have produced, and N concurrent writers with interleaved
+# claim/upsert/release must converge to the serial drain's digest.
+# FakeClock (and the seeded crash-point pattern) come from the
+# fault-injection harness.
+
+from test_fault_injection import FakeClock, WorkerCrashed  # noqa: E402
+
+
+def torture_candidates(schema, user_id: str, t: int):
+    """Deterministic per-cell candidates — a pure function of the cell,
+    so the final store contents cannot depend on which writer computed
+    which cell."""
+    seed = zlib.crc32(f"{user_id}:{t}".encode())
+    rng = np.random.default_rng(seed)
+    return [
+        make_candidate(
+            rng.uniform(0.0, 10.0, size=len(schema)),
+            t,
+            diff=float(seed % 7) + 0.25 * j,
+            gap=int(seed % 4),
+        )
+        for j in range(1 + seed % 3)
+    ]
+
+
+TORTURE_FPS = {0: "new0", 1: "new1"}
+
+
+def populate_torture(store: CandidateStore) -> None:
+    base = np.arange(len(store.schema), dtype=float)
+    store.store_sessions(
+        [(uid, np.vstack([base, base + 1]), []) for uid in _content_users()],
+        fingerprints={0: "old", 1: "old"},
+    )
+
+
+def replicate_store_files(path, into) -> None:
+    """Byte-copy a file-backed store (router + any shard files)."""
+    for item in sorted(path.parent.glob(path.name + "*")):
+        shutil.copy(item, into / item.name)
+
+
+def serial_reference_digest(schema, tmp_path, backend) -> str:
+    """Digest of a single-writer drain over the torture workload."""
+    ref_dir = tmp_path / "reference"
+    ref_dir.mkdir()
+    with CandidateStore(
+        schema, ref_dir / "cands.db", backend=backend, parallel_writes=False
+    ) as store:
+        populate_torture(store)
+        clock = FakeClock(1000.0)
+        while True:
+            claimed = store.claim_stale_cells(
+                TORTURE_FPS, "serial", limit=2, now=clock()
+            )
+            if not claimed:
+                assert not store.has_stale_cells(TORTURE_FPS)
+                break
+            store.upsert_cells(
+                [
+                    (u, t, torture_candidates(store.schema, u, t))
+                    for u, t in claimed
+                ],
+                fingerprints=TORTURE_FPS,
+            )
+            store.release_cells("serial", claimed)
+        store.prune_expired_leases(now=clock())
+        return store.contents_digest()
+
+
+class TestParallelWritesIdentity:
+    """The parallel per-shard path is byte-identical to the serial one."""
+
+    def test_bulk_writes_match_serial_path(self, schema, tmp_path):
+        stores = {}
+        for label, parallel in (("serial", False), ("parallel", True)):
+            path = tmp_path / f"{label}.db"
+            with CandidateStore(
+                schema, path, backend="sharded", n_shards=4,
+                parallel_writes=parallel,
+            ) as s:
+                assert s.parallel_writes is parallel
+                populate_contents(s)
+                s.upsert_cells(
+                    [
+                        (u, 1, torture_candidates(schema, u, 1))
+                        for u in _content_users()
+                    ],
+                    fingerprints={0: "fp0", 1: "new1"},
+                )
+                s.clear_user(_content_users()[0], time=0)
+                stores[label] = s.contents_digest()
+        assert stores["serial"] == stores["parallel"]
+
+    def test_memory_sharded_keeps_single_connection_path(self, schema):
+        """In-memory shards are only reachable through the router's
+        ATTACHes — the backend must not advertise parallel writes, and
+        even a forced ``parallel_writes=True`` clamps back to serial
+        (the group-commit threads cannot share one connection)."""
+        with CandidateStore(schema, backend="sharded", n_shards=4) as s:
+            assert s.parallel_writes is False
+            conn, prefix = s.backend.write_connection("shard2")
+            assert conn is s.backend.conn
+            assert prefix == "shard2"
+        with CandidateStore(
+            schema, backend="sharded", n_shards=4, parallel_writes=True
+        ) as s:
+            assert s.parallel_writes is False
+            populate_contents(s)  # multi-shard batch still works
+            assert s.candidate_count() == 3 * len(_content_users())
+
+    def test_multi_shard_batch_failure_rolls_back_every_shard(
+        self, schema, tmp_path
+    ):
+        """Phase-1 failure on a later shard must unwind the shards that
+        already committed their prepared transactions (all-or-nothing,
+        like the old single-transaction path)."""
+        with CandidateStore(
+            schema, tmp_path / "cands.db", backend="sharded", n_shards=4
+        ) as s:
+            populate_contents(s)
+            before = s.contents_digest()
+            cells = [
+                (u, 1, torture_candidates(schema, u, 1))
+                for u in _content_users()
+            ]
+            # one cell of a user with no ledger row and no x_t → its
+            # shard's apply raises mid-phase-1
+            cells.append(("ghost-user", 1, torture_candidates(schema, "ghost-user", 1)))
+            with pytest.raises(StorageError, match="temporal_inputs"):
+                s.upsert_cells(cells, fingerprints={0: "fp0", 1: "new1"})
+            assert s.contents_digest() == before
+            assert s.sql("SELECT COUNT(*) AS n FROM txn_pending")[0]["n"] == 0
+
+
+class CrashingHook:
+    """Raise at the ``crash_at``-th group-commit stage — the seeded
+    crash-point pattern of ``tests/test_fault_injection.py`` applied to
+    the two-phase commit."""
+
+    def __init__(self, crash_at: int):
+        self.crash_at = int(crash_at)
+        self.fired = 0
+        self.crashed_stage: str | None = None
+
+    def __call__(self, stage: str) -> None:
+        if self.fired >= self.crash_at:
+            self.crashed_stage = stage
+            raise WorkerCrashed(f"killed at group-commit stage {stage!r}")
+        self.fired += 1
+
+
+class TestGroupCommitCrashRecovery:
+    """Kill the writer at every seeded stage of the two-phase commit;
+    the reopened store must recover to the pre-write digest (killed
+    before the marker) or the post-write digest (killed after)."""
+
+    def _digests(self, schema, tmp_path):
+        """(initial files dir, pre digest, post digest of the group)."""
+        state = tmp_path / "state"
+        state.mkdir()
+        with CandidateStore(
+            schema, state / "cands.db", backend="sharded", n_shards=4
+        ) as s:
+            populate_torture(s)
+            pre = s.contents_digest()
+        post_dir = tmp_path / "post"
+        post_dir.mkdir()
+        replicate_store_files(state / "cands.db", post_dir)
+        with CandidateStore(schema, post_dir / "cands.db") as s:
+            self._group_upsert(s)
+            post = s.contents_digest()
+        return state, pre, post
+
+    @staticmethod
+    def _group_upsert(store):
+        return store.upsert_cells(
+            [
+                (u, t, torture_candidates(store.schema, u, t))
+                for u in _content_users()
+                for t in (0, 1)
+            ],
+            fingerprints=TORTURE_FPS,
+        )
+
+    def test_seeded_crash_stages(self, schema, tmp_path):
+        state, pre, post = self._digests(schema, tmp_path)
+        assert pre != post
+        rng = np.random.default_rng(0x27C)
+        # stages: pending, prepared:shard0..3, committed, released — and
+        # points beyond the last stage mean an uninterrupted run
+        points = sorted({0, 1, 7, *(int(p) for p in rng.integers(1, 7, size=4))})
+        for crash_at in points:
+            workdir = tmp_path / f"crash-{crash_at}"
+            workdir.mkdir()
+            replicate_store_files(state / "cands.db", workdir)
+            store = CandidateStore(schema, workdir / "cands.db")
+            store.txn_grace_seconds = 0.0  # the dead writer's group lease
+            hook = CrashingHook(crash_at)
+            store.txn_fault_hook = hook
+            crashed = False
+            try:
+                self._group_upsert(store)
+            except WorkerCrashed:
+                crashed = True
+            store.txn_fault_hook = None
+            store.close()
+            reopened = CandidateStore(schema, workdir / "cands.db")
+            digest = reopened.contents_digest()
+            if not crashed:
+                expected = post
+            elif hook.crashed_stage in ("committed", "released"):
+                expected = post  # marker written: recovery rolls forward
+            else:
+                expected = pre  # no marker: recovery rolls back
+            assert digest == expected, (
+                f"crash at stage {hook.crashed_stage!r} (op {crash_at})"
+                " left a store neither pre- nor post-write"
+            )
+            # journals, markers and pending leases are all resolved
+            assert reopened.sql("SELECT COUNT(*) AS n FROM txn_pending")[0]["n"] == 0
+            for db in reopened.backend.schemas():
+                rows = reopened._read(f"SELECT COUNT(*) AS n FROM {db}.txn_journal")
+                assert rows[0]["n"] == 0
+            # and the rolled-back cells are stale again, so a drain
+            # converges to the post state either way
+            self._group_upsert(reopened)
+            assert reopened.contents_digest() == post
+            reopened.close()
+
+
+@pytest.mark.parametrize("backend", ["sqlite", "sharded"])
+class TestConcurrentWriterTorture:
+    """N writers, each with its **own** store connection to one shared
+    file-backed database, interleaving claim / upsert / release (plus a
+    kill-mid-commit variant) must converge to the serial drain's
+    digest with a clean ledger and no lingering leases."""
+
+    N_WRITERS = 3
+
+    def _drain_worker(self, schema, path, backend, worker_id, failures,
+                      prefer_schema=None):
+        store = CandidateStore(schema, path, backend=backend)
+        try:
+            while True:
+                claimed = store.claim_stale_cells(
+                    TORTURE_FPS, worker_id, limit=2,
+                    lease_seconds=60.0, prefer_schema=prefer_schema,
+                )
+                if not claimed:
+                    if not store.has_stale_cells(TORTURE_FPS):
+                        break
+                    time.sleep(0.005)
+                    continue
+                store.upsert_cells(
+                    [
+                        (u, t, torture_candidates(schema, u, t))
+                        for u, t in claimed
+                    ],
+                    fingerprints=TORTURE_FPS,
+                )
+                store.release_cells(worker_id, claimed)
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the test
+            failures.append((worker_id, exc))
+        finally:
+            store.close()
+
+    def test_threaded_writers_converge_to_serial_digest(
+        self, schema, tmp_path, backend
+    ):
+        expected = serial_reference_digest(schema, tmp_path, backend)
+        workdir = tmp_path / "torture"
+        workdir.mkdir()
+        with CandidateStore(
+            schema, workdir / "cands.db", backend=backend, n_shards=4
+        ) as s:
+            populate_torture(s)
+        schemas = None
+        if backend == "sharded":
+            with CandidateStore(schema, workdir / "cands.db") as s:
+                schemas = s.backend.schemas()
+        failures: list = []
+        threads = [
+            threading.Thread(
+                target=self._drain_worker,
+                args=(schema, workdir / "cands.db", backend, f"w{i}", failures),
+                kwargs={
+                    # sharded: pin each writer to a home shard, the
+                    # parallel write path's deployment shape
+                    "prefer_schema": schemas[i % len(schemas)] if schemas else None
+                },
+            )
+            for i in range(self.N_WRITERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not failures, failures
+        with CandidateStore(schema, workdir / "cands.db", backend=backend) as s:
+            s.prune_expired_leases()
+            assert s.stale_cells(TORTURE_FPS) == []
+            assert s.lease_rows() == []
+            assert s.contents_digest() == expected
+
+    def test_kill_mid_commit_then_survivor_converges(
+        self, schema, tmp_path, backend
+    ):
+        """One writer dies between phase 1 and phase 2 of a multi-shard
+        group commit; recovery rolls its cells back to stale and a
+        survivor drains them — the final digest still equals the serial
+        run's."""
+        expected = serial_reference_digest(schema, tmp_path, backend)
+        workdir = tmp_path / "kill"
+        workdir.mkdir()
+        with CandidateStore(
+            schema, workdir / "cands.db", backend=backend, n_shards=4
+        ) as s:
+            populate_torture(s)
+        clock = FakeClock(1000.0)
+        doomed = CandidateStore(schema, workdir / "cands.db", backend=backend)
+        doomed.txn_grace_seconds = 0.0
+        claimed = doomed.claim_stale_cells(
+            TORTURE_FPS, "doomed", limit=99, now=clock(), lease_seconds=30.0
+        )
+        assert len(claimed) == len(_content_users()) * 2
+        # die between phase 1 and the commit marker (on sqlite the batch
+        # is one schema → one transaction, the kill lands before it)
+        doomed.txn_fault_hook = CrashingHook(len(doomed.backend.schemas()))
+        cells = [
+            (u, t, torture_candidates(schema, u, t)) for u, t in claimed
+        ]
+        if doomed.parallel_writes:
+            with pytest.raises(WorkerCrashed):
+                doomed.upsert_cells(cells, fingerprints=TORTURE_FPS)
+        doomed.close()
+        # survivor: new connection, recovery on open; the dead writer's
+        # leases are reclaimable once expired
+        clock.now += 31.0
+        survivor = CandidateStore(schema, workdir / "cands.db", backend=backend)
+        assert survivor.stale_cells(TORTURE_FPS) == sorted(claimed)
+        while True:
+            got = survivor.claim_stale_cells(
+                TORTURE_FPS, "survivor", limit=3, now=clock()
+            )
+            if not got:
+                break
+            survivor.upsert_cells(
+                [(u, t, torture_candidates(schema, u, t)) for u, t in got],
+                fingerprints=TORTURE_FPS,
+            )
+            survivor.release_cells("survivor", got)
+        survivor.prune_expired_leases(now=clock())
+        assert survivor.stale_cells(TORTURE_FPS) == []
+        assert survivor.lease_rows() == []
+        assert survivor.contents_digest() == expected
+        survivor.close()
+
+
+class TestClaimAffinity:
+    def test_prefer_schema_drains_home_shard_first(self, schema):
+        with CandidateStore(schema, backend="sharded", n_shards=4) as store:
+            populate_ledger(store)
+            by_schema: dict[str, list] = {}
+            for uid, t in all_ledger_cells():
+                by_schema.setdefault(store.backend.schema_for(uid), []).append(
+                    (uid, t)
+                )
+            home = max(by_schema, key=lambda k: len(by_schema[k]))
+            claimed = store.claim_stale_cells(
+                LEASE_FPS, "w1", limit=len(by_schema[home]), now=100.0,
+                prefer_schema=home,
+            )
+            assert claimed == by_schema[home]
+            # fall-through: once the home shard is drained (leased),
+            # foreign shards' cells are claimed so the pool finishes
+            rest = store.claim_stale_cells(
+                LEASE_FPS, "w2", limit=99, now=100.0, prefer_schema=home
+            )
+            assert sorted(claimed + rest) == all_ledger_cells()
+
+    def test_unknown_prefer_schema_falls_back_to_global_order(self, schema):
+        with CandidateStore(schema, backend="sharded", n_shards=4) as store:
+            populate_ledger(store)
+            claimed = store.claim_stale_cells(
+                LEASE_FPS, "w1", limit=3, now=100.0, prefer_schema="nope"
+            )
+            assert claimed == all_ledger_cells()[:3]
 
 
 class TestLegacyMigration:
