@@ -315,6 +315,14 @@ def make_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable warm-start (bit-identical to a cold recompute)",
     )
+    refresh.add_argument(
+        "--engine",
+        default=None,
+        choices=["batch", "scalar", "fused"],
+        help="candidate-search engine for this refresh; 'fused' drains"
+        " every stale cell in one cross-cell vectorized pass"
+        " (byte-identical candidates)",
+    )
     daemon = sub.add_parser(
         "refresh-daemon",
         help="stream an append-only CSV feed; refresh on drift detection"
@@ -416,6 +424,14 @@ def make_parser() -> argparse.ArgumentParser:
     )
     workers.add_argument(
         "--cold", action="store_true", help="disable warm-start"
+    )
+    workers.add_argument(
+        "--engine",
+        default=None,
+        choices=["batch", "scalar", "fused"],
+        help="candidate-search engine for the drain; 'fused' recomputes"
+        " each claim batch in one cross-cell vectorized pass with an"
+        " epoch-level proposal cache (byte-identical candidates)",
     )
     rebalance = sub.add_parser(
         "rebalance",
@@ -524,6 +540,13 @@ def make_parser() -> argparse.ArgumentParser:
     orchestrator.add_argument(
         "--cold", action="store_true", help="disable warm-start"
     )
+    orchestrator.add_argument(
+        "--engine",
+        default=None,
+        choices=["batch", "scalar", "fused"],
+        help="candidate-search engine for every epoch's drain"
+        " (byte-identical candidates either way)",
+    )
     return parser
 
 
@@ -556,8 +579,14 @@ def run_refresh(args, out: IO[str] | None = None) -> int:
     if system is None:
         return 2
     resumed = system.resume_sessions()
+    saved_engine = getattr(system.config, "engine", "batch")
+    if getattr(args, "engine", None):
+        system.config.engine = args.engine
     new_data, at = _sample_new_arrivals(system, args)
     report = system.refresh(new_data, warm_start=not args.cold)
+    # the --engine override is per-run: restore the admin-chosen engine
+    # before persisting (candidates are byte-identical either way)
+    system.config.engine = saved_engine
     # persist the refit models + merged history: the next refresh must
     # start from this state, and stored model_fp stamps must keep
     # matching a system that exists on disk
@@ -779,6 +808,7 @@ def run_refresh_workers(args, out: IO[str] | None = None) -> int:
         claim_batch=args.claim_batch,
         lease_seconds=args.lease_seconds,
         shard_affinity=args.shard_affinity,
+        engine=getattr(args, "engine", None),
     )
     per_worker = ", ".join(
         f"{w.worker_id}: {len(w.cells)}" for w in report.workers
@@ -853,6 +883,7 @@ def run_refresh_orchestrator(args, out: IO[str] | None = None) -> int:
         claim_batch=args.claim_batch,
         lease_seconds=args.lease_seconds,
         shard_affinity=args.shard_affinity,
+        engine=getattr(args, "engine", None),
     )
     out.write(screen_header("Refresh orchestrator") + "\n")
     out.write(

@@ -5,9 +5,17 @@ from repro.core.candidates import (
     CandidateGenerator,
     SearchStats,
     brute_force_tree_candidates,
+    engine_names,
+    search_counter_totals,
 )
 from repro.core.diversity import min_pairwise_distance, select_diverse, select_greedy
 from repro.core.evaluation import CandidateSetReport, evaluate_session
+from repro.core.fused import (
+    EpochProposalCache,
+    FusedCell,
+    FusedReport,
+    generate_fused,
+)
 from repro.core.insights import QUESTIONS, Insight, InsightEngine
 from repro.core.moves import (
     GradientMoveProposer,
@@ -50,7 +58,11 @@ __all__ = [
     "DriftDecision",
     "DriftGate",
     "EpochOutcome",
+    "EpochProposalCache",
     "FeatureChange",
+    "FusedCell",
+    "FusedReport",
+    "generate_fused",
     "GradientMoveProposer",
     "Insight",
     "InsightEngine",
@@ -73,12 +85,15 @@ __all__ = [
     "brute_force_tree_candidates",
     "build_plan",
     "drain_stale_cells",
+    "engine_names",
+    "search_counter_totals",
     "load_system",
     "save_system",
     "default_proposers",
     "get_objective",
     "measure",
     "min_pairwise_distance",
+    "run_worker_pool",
     "select_diverse",
     "select_greedy",
 ]

@@ -50,6 +50,10 @@ __all__ = [
     "Candidate",
     "SearchStats",
     "CandidateGenerator",
+    "ENGINES",
+    "register_engine",
+    "engine_names",
+    "search_counter_totals",
     "brute_force_tree_candidates",
 ]
 
@@ -57,6 +61,27 @@ __all__ = [
 _BOUNDARY_WEIGHT = 10.0
 #: Per-violated-constraint penalty in the beam heuristic.
 _VIOLATION_PENALTY = 5.0
+
+#: Registry of candidate-search engines (the enum-registration idiom):
+#: name → one-line description.  ``CandidateGenerator`` implements the
+#: per-cell ``'batch'``/``'scalar'`` pair; cross-cell engines — the fused
+#: multi-cell drain in :mod:`repro.core.fused` — register here so that
+#: ``AdminConfig`` validates ``engine=`` eagerly without importing them.
+ENGINES: dict[str, str] = {}
+
+
+def register_engine(name: str, description: str) -> None:
+    """Register a candidate-search engine name for config validation."""
+    ENGINES[str(name)] = str(description)
+
+
+def engine_names() -> list[str]:
+    """Sorted names of all registered engines."""
+    return sorted(ENGINES)
+
+
+register_engine("batch", "per-cell vectorized beam search (default)")
+register_engine("scalar", "row-at-a-time reference path")
 
 
 @dataclass(frozen=True)
@@ -98,6 +123,62 @@ class SearchStats:
     valid_found: int = 0
     converged: bool = False
     best_key_history: list[float] = field(default_factory=list)
+    #: proposals dropped by the rounded-row visited-set dedupe before any
+    #: model/constraint evaluation (counted by every engine)
+    dedupe_hits: int = 0
+    #: rows whose decision score was served from the epoch-level
+    #: cross-cell proposal cache (fused engine only; 0 elsewhere)
+    cache_hits: int = 0
+    #: rows the epoch cache had to score through the model (fused engine
+    #: only; 0 elsewhere)
+    cache_misses: int = 0
+
+
+#: counter fields aggregated across cells by refresh / drain reports
+SEARCH_COUNTER_FIELDS = (
+    "iterations",
+    "proposals_evaluated",
+    "valid_found",
+    "dedupe_hits",
+    "cache_hits",
+    "cache_misses",
+)
+
+
+def search_counter_totals(stats_iter) -> dict[str, int]:
+    """Sum the :data:`SEARCH_COUNTER_FIELDS` over an iterable of
+    :class:`SearchStats` (``None`` entries are skipped) — the per-epoch
+    drain-efficiency summary exposed on refresh and worker reports."""
+    totals = dict.fromkeys(SEARCH_COUNTER_FIELDS, 0)
+    for stats in stats_iter:
+        if stats is None:
+            continue
+        for name in SEARCH_COUNTER_FIELDS:
+            totals[name] += int(getattr(stats, name, 0))
+    return totals
+
+
+@dataclass
+class _BeamState:
+    """Mutable state of one cell's batched beam search.
+
+    Owned by :meth:`CandidateGenerator._generate_batch` and shared with
+    the fused multi-cell engine, which holds one per active cell and
+    advances them in lock-stepped rounds (cells drop out of the round
+    set as ``done`` flips).
+    """
+
+    x_base: np.ndarray
+    time: int
+    rng: np.random.Generator
+    stats: SearchStats
+    pool: dict
+    visited: set
+    best_key: float
+    pool_best: float
+    beam: list
+    stale: int = 0
+    done: bool = False
 
 
 class CandidateGenerator:
@@ -235,7 +316,32 @@ class CandidateGenerator:
 
     # -------------------------------------------------------------- search
 
-    def _prologue(self, x_base, time: int, key_fn, warm_start=None):
+    def _prologue_rows(self, x_base, warm_start=None):
+        """The clipped base vector and clipped warm matrix exactly as
+        :meth:`_prologue` will rebuild them (warm matrix is ``None`` when
+        no warm seeds exist).  The fused engine uses this to pre-score
+        the prologue rows through the epoch cache before starting the
+        cell."""
+        x_clip = self.schema.clip(np.asarray(x_base, dtype=float).ravel())
+        warm_matrix = (
+            None
+            if warm_start is None
+            else np.atleast_2d(np.asarray(warm_start, dtype=float))
+        )
+        if warm_matrix is not None and warm_matrix.size:
+            return x_clip, self.schema.clip_matrix(warm_matrix)
+        return x_clip, None
+
+    def _prologue(
+        self,
+        x_base,
+        time: int,
+        key_fn,
+        warm_start=None,
+        *,
+        base_score=None,
+        warm_scores=None,
+    ):
         """Shared search setup: clip the input, seed the RNG, and pool
         the unmodified input if it already flips (the paper's Q1, "no
         modification").  ``key_fn`` is the engine's state-key function.
@@ -247,15 +353,26 @@ class CandidateGenerator:
         an extra initial beam seed ranked by the beam key.  With
         ``warm_start=None`` the search is bit-identical to the historical
         cold path.
+
+        ``base_score`` / ``warm_scores`` optionally inject the decision
+        scores of the clipped base vector / warm matrix (as returned by
+        :meth:`_prologue_rows`) instead of calling the model here — the
+        fused engine scores the prologue rows of many cells in one
+        grouped, cache-served call.  The injected values must equal what
+        the model would return row-by-row (true for per-row-deterministic
+        scorers such as the tree ensembles).
         """
         x_base = self.schema.clip(np.asarray(x_base, dtype=float).ravel())
         rng = np.random.default_rng(self.random_state)
         stats = SearchStats()
         pool: dict = {}
         visited: set = {key_fn(x_base)}
-        base_score = float(
-            self.model.decision_score(x_base.reshape(1, -1))[0]
-        )
+        if base_score is None:
+            base_score = float(
+                self.model.decision_score(x_base.reshape(1, -1))[0]
+            )
+        else:
+            base_score = float(base_score)
         base_metrics = measure(x_base, x_base, base_score, self.diff_scale)
         if base_score > self.threshold and self.constraints.is_valid(
             x_base, x_base, confidence=base_score, time=time
@@ -272,9 +389,12 @@ class CandidateGenerator:
             W = self.schema.clip_matrix(warm_matrix)
             # one model call for all seeds; constraints stay per-row (the
             # seed lists are small — at most the stored k of the cell)
-            warm_scores = np.asarray(
-                self.model.decision_score(W), dtype=float
-            ).ravel()
+            if warm_scores is None:
+                warm_scores = np.asarray(
+                    self.model.decision_score(W), dtype=float
+                ).ravel()
+            else:
+                warm_scores = np.asarray(warm_scores, dtype=float).ravel()
             for order in range(W.shape[0]):
                 w = W[order]
                 key = key_fn(w)
@@ -338,6 +458,7 @@ class CandidateGenerator:
                 if key not in visited:
                     visited.add(key)
                     fresh.append(proposal)
+            stats.dedupe_hits += len(proposals) - len(fresh)
             if not fresh:
                 stats.converged = True
                 break
@@ -387,88 +508,162 @@ class CandidateGenerator:
         the scalar path's op order, and ranking uses a *stable* top-k, so
         the returned candidates are bit-identical to
         :meth:`_generate_scalar` for the same seed.
+
+        The loop body is factored into :meth:`_propose_step`,
+        :meth:`_dedupe_step` and :meth:`_absorb_step` over a
+        :class:`_BeamState`; the fused multi-cell engine
+        (:mod:`repro.core.fused`) drives the same steps across many
+        cells at once, with only the model-scoring call between them
+        swapped for the grouped, cache-served variant.
         """
-        x_base, rng, stats, pool, visited, best_key, beam = self._prologue(
-            x_base, time, lambda x: self._row_keys(x)[0], warm_start
-        )
-        # pool only ever grows, so the best pool key is a running minimum
-        pool_best = best_key
-        stale = 0
-        for iteration in range(self.max_iter):
-            stats.iterations = iteration + 1
-            # per-proposer batches, re-interleaved state-major to match
-            # the scalar loop's proposal order
-            chunks = [
-                proposer.propose_batch(beam, self.model, self.schema, rng)
-                for proposer in self.proposers
-            ]
-            mats = [chunk[s] for s in range(len(beam)) for chunk in chunks]
-            mats = [m for m in mats if m.shape[0]]
-            if not mats:
-                stats.converged = True
+        state = self._begin_batch(x_base, time, warm_start)
+        for _ in range(self.max_iter):
+            state.stats.iterations += 1
+            pair = self._dedupe_step(state, self._propose_step(state))
+            if pair is None:
                 break
-            proposals = np.vstack(mats)
-            keys = self._row_keys(proposals)
-            fresh_idx = []
-            fresh_keys = []
-            for i, key in enumerate(keys):
-                if key not in visited:
-                    visited.add(key)
-                    fresh_idx.append(i)
-                    fresh_keys.append(key)
-            if not fresh_idx:
-                stats.converged = True
-                break
-            fresh = proposals[fresh_idx]
-            n = fresh.shape[0]
-            stats.proposals_evaluated += n
+            fresh, fresh_keys = pair
             scores = np.asarray(
                 self.model.decision_score(fresh), dtype=float
             ).ravel()
-            metrics = measure_batch(fresh, x_base, scores, self.diff_scale)
-            violation_counts = self.constraints.violation_counts_batch(
-                fresh,
-                x_base,
-                confidence=scores,
-                time=time,
-                diff=metrics.diff if self._shared_diff_scale else None,
-                gap=metrics.gap,
+            self._absorb_step(state, fresh, fresh_keys, scores)
+            if state.done:
+                break
+        self.last_stats_ = state.stats
+        return self._finalise(state.pool)
+
+    # ------------------------------------------------- batched step kernel
+
+    def _begin_batch(
+        self, x_base, time: int, warm_start=None, *, base_score=None,
+        warm_scores=None,
+    ) -> "_BeamState":
+        """Prologue → mutable :class:`_BeamState` for the batched loop."""
+        x_base, rng, stats, pool, visited, best_key, beam = self._prologue(
+            x_base,
+            time,
+            lambda x: self._row_keys(x)[0],
+            warm_start,
+            base_score=base_score,
+            warm_scores=warm_scores,
+        )
+        # pool only ever grows, so the best pool key is a running minimum
+        return _BeamState(
+            x_base=x_base,
+            time=time,
+            rng=rng,
+            stats=stats,
+            pool=pool,
+            visited=visited,
+            best_key=best_key,
+            pool_best=best_key,
+            beam=beam,
+        )
+
+    def _propose_step(self, state: "_BeamState") -> list[np.ndarray]:
+        """All proposal matrices for the current beam, in scalar order."""
+        chunks = [
+            proposer.propose_batch(state.beam, self.model, self.schema, state.rng)
+            for proposer in self.proposers
+        ]
+        return self._interleave_chunks(chunks, len(state.beam))
+
+    @staticmethod
+    def _interleave_chunks(
+        chunks: list[list[np.ndarray]], n_states: int
+    ) -> list[np.ndarray]:
+        """Re-interleave per-proposer batches state-major, matching the
+        scalar loop's proposal order; empty matrices are dropped."""
+        mats = [chunk[s] for s in range(n_states) for chunk in chunks]
+        return [m for m in mats if m.shape[0]]
+
+    def _dedupe_step(self, state: "_BeamState", mats: list[np.ndarray]):
+        """Visited-set dedupe of one iteration's proposals.
+
+        Returns ``(fresh, fresh_keys)`` — the unvisited rows and their
+        byte keys — or ``None`` when the iteration produced nothing new,
+        in which case the search is marked converged/done.
+        """
+        if not mats:
+            state.stats.converged = True
+            state.done = True
+            return None
+        proposals = np.vstack(mats)
+        keys = self._row_keys(proposals)
+        fresh_idx = []
+        fresh_keys = []
+        for i, key in enumerate(keys):
+            if key not in state.visited:
+                state.visited.add(key)
+                fresh_idx.append(i)
+                fresh_keys.append(key)
+        state.stats.dedupe_hits += len(keys) - len(fresh_idx)
+        if not fresh_idx:
+            state.stats.converged = True
+            state.done = True
+            return None
+        fresh = proposals[fresh_idx]
+        state.stats.proposals_evaluated += fresh.shape[0]
+        return fresh, fresh_keys
+
+    def _absorb_step(
+        self,
+        state: "_BeamState",
+        fresh: np.ndarray,
+        fresh_keys: list[bytes],
+        scores: np.ndarray,
+    ) -> None:
+        """Post-scoring remainder of one iteration: metrics, constraint
+        counts, pool inserts, beam re-ranking and the patience check.
+        Sets ``state.done`` when the search converged."""
+        x_base, time, pool, stats = state.x_base, state.time, state.pool, state.stats
+        n = fresh.shape[0]
+        metrics = measure_batch(fresh, x_base, scores, self.diff_scale)
+        violation_counts = self.constraints.violation_counts_batch(
+            fresh,
+            x_base,
+            confidence=scores,
+            time=time,
+            diff=metrics.diff if self._shared_diff_scale else None,
+            gap=metrics.gap,
+        )
+        valid = (violation_counts == 0) & (scores > self.threshold)
+        objective_keys = self.objective.key_batch(metrics)
+        # the scalar loop checks `not pool` after inserting each row,
+        # so the objective down-weighting switches off as soon as any
+        # earlier row (inclusive) entered the pool this iteration
+        if pool:
+            pool_empty = np.zeros(n, dtype=bool)
+        else:
+            pool_empty = np.cumsum(valid) == 0
+        objective_weight = np.where(pool_empty, 0.1, 1.0)
+        beam_keys = (
+            _BOUNDARY_WEIGHT * np.maximum(0.0, self.threshold - scores)
+            + objective_weight * objective_keys
+            + _VIOLATION_PENALTY * violation_counts
+        )
+        for i in np.flatnonzero(valid):
+            pool[fresh_keys[i]] = Candidate(
+                fresh[i].copy(), time, metrics.row(int(i))
             )
-            valid = (violation_counts == 0) & (scores > self.threshold)
-            objective_keys = self.objective.key_batch(metrics)
-            # the scalar loop checks `not pool` after inserting each row,
-            # so the objective down-weighting switches off as soon as any
-            # earlier row (inclusive) entered the pool this iteration
-            if pool:
-                pool_empty = np.zeros(n, dtype=bool)
-            else:
-                pool_empty = np.cumsum(valid) == 0
-            objective_weight = np.where(pool_empty, 0.1, 1.0)
-            beam_keys = (
-                _BOUNDARY_WEIGHT * np.maximum(0.0, self.threshold - scores)
-                + objective_weight * objective_keys
-                + _VIOLATION_PENALTY * violation_counts
+            stats.valid_found += 1
+        if valid.any():
+            state.pool_best = min(
+                state.pool_best, float(objective_keys[valid].min())
             )
-            for i in np.flatnonzero(valid):
-                pool[fresh_keys[i]] = Candidate(
-                    fresh[i].copy(), time, metrics.row(int(i))
-                )
-                stats.valid_found += 1
-            if valid.any():
-                pool_best = min(pool_best, float(objective_keys[valid].min()))
-            beam = [fresh[i] for i in self._stable_top(beam_keys, self.beam_width)]
-            new_best = pool_best
-            stats.best_key_history.append(new_best)
-            if new_best < best_key - 1e-12:
-                best_key = new_best
-                stale = 0
-            else:
-                stale += 1
-                if stale >= self.patience and pool:
-                    stats.converged = True
-                    break
-        self.last_stats_ = stats
-        return self._finalise(pool)
+        state.beam = [
+            fresh[i] for i in self._stable_top(beam_keys, self.beam_width)
+        ]
+        new_best = state.pool_best
+        stats.best_key_history.append(new_best)
+        if new_best < state.best_key - 1e-12:
+            state.best_key = new_best
+            state.stale = 0
+        else:
+            state.stale += 1
+            if state.stale >= self.patience and pool:
+                stats.converged = True
+                state.done = True
 
     @staticmethod
     def _stable_top(keys: np.ndarray, width: int) -> np.ndarray:

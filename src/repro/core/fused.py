@@ -1,0 +1,670 @@
+"""Fused multi-cell beam engine: one cross-cell vectorized drain.
+
+:meth:`JustInTime.refresh` and the lease-coordinated workers both drain
+stale (user × time-point) cells one at a time — the batch engine of
+:class:`~repro.core.candidates.CandidateGenerator` vectorizes *within* a
+cell, but every cell still pays its own model calls, proposal
+construction and Python loop overhead.  In the paper's
+many-users-few-features regime those per-cell costs dominate, and they
+are massively redundant: every cell of a time point shares the same
+model, the same split thresholds, the same per-t RNG seed, and (for
+similar profiles) many identical candidate rows.
+
+:func:`generate_fused` runs the beam searches of **many cells as one
+fused loop**:
+
+* cells advance in lock-stepped rounds with an **active-cell set** —
+  each converges and exits on exactly the iteration its per-cell search
+  would have, without holding the others back;
+* per round, cells are grouped by ``(t, model)`` and their fresh
+  proposal rows are scored through **one** ``decision_score`` call per
+  group instead of one per cell;
+* scored rows feed an **epoch-level proposal cache** keyed
+  ``(model_fp, row_bytes)`` (:class:`EpochProposalCache`) — the per-beam
+  rounded-row dedupe of ``candidates._row_keys`` hoisted across users,
+  so two users proposing the same candidate row under the same model
+  never score it twice.  ``model_fp`` is the invalidation signal: a
+  refit changes the fingerprint and every stale entry simply stops
+  matching;
+* threshold moves for a whole group run through **one shared
+  vectorized** :meth:`ThresholdMoveProposer.propose_batch` call (whose
+  per-(feature, value) target memo now also works cross-cell);
+* random moves exploit that cells of a time point share the per-t RNG
+  seed: cells whose generators have consumed their streams identically
+  so far draw **once** (through a representative's generator) and replay
+  the recorded draws vectorized per cell, fast-forwarding the other
+  cells' generators to the identical post-draw state;
+* cells that are byte-identical as *search problems* — same ``t``,
+  base row, warm seeds, search parameters and declared constraints
+  identity — are computed **once** and replicated.
+
+Bit-identity contract
+---------------------
+The fused engine reorders *which batches* rows are scored in, never the
+per-row arithmetic: it drives the exact
+``_propose_step → _dedupe_step → _absorb_step`` kernel of the per-cell
+batch engine.  For per-row-deterministic scorers (the tree ensembles:
+flat-array descent plus a fixed-order tree sum, invariant to batch
+composition) the results — candidates, stats histories, store digests —
+are byte-identical to per-cell generation.  Scorers whose batched
+predictions depend on the batch's shape (e.g. BLAS-backed linear
+algebra) may differ in the last ulp; keep those on the per-cell engine.
+
+The per-cell batch path remains untouched as the bit-identity reference;
+``tests/test_fused_engine.py`` asserts ``contents_digest()`` equality on
+every store backend before the bench times anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.candidates import (
+    Candidate,
+    CandidateGenerator,
+    SearchStats,
+    register_engine,
+    search_counter_totals,
+)
+from repro.core.moves import RandomMoveProposer, ThresholdMoveProposer
+
+__all__ = [
+    "EpochProposalCache",
+    "FusedCell",
+    "FusedReport",
+    "generate_fused",
+]
+
+register_engine(
+    "fused",
+    "cross-cell fused drain with an epoch-level proposal score cache",
+)
+
+
+@dataclass
+class EpochProposalCache:
+    """Cross-user decision-score cache keyed ``(model_fp, row_bytes)``.
+
+    One instance lives for a drain epoch (a worker keeps it across claim
+    batches; a refresh builds one per call).  Entries are only ever
+    *correct*: the key includes the model content fingerprint, so a
+    refit does not need to purge anything — stale entries stop matching.
+    Rows offered without a fingerprint bypass the cache entirely.
+
+    ``max_entries`` bounds memory: on overflow the table is dropped
+    wholesale (counted in ``evictions``) rather than partially — epoch
+    working sets are far below the cap in practice, and a rare full
+    reset only costs recomputed scores, never correctness.
+    """
+
+    max_entries: int = 1_000_000
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    _scores: dict = field(default_factory=dict, repr=False)
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def scores_for(self, model, fp, X, keys):
+        """Decision scores for the rows of ``X`` (keys per row), served
+        from the cache where known and scored through ``model`` (one
+        call for all missing rows) otherwise.
+
+        Returns ``(scores, hit_mask)``; with ``fp`` falsy the cache is
+        bypassed and every row counts as uncached.
+        """
+        n = X.shape[0]
+        hit_mask = np.zeros(n, dtype=bool)
+        if not fp:
+            scores = np.asarray(model.decision_score(X), dtype=float).ravel()
+            return scores, hit_mask
+        table = self._scores
+        scores = np.empty(n, dtype=float)
+        miss: list[int] = []
+        # cells advance in lock-step, so different cells proposing the
+        # same row usually do it in the *same* call — dedupe in-flight
+        # rows too: the first occurrence is the scored representative,
+        # repeats are hits served from it (dupes maps repeat → rep)
+        first_seen: dict[bytes, int] = {}
+        dupes: list[tuple[int, int]] = []
+        for i, key in enumerate(keys):
+            value = table.get((fp, key))
+            if value is not None:
+                scores[i] = value
+                hit_mask[i] = True
+                continue
+            rep = first_seen.setdefault(key, i)
+            if rep == i:
+                miss.append(i)
+            else:
+                dupes.append((i, rep))
+                hit_mask[i] = True
+        if miss:
+            idx = np.asarray(miss)
+            fresh = np.asarray(
+                model.decision_score(X[idx]), dtype=float
+            ).ravel()
+            scores[idx] = fresh
+            if len(table) + len(miss) > self.max_entries:
+                self.evictions += len(table)
+                table.clear()
+            for j, i in enumerate(miss):
+                table[(fp, keys[i])] = float(fresh[j])
+        for i, rep in dupes:
+            scores[i] = scores[rep]
+        self.hits += n - len(miss)
+        self.misses += len(miss)
+        return scores, hit_mask
+
+
+@dataclass
+class FusedCell:
+    """One (user × time-point) cell submitted to the fused engine.
+
+    ``cell_id`` is the caller's handle (unique per call — typically
+    ``(user_id, t)``); ``generator`` is the cell's fully configured
+    :class:`CandidateGenerator` (its ``engine`` setting is ignored — the
+    fused loop drives the batch kernel directly).  ``model_fp`` keys the
+    epoch cache; ``None`` disables caching for the cell's rows.
+
+    ``constraints_key`` declares the identity of the cell's constraints
+    for *cell-level* dedup: two cells with equal keys (and equal base /
+    warm / parameter bytes) are asserted by the caller to evaluate
+    constraints identically, so the engine searches once and replicates.
+    ``None`` opts the cell out of dedup (never out of correctness).
+    All cells of one call must come from the same system configuration —
+    the key is not meaningful across systems.
+    """
+
+    cell_id: object
+    t: int
+    x_base: np.ndarray
+    generator: CandidateGenerator
+    model_fp: str | None = None
+    warm_start: object | None = None
+    constraints_key: object | None = None
+
+
+@dataclass
+class FusedReport:
+    """Engine-level outcome of one :func:`generate_fused` call."""
+
+    cells: int = 0
+    #: distinct search problems actually run
+    unique_cells: int = 0
+    #: cells served by replicating an identical cell's results
+    cells_deduped: int = 0
+    #: lock-stepped rounds until the last cell converged
+    rounds: int = 0
+    #: grouped ``decision_score`` calls issued (cache misses only)
+    model_calls: int = 0
+    #: summed :class:`SearchStats` counters of the unique runs
+    search: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        out = {
+            "cells": self.cells,
+            "unique_cells": self.unique_cells,
+            "cells_deduped": self.cells_deduped,
+            "rounds": self.rounds,
+            "model_calls": self.model_calls,
+        }
+        out.update(self.search)
+        return out
+
+
+# ----------------------------------------------------------------- dedup
+
+
+def _proposer_signature(proposer) -> tuple:
+    """Hashable parameter summary of one proposer (search-identity part
+    of the cell-dedup key).  Private/cache attributes are skipped."""
+    params = tuple(
+        sorted(
+            (name, value)
+            for name, value in vars(proposer).items()
+            if not name.startswith("_")
+            and isinstance(value, (int, float, str, bool, tuple))
+        )
+    )
+    return (type(proposer).__name__, params)
+
+
+def _cell_key(cell: FusedCell):
+    """Byte-exact identity of a cell as a search problem, or ``None``
+    when the cell opted out (no ``constraints_key``)."""
+    if cell.constraints_key is None:
+        return None
+    gen = cell.generator
+    base = np.asarray(cell.x_base, dtype=float).ravel() + 0.0
+    if cell.warm_start is None:
+        warm_bytes = b""
+    else:
+        W = np.atleast_2d(np.asarray(cell.warm_start, dtype=float)) + 0.0
+        warm_bytes = W.tobytes() + repr(W.shape).encode()
+    scale = gen.diff_scale
+    return (
+        cell.t,
+        cell.model_fp if cell.model_fp is not None else ("model-id", id(gen.model)),
+        base.tobytes(),
+        warm_bytes,
+        cell.constraints_key,
+        gen.k,
+        gen.beam_width,
+        gen.max_iter,
+        gen.patience,
+        gen.threshold,
+        gen.random_state,
+        repr(gen.objective),
+        None if scale is None else np.asarray(scale, dtype=float).tobytes(),
+        tuple(_proposer_signature(p) for p in gen.proposers),
+    )
+
+
+def _copy_stats(stats: SearchStats) -> SearchStats:
+    return replace(stats, best_key_history=list(stats.best_key_history))
+
+
+# -------------------------------------------------------- fused proposals
+
+
+class _Run:
+    """One unique cell's live search: its generator plus beam state."""
+
+    __slots__ = ("cell", "gen", "state", "result")
+
+    def __init__(self, cell: FusedCell):
+        self.cell = cell
+        self.gen = cell.generator
+        self.state = None
+        self.result: list[Candidate] | None = None
+
+
+def _rng_key(rng: np.random.Generator):
+    """Hashable snapshot of a generator's exact stream position."""
+    state = rng.bit_generator.state
+    inner = state.get("state", {})
+    return (
+        state.get("bit_generator"),
+        tuple(sorted((k, v) for k, v in inner.items())),
+        state.get("has_uint32"),
+        state.get("uinteger"),
+    )
+
+
+def _shared_random_proposals(
+    proposer: RandomMoveProposer, schema, runs: list[_Run]
+) -> dict[int, list[np.ndarray]]:
+    """Random moves for runs whose RNG streams are at the same position.
+
+    All runs share the per-t seed and have consumed their streams
+    identically, so the draw *sequence* — which mutable coordinate, then
+    either a categorical pick or a normal step — is common to all of
+    them; only the resulting values differ (they depend on the beam
+    states).  One representative generator performs the real draws
+    (recording coordinate, kind and payload per proposal), the others'
+    generators are fast-forwarded to the identical post-draw state, and
+    every run materializes its proposals from the records as matrix
+    operations whose per-row arithmetic equals the scalar
+    :meth:`RandomMoveProposer.propose` exactly.
+
+    Categorical draws rely on every beam state being schema-clipped
+    (current value snapped onto the category grid, so the option count
+    is the same for every run); a run that violates this — only possible
+    with a custom non-clipping proposer in the mix — is detected and
+    recomputed through its own untouched generator instead.
+    """
+    mutable = schema.mutable_indices()
+    n_states = len(runs[0].state.beam)
+    d = len(schema)
+    empty = [np.empty((0, d)) for _ in range(n_states)]
+    if mutable.size == 0:
+        return {id(run): list(empty) for run in runs}
+
+    rep = runs[0]
+    rep_rng = rep.state.rng
+    # pre-draw stream position: the divergence fallback rewinds a run
+    # here and lets its own generator redo the draws (state dicts hold
+    # only immutable ints, so sharing one snapshot across runs is safe)
+    pre_state = rep_rng.bit_generator.state
+    # records: (state index, coordinate, is_categorical, payload,
+    #           option count at draw time — the replay-safety invariant)
+    records: list[tuple[int, int, bool, float, int]] = []
+    for s in range(n_states):
+        x_rep = rep.state.beam[s]
+        for _ in range(proposer.n_proposals):
+            idx = int(rep_rng.choice(mutable))
+            spec = schema[idx]
+            if spec.dtype == "categorical" and spec.categories:
+                options = [c for c in spec.categories if c != x_rep[idx]]
+                if not options:
+                    continue
+                drawn = rep_rng.choice(options)
+                records.append(
+                    (s, idx, True, float(options.index(drawn)), len(options))
+                )
+            else:
+                draw = float(rep_rng.normal(0.0, proposer.spread))
+                records.append((s, idx, False, draw, 0))
+    # the other runs made the same draws — jump their streams forward
+    post_state = rep_rng.bit_generator.state
+    for run in runs[1:]:
+        run.state.rng.bit_generator.state = post_state
+
+    if not records:
+        return {id(run): list(empty) for run in runs}
+
+    s_idx = np.array([r[0] for r in records])
+    cols = np.array([r[1] for r in records])
+    is_cat = np.array([r[2] for r in records])
+    payload = np.array([r[3] for r in records])
+    opt_count = np.array([r[4] for r in records])
+    m = len(records)
+    rows = np.arange(m)
+    # per-coordinate schema steps; NaN/0 → the scalar path's fallback
+    steps = np.full(d, np.nan)
+    for j in range(d):
+        step = schema[j].step
+        if step is not None:
+            steps[j] = float(step)
+    cat_cols = sorted({int(c) for c in cols[is_cat]})
+    categories = {
+        c: np.asarray(schema[c].categories, dtype=float) for c in cat_cols
+    }
+
+    out: dict[int, list[np.ndarray]] = {}
+    for run in runs:
+        S = np.vstack(run.state.beam)
+        candidates = S[s_idx]
+        current = candidates[rows, cols]
+        new_values = np.empty(m)
+        num = ~is_cat
+        if num.any():
+            vals = current[num]
+            col_steps = steps[cols[num]]
+            use_step = np.isfinite(col_steps) & (col_steps != 0.0)
+            base_step = np.where(
+                use_step, col_steps, np.maximum(np.abs(vals) * 0.01, 1.0)
+            )
+            new_values[num] = vals + payload[num] * base_step
+        ok = np.ones(m, dtype=bool)
+        for c in cat_cols:
+            rows_c = is_cat & (cols == c)
+            C = categories[c]
+            mask = C[None, :] != current[rows_c, None]
+            # replay safety: this run's option list must be as long as
+            # the representative's was at draw time
+            ok[rows_c] = mask.sum(axis=1) == opt_count[rows_c]
+            pick = payload[rows_c].astype(int)
+            cum = np.cumsum(mask, axis=1)
+            sel = mask & (cum == pick[:, None] + 1)
+            new_values[rows_c] = C[np.argmax(sel, axis=1)]
+        if not ok.all():
+            # stream divergence: this run's categorical state fell off
+            # the category grid, so the shared draws do not model its
+            # own RNG consumption — rewind its generator to the pre-draw
+            # position and let it redo the draws itself (exact per-cell
+            # path; the run leaves the shared subgroup automatically
+            # next round because its stream position now differs)
+            run.state.rng.bit_generator.state = pre_state
+            out[id(run)] = proposer.propose_batch(
+                run.state.beam, None, schema, run.state.rng
+            )
+            continue
+        candidates[rows, cols] = new_values
+        clipped = schema.clip_matrix(candidates)
+        keep = clipped[rows, cols] != current
+        kept = clipped[keep]
+        kept_states = s_idx[keep]
+        bounds = np.searchsorted(kept_states, np.arange(1, n_states))
+        out[id(run)] = np.split(kept, bounds)
+    return out
+
+
+def _group_proposals(group: list[_Run]) -> dict[int, list[np.ndarray]]:
+    """One round of proposals for every run of a ``(t, model)`` group,
+    as per-run ``chunks`` lists (one list of per-state matrices per
+    proposer slot) ready for ``_interleave_chunks``.
+
+    Proposer slots whose instances agree across the group run fused
+    (one shared threshold call / shared random draws); anything else
+    falls back to the run's own proposer — bit-identical either way.
+    """
+    gen0 = group[0].gen
+    chunks: dict[int, list] = {id(run): [] for run in group}
+    uniform = all(
+        len(run.gen.proposers) == len(gen0.proposers)
+        and run.gen.schema is gen0.schema
+        for run in group
+    )
+    if not uniform:
+        for run in group:
+            chunks[id(run)] = [
+                proposer.propose_batch(
+                    run.state.beam, run.gen.model, run.gen.schema, run.state.rng
+                )
+                for proposer in run.gen.proposers
+            ]
+        return chunks
+    for j in range(len(gen0.proposers)):
+        slot = [run.gen.proposers[j] for run in group]
+        lead = slot[0]
+        if isinstance(lead, ThresholdMoveProposer) and all(
+            type(p) is ThresholdMoveProposer
+            and p.n_nearest == lead.n_nearest
+            and p.n_far == lead.n_far
+            for p in slot
+        ):
+            # threshold moves are RNG-free and depend only on
+            # (state, thresholds): one vectorized call over every beam
+            # state of the group, served by one shared target memo
+            states = [s for run in group for s in run.state.beam]
+            mats = lead.propose_batch(
+                states, gen0.model, gen0.schema, group[0].state.rng
+            )
+            offset = 0
+            for run in group:
+                width = len(run.state.beam)
+                chunks[id(run)].append(mats[offset : offset + width])
+                offset += width
+        elif isinstance(lead, RandomMoveProposer) and all(
+            type(p) is RandomMoveProposer
+            and p.n_proposals == lead.n_proposals
+            and p.spread == lead.spread
+            for p in slot
+        ):
+            # subgroup by exact stream position and beam width; within a
+            # subgroup one generator draws for everyone
+            subgroups: dict[tuple, list[_Run]] = {}
+            order: list[tuple] = []
+            for run in group:
+                key = (len(run.state.beam), _rng_key(run.state.rng))
+                if key not in subgroups:
+                    subgroups[key] = []
+                    order.append(key)
+                subgroups[key].append(run)
+            for key in order:
+                sub = subgroups[key]
+                shared = _shared_random_proposals(lead, gen0.schema, sub)
+                for run in sub:
+                    chunks[id(run)].append(shared[id(run)])
+        else:
+            for run in group:
+                chunks[id(run)].append(
+                    run.gen.proposers[j].propose_batch(
+                        run.state.beam,
+                        run.gen.model,
+                        run.gen.schema,
+                        run.state.rng,
+                    )
+                )
+    return chunks
+
+
+# --------------------------------------------------------------- engine
+
+
+def _group_active(runs: list[_Run]) -> list[list[_Run]]:
+    """Group runs by ``(t, model identity, fingerprint)``, preserving
+    submission order within and across groups."""
+    groups: dict[tuple, list[_Run]] = {}
+    order: list[tuple] = []
+    for run in runs:
+        key = (run.cell.t, id(run.gen.model), run.cell.model_fp)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(run)
+    return [groups[key] for key in order]
+
+
+def _attribute_cache_counters(state, hit_mask, lo, hi) -> None:
+    hits = int(hit_mask[lo:hi].sum())
+    state.stats.cache_hits += hits
+    state.stats.cache_misses += (hi - lo) - hits
+
+
+def generate_fused(
+    cells, *, cache: EpochProposalCache | None = None, on_round=None
+) -> tuple[dict, FusedReport]:
+    """Run many cells' beam searches as one fused, cache-served loop.
+
+    ``cells`` is an iterable of :class:`FusedCell` with unique
+    ``cell_id``s.  Returns ``(results, report)`` where ``results`` maps
+    ``cell_id -> (candidates, SearchStats)`` — per cell exactly what
+    ``cell.generator.generate(...)`` would have produced — and
+    ``report`` is the engine-level :class:`FusedReport`.  ``cache``
+    carries the epoch-level score cache across calls (a worker passes
+    one per drain); by default each call gets a private cache.
+
+    ``on_round``, if given, is a zero-argument callable invoked at the
+    top of every lock-stepped round.  A fused call over a large claim
+    can outlive a lease that was taken before it started, so lease-based
+    callers use this as a heartbeat (the worker drain renews its claim's
+    leases here); rounds are the natural cadence — seconds apart even
+    for epoch-sized claims.  The hook must not mutate cells or beams;
+    results are byte-identical with or without it.
+    """
+    cells = list(cells)
+    report = FusedReport(cells=len(cells))
+    results: dict = {}
+    if not cells:
+        return results, report
+    if cache is None:
+        cache = EpochProposalCache()
+
+    # ---- cell-level dedup: identical search problems run once
+    runs: list[_Run] = []
+    run_of_cell: list[int] = []
+    seen: dict[tuple, int] = {}
+    for cell in cells:
+        key = _cell_key(cell)
+        if key is not None and key in seen:
+            run_of_cell.append(seen[key])
+            continue
+        if key is not None:
+            seen[key] = len(runs)
+        run_of_cell.append(len(runs))
+        runs.append(_Run(cell))
+    report.unique_cells = len(runs)
+    report.cells_deduped = len(cells) - len(runs)
+
+    # ---- fused prologue: score every cell's base + warm rows through
+    # the cache, one grouped model call per (t, model) for the misses
+    for group in _group_active(runs):
+        gen0 = group[0].gen
+        fp = group[0].cell.model_fp
+        rows: list[np.ndarray] = []
+        keys: list[bytes] = []
+        spans: list[tuple[_Run, int, int, bool]] = []
+        for run in group:
+            x_clip, W = run.gen._prologue_rows(run.cell.x_base, run.cell.warm_start)
+            lo = len(keys)
+            rows.append(x_clip.reshape(1, -1))
+            keys.append(run.gen._row_keys(x_clip)[0])
+            if W is not None:
+                rows.append(W)
+                keys.extend(run.gen._row_keys(W))
+            spans.append((run, lo, len(keys), W is not None))
+        X = np.vstack(rows)
+        scores, hit_mask = cache.scores_for(gen0.model, fp, X, keys)
+        if not fp or not hit_mask.all():
+            report.model_calls += 1
+        for run, lo, hi, has_warm in spans:
+            run.state = run.gen._begin_batch(
+                run.cell.x_base,
+                run.cell.t,
+                run.cell.warm_start,
+                base_score=float(scores[lo]),
+                warm_scores=scores[lo + 1 : hi] if has_warm else None,
+            )
+            _attribute_cache_counters(run.state, hit_mask, lo, hi)
+
+    # ---- lock-stepped rounds over the active-cell set
+    active = list(runs)
+    while active:
+        if on_round is not None:
+            on_round()
+        report.rounds += 1
+        for group in _group_active(active):
+            gen0 = group[0].gen
+            fp = group[0].cell.model_fp
+            for run in group:
+                run.state.stats.iterations += 1
+            chunks = _group_proposals(group)
+            pending: list[tuple[_Run, np.ndarray, list[bytes]]] = []
+            for run in group:
+                mats = run.gen._interleave_chunks(
+                    chunks[id(run)], len(run.state.beam)
+                )
+                pair = run.gen._dedupe_step(run.state, mats)
+                if pair is None:
+                    continue
+                pending.append((run, pair[0], pair[1]))
+            if not pending:
+                continue
+            # one grouped, cache-served scoring call for the whole group
+            X = np.vstack([fresh for _, fresh, _ in pending])
+            keys = [key for _, _, fkeys in pending for key in fkeys]
+            scores, hit_mask = cache.scores_for(gen0.model, fp, X, keys)
+            if not fp or not hit_mask.all():
+                report.model_calls += 1
+            offset = 0
+            for run, fresh, fkeys in pending:
+                n = fresh.shape[0]
+                _attribute_cache_counters(run.state, hit_mask, offset, offset + n)
+                run.gen._absorb_step(
+                    run.state, fresh, fkeys, scores[offset : offset + n]
+                )
+                offset += n
+        # asynchronous exit: finished cells leave the round set
+        still_active: list[_Run] = []
+        for run in active:
+            if run.state.done or run.state.stats.iterations >= run.gen.max_iter:
+                run.gen.last_stats_ = run.state.stats
+                run.result = run.gen._finalise(run.state.pool)
+            else:
+                still_active.append(run)
+        active = still_active
+
+    # ---- fan results back out (deduped cells get fresh copies)
+    for cell, run_index in zip(cells, run_of_cell):
+        run = runs[run_index]
+        if cell is run.cell:
+            results[cell.cell_id] = (run.result, run.state.stats)
+        else:
+            results[cell.cell_id] = (
+                [Candidate(c.x.copy(), c.time, c.metrics) for c in run.result],
+                _copy_stats(run.state.stats),
+            )
+    report.search = search_counter_totals(run.state.stats for run in runs)
+    report.search["cells_deduped"] = report.cells_deduped
+    return results, report

@@ -127,6 +127,7 @@ class ThresholdMoveProposer(MoveProposer):
         self.n_far = n_far
         self._cache_model = None
         self._cache_thresholds: dict[int, np.ndarray] | None = None
+        self._targets_memo: dict[tuple, np.ndarray] = {}
 
     def _thresholds(self, model) -> dict[int, np.ndarray]:
         if model is not self._cache_model:
@@ -143,6 +144,7 @@ class ThresholdMoveProposer(MoveProposer):
                 feature: np.sort(values)
                 for feature, values in model.split_thresholds().items()
             }
+            self._targets_memo = {}
         return self._cache_thresholds
 
     def _targets_for(self, value: float, feature_thresholds: np.ndarray) -> np.ndarray:
@@ -151,7 +153,25 @@ class ThresholdMoveProposer(MoveProposer):
         split.  Shared by the scalar and batch paths so their proposals
         cannot drift apart.  ``feature_thresholds`` is sorted, so the
         strict >/< splits are two binary searches.
+
+        Memoized per ``(feature thresholds, value)``: a beam revisits the
+        same feature values constantly, and the fused multi-cell engine
+        shares one proposer across every cell of a time point, so the
+        same lookups recur across users.  The memo is invalidated with
+        the threshold cache when the model changes; callers never mutate
+        the returned array (every consumer copies via ``concatenate``).
         """
+        memo_key = (id(feature_thresholds), float(value))
+        cached = self._targets_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        targets = self._targets_uncached(value, feature_thresholds)
+        self._targets_memo[memo_key] = targets
+        return targets
+
+    def _targets_uncached(
+        self, value: float, feature_thresholds: np.ndarray
+    ) -> np.ndarray:
         margin = _feature_margin(value)
         first_above = np.searchsorted(
             feature_thresholds, value + 1e-12, side="right"

@@ -103,8 +103,10 @@ class RefreshOrchestrator:
         Forwarded to the underlying
         :class:`~repro.core.scheduler.RefreshScheduler`.
     n_workers / db_backend / claim_batch / lease_seconds /
-    shard_affinity / start_method:
+    shard_affinity / engine / start_method:
         Forwarded to :func:`~repro.core.worker.run_worker_pool`;
+        ``engine='fused'`` makes every worker drain its claim batches
+        through the cross-cell fused engine (digest-identical);
         ``shard_affinity=True`` pins worker *i* to shard ``i %
         n_shards`` so each epoch's drain exploits the store's per-shard
         parallel write path (digest-identical either way).
@@ -142,6 +144,7 @@ class RefreshOrchestrator:
         claim_batch: int = 2,
         lease_seconds: float = 30.0,
         shard_affinity: bool = False,
+        engine: str | None = None,
         start_method: str | None = None,
         clock=time.monotonic,
         checkpoint_digest: bool = True,
@@ -164,6 +167,7 @@ class RefreshOrchestrator:
         self.claim_batch = int(claim_batch)
         self.lease_seconds = float(lease_seconds)
         self.shard_affinity = bool(shard_affinity)
+        self.engine = engine
         self.start_method = start_method
         self.checkpoint_digest = bool(checkpoint_digest)
         self.fault_hook = fault_hook
@@ -248,6 +252,7 @@ class RefreshOrchestrator:
             claim_batch=self.claim_batch,
             lease_seconds=self.lease_seconds,
             shard_affinity=self.shard_affinity,
+            engine=self.engine,
             start_method=self.start_method,
         )
 

@@ -23,6 +23,7 @@ Wires the full architecture together:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -30,7 +31,14 @@ import numpy as np
 
 from repro.constraints.domain import schema_domain_constraints
 from repro.constraints.evaluate import ConstraintsFunction
-from repro.core.candidates import Candidate, CandidateGenerator
+from repro.core.candidates import (
+    ENGINES,
+    Candidate,
+    CandidateGenerator,
+    engine_names,
+    search_counter_totals,
+)
+from repro.core.fused import FusedCell, generate_fused
 from repro.core.insights import Insight, InsightEngine
 from repro.core.objectives import OBJECTIVE_PRESETS, Objective, get_objective
 from repro.core.plans import Plan, build_plan
@@ -77,8 +85,10 @@ class AdminConfig:
     #: on one shared thread pool.  Results are identical to sequential
     #: execution (per-t seeds).
     n_jobs: int = 1
-    #: candidate-search engine: 'batch' (vectorized) or 'scalar'
-    #: (row-at-a-time reference); both produce identical candidates.
+    #: candidate-search engine: 'batch' (per-cell vectorized), 'scalar'
+    #: (row-at-a-time reference) or 'fused' (cross-cell vectorized drain
+    #: with an epoch-level proposal cache, :mod:`repro.core.fused`); all
+    #: produce identical candidates.
     engine: str = "batch"
     #: seed refreshed cells' beams from the previously stored candidates
     #: (clipped + revalidated under the new model).  A robustness
@@ -103,10 +113,10 @@ class AdminConfig:
     def __post_init__(self) -> None:
         """Eager validation: fail at configuration time, not deep inside
         the search, and name the allowed values."""
-        if isinstance(self.engine, str) and self.engine not in ("batch", "scalar"):
+        if isinstance(self.engine, str) and self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r};"
-                " allowed values: ['batch', 'scalar']"
+                f" allowed values: {engine_names()}"
             )
         if isinstance(self.strategy, str) and self.strategy not in STRATEGY_NAMES:
             raise ValueError(
@@ -150,6 +160,10 @@ class RefreshReport:
     #: (their stored candidates stay outdated until the session is
     #: resumed — alert on this)
     skipped_stale_cells: int = 0
+    #: summed per-cell search counters (iterations, proposals_evaluated,
+    #: dedupe_hits, cache_hits, cache_misses, ...) of the recompute —
+    #: the drain-efficiency view; ``None`` when nothing was recomputed
+    search: dict | None = None
 
 
 class JustInTime:
@@ -325,7 +339,30 @@ class JustInTime:
             for user_index in range(len(prepared))
             for future_model in self.future_models
         ]
-        results = self._run_tasks(run_one, tasks)
+        if getattr(cfg, "engine", "batch") == "fused":
+            fingerprints = self.model_fingerprints
+            fused_cells = [
+                FusedCell(
+                    cell_id=(user_index, future_model.t),
+                    t=future_model.t,
+                    x_base=prepared[user_index][2][future_model.t],
+                    generator=self._cell_generator(
+                        future_model.t, prepared[user_index][3]
+                    ),
+                    model_fp=fingerprints.get(future_model.t) or None,
+                    constraints_key=self._constraints_cache_key(
+                        self._constraint_texts(specs[user_index][2])
+                    ),
+                )
+                for user_index, future_model in tasks
+            ]
+            outcome, _fused_report = generate_fused(fused_cells)
+            results = [
+                outcome[(user_index, future_model.t)]
+                for user_index, future_model in tasks
+            ]
+        else:
+            results = self._run_tasks(run_one, tasks)
 
         sessions: list[UserSession] = []
         per_user = len(self.future_models)
@@ -339,20 +376,19 @@ class JustInTime:
                 stats.append(search_stats)
                 all_candidates.extend(found)
             bulk_rows.append((user_id, trajectory, all_candidates))
-            spec_rows.append(
-                (user_id, x, self._constraint_texts(specs[user_index][2]))
+            texts = self._constraint_texts(specs[user_index][2])
+            spec_rows.append((user_id, x, texts))
+            session = UserSession(
+                system=self,
+                user_id=user_id,
+                profile=x,
+                trajectory=trajectory,
+                constraints=constraints,
+                candidates=all_candidates,
+                search_stats=stats,
             )
-            sessions.append(
-                UserSession(
-                    system=self,
-                    user_id=user_id,
-                    profile=x,
-                    trajectory=trajectory,
-                    constraints=constraints,
-                    candidates=all_candidates,
-                    search_stats=stats,
-                )
-            )
+            session.constraints_key = self._constraints_cache_key(texts)
+            sessions.append(session)
         self.store.store_sessions(
             bulk_rows, fingerprints=self.model_fingerprints, specs=spec_rows
         )
@@ -414,6 +450,7 @@ class JustInTime:
                 candidates=self.store.load_candidates(user_id),
                 search_stats=[],
             )
+            session.constraints_key = self._constraints_cache_key(texts)
             self.sessions[user_id] = session
             restored.append(session)
         return restored
@@ -558,7 +595,31 @@ class JustInTime:
             for session in sessions
             for t in sorted(cell_times[session.user_id])
         ]
-        results = self._run_tasks(run_one, tasks)
+        if getattr(cfg, "engine", "batch") == "fused":
+            fused_cells = []
+            for session, t, warm_vectors in tasks:
+                use_warm = warm_vectors is not None and warm_vectors.size > 0
+                fused_cells.append(
+                    FusedCell(
+                        cell_id=(session.user_id, t),
+                        t=t,
+                        x_base=session.trajectory[t],
+                        generator=self._cell_generator(
+                            t, session.constraints, warm=use_warm
+                        ),
+                        model_fp=fingerprints.get(t) or None,
+                        warm_start=warm_vectors,
+                        constraints_key=getattr(
+                            session, "constraints_key", None
+                        ),
+                    )
+                )
+            outcome, _fused_report = generate_fused(fused_cells)
+            results = [
+                outcome[(session.user_id, t)] for session, t, _ in tasks
+            ]
+        else:
+            results = self._run_tasks(run_one, tasks)
 
         cells = [
             (session.user_id, t, found, session.trajectory[t])
@@ -586,7 +647,14 @@ class JustInTime:
                 for t, (_, search_stats) in by_time.items():
                     session.search_stats[t] = search_stats
         return RefreshReport(
-            tuple(stale), fresh, len(sessions), len(cells), written, warm, skipped
+            tuple(stale),
+            fresh,
+            len(sessions),
+            len(cells),
+            written,
+            warm,
+            skipped,
+            search=search_counter_totals(stats for _, stats in results),
         )
 
     def _merge_history(
@@ -628,6 +696,13 @@ class JustInTime:
         patience = cfg.patience
         if warm and getattr(cfg, "warm_patience", None) is not None:
             patience = cfg.warm_patience
+        # getattr: AdminConfig objects unpickled from pre-batch saves
+        # lack the field.  Cross-cell engines ('fused') orchestrate cells
+        # outside the generator, which itself always runs the per-cell
+        # batch kernel.
+        engine = getattr(cfg, "engine", "batch")
+        if engine not in ("batch", "scalar"):
+            engine = "batch"
         return CandidateGenerator(
             future_model.model,
             future_model.threshold,
@@ -640,9 +715,7 @@ class JustInTime:
             objective=cfg.objective,
             diff_scale=self.diff_scale,
             random_state=cfg.random_state + 7919 * (t + 1),
-            # getattr: AdminConfig objects unpickled from pre-batch
-            # saves lack the field
-            engine=getattr(cfg, "engine", "batch"),
+            engine=engine,
         )
 
     def _run_tasks(self, run_one, tasks) -> list:
@@ -690,6 +763,15 @@ class JustInTime:
             else:
                 return None
         return entries
+
+    @staticmethod
+    def _constraints_cache_key(texts) -> str | None:
+        """Deterministic identity of serialisable constraint texts.
+
+        Feeds the fused engine's cell-dedup key; ``None`` (opaque
+        constraints) opts the cell out of deduplication entirely.
+        """
+        return None if texts is None else json.dumps(texts, sort_keys=True)
 
     def _user_spec(self, user) -> tuple[str, np.ndarray, object]:
         """Normalise one ``create_sessions`` entry to (id, vector, constraints)."""
@@ -758,6 +840,10 @@ class UserSession:
         self.constraints = constraints
         self.candidates = candidates
         self.search_stats = search_stats
+        # Deterministic identity of the session's constraints, set by the
+        # session factories when the constraint list is serialisable; the
+        # fused engine uses it as part of its cell-dedup key.
+        self.constraints_key: str | None = None
         self.engine = InsightEngine(
             system.store, user_id, system.time_values
         )

@@ -1,0 +1,472 @@
+"""Fused multi-cell beam engine: byte-identity, dedup and the epoch cache.
+
+The fused engine is a *scheduling* change, never an arithmetic one: it
+advances every cell's beam in lock-step and groups model scoring across
+cells, so its candidates must be **byte-identical** to the per-cell
+batch engine on every store backend, warm or cold.  These tests pin that
+contract (``contents_digest`` equality), the epoch-level proposal cache
+semantics (hits on shared rows, invalidation on model-fingerprint
+change), and the cell-level dedup fan-out.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import lending_domain_constraints
+from repro.core import (
+    AdminConfig,
+    CandidateGenerator,
+    EpochProposalCache,
+    FusedCell,
+    JustInTime,
+    drain_stale_cells,
+    engine_names,
+    generate_fused,
+)
+from repro.core.candidates import ENGINES
+from repro.data import (
+    LendingGenerator,
+    TemporalDataset,
+    john_profile,
+    lending_schema,
+    make_lending_dataset,
+)
+from repro.exceptions import CandidateSearchError
+from repro.temporal import PerPeriodStrategy, lending_update_function
+
+DRIFT_T = 1
+BACKENDS = ["sqlite", "memory", "sharded"]
+
+
+@pytest.fixture(scope="module")
+def history():
+    return make_lending_dataset(n_per_year=60, random_state=1)
+
+
+@pytest.fixture(scope="module")
+def drift_data(history):
+    start = float(np.floor(history.span[0]))
+    generator = LendingGenerator(random_state=99)
+    X = generator.sample_profiles(50)
+    years = np.full(50, start + DRIFT_T + 0.5)
+    return TemporalDataset(X, generator.label(X, years), years, history.schema)
+
+
+def make_users(schema, n=8):
+    """Mixed workload: duplicate profiles under *different* constraints.
+
+    Identical (profile, constraints) cells are collapsed by cell-level
+    dedup before the row cache ever sees them, so the cache-hit
+    assertions need same-profile-different-constraint pairs — the
+    realistic shape of discretised applicant pools.
+    """
+    rng = np.random.default_rng(7)
+    base = schema.vector(john_profile())
+    users = []
+    for i in range(n):
+        profile = base.copy()
+        profile[1] += float(rng.integers(0, 3) * 1000)
+        constraints = ["monthly_debt <= 900"] if i % 2 else None
+        users.append((f"user-{i:02d}", profile, constraints))
+    return users
+
+
+def build_system(schema, db, backend, engine, **overrides):
+    config = dict(
+        T=3,
+        strategy=PerPeriodStrategy(),
+        k=4,
+        beam_width=6,
+        max_iter=8,
+        patience=3,
+        random_state=11,
+        engine=engine,
+    )
+    config.update(overrides)
+    return JustInTime(
+        schema,
+        lending_update_function(schema),
+        AdminConfig(**config),
+        domain_constraints=lending_domain_constraints(schema),
+        store_path=db,
+        store_backend=backend,
+        n_shards=4,
+    )
+
+
+def populate_and_refresh(schema, history, drift_data, db, backend, engine, warm):
+    system = build_system(schema, db, backend, engine, warm_start=warm)
+    system.fit(history)
+    system.create_sessions(make_users(schema))
+    report = system.refresh(drift_data)
+    return system, report
+
+
+class TestEngineRegistry:
+    def test_fused_is_registered(self):
+        assert "fused" in ENGINES
+        assert engine_names() == sorted(ENGINES)
+
+    def test_admin_config_accepts_fused(self):
+        assert AdminConfig(engine="fused").engine == "fused"
+
+    def test_admin_config_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match=r"batch.*scalar"):
+            AdminConfig(engine="vectorised")
+
+    def test_generator_rejects_cross_cell_engine(self, schema, lending_ds):
+        """'fused' orchestrates cells *outside* the generator; the
+        generator itself only runs per-cell kernels."""
+        from repro.ml import RandomForestClassifier
+
+        model = RandomForestClassifier(
+            n_estimators=4, max_depth=3, random_state=0
+        ).fit(lending_ds.X, lending_ds.y)
+        with pytest.raises(CandidateSearchError):
+            CandidateGenerator(model, 0.5, schema, engine="fused")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("warm", [False, True], ids=["cold", "warm"])
+class TestRefreshDigestIdentity:
+    def test_fused_refresh_matches_batch(
+        self, schema, history, drift_data, tmp_path, backend, warm
+    ):
+        def db(tag):
+            return (
+                ":memory:" if backend == "memory" else tmp_path / f"{tag}.db"
+            )
+
+        ref_sys, ref = populate_and_refresh(
+            schema, history, drift_data, db("batch"), backend, "batch", warm
+        )
+        fus_sys, fus = populate_and_refresh(
+            schema, history, drift_data, db("fused"), backend, "fused", warm
+        )
+        assert (
+            fus_sys.store.contents_digest() == ref_sys.store.contents_digest()
+        )
+        assert fus.cells_recomputed == ref.cells_recomputed
+        assert fus.candidates_written == ref.candidates_written
+        # identical work, counted identically — only scheduling differs
+        for key in ("iterations", "proposals_evaluated", "valid_found",
+                    "dedupe_hits"):
+            assert fus.search[key] == ref.search[key]
+        ref_sys.store.close()
+        fus_sys.store.close()
+
+
+class TestEpochCache:
+    class _CountingModel:
+        """decision_score = row sum; counts batched scoring calls."""
+
+        def __init__(self):
+            self.calls = 0
+
+        def decision_score(self, X):
+            self.calls += 1
+            return np.asarray(X, dtype=float).sum(axis=1)
+
+    @staticmethod
+    def _rows():
+        X = np.arange(12, dtype=float).reshape(4, 3)
+        keys = [row.tobytes() for row in X]
+        return X, keys
+
+    def test_repeat_rows_hit_and_skip_the_model(self):
+        cache = EpochProposalCache()
+        model = self._CountingModel()
+        X, keys = self._rows()
+        scores1, hits1 = cache.scores_for(model, "fp-a", X, keys)
+        assert not hits1.any() and cache.misses == 4
+        scores2, hits2 = cache.scores_for(model, "fp-a", X, keys)
+        assert hits2.all() and cache.hits == 4
+        assert model.calls == 1  # second pass fully served from cache
+        np.testing.assert_array_equal(scores1, scores2)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_model_fingerprint_change_invalidates(self):
+        """The regression pinned by the issue: a refit changes the
+        fingerprint, and rows cached under the old one must stop
+        matching — stale scores can never leak across model versions."""
+        cache = EpochProposalCache()
+        model = self._CountingModel()
+        X, keys = self._rows()
+        cache.scores_for(model, "fp-old", X, keys)
+        scores, hits = cache.scores_for(model, "fp-new", X, keys)
+        assert not hits.any()
+        assert model.calls == 2
+        np.testing.assert_array_equal(scores, X.sum(axis=1))
+
+    def test_falsy_fingerprint_bypasses_cache(self):
+        """Unfingerprinted models (no content hash) must never share
+        scores: every call goes to the model and nothing is stored."""
+        cache = EpochProposalCache()
+        model = self._CountingModel()
+        X, keys = self._rows()
+        for _ in range(2):
+            _, hits = cache.scores_for(model, None, X, keys)
+            assert not hits.any()
+        assert model.calls == 2
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_shared_workload_has_nonzero_hit_rate(
+        self, schema, history, drift_data, tmp_path
+    ):
+        """End-to-end: duplicate profiles under different constraints
+        share proposal rows through the epoch cache during a fused
+        refresh."""
+        _, report = populate_and_refresh(
+            schema, history, drift_data,
+            tmp_path / "cands.db", "sqlite", "fused", False,
+        )
+        assert report.search["cache_hits"] > 0
+
+
+class TestCellDedup:
+    def test_identical_cells_computed_once(self, schema, lending_ds):
+        from repro.ml import RandomForestClassifier
+
+        model = RandomForestClassifier(
+            n_estimators=6, max_depth=4, random_state=0
+        ).fit(lending_ds.X, lending_ds.y)
+        base = schema.vector(john_profile())
+
+        def cell(cell_id):
+            return FusedCell(
+                cell_id=cell_id,
+                t=0,
+                x_base=base,
+                generator=CandidateGenerator(
+                    model, 0.5, schema, k=3, beam_width=4, max_iter=5,
+                    random_state=3,
+                ),
+                model_fp="fp",
+                constraints_key="[]",
+            )
+
+        results, report = generate_fused([cell("a"), cell("b"), cell("c")])
+        assert report.cells == 3 and report.unique_cells == 1
+        assert report.cells_deduped == 2
+        cands_a, stats_a = results["a"]
+        for other in ("b", "c"):
+            cands_o, stats_o = results[other]
+            assert len(cands_o) == len(cands_a)
+            for ca, co in zip(cands_a, cands_o):
+                assert co is not ca  # replicas, not aliases
+                np.testing.assert_array_equal(ca.x, co.x)
+                assert ca.metrics == co.metrics
+            assert stats_o is not stats_a
+            assert stats_o.iterations == stats_a.iterations
+
+    def test_opaque_constraints_opt_out_of_dedup(self, schema, lending_ds):
+        from repro.ml import RandomForestClassifier
+
+        model = RandomForestClassifier(
+            n_estimators=6, max_depth=4, random_state=0
+        ).fit(lending_ds.X, lending_ds.y)
+        base = schema.vector(john_profile())
+        cells = [
+            FusedCell(
+                cell_id=i,
+                t=0,
+                x_base=base,
+                generator=CandidateGenerator(
+                    model, 0.5, schema, k=3, beam_width=4, max_iter=5,
+                    random_state=3,
+                ),
+                model_fp="fp",
+                constraints_key=None,
+            )
+            for i in range(2)
+        ]
+        _, report = generate_fused(cells)
+        assert report.cells_deduped == 0
+
+
+@pytest.mark.parametrize("backend", ["sqlite", "sharded"])
+class TestWorkerDrainIdentity:
+    def test_fused_drain_matches_per_cell(
+        self, schema, history, drift_data, tmp_path, backend
+    ):
+        digests = {}
+        reports = {}
+        for engine in ("batch", "fused"):
+            system = build_system(
+                schema, tmp_path / f"{engine}.db", backend, "batch"
+            )
+            system.fit(history)
+            system.create_sessions(make_users(schema))
+            system.refit(drift_data)
+            reports[engine] = drain_stale_cells(
+                system,
+                worker_id=f"w-{engine}",
+                claim_batch=3,
+                warm_start=False,
+                engine=engine,
+            )
+            digests[engine] = system.store.contents_digest()
+            system.store.close()
+        assert digests["fused"] == digests["batch"]
+        assert sorted(reports["fused"].cells) == sorted(reports["batch"].cells)
+        assert (
+            reports["fused"].candidates_written
+            == reports["batch"].candidates_written
+        )
+        for key in ("iterations", "proposals_evaluated", "valid_found",
+                    "dedupe_hits"):
+            assert (
+                reports["fused"].search[key] == reports["batch"].search[key]
+            )
+        # the drain-long cache keeps paying across claim batches
+        assert reports["fused"].search["cache_hits"] > 0
+
+
+class _TickingClock:
+    """Deterministic drain clock whose time advances only while a model
+    scores — i.e. *during* the fused compute — so the test controls
+    exactly how much lease time the compute consumes."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestLeaseHeartbeat:
+    """A whole-epoch fused claim computes every cell before writing any,
+    so the compute can outlive ``lease_seconds`` — and an expired lease
+    is never renewed, which without the per-round heartbeat loses the
+    entire batch and re-claims the same cells over and over.  Pin the
+    fix: a fused compute spanning multiple leases must lose nothing."""
+
+    def test_long_fused_compute_keeps_leases(
+        self, schema, history, drift_data, tmp_path
+    ):
+        lease = 30.0
+        users = make_users(schema)
+
+        reference = build_system(schema, tmp_path / "ref.db", "sqlite", "batch")
+        reference.fit(history)
+        reference.create_sessions(users)
+        reference.refit(drift_data)
+        drain_stale_cells(
+            reference, worker_id="ref", claim_batch=len(users) * 4,
+            warm_start=False, engine="batch",
+        )
+        reference_digest = reference.store.contents_digest()
+        reference.store.close()
+
+        system = build_system(schema, tmp_path / "hb.db", "sqlite", "batch")
+        system.fit(history)
+        system.create_sessions(users)
+        system.refit(drift_data)
+        stale = system.store.stale_cells(system.model_fingerprints)
+        assert stale  # the drift staled something, or the test is vacuous
+        clock = _TickingClock()
+        # every grouped model call burns a slice of the lease: the whole
+        # drain spans several leases' worth, a single round far less
+        for fm in system.future_models:
+            fm.model.decision_score = (
+                lambda X, _inner=fm.model.decision_score: (
+                    setattr(clock, "now", clock.now + lease * 0.16),
+                    _inner(X),
+                )[1]
+            )
+        report = drain_stale_cells(
+            system,
+            worker_id="hb",
+            claim_batch=len(stale),
+            lease_seconds=lease,
+            warm_start=False,
+            engine="fused",
+            clock=clock,
+        )
+        # the compute really did outlive the lease it was claimed under…
+        assert clock.now > lease
+        # …yet the heartbeat kept every cell owned to the end
+        assert report.lost_leases == 0
+        assert sorted(report.cells) == sorted(stale)
+        assert system.store.stale_cells(system.model_fingerprints) == []
+        assert system.store.contents_digest() == reference_digest
+        system.store.close()
+
+
+@pytest.fixture(scope="module")
+def property_model(history):
+    from repro.ml import RandomForestClassifier
+
+    return RandomForestClassifier(
+        n_estimators=6, max_depth=4, random_state=0
+    ).fit(history.X, history.y)
+
+
+class TestFusedEquivalenceProperty:
+    """Hypothesis sweep: ragged beam widths, different convergence
+    horizons and duplicate base rows must all produce exactly the
+    per-cell candidate sets."""
+
+    cell_strategy = st.tuples(
+        st.integers(min_value=0, max_value=2),  # base-profile index
+        st.integers(min_value=2, max_value=5),  # beam_width (ragged)
+        st.integers(min_value=2, max_value=6),  # max_iter (convergence)
+        st.integers(min_value=0, max_value=1),  # time point
+    )
+
+    @given(cells=st.lists(cell_strategy, min_size=1, max_size=5))
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_matches_per_cell(self, property_model, cells):
+        schema = lending_schema()
+        base = schema.vector(john_profile())
+        profiles = [
+            base,
+            schema.clip(base * 1.1),
+            schema.clip(base * 0.9),
+        ]
+
+        def generator(beam_width, max_iter, t):
+            return CandidateGenerator(
+                property_model,
+                0.5,
+                schema,
+                k=3,
+                beam_width=beam_width,
+                max_iter=max_iter,
+                patience=2,
+                random_state=17 + 7919 * (t + 1),
+            )
+
+        fused_cells = [
+            FusedCell(
+                cell_id=i,
+                t=t,
+                x_base=profiles[p],
+                generator=generator(bw, mi, t),
+                model_fp="fp-prop",
+                constraints_key="[]",
+            )
+            for i, (p, bw, mi, t) in enumerate(cells)
+        ]
+        results, report = generate_fused(fused_cells)
+        assert report.cells == len(cells)
+        for i, (p, bw, mi, t) in enumerate(cells):
+            ref_gen = generator(bw, mi, t)
+            expected = ref_gen.generate(profiles[p], time=t)
+            found, stats = results[i]
+            assert len(found) == len(expected)
+            for got, want in zip(found, expected):
+                np.testing.assert_array_equal(got.x, want.x)
+                assert got.time == want.time
+                assert got.metrics == want.metrics
+            assert stats.iterations == ref_gen.last_stats_.iterations
+            assert (
+                stats.proposals_evaluated
+                == ref_gen.last_stats_.proposals_evaluated
+            )
