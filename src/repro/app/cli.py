@@ -33,6 +33,14 @@ Subcommands
     The storage operator: migrate a file-backed sharded candidate
     database to a new shard count, digest-invariant and crash-safe
     (an interrupted migration is healed on the next open).
+``justintime query``
+    Run canned questions against a stored candidate database from the
+    shell — human-readable by default, ``--json`` for the canonical
+    serialization shared with the HTTP serving tier.
+``justintime serve``
+    The serving tier: an async HTTP/JSON API over the candidate
+    database with a fingerprint-validated rendered-insight cache and
+    per-shard read-only replica connections.
 
 All subcommands accept ``--n-per-year``, ``--strategy``, ``--horizon``
 and ``--seed`` to control the backing system, plus ``--db`` /
@@ -42,6 +50,7 @@ and ``--seed`` to control the backing system, plus ``--db`` /
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from pathlib import Path
 from typing import IO
@@ -70,8 +79,10 @@ from repro.data import (
     lending_schema,
     make_lending_dataset,
 )
+from repro.core.insights import InsightEngine
 from repro.db.store import CandidateStore
-from repro.exceptions import StorageError
+from repro.exceptions import QueryError, StorageError
+from repro.serve import InsightServer, bundle_payload, dumps
 from repro.temporal import lending_update_function
 
 __all__ = [
@@ -80,12 +91,14 @@ __all__ = [
     "run_admin",
     "run_demo",
     "run_interactive",
+    "run_query",
     "run_quickstart",
     "run_rebalance",
     "run_refresh",
     "run_refresh_daemon",
     "run_refresh_orchestrator",
     "run_refresh_workers",
+    "run_serve",
 ]
 
 
@@ -547,6 +560,66 @@ def make_parser() -> argparse.ArgumentParser:
         help="candidate-search engine for every epoch's drain"
         " (byte-identical candidates either way)",
     )
+    query = sub.add_parser(
+        "query",
+        help="answer canned questions for one user from a stored"
+        " candidate database",
+    )
+    query.add_argument("--user", required=True, help="user id to query")
+    query.add_argument(
+        "--questions",
+        default="q1,q2,q3,q4,q5,q6",
+        help="comma-separated question ids (q1..q7)",
+    )
+    query.add_argument(
+        "--feature",
+        default=None,
+        help="feature for Q3 (default: the first mutable feature)",
+    )
+    query.add_argument(
+        "--budget",
+        type=float,
+        default=1.0,
+        help="effort budget for Q7 (scaled diff)",
+    )
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical JSON bundle (the serving tier's wire"
+        " format) instead of verbal insights",
+    )
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP/JSON insight API over a stored candidate database"
+        " (fingerprint-validated cache + per-shard read replicas)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8123, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="max resident rendered-insight cache entries",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=4,
+        help="read-only replica connections per shard",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="render every request from SQL (baseline mode)",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="stop after serving this many requests (default: run forever)",
+    )
     return parser
 
 
@@ -974,6 +1047,134 @@ def run_rebalance(args, out: IO[str] | None = None) -> int:
     return 0
 
 
+def _open_read_side(args, out: IO[str], verb: str):
+    """``(store, time_values, owner)`` for the read-side verbs.
+
+    With ``--load`` the saved system supplies its store and calendar
+    time values; with ``--db`` alone the database is opened directly
+    under the lending schema (time points render as their indices).
+    ``owner`` is the object to close when done.
+    """
+    if not args.db and not args.load:
+        out.write(
+            f"{verb} needs --db (candidate database) and/or --load"
+            " (saved system)\n"
+        )
+        return None
+    if args.load:
+        system = build_system(
+            load=args.load, db=args.db, db_backend=args.db_backend
+        )
+        return system.store, system.time_values, system.store
+    store = CandidateStore(lending_schema(), args.db, backend=args.db_backend)
+    return store, [], store
+
+
+def _default_q3_feature(schema) -> str:
+    mutable = schema.mutable_indices()
+    return schema.names[int(mutable[0])] if mutable.size else schema.names[0]
+
+
+def run_query(args, out: IO[str] | None = None) -> int:
+    """Shell access to the canned questions over a stored database.
+
+    ``--json`` emits the canonical bundle serialization — byte-identical
+    to what ``serve`` returns for the same user and parameters, because
+    both go through :mod:`repro.serve.protocol`.
+    """
+    out = out if out is not None else sys.stdout
+    opened = _open_read_side(args, out, "query")
+    if opened is None:
+        return 2
+    store, time_values, owner = opened
+    try:
+        qids = [q.strip() for q in args.questions.split(",") if q.strip()]
+        unknown = [q for q in qids if q not in QUESTIONS]
+        if unknown:
+            out.write(
+                f"unknown question(s) {unknown}; available:"
+                f" {sorted(QUESTIONS)}\n"
+            )
+            return 2
+        ledger = store.cell_fingerprints(args.user)
+        if not ledger:
+            out.write(f"unknown user {args.user!r} (no stored cells)\n")
+            return 2
+        feature = args.feature or _default_q3_feature(store.schema)
+        engine = InsightEngine(store, args.user, time_values)
+        params = {
+            "q3": {"feature": feature},
+            "q6": {"alpha": args.alpha},
+            "q7": {"budget": args.budget},
+        }
+        try:
+            insights = {
+                qid: engine.ask(qid, **params.get(qid, {})) for qid in qids
+            }
+        except QueryError as exc:
+            out.write(f"query failed: {exc}\n")
+            return 2
+        if args.json:
+            out.write(dumps(bundle_payload(args.user, insights, ledger)) + "\n")
+        else:
+            out.write(screen_header(f"Plans and Insights — {args.user}") + "\n")
+            for insight in insights.values():
+                out.write(insight_block(insight) + "\n\n")
+        return 0
+    finally:
+        owner.close()
+
+
+def run_serve(args, out: IO[str] | None = None) -> int:
+    """The serving tier: async HTTP/JSON API over the candidate store.
+
+    Serves ``/insights`` (the rendered per-user bundle), ``/q/<qid>``,
+    ``/healthz`` and ``/stats``; responses are cached per fingerprint
+    vector and read through per-shard read-only replicas.  Runs until
+    interrupted (or ``--max-requests``, for scripted runs).
+    """
+    out = out if out is not None else sys.stdout
+    opened = _open_read_side(args, out, "serve")
+    if opened is None:
+        return 2
+    store, time_values, owner = opened
+    server = InsightServer(
+        store,
+        time_values,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        cache_enabled=not args.no_cache,
+        replicas_per_schema=args.replicas,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        out.write(
+            f"serving insights on http://{server.host}:{server.port}"
+            f" (cache={'off' if args.no_cache else args.cache_size},"
+            f" replicas/shard={args.replicas})\n"
+        )
+        out.flush()
+        try:
+            if args.max_requests is None:
+                await asyncio.Event().wait()
+            else:
+                while server.requests_served < args.max_requests:
+                    await asyncio.sleep(0.02)
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        out.write("interrupted\n")
+    finally:
+        owner.close()
+    out.write(f"served {server.requests_served} requests\n")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
     handlers = {
@@ -986,6 +1187,8 @@ def main(argv: list[str] | None = None) -> int:
         "refresh-workers": run_refresh_workers,
         "refresh-orchestrator": run_refresh_orchestrator,
         "rebalance": run_rebalance,
+        "query": run_query,
+        "serve": run_serve,
     }
     return handlers[args.command](args)
 

@@ -178,22 +178,9 @@ class InsightEngine:
 
     def _single_feature_rows(self, feature: str, times) -> list[dict[str, Any]]:
         """Best single-feature (or zero-change) candidate per covered time."""
-        rows = []
-        for t in times:
-            got = self.store._read(
-                f"""
-                SELECT c.* FROM candidates c
-                INNER JOIN temporal_inputs ti
-                    ON ti.user_id = c.user_id AND ti.time = c.time
-                WHERE c.user_id = ? AND c.time = ?
-                  AND (c.gap = 0 OR (c.gap = 1 AND c.{feature} != ti.{feature}))
-                ORDER BY c.diff LIMIT 1
-                """,
-                (self.user_id, int(t)),
-            )
-            if got:
-                rows.append(canned.row_to_dict(got[0]))
-        return rows
+        return canned.prepared(self.store).q3_plan_rows(
+            self.store.read, self.user_id, feature, times
+        )
 
     def minimal_overall_modification(self) -> Insight:
         row = canned.q4_minimal_overall_modification(self.store, self.user_id)
@@ -244,10 +231,8 @@ class InsightEngine:
     def _series(
         self, aggregate: str, zero_when_empty: bool = False
     ) -> list[tuple[int, float | None]]:
-        rows = self.store._read(
-            f"SELECT time, {aggregate} AS v FROM candidates"
-            " WHERE user_id = ? GROUP BY time",
-            (self.user_id,),
+        rows = canned.prepared(self.store).series(
+            self.store.read, self.user_id, aggregate
         )
         by_time = {int(r["time"]): float(r["v"]) for r in rows}
         default = 0.0 if zero_when_empty else None

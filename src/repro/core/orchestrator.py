@@ -148,6 +148,7 @@ class RefreshOrchestrator:
         start_method: str | None = None,
         clock=time.monotonic,
         checkpoint_digest: bool = True,
+        on_cells_refreshed=None,
         fault_hook=None,
     ):
         if n_workers < 1:
@@ -170,6 +171,12 @@ class RefreshOrchestrator:
         self.engine = engine
         self.start_method = start_method
         self.checkpoint_digest = bool(checkpoint_digest)
+        #: optional ``callable(cells)`` invoked after each drain with the
+        #: ``(user_id, time)`` cells the pool recomputed — a co-located
+        #: serving tier hooks its rendered-insight cache here for *eager*
+        #: invalidation (purely an optimisation: the cache re-validates
+        #: every hit against the fingerprint ledger regardless)
+        self.on_cells_refreshed = on_cells_refreshed
         self.fault_hook = fault_hook
         state = dict(system.saved_extra.get("orchestrator") or {})
         self._epochs_completed = int(state.get("epochs", 0))
@@ -267,6 +274,10 @@ class RefreshOrchestrator:
         if self.fault_hook is not None:
             self.fault_hook("epoch-saved")
         pool = self._dispatch_pool()
+        if self.on_cells_refreshed is not None and pool.cells_recomputed:
+            self.on_cells_refreshed(
+                tuple(cell for worker in pool.workers for cell in worker.cells)
+            )
         digest = self._epoch_digest()
         self._epochs_completed += 1
         self._checkpoint("idle", digest=digest)

@@ -14,6 +14,7 @@ from repro.db.backends import (
     make_backend,
     recover_rebalance,
 )
+from repro.db.prepared import PreparedQueries, prepared_for
 from repro.db.queries import (
     q1_no_modification,
     q2_minimal_features_set,
@@ -30,10 +31,12 @@ __all__ = [
     "BACKEND_NAMES",
     "CandidateStore",
     "MemoryBackend",
+    "PreparedQueries",
     "SQLiteBackend",
     "ShardedSQLiteBackend",
     "StoreBackend",
     "make_backend",
+    "prepared_for",
     "q7_affordable_time",
     "q1_no_modification",
     "q2_minimal_features_set",

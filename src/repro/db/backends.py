@@ -152,6 +152,31 @@ class StoreBackend:
         commit)."""
         return False
 
+    # ----------------------------------------------------- read replicas
+
+    def replica_connection(
+        self, schema: str
+    ) -> tuple[sqlite3.Connection, str] | None:
+        """A **new read-only** connection to ``schema``, or ``None``.
+
+        The serving tier's replica pool calls this to open reader
+        connections that cannot contend with (or corrupt) the write
+        path: each is an independent handle onto the schema's database,
+        opened read-only at the engine level and additionally pinned
+        with ``PRAGMA query_only`` so even a bug in the serving layer
+        cannot write through it.  Returns ``(connection, prefix)`` like
+        :meth:`write_connection`; ``None`` means the topology has no
+        separately-openable replica (in-memory databases are reachable
+        only through their creating connection) and the pool must fall
+        back to the router.  ``check_same_thread=False`` because the
+        pool hands connections to server executor threads (each
+        connection is used by one thread at a time).
+
+        A server backend (postgres/mysql) overrides this to connect to
+        an actual read replica — same seam, same pool.
+        """
+        return None
+
     @property
     def sharded(self) -> bool:
         return len(self.schemas()) > 1
@@ -167,13 +192,25 @@ class SQLiteBackend(StoreBackend):
 
     def __init__(self, path: str | Path = ":memory:"):
         self.path = str(path)
-        self.conn = sqlite3.connect(self.path, timeout=_BUSY_TIMEOUT_S)
+        # check_same_thread=False: the serving tier's replica pool falls
+        # back to this connection (behind a mutex) when the database has
+        # no separately-openable replica files
+        self.conn = sqlite3.connect(
+            self.path, timeout=_BUSY_TIMEOUT_S, check_same_thread=False
+        )
 
     def schemas(self) -> tuple[str, ...]:
         return ("main",)
 
     def schema_for(self, user_id: str) -> str:
         return "main"
+
+    def replica_connection(
+        self, schema: str
+    ) -> tuple[sqlite3.Connection, str] | None:
+        if self.path == ":memory:":
+            return None
+        return _open_replica(self.path), "main"
 
 
 class MemoryBackend(SQLiteBackend):
@@ -224,7 +261,12 @@ class ShardedSQLiteBackend(StoreBackend):
         # not ':memory:', and the lease claim path relies on the
         # router's write lock
         router = ":memory:" if self.path == ":memory:" else self.path
-        self.conn = sqlite3.connect(router, timeout=_BUSY_TIMEOUT_S)
+        # check_same_thread=False for the same reason as SQLiteBackend:
+        # the replica pool's in-memory fallback serves reads through the
+        # router from server worker threads, serialised by a mutex
+        self.conn = sqlite3.connect(
+            router, timeout=_BUSY_TIMEOUT_S, check_same_thread=False
+        )
         for i in range(n_shards):
             target = (
                 ":memory:" if self.path == ":memory:" else f"{self.path}.shard{i}"
@@ -276,11 +318,44 @@ class ShardedSQLiteBackend(StoreBackend):
     def parallel_write_schemas(self) -> bool:
         return self.path != ":memory:"
 
+    def replica_connection(
+        self, schema: str
+    ) -> tuple[sqlite3.Connection, str] | None:
+        """Read-only connection straight to the shard file.
+
+        Replica reads address the owning shard directly (prefix
+        ``main``), skipping the router's ``UNION ALL`` views — a
+        per-user read only ever needs its own shard, and the direct
+        index scan is what makes replica reads fast.
+        """
+        if self.path == ":memory:":
+            return None
+        index = int(schema.removeprefix("shard"))
+        return _open_replica(f"{self.path}.shard{index}"), "main"
+
     def close(self) -> None:
         for conn in self._shard_conns.values():
             conn.close()
         self._shard_conns.clear()
         super().close()
+
+
+def _open_replica(path: str) -> sqlite3.Connection:
+    """Open ``path`` as a read-only reader connection.
+
+    ``mode=ro`` refuses the open at the engine level if anything tried
+    to write; ``PRAGMA query_only`` belt-and-braces the session so a
+    stray ``INSERT`` raises instead of upgrading to a write lock.
+    """
+    conn = sqlite3.connect(
+        f"file:{path}?mode=ro",
+        uri=True,
+        timeout=_BUSY_TIMEOUT_S,
+        check_same_thread=False,
+    )
+    conn.row_factory = sqlite3.Row
+    conn.execute("PRAGMA query_only = ON")
+    return conn
 
 
 _BACKENDS = {

@@ -17,20 +17,24 @@ Deviations from the verbatim Figure-2 SQL, all semantic-preserving:
 Every function returns plain Python values / row dicts, ready for the
 insights layer.
 
-Positional bind parameters go through the store backend's dialect seam
-(``StoreBackend.placeholder()``) so the canned SQL survives a move to a
-``%s``-style DB-API driver unchanged; the named-parameter queries
-(Q3/Q6) bind dicts, which every DB-API paramstyle family also supports.
+The SQL itself lives in :mod:`repro.db.prepared`, compiled once per
+(dialect placeholder, feature schema) and bound per call — these
+functions are the store-facing entry points, going through the public
+:meth:`CandidateStore.read` / :attr:`CandidateStore.placeholder` seam.
+The serving tier binds the *same* compiled statements against its
+read-only replica connections, which is what guarantees byte-identical
+answers between the two paths.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from repro.db.prepared import PreparedQueries, prepared_for, row_to_dict
 from repro.db.store import CandidateStore
-from repro.exceptions import QueryError
 
 __all__ = [
+    "prepared",
     "q1_no_modification",
     "q2_minimal_features_set",
     "q3_dominant_feature",
@@ -41,12 +45,10 @@ __all__ = [
     "row_to_dict",
 ]
 
-_DIFF_EPS = 1e-9
 
-
-def row_to_dict(row) -> dict[str, Any]:
-    """Convert a sqlite3.Row to a plain dict."""
-    return {key: row[key] for key in row.keys()}
+def prepared(store: CandidateStore) -> PreparedQueries:
+    """The compiled query set matching ``store``'s dialect and schema."""
+    return prepared_for(store.placeholder, store.schema.names)
 
 
 def q1_no_modification(store: CandidateStore, user_id: str) -> int | None:
@@ -55,14 +57,7 @@ def q1_no_modification(store: CandidateStore, user_id: str) -> int | None:
     Figure 2: ``SELECT Min(time) FROM candidates WHERE diff = 0``.
     Returns the time index, or ``None`` when no such point exists.
     """
-    ph = store._ph
-    rows = store._read(
-        "SELECT MIN(time) AS t FROM candidates"
-        f" WHERE user_id = {ph} AND diff <= {ph}",
-        (user_id, _DIFF_EPS),
-    )
-    value = rows[0]["t"]
-    return None if value is None else int(value)
+    return prepared(store).q1(store.read, user_id)
 
 
 def q7_affordable_time(
@@ -76,19 +71,7 @@ def q7_affordable_time(
     can be approved, and how?"  Returns the cheapest qualifying row at
     the earliest qualifying time, or ``None``.
     """
-    if budget < 0:
-        raise QueryError("budget must be non-negative")
-    ph = store._ph
-    rows = store._read(
-        f"""
-        SELECT * FROM candidates
-        WHERE user_id = {ph} AND diff <= {ph}
-        ORDER BY time, diff, p DESC
-        LIMIT 1
-        """,
-        (user_id, float(budget)),
-    )
-    return row_to_dict(rows[0]) if rows else None
+    return prepared(store).q7(store.read, user_id, budget)
 
 
 def q2_minimal_features_set(
@@ -99,12 +82,7 @@ def q2_minimal_features_set(
     Figure 2: ``SELECT * FROM candidates ORDER BY gap LIMIT 1`` (diff then
     confidence break ties deterministically).
     """
-    rows = store._read(
-        f"SELECT * FROM candidates WHERE user_id = {store._ph}"
-        " ORDER BY gap, diff, p DESC LIMIT 1",
-        (user_id,),
-    )
-    return row_to_dict(rows[0]) if rows else None
+    return prepared(store).q2(store.read, user_id)
 
 
 def q3_dominant_feature(
@@ -117,35 +95,9 @@ def q3_dominant_feature(
     *dominant* when those times cover every time point in the user's
     horizon.  Returns ``{'times': [...], 'all_times': [...], 'dominant': bool}``.
     """
-    if feature not in store.schema:
-        raise QueryError(
-            f"unknown feature {feature!r}; schema has {store.schema.names}"
-        )
-    rows = store._read(
-        f"""
-        SELECT DISTINCT c.time AS t
-        FROM candidates c
-        WHERE c.user_id = :user AND EXISTS (
-            SELECT 1
-            FROM candidates cnd
-            INNER JOIN temporal_inputs ti
-                ON ti.time = cnd.time AND ti.user_id = cnd.user_id
-            WHERE cnd.user_id = :user
-              AND cnd.time = c.time
-              AND (cnd.gap = 0
-                   OR (cnd.gap = 1 AND cnd.{feature} != ti.{feature}))
-        )
-        ORDER BY t
-        """,
-        {"user": user_id},
+    return prepared(store).q3(
+        store.read, user_id, feature, store.times_for(user_id)
     )
-    times = [int(r["t"]) for r in rows]
-    all_times = store.times_for(user_id)
-    return {
-        "times": times,
-        "all_times": all_times,
-        "dominant": bool(all_times) and set(times) == set(all_times),
-    }
 
 
 def q4_minimal_overall_modification(
@@ -156,12 +108,7 @@ def q4_minimal_overall_modification(
     Figure 2: ``SELECT Min(diff) FROM candidates``; the full achieving row
     is returned so the UI can render the plan, not just the number.
     """
-    rows = store._read(
-        f"SELECT * FROM candidates WHERE user_id = {store._ph}"
-        " ORDER BY diff, gap, p DESC LIMIT 1",
-        (user_id,),
-    )
-    return row_to_dict(rows[0]) if rows else None
+    return prepared(store).q4(store.read, user_id)
 
 
 def q5_maximal_confidence(
@@ -171,12 +118,7 @@ def q5_maximal_confidence(
 
     Figure 2: ``SELECT * FROM candidates ORDER BY p DESC LIMIT 1``.
     """
-    rows = store._read(
-        f"SELECT * FROM candidates WHERE user_id = {store._ph}"
-        " ORDER BY p DESC, diff LIMIT 1",
-        (user_id,),
-    )
-    return row_to_dict(rows[0]) if rows else None
+    return prepared(store).q5(store.read, user_id)
 
 
 def q6_turning_point(
@@ -189,28 +131,4 @@ def q6_turning_point(
     no such candidate.  Universal quantification is encoded with a double
     ``NOT EXISTS`` (Figure 2 uses the non-portable ``>= ALL``).
     """
-    if not 0.0 <= alpha <= 1.0:
-        raise QueryError("alpha must lie in [0, 1]")
-    rows = store._read(
-        """
-        SELECT MIN(ti.time) AS t
-        FROM temporal_inputs ti
-        WHERE ti.user_id = :user
-          AND NOT EXISTS (
-              SELECT 1
-              FROM temporal_inputs t2
-              WHERE t2.user_id = :user
-                AND t2.time >= ti.time
-                AND NOT EXISTS (
-                    SELECT 1
-                    FROM candidates c
-                    WHERE c.user_id = :user
-                      AND c.time = t2.time
-                      AND c.p > :alpha
-                )
-          )
-        """,
-        {"user": user_id, "alpha": alpha},
-    )
-    value = rows[0]["t"]
-    return None if value is None else int(value)
+    return prepared(store).q6(store.read, user_id, alpha)

@@ -358,9 +358,17 @@ class CandidateStore:
     # ------------------------------------------------------------- writes
 
     @property
-    def _ph(self) -> str:
-        """The backend dialect's bind-parameter marker (DB-API seam)."""
+    def placeholder(self) -> str:
+        """The backend dialect's bind-parameter marker (DB-API seam).
+
+        Public: the canned Figure-2 queries, the prepared-statement
+        layer (:mod:`repro.db.prepared`) and the serving tier all build
+        SQL against it.
+        """
         return self._backend.placeholder()
+
+    # retained internal alias (pre-serving-tier spelling)
+    _ph = placeholder
 
     def _insert_sql(
         self, db: str, table: str, extra_columns: tuple[str, ...] = ()
@@ -1101,16 +1109,23 @@ class CandidateStore:
 
     # -------------------------------------------------------------- reads
 
-    def _read(self, query: str, params=()) -> list[sqlite3.Row]:
-        """Internal read path: trusted, fixed SQL — no expert-interface
-        policing (and none of its per-call PRAGMA round-trips).  Also
-        used by the canned Figure-2 queries (:mod:`repro.db.queries`)
-        and the insights layer; only :meth:`sql` — the expert
-        passthrough behind the canned-question UI — is policed."""
+    def read(self, query: str, params=()) -> list[sqlite3.Row]:
+        """Run trusted, fixed read SQL and return all rows.
+
+        The public read seam for code that *generates* its SQL — the
+        canned Figure-2 queries, the prepared-statement layer
+        (:mod:`repro.db.prepared`), the insights layer and the serving
+        tier.  No expert-interface policing (and none of its per-call
+        PRAGMA round-trips); only :meth:`sql` — the expert passthrough
+        behind the canned-question UI, which accepts *user* SQL — is
+        policed."""
         try:
             return self._conn.execute(query, params).fetchall()
         except sqlite3.Error as exc:
             raise StorageError(f"SQL error: {exc}") from exc
+
+    # retained internal alias (pre-serving-tier spelling)
+    _read = read
 
     def sql(self, query: str, params=()) -> list[sqlite3.Row]:
         """Expert passthrough: run **read-only** SQL and return rows.

@@ -1,0 +1,109 @@
+"""Wire format of the serving tier.
+
+One canonical JSON serialization shared by the HTTP API and the CLI's
+``--json`` output mode, so "the same answer" is checkable as *byte*
+equality: ``dumps`` sorts keys and strips whitespace, and the payload
+builders normalise every value to plain JSON types deterministically
+(sqlite3.Row → dict, numpy scalars → float/int, tuples → lists).
+
+The bundle payload carries the user's fingerprint ledger alongside the
+insights — a client (or test) can therefore verify exactly which model
+state each answer was rendered under, which is what the cache-freshness
+assertions key on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.insights import Insight
+from repro.core.plans import FeatureChange, Plan
+
+__all__ = [
+    "bundle_payload",
+    "dumps",
+    "insight_payload",
+    "plan_payload",
+]
+
+
+def dumps(payload: Any) -> str:
+    """Canonical JSON: sorted keys, no whitespace — byte-stable for
+    equal payloads regardless of construction order."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _scalar(value: Any) -> Any:
+    """Normalise numpy scalars / sqlite values to plain JSON types."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    # numpy integer/floating expose item(); anything else goes to str
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+def plan_payload(plan: Plan) -> dict[str, Any]:
+    """A :class:`Plan` as plain JSON data (text rendering included)."""
+    return {
+        "time": int(plan.time),
+        "time_value": float(plan.time_value),
+        "confidence": float(plan.confidence),
+        "diff": float(plan.diff),
+        "gap": int(plan.gap),
+        "changes": [_change_payload(change) for change in plan.changes],
+        "text": plan.describe(),
+    }
+
+
+def _change_payload(change: FeatureChange) -> dict[str, Any]:
+    return {
+        "feature": change.feature,
+        "from": float(change.from_value),
+        "to": float(change.to_value),
+    }
+
+
+def insight_payload(insight: Insight) -> dict[str, Any]:
+    """An :class:`Insight` as plain JSON data.
+
+    Row answers drop the ``id`` column: it is a storage artifact (the
+    sqlite rowid, reassigned whenever a refresh rewrites a cell), so
+    keeping it would make byte-identical model states serialize
+    differently — the same reason ``contents_digest()`` excludes it.
+    """
+    answer = insight.answer
+    if isinstance(answer, dict):
+        answer = {key: _scalar(value) if not isinstance(value, list) else
+                  [_scalar(v) for v in value] for key, value in answer.items()
+                  if key != "id"}
+    else:
+        answer = _scalar(answer)
+    return {
+        "question": insight.question,
+        "title": insight.title,
+        "answer": answer,
+        "text": insight.text,
+        "plans": [plan_payload(plan) for plan in insight.plans],
+    }
+
+
+def bundle_payload(
+    user_id: str,
+    insights: dict[str, Insight],
+    ledger: dict[int, str],
+) -> dict[str, Any]:
+    """The per-user insight bundle: every requested question's answer
+    plus the fingerprint ledger the answers were computed under."""
+    return {
+        "user": str(user_id),
+        "ledger": {str(t): fp for t, fp in sorted(ledger.items())},
+        "insights": {
+            qid: insight_payload(insight)
+            for qid, insight in sorted(insights.items())
+        },
+    }

@@ -1,0 +1,495 @@
+"""Asyncio HTTP/JSON serving tier for the Figure-2 insights.
+
+Stdlib only: ``asyncio`` streams speak a small HTTP/1.1 subset (GET,
+keep-alive), and each request's database work runs as **one** job on a
+thread-pool executor so the event loop never blocks on sqlite.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness probe.
+``GET /stats``
+    Request, cache and replica-pool counters.
+``GET /insights?user=U[&alpha=A][&feature=F][&budget=B]``
+    The rendered per-user insight bundle (Q1–Q6, plus Q7 when a budget
+    is given) with the fingerprint ledger it was computed under.
+``GET /q/<qid>?user=U[&alpha=A][&feature=F][&budget=B]``
+    One canned question (``q1`` .. ``q7``).
+
+Freshness contract
+------------------
+Every response is rendered against a **consistent fingerprint
+snapshot**: the worker reads the user's ``(time, model_fp)`` ledger,
+renders (or serves the cache entry validated against exactly that
+vector), then re-reads the ledger and retries if anything moved.
+Fingerprint transitions are one-way within an epoch (old → new, written
+in the same transaction as the candidate rows they describe), so the
+loop converges immediately once the writer's commit lands — and a
+response's ``ledger`` field is therefore always the exact model state
+its ``insights`` were computed under, refresh in flight or not.
+
+Cache hits replace the ~15–25 queries of a bundle render with a single
+indexed primary-key ledger read plus a dict lookup; replica
+connections (:mod:`repro.serve.pool`) keep even cache *misses* off the
+writers' connections.
+
+Hits are additionally served on a **fast path**: the ledger
+validation read runs inline on the event-loop thread against a
+dedicated replica (a sub-100µs indexed point read — cheaper than the
+executor round-trip it replaces), and only cache misses pay the
+thread-pool dispatch for the full render.  In-memory backends have no
+separately-openable replica, so they always take the executor path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sqlite3
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.insights import QUESTIONS, InsightEngine
+from repro.db.prepared import prepared_for
+from repro.db.store import CandidateStore
+from repro.exceptions import QueryError, ReproError
+from repro.serve.cache import InsightCache
+from repro.serve.pool import ReplicaPool
+from repro.serve.protocol import bundle_payload, dumps, insight_payload
+
+__all__ = ["InsightServer", "ServeError"]
+
+#: bound on render-retry rounds when a refresh keeps landing mid-read;
+#: each round is one ledger read + render, and fingerprint transitions
+#: are one-way, so real convergence takes 1–2 rounds
+_MAX_SNAPSHOT_RETRIES = 50
+
+
+class ServeError(ReproError):
+    """A request that cannot be served (carries an HTTP status)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class _FastReplica:
+    """One event-loop-thread replica plus the inode it was opened on."""
+
+    __slots__ = ("conn", "path", "inode")
+
+    def __init__(self, conn, path, inode):
+        self.conn = conn
+        self.path = path
+        self.inode = inode
+
+
+class InsightServer:
+    """Async HTTP server over one :class:`CandidateStore`.
+
+    Parameters
+    ----------
+    store:
+        The live store (shared with the refresh side; reads go through
+        read-only replicas where the backend supports them).
+    time_values:
+        Calendar value per time index, as in
+        :class:`~repro.core.insights.InsightEngine`.
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`
+        after :meth:`start`).
+    cache_size / cache_enabled:
+        Rendered-insight cache bound; disabling the cache renders every
+        request from SQL (the benchmark's baseline mode).
+    replicas_per_schema:
+        Read-only replica connections kept per shard.
+    executor_threads:
+        Worker threads for the blocking database/render work.
+    """
+
+    def __init__(
+        self,
+        store: CandidateStore,
+        time_values,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 4096,
+        cache_enabled: bool = True,
+        replicas_per_schema: int = 4,
+        executor_threads: int = 8,
+    ):
+        self.store = store
+        self.time_values = list(time_values)
+        self.host = host
+        self.port = int(port)
+        self.cache_enabled = bool(cache_enabled)
+        self.cache = InsightCache(cache_size)
+        self.pool = ReplicaPool(store, per_schema=replicas_per_schema)
+        # fast-path state, touched ONLY by the event-loop thread (so no
+        # locks): one replica per schema, the compiled ledger SQL, and a
+        # parsed-plan cache keyed on the raw request target
+        self._fast_replicas: dict[str, _FastReplica] = {}
+        self._fast_built_for: object | None = None
+        self._fast_ledger_sql: str | None = None
+        self._plan_cache: dict[str, tuple] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_threads, thread_name_prefix="serve"
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self.requests_served = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (resolves :attr:`port`)."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=True)
+        self.pool.close()
+        for replica in self._fast_replicas.values():
+            replica.conn.close()
+        self._fast_replicas.clear()
+
+    def start_background(self) -> str:
+        """Run the server on a dedicated event-loop thread.
+
+        Returns the base URL once the port is bound.  For tests and the
+        benchmark driver, where the caller (and the refresh writer)
+        stay on the main thread.
+        """
+        started = threading.Event()
+
+        def _run() -> None:
+            asyncio.run(self._run_until_stopped(started))
+
+        self._stop_event: asyncio.Event | None = None
+        self._thread = threading.Thread(target=_run, daemon=True)
+        self._thread.start()
+        if not started.wait(timeout=30):
+            raise ServeError(500, "server failed to start within 30s")
+        return f"http://{self.host}:{self.port}"
+
+    async def _run_until_stopped(self, started: threading.Event) -> None:
+        await self.start()
+        self._stop_event = asyncio.Event()
+        started.set()
+        await self._stop_event.wait()
+        await self.stop()
+
+    def stop_background(self) -> None:
+        if self._thread is None:
+            return
+        loop, event = self._loop, self._stop_event
+        if loop is not None and event is not None:
+            loop.call_soon_threadsafe(event.set)
+        self._thread.join(timeout=30)
+        self._thread = None
+
+    # ------------------------------------------------------- HTTP plumbing
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                # one buffered read covers request line + headers: GETs
+                # carry no body, so the head IS the request
+                try:
+                    raw = await reader.readuntil(b"\r\n\r\n")
+                except asyncio.IncompleteReadError:
+                    break
+                except asyncio.LimitOverrunError:
+                    await self._respond(writer, 400, {"error": "head too large"})
+                    break
+                head = raw.decode("latin-1")
+                request_line, _, header_block = head.partition("\r\n")
+                parts = request_line.split(None, 2)
+                if len(parts) != 3:
+                    await self._respond(writer, 400, {"error": "bad request"})
+                    break
+                method, target, _version = parts
+                keep_alive = "connection: close" not in header_block.lower()
+                status, payload = await self._dispatch(method, target)
+                self.requests_served += 1
+                alive = await self._respond(
+                    writer, status, payload, keep_alive=keep_alive
+                )
+                if not alive or not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # server shutdown with the keep-alive connection still open;
+            # close below, end the task quietly
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
+                pass
+
+    async def _respond(
+        self, writer, status: int, payload: Any, *, keep_alive: bool = False
+    ) -> bool:
+        body = (payload if isinstance(payload, str) else dumps(payload)).encode()
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(status, "Error")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+            return True
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            return False
+
+    # ----------------------------------------------------------- dispatch
+
+    async def _dispatch(self, method: str, target: str) -> tuple[int, Any]:
+        if method != "GET":
+            return 405, {"error": "only GET is supported"}
+        try:
+            plan = self._plan_cache.get(target)
+            if plan is not None:
+                return 200, await self._serve_key(*plan)
+            split = urlsplit(target)
+            path = split.path
+            query = {
+                key: values[-1] for key, values in parse_qs(split.query).items()
+            }
+            if path == "/healthz":
+                return 200, {"status": "ok"}
+            if path == "/stats":
+                return 200, self._stats_payload()
+            if path == "/insights":
+                plan = self._plan_bundle(query)
+            elif path.startswith("/q/"):
+                plan = self._plan_question(path[len("/q/"):], query)
+            else:
+                return 404, {"error": f"unknown path {path!r}"}
+            # parsing is deterministic in the target string, so cache the
+            # plan (closures included) and skip urlsplit/parse_qs on repeats
+            if len(self._plan_cache) >= 4096:
+                self._plan_cache.clear()
+            self._plan_cache[target] = plan
+            return 200, await self._serve_key(*plan)
+        except ServeError as exc:
+            return exc.status, {"error": str(exc)}
+        except QueryError as exc:
+            return 400, {"error": str(exc)}
+        except ReproError as exc:
+            return 500, {"error": str(exc)}
+
+    async def _in_executor(self, fn, *args):
+        return await self._loop.run_in_executor(self._executor, fn, *args)
+
+    async def _serve_key(self, user: str, key: tuple, render) -> str:
+        hit = self._fast_lookup(user, key)
+        if hit is not None:
+            return hit
+        return await self._in_executor(self._render_consistent, user, key, render)
+
+    def _fast_lookup(self, user: str, key: tuple) -> str | None:
+        """Cache-hit fast path, inline on the event-loop thread.
+
+        A hit needs exactly one indexed point read (the fingerprint
+        ledger) to validate — cheaper than the executor round-trip that
+        dispatching it would cost.  Uses loop-thread-only replicas (no
+        locks) with the same rebalance defences as the pool: backend
+        identity drops every replica, an inode probe per use catches a
+        swapped shard file.  Runs only when the backend has real replica
+        files; the in-memory fallback shares the router connection with
+        executor threads and must stay serialised there.
+        """
+        if not self.cache_enabled:
+            return None
+        backend = self.store.backend
+        if getattr(backend, "path", ":memory:") == ":memory:":
+            return None
+        if backend is not self._fast_built_for:
+            for replica in self._fast_replicas.values():
+                replica.conn.close()
+            self._fast_replicas.clear()
+            self._fast_built_for = backend
+            self._fast_ledger_sql = prepared_for(
+                self.store.placeholder, self.store.schema.names
+            )._sql["ledger"]
+        schema = backend.schema_for(user)
+        replica = self._fast_replicas.get(schema)
+        if replica is not None and self._inode(replica.path) != replica.inode:
+            replica.conn.close()
+            replica = None
+        if replica is None:
+            opened = backend.replica_connection(schema)
+            if opened is None:
+                return None
+            path = backend.path
+            if schema.startswith("shard"):
+                path = f"{path}.{schema}"
+            replica = _FastReplica(opened[0], path, self._inode(path))
+            self._fast_replicas[schema] = replica
+        try:
+            rows = replica.conn.execute(self._fast_ledger_sql, (user,)).fetchall()
+        except sqlite3.Error:
+            # replica went stale under us (file replaced mid-probe):
+            # drop it and let the executor path answer this request
+            replica.conn.close()
+            self._fast_replicas.pop(schema, None)
+            return None
+        if not rows:
+            raise ServeError(404, f"unknown user {user!r}")
+        # the ledger SQL is ORDER BY time, so the rows already form the
+        # sorted fingerprint vector the cache validates against
+        fps = tuple((int(row[0]), str(row[1])) for row in rows)
+        return self.cache.get(key, fps)
+
+    @staticmethod
+    def _inode(path: str) -> int | None:
+        try:
+            return os.stat(path).st_ino
+        except OSError:
+            return None
+
+    def _stats_payload(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests_served,
+            "cache": self.cache.stats.snapshot(),
+            "cache_enabled": self.cache_enabled,
+            "cache_entries": len(self.cache),
+            "pool": self.pool.stats(),
+            "fast_replicas": len(self._fast_replicas),
+        }
+
+    # ------------------------------------------------------ request parsing
+
+    @staticmethod
+    def _require_user(query: dict[str, str]) -> str:
+        user = query.get("user")
+        if not user:
+            raise ServeError(400, "missing required query parameter 'user'")
+        return user
+
+    @staticmethod
+    def _float_param(query, name: str, default: float | None) -> float | None:
+        raw = query.get(name)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            raise ServeError(400, f"parameter {name!r} must be a number") from None
+
+    def _default_feature(self) -> str:
+        mutable = self.store.schema.mutable_indices()
+        if mutable.size == 0:
+            raise ServeError(
+                400,
+                "the schema has no mutable features; pass feature= explicitly",
+            )
+        return self.store.schema.names[int(mutable[0])]
+
+    # ---------------------------------------------------------- rendering
+
+    def _plan_bundle(self, query: dict[str, str]):
+        """Parse an ``/insights`` request into ``(user, cache key, render)``
+        without touching the database (runs on the event-loop thread)."""
+        user = self._require_user(query)
+        alpha = self._float_param(query, "alpha", 0.8)
+        budget = self._float_param(query, "budget", None)
+        feature = query.get("feature") or self._default_feature()
+        key = (user, "bundle", (alpha, feature, budget))
+        return user, key, lambda view: self._render_bundle(
+            view, user, alpha, feature, budget
+        )
+
+    def _plan_question(self, qid: str, query: dict[str, str]):
+        """Parse a ``/q/<qid>`` request into ``(user, cache key, render)``."""
+        if qid not in QUESTIONS:
+            raise ServeError(
+                404, f"unknown question {qid!r}; available: {sorted(QUESTIONS)}"
+            )
+        user = self._require_user(query)
+        params: dict[str, Any] = {}
+        if qid == "q3":
+            params["feature"] = query.get("feature") or self._default_feature()
+        elif qid == "q6":
+            params["alpha"] = self._float_param(query, "alpha", 0.8)
+        elif qid == "q7":
+            params["budget"] = self._float_param(query, "budget", 1.0)
+        key = (user, qid, tuple(sorted(params.items())))
+        return user, key, lambda view: self._render_question(
+            view, user, qid, params
+        )
+
+    def _render_bundle(
+        self, view, user: str, alpha: float, feature: str, budget: float | None
+    ) -> dict[str, Any]:
+        engine = InsightEngine(view, user, self.time_values)
+        insights = {
+            "q1": engine.ask("q1"),
+            "q2": engine.ask("q2"),
+            "q3": engine.ask("q3", feature=feature),
+            "q4": engine.ask("q4"),
+            "q5": engine.ask("q5"),
+            "q6": engine.ask("q6", alpha=alpha),
+        }
+        if budget is not None:
+            insights["q7"] = engine.ask("q7", budget=budget)
+        return {"kind": "bundle", "insights": insights}
+
+    def _render_question(
+        self, view, user: str, qid: str, params: dict[str, Any]
+    ) -> dict[str, Any]:
+        engine = InsightEngine(view, user, self.time_values)
+        return {"kind": "question", "insight": engine.ask(qid, **params)}
+
+    def _render_consistent(self, user: str, key: tuple, render) -> str:
+        """Serve ``key`` from cache or render it — under a consistent
+        fingerprint snapshot (see module docstring)."""
+        with self.pool.view(user) as view:
+            for _ in range(_MAX_SNAPSHOT_RETRIES):
+                ledger = view.cell_fingerprints(user)
+                if not ledger:
+                    raise ServeError(404, f"unknown user {user!r}")
+                fps = InsightCache.fingerprint_vector(ledger)
+                if self.cache_enabled:
+                    hit = self.cache.get(key, fps)
+                    if hit is not None:
+                        return hit
+                rendered = render(view)
+                if view.cell_fingerprints(user) != ledger:
+                    continue  # a refresh landed mid-render: re-read
+                body = self._serialize(user, ledger, rendered)
+                if self.cache_enabled:
+                    self.cache.put(key, fps, body)
+                return body
+        raise ServeError(503, "store is being rewritten faster than it can be read")
+
+    @staticmethod
+    def _serialize(user: str, ledger: dict[int, str], rendered: dict) -> str:
+        if rendered["kind"] == "bundle":
+            return dumps(bundle_payload(user, rendered["insights"], ledger))
+        payload = insight_payload(rendered["insight"])
+        payload["user"] = str(user)
+        payload["ledger"] = {str(t): fp for t, fp in sorted(ledger.items())}
+        return dumps(payload)

@@ -179,3 +179,139 @@ class TestRebalanceVerb:
         out = io.StringIO()
         assert run_rebalance(args, out) == 2
         assert "failed" in out.getvalue()
+
+
+class TestQueryVerb:
+    def _populated_db(self, schema, john, tmp_path):
+        import numpy as np
+
+        from repro.core import Candidate, CandidateMetrics
+        from repro.db import CandidateStore
+
+        db = tmp_path / "query.db"
+        with CandidateStore(schema, db) as store:
+            trajectory = np.vstack([john, john])
+            store.store_temporal_inputs(
+                "u1", trajectory, fingerprints={0: "fpa", 1: "fpb"}
+            )
+            store.store_candidates(
+                "u1",
+                [
+                    Candidate(
+                        trajectory[1], 1,
+                        CandidateMetrics(diff=0.0, gap=0, confidence=0.7),
+                    )
+                ],
+                fingerprints={0: "fpa", 1: "fpb"},
+            )
+        return db
+
+    def test_json_mode_emits_canonical_bundle(self, schema, john, tmp_path):
+        import json
+
+        from repro.app.cli import run_query
+
+        db = self._populated_db(schema, john, tmp_path)
+        args = make_parser().parse_args(
+            ["--db", str(db), "query", "--user", "u1", "--json"]
+        )
+        out = io.StringIO()
+        assert run_query(args, out) == 0
+        payload = json.loads(out.getvalue())
+        assert payload["user"] == "u1"
+        assert payload["ledger"] == {"0": "fpa", "1": "fpb"}
+        assert set(payload["insights"]) == {"q1", "q2", "q3", "q4", "q5", "q6"}
+        # canonical serialization: re-dumping is byte-identical
+        from repro.serve import dumps
+
+        assert out.getvalue().strip() == dumps(payload)
+
+    def test_json_matches_the_http_wire_format(self, schema, john, tmp_path):
+        """CLI --json and the HTTP bundle are byte-identical for the
+        same user and parameters (shared protocol module)."""
+        import http.client
+        import threading
+
+        from repro.app.cli import run_query, run_serve
+
+        db = self._populated_db(schema, john, tmp_path)
+        args = make_parser().parse_args(
+            ["--db", str(db), "query", "--user", "u1", "--json"]
+        )
+        out = io.StringIO()
+        assert run_query(args, out) == 0
+        cli_body = out.getvalue().strip()
+
+        serve_args = make_parser().parse_args(
+            ["--db", str(db), "serve", "--port", "0", "--max-requests", "1"]
+        )
+        serve_out = io.StringIO()
+        thread = threading.Thread(
+            target=run_serve, args=(serve_args, serve_out), daemon=True
+        )
+        thread.start()
+        import re
+        import time as _time
+
+        port = None
+        for _ in range(300):
+            match = re.search(r"http://127\.0\.0\.1:(\d+)", serve_out.getvalue())
+            if match:
+                port = int(match.group(1))
+                break
+            _time.sleep(0.02)
+        assert port, "serve verb never printed its URL"
+        conn = http.client.HTTPConnection("127.0.0.1", port)
+        # q6 via CLI uses the global --alpha default (0.55): match it
+        conn.request("GET", "/insights?user=u1&alpha=0.55")
+        resp = conn.getresponse()
+        http_body = resp.read().decode()
+        conn.close()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert resp.status == 200
+        assert http_body == cli_body
+        assert "served 1 requests" in serve_out.getvalue()
+
+    def test_unknown_user_exit_2(self, schema, john, tmp_path):
+        from repro.app.cli import run_query
+
+        db = self._populated_db(schema, john, tmp_path)
+        args = make_parser().parse_args(
+            ["--db", str(db), "query", "--user", "ghost"]
+        )
+        out = io.StringIO()
+        assert run_query(args, out) == 2
+        assert "ghost" in out.getvalue()
+
+    def test_unknown_question_exit_2(self, schema, john, tmp_path):
+        from repro.app.cli import run_query
+
+        db = self._populated_db(schema, john, tmp_path)
+        args = make_parser().parse_args(
+            ["--db", str(db), "query", "--user", "u1", "--questions", "q1,q9"]
+        )
+        out = io.StringIO()
+        assert run_query(args, out) == 2
+        assert "q9" in out.getvalue()
+
+    def test_requires_db_or_load(self):
+        from repro.app.cli import run_query
+
+        args = make_parser().parse_args(["query", "--user", "u1"])
+        out = io.StringIO()
+        assert run_query(args, out) == 2
+        assert "--db" in out.getvalue()
+
+    def test_verbal_mode_renders_insight_blocks(self, schema, john, tmp_path):
+        from repro.app.cli import run_query
+
+        db = self._populated_db(schema, john, tmp_path)
+        args = make_parser().parse_args(
+            ["--db", str(db), "query", "--user", "u1", "--questions", "q1"]
+        )
+        out = io.StringIO()
+        assert run_query(args, out) == 0
+        text = out.getvalue()
+        assert "Plans and Insights" in text
+        assert "No modification" in text

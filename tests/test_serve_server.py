@@ -1,0 +1,326 @@
+"""HTTP serving tier: endpoints, byte-identity, errors, lifecycle.
+
+The load-bearing assertion is *identity*: the HTTP bundle must be
+byte-for-byte what the direct InsightEngine-over-the-store path
+serializes to, cache on or off, cold or warm — the serving tier is an
+optimisation, never a different answer.  Also covers the orchestrator's
+``on_cells_refreshed`` hook feeding the cache's eager invalidation.
+"""
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Candidate, CandidateMetrics
+from repro.core.insights import InsightEngine
+from repro.db import CandidateStore
+from repro.serve import (
+    InsightServer,
+    ServeError,
+    bundle_payload,
+    dumps,
+    insight_payload,
+)
+
+TIME_VALUES = [2024.0, 2025.0, 2026.0, 2027.0]
+USERS = ["u1", "u2"]
+
+
+def cand(x, time, diff, gap, p):
+    return Candidate(
+        np.asarray(x, dtype=float),
+        time,
+        CandidateMetrics(diff=diff, gap=gap, confidence=p),
+    )
+
+
+def fill_user(store, user, base):
+    debt = store.schema.index_of("monthly_debt")
+    income = store.schema.index_of("annual_income")
+    trajectory = np.vstack([base] * 4)
+    fps = {t: f"fp-{user}-{t}" for t in range(4)}
+    store.store_temporal_inputs(user, trajectory, fingerprints=fps)
+    two = trajectory[0].copy()
+    two[debt] -= 500
+    two[income] += 5_000
+    one = trajectory[2].copy()
+    one[debt] -= 800
+    store.store_candidates(
+        user,
+        [
+            cand(two, 0, diff=2.0, gap=2, p=0.60),
+            cand(trajectory[1], 1, diff=0.0, gap=0, p=0.55),
+            cand(one, 2, diff=1.0, gap=1, p=0.90),
+        ],
+        fingerprints=fps,
+    )
+
+
+def default_feature(schema):
+    return schema.names[int(schema.mutable_indices()[0])]
+
+
+def direct_bundle(store, user, *, alpha=0.8, budget=None, time_values=TIME_VALUES):
+    feature = default_feature(store.schema)
+    engine = InsightEngine(store, user, time_values)
+    params = {"q3": {"feature": feature}, "q6": {"alpha": alpha}}
+    qids = ["q1", "q2", "q3", "q4", "q5", "q6"]
+    if budget is not None:
+        params["q7"] = {"budget": budget}
+        qids.append("q7")
+    insights = {qid: engine.ask(qid, **params.get(qid, {})) for qid in qids}
+    return dumps(bundle_payload(user, insights, store.cell_fingerprints(user)))
+
+
+def http_get(port, path):
+    conn = http.client.HTTPConnection("127.0.0.1", port)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, resp.read().decode()
+    finally:
+        conn.close()
+
+
+@pytest.fixture()
+def served(schema, john, tmp_path):
+    store = CandidateStore(
+        schema, tmp_path / "serve.db", backend="sharded", n_shards=2
+    )
+    for user in USERS:
+        fill_user(store, user, john)
+    server = InsightServer(
+        store, TIME_VALUES, replicas_per_schema=2, executor_threads=4
+    )
+    server.start_background()
+    yield server, store
+    server.stop_background()
+    store.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        server, _ = served
+        assert http_get(server.port, "/healthz") == (200, '{"status":"ok"}')
+
+    def test_stats_shape(self, served):
+        server, _ = served
+        status, body = http_get(server.port, "/stats")
+        assert status == 200
+        stats = json.loads(body)
+        assert set(stats) >= {
+            "requests", "cache", "cache_enabled", "cache_entries", "pool"
+        }
+        assert stats["cache_enabled"] is True
+
+    def test_bundle_is_byte_identical_to_direct(self, served):
+        server, store = served
+        for user in USERS:
+            expected = direct_bundle(store, user)
+            for _ in range(2):  # cold (render) and warm (cache hit)
+                assert http_get(server.port, f"/insights?user={user}") == (
+                    200, expected
+                )
+        assert server.cache.stats.hits >= len(USERS)
+
+    def test_bundle_with_budget_includes_q7(self, served):
+        server, store = served
+        expected = direct_bundle(store, "u1", budget=2.5)
+        status, body = http_get(server.port, "/insights?user=u1&budget=2.5")
+        assert (status, body) == (200, expected)
+        assert "q7" in json.loads(body)["insights"]
+
+    def test_single_question_endpoints(self, served):
+        server, store = served
+        engine = InsightEngine(store, "u1", TIME_VALUES)
+        feature = default_feature(store.schema)
+        params = {"q3": {"feature": feature}, "q6": {"alpha": 0.8},
+                  "q7": {"budget": 1.0}}
+        for qid in ("q1", "q2", "q3", "q4", "q5", "q6", "q7"):
+            status, body = http_get(server.port, f"/q/{qid}?user=u1")
+            assert status == 200, body
+            payload = json.loads(body)
+            expected = insight_payload(engine.ask(qid, **params.get(qid, {})))
+            assert payload["question"] == qid
+            assert payload["answer"] == json.loads(dumps(expected))["answer"]
+            assert payload["user"] == "u1"
+            assert payload["ledger"] == {
+                str(t): fp
+                for t, fp in store.cell_fingerprints("u1").items()
+            }
+
+    def test_keep_alive_connection_reuse(self, served):
+        server, store = served
+        expected = direct_bundle(store, "u1")
+        conn = http.client.HTTPConnection("127.0.0.1", server.port)
+        try:
+            for _ in range(3):
+                conn.request("GET", "/insights?user=u1")
+                resp = conn.getresponse()
+                assert (resp.status, resp.read().decode()) == (200, expected)
+        finally:
+            conn.close()
+
+
+class TestErrors:
+    def test_missing_user_param(self, served):
+        server, _ = served
+        status, body = http_get(server.port, "/insights")
+        assert status == 400
+        assert "user" in json.loads(body)["error"]
+
+    def test_unknown_user_404(self, served):
+        server, _ = served
+        for path in ("/insights?user=ghost", "/q/q1?user=ghost"):
+            status, body = http_get(server.port, path)
+            assert status == 404, body
+            assert "ghost" in json.loads(body)["error"]
+
+    def test_unknown_question_404(self, served):
+        server, _ = served
+        status, body = http_get(server.port, "/q/q9?user=u1")
+        assert status == 404
+        assert "q9" in json.loads(body)["error"]
+
+    def test_bad_numeric_param_400(self, served):
+        server, _ = served
+        status, body = http_get(server.port, "/insights?user=u1&alpha=high")
+        assert status == 400
+        assert "alpha" in json.loads(body)["error"]
+
+    def test_unknown_path_404(self, served):
+        server, _ = served
+        status, _ = http_get(server.port, "/nope")
+        assert status == 404
+
+    def test_non_get_405(self, served):
+        server, _ = served
+        conn = http.client.HTTPConnection("127.0.0.1", server.port)
+        try:
+            conn.request("POST", "/insights?user=u1", body="{}")
+            assert conn.getresponse().status == 405
+        finally:
+            conn.close()
+
+    def test_serve_error_carries_status(self):
+        error = ServeError(404, "nope")
+        assert error.status == 404
+        assert str(error) == "nope"
+
+
+class TestCacheModes:
+    def test_disabled_cache_still_identical(self, schema, john, tmp_path):
+        store = CandidateStore(schema, tmp_path / "nc.db", backend="sqlite")
+        fill_user(store, "u1", john)
+        server = InsightServer(store, TIME_VALUES, cache_enabled=False)
+        server.start_background()
+        try:
+            expected = direct_bundle(store, "u1")
+            for _ in range(2):
+                assert http_get(server.port, "/insights?user=u1") == (
+                    200, expected
+                )
+            assert server.cache.stats.hits == 0
+            assert len(server.cache) == 0
+        finally:
+            server.stop_background()
+            store.close()
+
+    def test_memory_backend_serves_without_replicas(self, schema, john):
+        store = CandidateStore(schema)  # :memory:
+        fill_user(store, "u1", john)
+        server = InsightServer(store, TIME_VALUES)
+        server.start_background()
+        try:
+            expected = direct_bundle(store, "u1")
+            for _ in range(2):
+                assert http_get(server.port, "/insights?user=u1") == (
+                    200, expected
+                )
+        finally:
+            server.stop_background()
+            store.close()
+
+
+class TestOrchestratorCacheHook:
+    def test_epoch_reports_recomputed_cells_to_the_hook(
+        self, schema, tmp_path
+    ):
+        """A drained epoch fires ``on_cells_refreshed`` with exactly the
+        rewritten cells, and wiring it to the cache's eager invalidation
+        drops the touched users' entries."""
+        from repro.constraints import lending_domain_constraints
+        from repro.core import (
+            AdminConfig,
+            JustInTime,
+            RefreshOrchestrator,
+            save_system,
+        )
+        from repro.data import (
+            IteratorFeed,
+            LendingGenerator,
+            TemporalDataset,
+            john_profile,
+            make_lending_dataset,
+        )
+        from repro.serve import InsightCache
+        from repro.temporal import PerPeriodStrategy, lending_update_function
+
+        history = make_lending_dataset(n_per_year=60, random_state=1)
+        system = JustInTime(
+            schema,
+            lending_update_function(schema),
+            AdminConfig(
+                T=2, strategy=PerPeriodStrategy(), k=4, max_iter=8,
+                random_state=0,
+            ),
+            domain_constraints=lending_domain_constraints(schema),
+            store_path=tmp_path / "cands.db",
+            store_backend="sqlite",
+        )
+        system.fit(history)
+        base = schema.vector(john_profile())
+        users = [("h1", base), ("h2", schema.clip(base * 1.1))]
+        system.create_sessions(users)
+        save_system(system, tmp_path / "sys.pkl")
+
+        cache = InsightCache(16)
+        fps = ((0, "x"),)
+        for user, _ in users:
+            cache.put((user, "bundle", ()), fps, "cached")
+        cache.put(("bystander", "bundle", ()), fps, "cached")
+        seen = []
+
+        def hook(cells):
+            seen.append(tuple(cells))
+            cache.invalidate_cells(cells)
+
+        start = float(np.floor(history.span[0]))
+        generator = LendingGenerator(random_state=99)
+        X = generator.sample_profiles(40) * 3.0
+        years = np.full(40, start + 1 + 0.5)
+        batch = TemporalDataset(X, generator.label(X, years), years, schema)
+        orchestrator = RefreshOrchestrator(
+            system,
+            IteratorFeed([batch]),
+            system_path=tmp_path / "sys.pkl",
+            db_path=tmp_path / "cands.db",
+            n_workers=1,
+            cadence=0.0,
+            warm_start=False,
+            checkpoint_digest=False,
+            on_cells_refreshed=hook,
+        )
+        epochs = orchestrator.run(max_polls=2, poll_interval=0.0)
+        assert len(epochs) == 1
+        assert len(seen) == 1
+        touched_users = {user for user, _time in seen[0]}
+        assert touched_users == {"h1", "h2"}
+        assert len(seen[0]) == epochs[0].report.cells_recomputed
+        # the hook's invalidation dropped exactly the touched users
+        assert cache.get(("h1", "bundle", ()), fps) is None
+        assert cache.get(("h2", "bundle", ()), fps) is None
+        assert cache.get(("bystander", "bundle", ()), fps) == "cached"
+        system.store.close()
