@@ -269,6 +269,125 @@ def run_interactive(
     return 0
 
 
+def _runtime_parents() -> dict[str, argparse.ArgumentParser]:
+    """Shared argparse parents for the operator verbs.
+
+    The refresh family (``refresh``, ``refresh-daemon``,
+    ``refresh-workers``, ``refresh-orchestrator``) and ``serve`` used to
+    re-declare the same runtime flags per subparser; each group now
+    lands once here, so a new flag (``--budget``) appears on every verb
+    that composes the parent.  ``--db``/``--db-backend`` deliberately
+    stay root-level only: a subparser copy would clobber the root's
+    parsed value with its default.
+    """
+    warm = argparse.ArgumentParser(add_help=False)
+    warm.add_argument(
+        "--cold",
+        action="store_true",
+        help="disable warm-start (bit-identical to a cold recompute)",
+    )
+    engine = argparse.ArgumentParser(add_help=False)
+    engine.add_argument(
+        "--engine",
+        default=None,
+        choices=["batch", "scalar", "fused"],
+        help="candidate-search engine for the refresh; 'fused' recomputes"
+        " the stale cells in one cross-cell vectorized pass"
+        " (byte-identical candidates either way)",
+    )
+    worker = argparse.ArgumentParser(add_help=False)
+    worker.add_argument(
+        "--workers", type=int, default=2, help="worker process count"
+    )
+    worker.add_argument(
+        "--claim-batch",
+        type=int,
+        default=2,
+        help="stale cells a worker leases per claim",
+    )
+    worker.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        help="lease duration; expired leases are reclaimable",
+    )
+    worker.add_argument(
+        "--shard-affinity",
+        action="store_true",
+        help="pin worker i to shard i %% n_shards so each worker's"
+        " upserts commit on its own shard file (sharded stores)",
+    )
+    stream = argparse.ArgumentParser(add_help=False)
+    stream.add_argument(
+        "--feed", required=True, help="append-only CSV file to tail"
+    )
+    stream.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        help="seconds to sleep between idle polls",
+    )
+    stream.add_argument(
+        "--cadence",
+        type=float,
+        default=None,
+        help="refresh every this many seconds when rows are pending",
+    )
+    stream.add_argument(
+        "--drift-mmd",
+        type=float,
+        default=None,
+        help="refresh when pending-batch MMD vs the recent history"
+        " exceeds this",
+    )
+    stream.add_argument(
+        "--drift-label-shift",
+        type=float,
+        default=None,
+        help="refresh when the pending positive-rate shift exceeds this",
+    )
+    stream.add_argument(
+        "--min-batch",
+        type=int,
+        default=1,
+        help="buffer at least this many rows before any refresh",
+    )
+    stream.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="force a refresh when this many rows are buffered",
+    )
+    stream.add_argument(
+        "--max-polls",
+        type=int,
+        default=None,
+        help="stop after this many polls (default: run forever)",
+    )
+    stream.add_argument(
+        "--max-epochs",
+        type=int,
+        default=None,
+        help="stop after this many refresh epochs",
+    )
+    budget = argparse.ArgumentParser(add_help=False)
+    budget.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="compute budget: recompute at most this many stale cells per"
+        " refresh/epoch, highest-priority users first (unspent budget"
+        " carries over between epochs; default: unlimited)",
+    )
+    return {
+        "warm": warm,
+        "engine": engine,
+        "worker": worker,
+        "stream": stream,
+        "budget": budget,
+    }
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="justintime",
@@ -301,6 +420,11 @@ def make_parser() -> argparse.ArgumentParser:
         choices=["sqlite", "memory", "sharded"],
         help="candidate store backend (default: inferred from --db)",
     )
+    parents = _runtime_parents()
+    warm, engine = parents["warm"], parents["engine"]
+    worker, stream, budget = (
+        parents["worker"], parents["stream"], parents["budget"]
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("demo", help="five denied applicants, scripted (§III)")
     sub.add_parser("quickstart", help="John's running example")
@@ -313,6 +437,7 @@ def make_parser() -> argparse.ArgumentParser:
         "refresh",
         help="re-forecast on new data and recompute only the stale"
         " (user × time-point) cells of the stored sessions",
+        parents=[warm, engine, budget],
     )
     refresh.add_argument(
         "--new-n", type=int, default=120, help="new samples to ingest"
@@ -323,86 +448,17 @@ def make_parser() -> argparse.ArgumentParser:
         default=None,
         help="timestamp of the new samples (default: latest history year)",
     )
-    refresh.add_argument(
-        "--cold",
-        action="store_true",
-        help="disable warm-start (bit-identical to a cold recompute)",
-    )
-    refresh.add_argument(
-        "--engine",
-        default=None,
-        choices=["batch", "scalar", "fused"],
-        help="candidate-search engine for this refresh; 'fused' drains"
-        " every stale cell in one cross-cell vectorized pass"
-        " (byte-identical candidates)",
-    )
-    daemon = sub.add_parser(
+    sub.add_parser(
         "refresh-daemon",
         help="stream an append-only CSV feed; refresh on drift detection"
         " and/or a fixed cadence",
-    )
-    daemon.add_argument(
-        "--feed", required=True, help="append-only CSV file to tail"
-    )
-    daemon.add_argument(
-        "--poll-interval",
-        type=float,
-        default=1.0,
-        help="seconds to sleep between idle polls",
-    )
-    daemon.add_argument(
-        "--cadence",
-        type=float,
-        default=None,
-        help="refresh every this many seconds when rows are pending",
-    )
-    daemon.add_argument(
-        "--drift-mmd",
-        type=float,
-        default=None,
-        help="refresh when pending-batch MMD vs the recent history"
-        " exceeds this",
-    )
-    daemon.add_argument(
-        "--drift-label-shift",
-        type=float,
-        default=None,
-        help="refresh when the pending positive-rate shift exceeds this",
-    )
-    daemon.add_argument(
-        "--min-batch",
-        type=int,
-        default=1,
-        help="buffer at least this many rows before any refresh",
-    )
-    daemon.add_argument(
-        "--max-pending",
-        type=int,
-        default=None,
-        help="force a refresh when this many rows are buffered",
-    )
-    daemon.add_argument(
-        "--max-polls",
-        type=int,
-        default=None,
-        help="stop after this many polls (default: run forever)",
-    )
-    daemon.add_argument(
-        "--max-epochs",
-        type=int,
-        default=None,
-        help="stop after this many refresh epochs",
-    )
-    daemon.add_argument(
-        "--cold", action="store_true", help="disable warm-start"
+        parents=[stream, warm, budget],
     )
     workers = sub.add_parser(
         "refresh-workers",
         help="refit on new data, then drain the stale cells with N"
         " lease-coordinated worker processes",
-    )
-    workers.add_argument(
-        "--workers", type=int, default=2, help="worker process count"
+        parents=[worker, warm, engine, budget],
     )
     workers.add_argument(
         "--new-n",
@@ -416,35 +472,6 @@ def make_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="timestamp of the new samples (default: latest history year)",
-    )
-    workers.add_argument(
-        "--claim-batch",
-        type=int,
-        default=2,
-        help="stale cells a worker leases per claim",
-    )
-    workers.add_argument(
-        "--lease-seconds",
-        type=float,
-        default=30.0,
-        help="lease duration; expired leases are reclaimable",
-    )
-    workers.add_argument(
-        "--shard-affinity",
-        action="store_true",
-        help="pin worker i to shard i %% n_shards so each worker's"
-        " upserts commit on its own shard file (sharded stores)",
-    )
-    workers.add_argument(
-        "--cold", action="store_true", help="disable warm-start"
-    )
-    workers.add_argument(
-        "--engine",
-        default=None,
-        choices=["batch", "scalar", "fused"],
-        help="candidate-search engine for the drain; 'fused' recomputes"
-        " each claim batch in one cross-cell vectorized pass with an"
-        " epoch-level proposal cache (byte-identical candidates)",
     )
     rebalance = sub.add_parser(
         "rebalance",
@@ -462,36 +489,7 @@ def make_parser() -> argparse.ArgumentParser:
         help="the unified continuous-refresh service: tail a feed, refit"
         " on drift/cadence epochs, drain each epoch with a worker pool,"
         " checkpoint atomically for kill-safe resume",
-    )
-    orchestrator.add_argument(
-        "--feed", required=True, help="append-only CSV file to tail"
-    )
-    orchestrator.add_argument(
-        "--workers", type=int, default=2, help="worker processes per epoch"
-    )
-    orchestrator.add_argument(
-        "--poll-interval",
-        type=float,
-        default=1.0,
-        help="seconds to sleep between idle polls",
-    )
-    orchestrator.add_argument(
-        "--cadence",
-        type=float,
-        default=None,
-        help="refresh every this many seconds when rows are pending",
-    )
-    orchestrator.add_argument(
-        "--drift-mmd",
-        type=float,
-        default=None,
-        help="refresh when pending MMD vs the recent history exceeds this",
-    )
-    orchestrator.add_argument(
-        "--drift-label-shift",
-        type=float,
-        default=None,
-        help="refresh when the pending positive-rate shift exceeds this",
+        parents=[stream, worker, warm, engine, budget],
     )
     orchestrator.add_argument(
         "--gate-mode",
@@ -509,56 +507,19 @@ def make_parser() -> argparse.ArgumentParser:
         " (a row's weight halves every this many later arrivals)",
     )
     orchestrator.add_argument(
-        "--min-batch",
-        type=int,
-        default=1,
-        help="buffer at least this many rows before any refresh",
-    )
-    orchestrator.add_argument(
-        "--max-pending",
+        "--sla-epochs",
         type=int,
         default=None,
-        help="force a refresh when this many rows are buffered",
+        help="staleness SLA: a cell stale for this many completed epochs"
+        " escalates to the front of the budgeted drain regardless of"
+        " its user's priority score",
     )
     orchestrator.add_argument(
-        "--max-polls",
-        type=int,
-        default=None,
-        help="stop after this many polls (default: run forever)",
-    )
-    orchestrator.add_argument(
-        "--max-epochs",
-        type=int,
-        default=None,
-        help="stop after this many refresh epochs",
-    )
-    orchestrator.add_argument(
-        "--claim-batch",
-        type=int,
-        default=2,
-        help="stale cells a worker leases per claim",
-    )
-    orchestrator.add_argument(
-        "--lease-seconds",
+        "--priority-halflife",
         type=float,
-        default=30.0,
-        help="lease duration; expired leases are reclaimable",
-    )
-    orchestrator.add_argument(
-        "--shard-affinity",
-        action="store_true",
-        help="pin worker i to shard i %% n_shards so each worker's"
-        " upserts commit on its own shard file (sharded stores)",
-    )
-    orchestrator.add_argument(
-        "--cold", action="store_true", help="disable warm-start"
-    )
-    orchestrator.add_argument(
-        "--engine",
-        default=None,
-        choices=["batch", "scalar", "fused"],
-        help="candidate-search engine for every epoch's drain"
-        " (byte-identical candidates either way)",
+        default=3600.0,
+        help="decay half-life (seconds) of the per-user activity scores"
+        " folded from the serving tier's access_log",
     )
     query = sub.add_parser(
         "query",
@@ -587,6 +548,13 @@ def make_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the canonical JSON bundle (the serving tier's wire"
         " format) instead of verbal insights",
+    )
+    query.add_argument(
+        "--freshness",
+        action="store_true",
+        help="add meta.freshness (seconds since the oldest backing cell"
+        " was recomputed) to the --json bundle; off by default so the"
+        " output stays byte-identical to the plain wire format",
     )
     serve = sub.add_parser(
         "serve",
@@ -619,6 +587,12 @@ def make_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="stop after serving this many requests (default: run forever)",
+    )
+    serve.add_argument(
+        "--no-access-log",
+        action="store_true",
+        help="do not record served requests into the store's access_log"
+        " (disables the refresh-priority feedback path)",
     )
     return parser
 
@@ -656,7 +630,9 @@ def run_refresh(args, out: IO[str] | None = None) -> int:
     if getattr(args, "engine", None):
         system.config.engine = args.engine
     new_data, at = _sample_new_arrivals(system, args)
-    report = system.refresh(new_data, warm_start=not args.cold)
+    report = system.refresh(
+        new_data, warm_start=not args.cold, budget=args.budget
+    )
     # the --engine override is per-run: restore the admin-chosen engine
     # before persisting (candidates are byte-identical either way)
     system.config.engine = saved_engine
@@ -678,6 +654,11 @@ def run_refresh(args, out: IO[str] | None = None) -> int:
         f" wrote {report.candidates_written} candidate rows"
         f" (warm_start={report.warm_start})\n"
     )
+    if report.deferred_cells:
+        out.write(
+            f"budget={args.budget}: {report.deferred_cells} stale cells"
+            " deferred to a later refresh (lowest-priority users first)\n"
+        )
     if report.skipped_stale_cells:
         out.write(
             f"WARNING: {report.skipped_stale_cells} stored cells are stale"
@@ -801,6 +782,7 @@ def run_refresh_daemon(args, out: IO[str] | None = None) -> int:
         min_batch=args.min_batch,
         max_pending_rows=args.max_pending,
         warm_start=False if args.cold else None,
+        budget=args.budget,
     )
     out.write(screen_header("Streaming refresh daemon") + "\n")
     out.write(
@@ -866,11 +848,16 @@ def run_refresh_workers(args, out: IO[str] | None = None) -> int:
         )
     save_system(system, args.load)
     n_stale = len(system.store.stale_cells(system.model_fingerprints))
+    # a durable budget row caps how many cells the whole pool may drain
+    # (claims decrement it transactionally, so workers never overspend
+    # it jointly); no --budget resets any stale row to unlimited
+    system.store.set_refresh_budget(args.budget)
     schema = system.schema
     system.store.close()
+    budget_txt = f" (budget: {args.budget} cells)" if args.budget else ""
     out.write(
         f"draining {n_stale} stale cells with {args.workers} worker"
-        " processes\n"
+        f" processes{budget_txt}\n"
     )
     report = run_worker_pool(
         args.load,
@@ -957,13 +944,18 @@ def run_refresh_orchestrator(args, out: IO[str] | None = None) -> int:
         lease_seconds=args.lease_seconds,
         shard_affinity=args.shard_affinity,
         engine=getattr(args, "engine", None),
+        budget=args.budget,
+        sla_epochs=args.sla_epochs,
+        priority_halflife=args.priority_halflife,
     )
     out.write(screen_header("Refresh orchestrator") + "\n")
     out.write(
         f"tailing {args.feed} from byte {start_offset};"
         f" gates: drift={'on' if gate else 'off'}"
         f" (mode={args.gate_mode}), cadence={args.cadence};"
-        f" pool: {args.workers} workers\n"
+        f" pool: {args.workers} workers;"
+        f" budget={args.budget or 'unlimited'} cells/epoch,"
+        f" sla={args.sla_epochs or 'off'}\n"
     )
     recovered = orchestrator.recover()
     if recovered is not None:
@@ -979,6 +971,22 @@ def run_refresh_orchestrator(args, out: IO[str] | None = None) -> int:
             if outcome.store_digest
             else ""
         )
+        fresh = getattr(outcome, "freshness", None)
+        fresh_txt = ""
+        if fresh:
+            tiers = fresh.get("drained_by_tier", {})
+            tier_txt = "/".join(
+                str(tiers.get(t, 0)) for t in ("hot", "warm", "cold")
+            )
+            weighted = (fresh.get("traffic_weighted") or {}).get(
+                "weighted_fresh_fraction"
+            )
+            fresh_txt = (
+                f" drained(hot/warm/cold)={tier_txt}"
+                f" sla-violations={fresh.get('sla_violations', 0)}"
+            )
+            if weighted is not None:
+                fresh_txt += f" weighted-freshness={weighted:.3f}"
         out.write(
             f"epoch {epoch.index}: trigger={epoch.trigger}"
             f"{_format_drift(epoch.drift)}"
@@ -986,7 +994,7 @@ def run_refresh_orchestrator(args, out: IO[str] | None = None) -> int:
             f" model-stale={list(outcome.stale_times)}"
             f" cells={outcome.cells_recomputed}"
             f" candidates={outcome.candidates_written}"
-            f"{digest_txt}\n"
+            f"{fresh_txt}{digest_txt}\n"
         )
         out.flush()
 
@@ -1115,7 +1123,17 @@ def run_query(args, out: IO[str] | None = None) -> int:
             out.write(f"query failed: {exc}\n")
             return 2
         if args.json:
-            out.write(dumps(bundle_payload(args.user, insights, ledger)) + "\n")
+            freshness = None
+            if getattr(args, "freshness", False):
+                freshness = _bundle_freshness_seconds(store, args.user)
+            out.write(
+                dumps(
+                    bundle_payload(
+                        args.user, insights, ledger, freshness=freshness
+                    )
+                )
+                + "\n"
+            )
         else:
             out.write(screen_header(f"Plans and Insights — {args.user}") + "\n")
             for insight in insights.values():
@@ -1123,6 +1141,21 @@ def run_query(args, out: IO[str] | None = None) -> int:
         return 0
     finally:
         owner.close()
+
+
+def _bundle_freshness_seconds(store, user_id: str) -> float | None:
+    """Seconds since the oldest ``refreshed_at`` stamp backing the
+    user's cells, or ``None`` when no cell carries a stamp yet (rows
+    predating the priority subsystem, or never refreshed)."""
+    import time
+
+    from repro.db.prepared import prepared_for
+
+    prepared = prepared_for(store.placeholder, store.schema.names)
+    oldest = prepared.oldest_stamp(store.read, user_id)
+    if oldest is None:
+        return None
+    return max(0.0, time.time() - oldest)
 
 
 def run_serve(args, out: IO[str] | None = None) -> int:
@@ -1146,6 +1179,7 @@ def run_serve(args, out: IO[str] | None = None) -> int:
         cache_size=args.cache_size,
         cache_enabled=not args.no_cache,
         replicas_per_schema=args.replicas,
+        access_log=not args.no_access_log,
     )
 
     async def _serve() -> None:

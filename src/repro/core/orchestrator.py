@@ -70,6 +70,13 @@ class EpochOutcome:
     store_digest: str | None
     #: feed cursor persisted with this epoch (``None``: feed not resumable)
     feed_offset: int | None
+    #: priority/budget/SLA outcome of this epoch — ``drained_by_tier``
+    #: (hot/warm/cold cell counts by priority score), ``sla_violations``
+    #: (escalated cells still stale after the drain),
+    #: ``traffic_weighted`` (the store's traffic-weighted freshness
+    #: snapshot) and ``budget`` (armed / remaining / carry-over).
+    #: ``None`` when the orchestrator runs without budgets and SLAs.
+    freshness: dict | None = None
 
     @property
     def cells_recomputed(self) -> int:
@@ -110,6 +117,28 @@ class RefreshOrchestrator:
         ``shard_affinity=True`` pins worker *i* to shard ``i %
         n_shards`` so each epoch's drain exploits the store's per-shard
         parallel write path (digest-identical either way).
+    budget:
+        Optional per-epoch compute budget, in cells.  Each epoch arms
+        the store's **durable** budget row with ``budget + carry-over``
+        before dispatching the pool; every worker claim decrements it
+        atomically, so the pool as a whole drains at most that many
+        cells — highest priority first, the claim scan's order.  The
+        unspent remainder carries into the next epoch (capped at one
+        ``budget``) and both live in the checkpoint + store, so a
+        ``kill -9`` anywhere preserves the queue position: a recovery
+        drain continues against whatever budget the dead epoch had
+        left.
+    sla_epochs:
+        Optional staleness SLA, in epochs: a cell continuously stale for
+        this many completed epochs is **escalated** — the claim scan
+        orders escalated cells ahead of every priority score, so heavy
+        traffic can never starve a cold user forever.  Escalated cells
+        still stale after the drain are counted as
+        ``sla_violations`` on the epoch's freshness report.
+    priority_halflife:
+        Half-life (seconds) of the decayed per-user activity score
+        folded from the serving tier's ``access_log`` at the top of
+        every epoch (:meth:`CandidateStore.materialize_priorities`).
     checkpoint_digest:
         Whether the post-drain checkpoint records
         ``contents_digest()``.  The digest is the replica-comparison /
@@ -146,6 +175,9 @@ class RefreshOrchestrator:
         shard_affinity: bool = False,
         engine: str | None = None,
         start_method: str | None = None,
+        budget: int | None = None,
+        sla_epochs: int | None = None,
+        priority_halflife: float = 3600.0,
         clock=time.monotonic,
         checkpoint_digest: bool = True,
         on_cells_refreshed=None,
@@ -153,6 +185,10 @@ class RefreshOrchestrator:
     ):
         if n_workers < 1:
             raise StorageError("n_workers must be >= 1")
+        if budget is not None and budget < 1:
+            raise StorageError("budget must be >= 1 or None")
+        if sla_epochs is not None and sla_epochs < 1:
+            raise StorageError("sla_epochs must be >= 1 or None")
         if getattr(system.store.backend, "path", ":memory:") == ":memory:":
             raise StorageError(
                 "the orchestrator needs a file-backed store: worker"
@@ -178,8 +214,19 @@ class RefreshOrchestrator:
         #: every hit against the fingerprint ledger regardless)
         self.on_cells_refreshed = on_cells_refreshed
         self.fault_hook = fault_hook
+        self.budget = None if budget is None else int(budget)
+        self.sla_epochs = None if sla_epochs is None else int(sla_epochs)
+        self.priority_halflife = float(priority_halflife)
         state = dict(system.saved_extra.get("orchestrator") or {})
         self._epochs_completed = int(state.get("epochs", 0))
+        #: unspent budget rolled into the next epoch (checkpointed)
+        self._carryover = int(state.get("carryover", 0))
+        #: first epoch index each currently-stale cell was seen stale at
+        #: (checkpointed; drives SLA escalation)
+        self._stale_since: dict[tuple[str, int], int] = {
+            (str(u), int(t)): int(e)
+            for u, t, e in state.get("stale_since", ())
+        }
         self._recovered = False
         #: pool report of the startup :meth:`recover` drain, if one ran
         self.last_recovery: PoolReport | None = None
@@ -214,6 +261,11 @@ class RefreshOrchestrator:
     def pending_rows(self) -> int:
         return self.scheduler.pending_rows
 
+    @property
+    def carryover(self) -> int:
+        """Unspent budget rolled into the next epoch (0 without one)."""
+        return self._carryover
+
     # ------------------------------------------------------------ epochs
 
     def _checkpoint(self, phase: str, *, digest: str | None = None) -> None:
@@ -234,6 +286,12 @@ class RefreshOrchestrator:
         state = {"phase": phase, "epochs": self._epochs_completed}
         if digest is not None:
             state["store_digest"] = digest
+        if self.budget is not None:
+            state["carryover"] = int(self._carryover)
+        if self._stale_since:
+            state["stale_since"] = sorted(
+                [u, t, e] for (u, t), e in self._stale_since.items()
+            )
         extra["orchestrator"] = state
         # keep the in-memory copy in sync so later saves (ours or another
         # operator verb's) carry the cursor forward instead of wiping it
@@ -250,6 +308,7 @@ class RefreshOrchestrator:
         return self.system.store.contents_digest()
 
     def _dispatch_pool(self) -> PoolReport:
+        track = self.budget is not None or self.sla_epochs is not None
         return run_worker_pool(
             self.system_path,
             self.db_path,
@@ -261,6 +320,8 @@ class RefreshOrchestrator:
             shard_affinity=self.shard_affinity,
             engine=self.engine,
             start_method=self.start_method,
+            stats_store=self.system.store if track else None,
+            fingerprints=self.system.model_fingerprints if track else None,
         )
 
     def _drain_and_checkpoint(self) -> tuple[PoolReport, str | None]:
@@ -278,6 +339,21 @@ class RefreshOrchestrator:
             self.on_cells_refreshed(
                 tuple(cell for worker in pool.workers for cell in worker.cells)
             )
+        # fold the drain's outcome into the durable budget/SLA state
+        # *before* the idle checkpoint, so the checkpointed carry-over
+        # and stale-since map always describe the post-drain store
+        if self.budget is not None:
+            remaining = self.system.store.refresh_budget_remaining()
+            self._carryover = min(int(remaining or 0), self.budget)
+        if self._stale_since:
+            still = set(
+                self.system.store.stale_cells(self.system.model_fingerprints)
+            )
+            self._stale_since = {
+                cell: first
+                for cell, first in self._stale_since.items()
+                if cell in still
+            }
         digest = self._epoch_digest()
         self._epochs_completed += 1
         self._checkpoint("idle", digest=digest)
@@ -285,11 +361,83 @@ class RefreshOrchestrator:
             self.fault_hook("epoch-complete")
         return pool, digest
 
+    def _epoch_prologue(self) -> tuple[dict, list]:
+        """Arm the epoch's priority/budget/SLA state before the drain:
+        fold the serving tier's access log into decayed scores, escalate
+        cells stale past their SLA, and arm the durable budget row with
+        ``budget + carry-over``.  Returns ``(scores, overdue)`` for the
+        post-drain freshness report."""
+        store = self.system.store
+        store.materialize_priorities(halflife_seconds=self.priority_halflife)
+        scores = store.user_priorities()
+        overdue: list[tuple[str, int]] = []
+        if self.sla_epochs is not None:
+            epoch = self._epochs_completed
+            stale = store.stale_cells(self.system.model_fingerprints)
+            self._stale_since = {
+                cell: self._stale_since.get(cell, epoch) for cell in stale
+            }
+            overdue = sorted(
+                cell
+                for cell, first in self._stale_since.items()
+                if epoch - first >= self.sla_epochs
+            )
+            store.clear_escalations()
+            if overdue:
+                store.escalate_cells(overdue)
+        if self.budget is not None:
+            store.set_refresh_budget(self.budget + self._carryover)
+        else:
+            # an operator restarting without a budget means *unlimited*:
+            # drop any budget row a previously budgeted run left armed
+            store.set_refresh_budget(None)
+        return scores, overdue
+
+    def _epoch_freshness(self, pool, scores, overdue) -> dict | None:
+        """The epoch's priority/budget/SLA outcome (``None`` when the
+        orchestrator runs without budgets and SLAs).  Tiers by score
+        snapshot: ``hot`` ≥ 1 (at least one un-decayed access), ``warm``
+        > 0, ``cold`` no recorded traffic."""
+        if self.budget is None and self.sla_epochs is None:
+            return None
+        store = self.system.store
+        tiers = {"hot": 0, "warm": 0, "cold": 0}
+        for worker in pool.workers:
+            for user_id, _t in worker.cells:
+                score = scores.get(user_id, 0.0)
+                tiers[
+                    "hot" if score >= 1.0 else "warm" if score > 0.0 else "cold"
+                ] += 1
+        # _drain_and_checkpoint already pruned fresh cells; survivors of
+        # the overdue list are the cells the SLA escalated and the
+        # budgeted drain *still* could not reach
+        violations = sum(1 for cell in overdue if cell in self._stale_since)
+        freshness = {
+            "drained_by_tier": tiers,
+            "sla_violations": violations,
+            "traffic_weighted": (
+                pool.freshness
+                if pool.freshness is not None
+                else store.traffic_weighted_freshness(
+                    self.system.model_fingerprints
+                )
+            ),
+        }
+        if self.budget is not None:
+            freshness["budget"] = {
+                "budget": self.budget,
+                "remaining": store.refresh_budget_remaining(),
+                "carryover": self._carryover,
+            }
+        return freshness
+
     def _run_epoch(self, data, warm_start) -> EpochOutcome:
-        """The scheduler's epoch executor: refit → checkpoint → drain →
-        checkpoint.  ``warm_start`` equals the scheduler's setting and is
-        forwarded to the pool (already captured in ``self.warm_start``)."""
+        """The scheduler's epoch executor: refit → arm priority/budget →
+        checkpoint → drain → checkpoint.  ``warm_start`` equals the
+        scheduler's setting and is forwarded to the pool (already
+        captured in ``self.warm_start``)."""
         stale = self.system.refit(data)
+        scores, overdue = self._epoch_prologue()
         pool, digest = self._drain_and_checkpoint()
         return EpochOutcome(
             stale_times=tuple(stale),
@@ -297,6 +445,7 @@ class RefreshOrchestrator:
             pool=pool,
             store_digest=digest,
             feed_offset=self.feed.checkpoint,
+            freshness=self._epoch_freshness(pool, scores, overdue),
         )
 
     # ----------------------------------------------------------- running
@@ -320,8 +469,16 @@ class RefreshOrchestrator:
         ``skipped_cells``), so treating them as an interrupted drain
         would dispatch a do-nothing pool — and bump the epoch counter —
         on every startup for as long as those users stay stale.
+
+        A budgeted orchestrator's recovery drain runs against whatever
+        the **durable budget row** still allows — the dead epoch's queue
+        position is preserved, never reset.  Only an orchestrator
+        configured *without* a budget clears a leftover row first
+        (restarting unbudgeted means unlimited).
         """
         self._recovered = True
+        if self.budget is None:
+            self.system.store.set_refresh_budget(None)
         fingerprints = self.system.model_fingerprints
         state = dict(self.system.saved_extra.get("orchestrator") or {})
         resumable = {

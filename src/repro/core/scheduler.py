@@ -251,6 +251,15 @@ class RefreshScheduler:
     ewma_halflife:
         Half-life, in *batches*, of the ``'ewma'`` weights: a row's
         weight halves every this many batches that arrive after it.
+    budget:
+        Optional per-epoch compute budget, in cells: each inline epoch
+        recomputes at most ``budget + carryover`` cells (highest
+        priority first — see :meth:`JustInTime.refresh`), where the
+        carry-over is the previous epoch's unspent budget, itself capped
+        at one epoch's worth so an idle stretch cannot bank an unbounded
+        burst.  Ignored when an external ``refresh`` executor is
+        injected (the orchestrator runs its own durable budget through
+        the store).
     refresh:
         The epoch executor, ``callable(data, warm_start) -> report``;
         defaults to ``system.refresh``.  The orchestrator substitutes
@@ -273,6 +282,7 @@ class RefreshScheduler:
         clock=time.monotonic,
         gate_mode: str = "merged",
         ewma_halflife: float = 2.0,
+        budget: int | None = None,
         refresh=None,
     ):
         if gate is None and cadence is None:
@@ -293,6 +303,8 @@ class RefreshScheduler:
             )
         if ewma_halflife <= 0:
             raise ForecastError("ewma_halflife must be positive")
+        if budget is not None and budget < 1:
+            raise ForecastError("budget must be >= 1 or None")
         self.system = system
         self.feed = feed
         self.gate = gate
@@ -303,6 +315,10 @@ class RefreshScheduler:
         self.clock = clock
         self.gate_mode = gate_mode
         self.ewma_halflife = float(ewma_halflife)
+        self.budget = None if budget is None else int(budget)
+        #: unspent budget carried into the next epoch (capped at one
+        #: epoch's ``budget``)
+        self.carryover = 0
         self._refresh = refresh
         self.epochs: list[RefreshEpoch] = []
         self._pending: list[TemporalDataset] = []
@@ -432,7 +448,15 @@ class RefreshScheduler:
     def _open_epoch(self, trigger: str, decision) -> RefreshEpoch:
         data = TemporalDataset.concat(self._pending)
         if self._refresh is None:
-            report = self.system.refresh(data, warm_start=self.warm_start)
+            if self.budget is None:
+                report = self.system.refresh(data, warm_start=self.warm_start)
+            else:
+                effective = self.budget + self.carryover
+                report = self.system.refresh(
+                    data, warm_start=self.warm_start, budget=effective
+                )
+                spent = int(getattr(report, "cells_recomputed", effective))
+                self.carryover = min(max(0, effective - spent), self.budget)
         else:
             report = self._refresh(data, self.warm_start)
         epoch = RefreshEpoch(

@@ -164,6 +164,13 @@ class RefreshReport:
     #: dedupe_hits, cache_hits, cache_misses, ...) of the recompute —
     #: the drain-efficiency view; ``None`` when nothing was recomputed
     search: dict | None = None
+    #: stale cells a refresh ``budget`` deferred to a later epoch (they
+    #: stay stale in the ledger); 0 on unbudgeted refreshes
+    deferred_cells: int = 0
+    #: post-refresh :meth:`CandidateStore.traffic_weighted_freshness`
+    #: snapshot — only populated on budgeted refreshes (the scan is
+    #: O(store) and the unbudgeted path always ends fully fresh)
+    freshness: dict | None = None
 
 
 class JustInTime:
@@ -506,6 +513,7 @@ class JustInTime:
         now: float | None = None,
         history: TemporalDataset | None = None,
         warm_start: bool | None = None,
+        budget: int | None = None,
     ) -> RefreshReport:
         """Re-forecast on fresh data and recompute only the stale cells.
 
@@ -533,6 +541,14 @@ class JustInTime:
         disabled, recomputed cells are bit-identical to a cold
         recompute.  The fit-time ``diff_scale`` is intentionally kept so
         stored ``diff`` values stay comparable across refreshes.
+
+        ``budget`` caps the recompute at that many cells, **highest
+        priority first** (the store's ``user_priority`` scores, ties in
+        the deterministic (user, time) claim order); the cells beyond
+        the budget keep their old ledger fingerprints, stay stale, and
+        are reported as ``deferred_cells`` — the next refresh (or a
+        worker drain) picks them up.  ``None`` (the default) recomputes
+        everything, unchanged from before.
         """
         cfg = self.config
         stale = self.refit(new_data, now=now, history=history)
@@ -568,9 +584,39 @@ class JustInTime:
             cell_times[session.user_id] |= horizon - set(
                 ledger.get(session.user_id, ())
             )
+        deferred = 0
+        if budget is not None:
+            budget = int(budget)
+            if budget < 0:
+                raise ForecastError("budget must be >= 0 or None")
+            flat = [
+                (user_id, t)
+                for user_id, times in cell_times.items()
+                for t in times
+            ]
+            if len(flat) > budget:
+                scores = self.store.user_priorities()
+                flat.sort(
+                    key=lambda cell: (
+                        -scores.get(cell[0], 0.0), cell[0], cell[1]
+                    )
+                )
+                deferred = len(flat) - budget
+                kept: dict[str, set[int]] = {
+                    user_id: set() for user_id in cell_times
+                }
+                for user_id, t in flat[:budget]:
+                    kept[user_id].add(t)
+                cell_times = kept
         if not sessions or not any(cell_times.values()):
             return RefreshReport(
-                tuple(stale), fresh, len(sessions), 0, 0, warm, skipped
+                tuple(stale), fresh, len(sessions), 0, 0, warm, skipped,
+                deferred_cells=deferred,
+                freshness=(
+                    self.store.traffic_weighted_freshness(fingerprints)
+                    if budget is not None
+                    else None
+                ),
             )
 
         def run_one(task):
@@ -655,6 +701,12 @@ class JustInTime:
             warm,
             skipped,
             search=search_counter_totals(stats for _, stats in results),
+            deferred_cells=deferred,
+            freshness=(
+                self.store.traffic_weighted_freshness(fingerprints)
+                if budget is not None
+                else None
+            ),
         )
 
     def _merge_history(

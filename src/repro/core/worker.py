@@ -78,6 +78,10 @@ class PoolReport:
     skipped_cells: tuple
     #: per-key sum of the workers' :attr:`WorkerReport.search` counters
     search: dict = field(default_factory=dict)
+    #: post-drain :meth:`CandidateStore.traffic_weighted_freshness`
+    #: snapshot (``stats_store``/``fingerprints`` given to
+    #: :func:`run_worker_pool`); ``None`` otherwise
+    freshness: dict | None = None
 
 
 def drain_stale_cells(
@@ -219,6 +223,13 @@ def drain_stale_cells(
             prefer_schema=claim_schema,
         )
         if not claimed:
+            if store.refresh_budget_remaining() == 0:
+                # the epoch's durable compute budget is spent: remaining
+                # stale cells are *deferred*, not leased — waiting here
+                # would spin forever (nothing will free more budget
+                # until the orchestrator re-arms it next epoch)
+                store.prune_expired_leases(now=clock())
+                break
             if not store.has_stale_cells(fingerprints, exclude=unrecoverable):
                 # queue genuinely drained; sweep expired lease rows left
                 # behind by workers that died after upserting a cell but
@@ -416,6 +427,8 @@ def run_worker_pool(
     engine: str | None = None,
     start_method: str | None = None,
     timeout: float | None = None,
+    stats_store=None,
+    fingerprints: dict[int, str] | None = None,
 ) -> PoolReport:
     """Spawn ``n_workers`` processes draining one shared store.
 
@@ -429,6 +442,11 @@ def run_worker_pool(
     a crashed worker are recovered by the survivors once the lease
     expires, so a partial pool failure leaves the store consistent,
     merely unfinished.
+
+    ``stats_store`` + ``fingerprints`` (the coordinator's open store
+    and current model fingerprints) attach a post-drain
+    traffic-weighted freshness snapshot to the report — how much of the
+    read traffic a *budgeted* (possibly partial) drain left fresh.
     """
     if n_workers < 1:
         raise StorageError("n_workers must be >= 1")
@@ -499,10 +517,14 @@ def run_worker_pool(
     for r in reports:
         for key, value in (r.search or {}).items():
             search_totals[key] = search_totals.get(key, 0) + int(value)
+    freshness = None
+    if stats_store is not None and fingerprints is not None:
+        freshness = stats_store.traffic_weighted_freshness(fingerprints)
     return PoolReport(
         workers=tuple(reports),
         cells_recomputed=sum(len(r.cells) for r in reports),
         candidates_written=sum(r.candidates_written for r in reports),
         skipped_cells=tuple(skipped),
         search=search_totals,
+        freshness=freshness,
     )

@@ -122,6 +122,10 @@ class PreparedQueries:
                 "SELECT * FROM temporal_inputs"
                 f" WHERE user_id = {ph} AND time = {ph}"
             ),
+            "oldest_stamp": (
+                "SELECT MIN(refreshed_at) AS oldest FROM temporal_inputs"
+                f" WHERE user_id = {ph}"
+            ),
         }
         #: per-feature SQL (Q3 and its plan lookup) built on first use
         self._feature_sql: dict[str, tuple[str, str]] = {}
@@ -265,6 +269,17 @@ class PreparedQueries:
         """The raw temporal-input row of one cell, or ``None``."""
         rows = read(self._sql["input"], (user_id, int(time)))
         return rows[0] if rows else None
+
+    def oldest_stamp(self, read: Reader, user_id: str) -> float | None:
+        """The oldest ``refreshed_at`` stamp among the user's cells —
+        the upper bound on how stale any answer for this user can be.
+        ``None`` for unknown users or stores whose rows predate the
+        stamp column (``refreshed_at = 0``)."""
+        rows = read(self._sql["oldest_stamp"], (user_id,))
+        value = rows[0]["oldest"] if rows else None
+        if value is None or float(value) <= 0:
+            return None
+        return float(value)
 
 
 _PREPARED_CACHE: dict[tuple, PreparedQueries] = {}

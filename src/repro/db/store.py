@@ -20,6 +20,19 @@ paper's Figure 2 shows):
     long-running service can rehydrate sessions after a restart and
     refresh them.
 
+``access_log(user_id, question, accessed_at)`` /
+``user_priority(user_id, score, updated_at)``
+    The serving-tier feedback loop: the HTTP tier appends raw read
+    events (batched, fire-and-forget), and
+    :meth:`CandidateStore.materialize_priorities` folds them into a
+    half-life-decayed per-user activity score.  The claim scan orders
+    stale cells by that score, so a constrained refresh budget is spent
+    where read traffic actually lands.
+
+``refresh_escalations(user_id, time)``
+    Cells escalated past their staleness SLA: the orchestrator marks
+    them and the claim scan drains them ahead of any score.
+
 ``refresh_leases(user_id, time, worker_id, lease_expires_at)``
     Cross-process refresh coordination: a worker that intends to
     recompute a stale (user, t) cell first *claims* it by writing a
@@ -84,7 +97,7 @@ from repro.exceptions import StorageError
 __all__ = ["CandidateStore"]
 
 _IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
-_RESERVED = {"id", "user_id", "time", "diff", "gap", "p", "model_fp"}
+_RESERVED = {"id", "user_id", "time", "diff", "gap", "p", "model_fp", "refreshed_at"}
 
 #: statement openers accepted by the read-only expert passthrough
 _READONLY_OPENERS = ("select", "with", "values", "explain")
@@ -209,6 +222,7 @@ class CandidateStore:
                 time INTEGER NOT NULL,
                 {feature_cols},
                 model_fp TEXT NOT NULL DEFAULT '',
+                refreshed_at REAL NOT NULL DEFAULT 0,
                 PRIMARY KEY (user_id, time)
             )
             """,
@@ -250,6 +264,35 @@ class CandidateStore:
                 payload TEXT NOT NULL
             )
             """,
+            # raw serving-tier read events, drained (and deleted) by
+            # materialize_priorities — a spool, never a long-lived table
+            f"""
+            CREATE TABLE IF NOT EXISTS {db}.access_log (
+                user_id TEXT NOT NULL,
+                question TEXT NOT NULL,
+                accessed_at REAL NOT NULL
+            )
+            """,
+            f"CREATE INDEX IF NOT EXISTS {db}.idx_access_log_user"
+            " ON access_log (user_id)",
+            f"""
+            CREATE TABLE IF NOT EXISTS {db}.user_priority (
+                user_id TEXT PRIMARY KEY,
+                score REAL NOT NULL,
+                updated_at REAL NOT NULL
+            )
+            """,
+            # covering: the claim scan's LEFT JOIN probes (user_id) and
+            # reads only score, so the lookup never touches the table
+            f"CREATE INDEX IF NOT EXISTS {db}.idx_user_priority_score"
+            " ON user_priority (user_id, score)",
+            f"""
+            CREATE TABLE IF NOT EXISTS {db}.refresh_escalations (
+                user_id TEXT NOT NULL,
+                time INTEGER NOT NULL,
+                PRIMARY KEY (user_id, time)
+            )
+            """,
         ]
 
     def _ledger_index_sql(self, db: str) -> str:
@@ -289,6 +332,16 @@ class CandidateStore:
             new_shards INTEGER NOT NULL
         )
         """,
+        # the per-epoch compute budget, shared by every claiming worker:
+        # each claim decrements `remaining` inside its own BEGIN
+        # IMMEDIATE transaction, so the cap holds across processes and
+        # survives kill -9 mid-drain.  No row means unlimited.
+        """
+        CREATE TABLE IF NOT EXISTS main.refresh_budget (
+            id INTEGER PRIMARY KEY CHECK (id = 1),
+            remaining INTEGER NOT NULL
+        )
+        """,
     )
 
     def _create_tables(self) -> None:
@@ -313,6 +366,14 @@ class CandidateStore:
                             f"ALTER TABLE {db}.{table} ADD COLUMN"
                             " model_fp TEXT NOT NULL DEFAULT ''"
                         )
+                    # pre-priority databases lack the freshness stamp;
+                    # 0 reads as "never stamped", which freshness
+                    # reporting surfaces rather than treating as ancient
+                    if table == "temporal_inputs" and "refreshed_at" not in columns:
+                        self._conn.execute(
+                            f"ALTER TABLE {db}.{table} ADD COLUMN"
+                            " refreshed_at REAL NOT NULL DEFAULT 0"
+                        )
                 # created after the legacy migration so model_fp exists
                 self._conn.execute(self._ledger_index_sql(db))
             if self._backend.sharded:
@@ -325,6 +386,9 @@ class CandidateStore:
                     "candidates",
                     "user_sessions",
                     "refresh_leases",
+                    "access_log",
+                    "user_priority",
+                    "refresh_escalations",
                 ):
                     union = " UNION ALL ".join(
                         f"SELECT * FROM {db}.{table}"
@@ -381,7 +445,11 @@ class CandidateStore:
         )
 
     def _input_rows(
-        self, user_id: str, trajectory, fingerprints: dict[int, str] | None
+        self,
+        user_id: str,
+        trajectory,
+        fingerprints: dict[int, str] | None,
+        stamp: float | None = None,
     ) -> list[tuple]:
         trajectory = np.atleast_2d(np.asarray(trajectory, dtype=float))
         if trajectory.shape[1] != len(self.schema):
@@ -390,8 +458,9 @@ class CandidateStore:
                 f" schema expects {len(self.schema)}"
             )
         fingerprints = fingerprints or {}
+        stamp = float(self.clock_now() if stamp is None else stamp)
         return [
-            (user_id, t, *map(float, row), fingerprints.get(t) or "")
+            (user_id, t, *map(float, row), fingerprints.get(t) or "", stamp)
             for t, row in enumerate(trajectory)
         ]
 
@@ -450,7 +519,10 @@ class CandidateStore:
                 (user_id,),
             )
             conn.executemany(
-                self._insert_sql(prefix, "temporal_inputs", ("model_fp",)), rows
+                self._insert_sql(
+                    prefix, "temporal_inputs", ("model_fp", "refreshed_at")
+                ),
+                rows,
             )
 
     def store_candidates(
@@ -491,6 +563,7 @@ class CandidateStore:
         """
         per_db: dict[str, list] = {}
         seen: set[str] = set()
+        stamp = self.clock_now()
         for user_id, trajectory, candidates in sessions:
             if user_id in seen:
                 raise StorageError(
@@ -498,7 +571,9 @@ class CandidateStore:
                 )
             seen.add(user_id)
             per_db.setdefault(self._db_for(user_id), []).append(
-                _SessionWrite(self, user_id, trajectory, candidates, fingerprints)
+                _SessionWrite(
+                    self, user_id, trajectory, candidates, fingerprints, stamp
+                )
             )
         for spec in specs or ():
             per_db.setdefault(self._db_for(spec[0]), []).append(
@@ -529,11 +604,14 @@ class CandidateStore:
         """
         fingerprints = fingerprints or {}
         per_db: dict[str, list] = {}
+        stamp = self.clock_now()
         for cell in cells:
             user_id, time, candidates = cell[0], int(cell[1]), cell[2]
             x_t = cell[3] if len(cell) > 3 else None
             per_db.setdefault(self._db_for(user_id), []).append(
-                _CellWrite(self, user_id, time, candidates, x_t, fingerprints)
+                _CellWrite(
+                    self, user_id, time, candidates, x_t, fingerprints, stamp
+                )
             )
         return self._grouped_write(per_db)
 
@@ -751,7 +829,7 @@ class CandidateStore:
         feats = list(self.schema.names)
         return (
             ["id", "user_id", "time", *feats, "diff", "gap", "p", "model_fp"],
-            ["user_id", "time", *feats, "model_fp"],
+            ["user_id", "time", *feats, "model_fp", "refreshed_at"],
         )
 
     def _apply_undo(self, conn, prefix: str, payload: dict) -> None:
@@ -993,7 +1071,7 @@ class CandidateStore:
         copies = (
             (
                 "temporal_inputs",
-                f"user_id, time, {feats}, model_fp",
+                f"user_id, time, {feats}, model_fp, refreshed_at",
                 "ORDER BY user_id, time",
             ),
             (
@@ -1005,6 +1083,21 @@ class CandidateStore:
             (
                 "refresh_leases",
                 "user_id, time, worker_id, lease_expires_at",
+                "ORDER BY user_id, time",
+            ),
+            (
+                "access_log",
+                "user_id, question, accessed_at",
+                "ORDER BY user_id, accessed_at",
+            ),
+            (
+                "user_priority",
+                "user_id, score, updated_at",
+                "ORDER BY user_id",
+            ),
+            (
+                "refresh_escalations",
+                "user_id, time",
                 "ORDER BY user_id, time",
             ),
         )
@@ -1023,6 +1116,9 @@ class CandidateStore:
                         " UNION SELECT user_id FROM candidates"
                         " UNION SELECT user_id FROM user_sessions"
                         " UNION SELECT user_id FROM refresh_leases"
+                        " UNION SELECT user_id FROM access_log"
+                        " UNION SELECT user_id FROM user_priority"
+                        " UNION SELECT user_id FROM refresh_escalations"
                     )
                 )
             finally:
@@ -1357,6 +1453,14 @@ class CandidateStore:
         distinct shard files and their writes never contend on one
         lock.  ``None`` keeps the global ledger order.  Returns the
         claimed cells.
+
+        When a refresh budget is armed (:meth:`set_refresh_budget`),
+        the claim is additionally capped at the budget's remaining
+        cells, and the remainder is decremented by the number actually
+        claimed — all inside the same ``BEGIN IMMEDIATE``, so
+        concurrent workers can never jointly overspend the budget.  An
+        exhausted budget claims nothing (workers observe this via
+        :meth:`refresh_budget_remaining` and stop instead of spinning).
         """
         if limit < 1:
             raise StorageError("limit must be >= 1")
@@ -1366,12 +1470,22 @@ class CandidateStore:
         claimed: list[tuple[str, int]] = []
         self._begin_immediate()
         try:
+            budget_row = self._read(
+                "SELECT remaining FROM main.refresh_budget WHERE id = 1"
+            )
+            scan_limit = int(limit)
+            if budget_row:
+                remaining = int(budget_row[0]["remaining"])
+                if remaining <= 0:
+                    self._conn.commit()
+                    return []
+                scan_limit = min(scan_limit, remaining)
             candidates = self._claimable_cells(
-                fingerprints, worker_id, now, limit + len(excluded),
+                fingerprints, worker_id, now, scan_limit + len(excluded),
                 prefer_schema=prefer_schema,
             )
             for user_id, t in candidates:
-                if len(claimed) >= limit:
+                if len(claimed) >= scan_limit:
                     break
                 if (user_id, t) in excluded:
                     continue
@@ -1392,6 +1506,12 @@ class CandidateStore:
                 )
                 if cursor.rowcount:
                     claimed.append((user_id, t))
+            if budget_row and claimed:
+                self._conn.execute(
+                    "UPDATE main.refresh_budget"
+                    f" SET remaining = remaining - {self._ph} WHERE id = 1",
+                    (len(claimed),),
+                )
             self._conn.commit()
         except BaseException:
             self._conn.rollback()
@@ -1420,19 +1540,35 @@ class CandidateStore:
         exists to avoid).  Shared by :meth:`_claimable_cells`
         (execution) and :meth:`claim_query_plan` (EXPLAIN QUERY PLAN
         verification).
+
+        **Priority ordering:** rows come back ``ORDER BY escalated
+        DESC, priority DESC, user_id, time`` — SLA-escalated cells
+        first, then the serving tier's decayed activity score (via a
+        covering-index lookup into ``user_priority``; users without a
+        score rank at 0.0), with the original deterministic ``(user,
+        time)`` order as the tie-break.  A store with no priority rows
+        and no escalations therefore claims in *exactly* the pre-
+        priority ledger order, which the digest-identity suites pin.
         """
         values, fp_params = self._fingerprint_values(fingerprints)
         ph = self._ph
         query = (
-            "SELECT ti.user_id AS user_id, ti.time AS time"
+            "SELECT ti.user_id AS user_id, ti.time AS time,"
+            " COALESCE(up.score, 0.0) AS priority,"
+            " CASE WHEN esc.user_id IS NULL THEN 0 ELSE 1 END AS escalated"
             f" FROM {db}.temporal_inputs AS ti"
             f" JOIN (VALUES {values}) AS fp"
             f" ON {self._STALE_PREDICATE}"
+            f" LEFT JOIN {db}.user_priority AS up"
+            " ON up.user_id = ti.user_id"
+            f" LEFT JOIN {db}.refresh_escalations AS esc"
+            " ON esc.user_id = ti.user_id AND esc.time = ti.time"
             f" LEFT JOIN {db}.refresh_leases AS rl"
             " ON rl.user_id = ti.user_id AND rl.time = ti.time"
             f" WHERE rl.user_id IS NULL OR rl.lease_expires_at <= {ph}"
             f" OR rl.worker_id = {ph}"
-            f" ORDER BY ti.user_id, ti.time LIMIT {ph}"
+            " ORDER BY escalated DESC, priority DESC, ti.user_id, ti.time"
+            f" LIMIT {ph}"
             f"{self._backend.for_update_suffix()}"
         )
         return query, [*fp_params, float(now), str(worker_id), int(limit)]
@@ -1445,20 +1581,22 @@ class CandidateStore:
         limit: int,
         prefer_schema: str | None = None,
     ) -> list[tuple[str, int]]:
-        """Stale cells not blocked by a live foreign lease, in ledger
+        """Stale cells not blocked by a live foreign lease, in priority
         order, at most ``limit`` (see :meth:`_claim_scan_sql`).
 
         Each schema is scanned with its own bounded, index-backed query;
         the per-schema results (each already capped at ``limit``) are
-        merged and re-capped here.  Python tuple ordering on ``(user_id,
-        time)`` matches SQLite's BINARY collation — UTF-8 byte order and
-        code-point order agree — so the merged order equals the global
-        ledger order of :meth:`stale_cells`.
+        merged and re-capped here under the same ``(escalated DESC,
+        priority DESC, user, time)`` order the per-schema SQL emits.
+        Python tuple ordering on ``(user_id, time)`` matches SQLite's
+        BINARY collation — UTF-8 byte order and code-point order agree —
+        so with no priorities or escalations the merged order equals the
+        global ledger order of :meth:`stale_cells`.
 
         With ``prefer_schema`` set (shard affinity), that schema is
         scanned first and later schemas only until the limit fills —
-        the claim order becomes shard-local ledger order, still
-        deterministic for a given lease state.
+        the claim order becomes shard-local priority order, still
+        deterministic for a given lease/priority state.
         """
         if not fingerprints or limit < 1:
             return []
@@ -1467,19 +1605,25 @@ class CandidateStore:
         if affinity:
             schemas.remove(prefer_schema)
             schemas.insert(0, prefer_schema)
-        cells: list[tuple[str, int]] = []
+        cells: list[tuple[int, float, str, int]] = []
         for db in schemas:
             query, params = self._claim_scan_sql(
                 db, fingerprints, worker_id, now, limit - len(cells) if affinity else limit
             )
             cells.extend(
-                (str(r["user_id"]), int(r["time"])) for r in self._read(query, params)
+                (
+                    -int(r["escalated"]),
+                    -float(r["priority"]),
+                    str(r["user_id"]),
+                    int(r["time"]),
+                )
+                for r in self._read(query, params)
             )
             if affinity and len(cells) >= limit:
                 break
         if not affinity:
             cells.sort()
-        return cells[:limit]
+        return [(user_id, t) for _, _, user_id, t in cells[:limit]]
 
     def claim_query_plan(
         self, fingerprints: dict[int, str] | None = None
@@ -1649,6 +1793,296 @@ class CandidateStore:
             for r in rows
         ]
 
+    # ----------------------------------------- priority / budget / freshness
+
+    def set_refresh_budget(self, remaining: int | None) -> None:
+        """Arm (or clear) the durable per-epoch refresh budget.
+
+        The budget lives in ``main.refresh_budget`` — coordinator
+        state, not shard data, so it is excluded from
+        :meth:`contents_digest` and survives worker crashes: each
+        :meth:`claim_stale_cells` decrements it inside the claim's own
+        ``BEGIN IMMEDIATE``.  ``None`` deletes the row, returning the
+        store to unlimited draining.
+        """
+        with self._conn:
+            if remaining is None:
+                self._conn.execute("DELETE FROM main.refresh_budget WHERE id = 1")
+            else:
+                self._conn.execute(
+                    "INSERT INTO main.refresh_budget (id, remaining)"
+                    f" VALUES (1, {self._ph})"
+                    " ON CONFLICT (id) DO UPDATE SET remaining = excluded.remaining",
+                    (int(remaining),),
+                )
+
+    def refresh_budget_remaining(self) -> int | None:
+        """Cells the armed budget still allows, or ``None`` when no
+        budget is armed (unlimited).  Never negative."""
+        rows = self._read("SELECT remaining FROM main.refresh_budget WHERE id = 1")
+        if not rows:
+            return None
+        return max(0, int(rows[0]["remaining"]))
+
+    def record_accesses(self, entries, now: float | None = None) -> int:
+        """Append serving-tier read events to the ``access_log``.
+
+        ``entries`` is an iterable of ``(user_id, question, ts)``;
+        ``ts=None`` stamps the event with ``now`` (store-side clock by
+        default).  Rows are routed to the user's shard so the serving
+        tier's fire-and-forget batches never contend on one write lock.
+        Returns the number of rows written.  The log is raw material
+        for :meth:`materialize_priorities`; it is not part of
+        :meth:`contents_digest`.
+        """
+        entries = [
+            (str(user), str(question), None if ts is None else float(ts))
+            for user, question, ts in entries
+        ]
+        if not entries:
+            return 0
+        if any(ts is None for _, _, ts in entries):
+            now = float(self.clock_now() if now is None else now)
+        ph = self._ph
+        grouped: dict[str, list[tuple[str, str, float]]] = {}
+        for user, question, ts in entries:
+            grouped.setdefault(self._db_for(user), []).append(
+                (user, question, now if ts is None else ts)
+            )
+        written = 0
+        for db, rows in grouped.items():
+            conn, prefix = self._write_target(db)
+            with conn:
+                conn.executemany(
+                    f"INSERT INTO {prefix}.access_log"
+                    f" (user_id, question, accessed_at) VALUES ({ph}, {ph}, {ph})",
+                    rows,
+                )
+            written += len(rows)
+        return written
+
+    def materialize_priorities(
+        self, *, now: float | None = None, halflife_seconds: float = 3600.0
+    ) -> dict[str, float]:
+        """Fold the ``access_log`` into decayed ``user_priority`` scores.
+
+        Exponential decay with the given half-life: an existing score is
+        decayed from its ``updated_at`` to ``now``, each logged access
+        contributes ``0.5 ** (age / halflife)``, and the merged score is
+        re-stamped at ``now``.  Each shard folds its own log inside one
+        transaction (read → delete → upsert), so a concurrent
+        :meth:`record_accesses` batch either lands before the fold or
+        survives for the next one — never lost.  Returns the merged
+        ``{user_id: score}`` mapping across all shards.
+        """
+        now = float(self.clock_now() if now is None else now)
+        halflife = float(halflife_seconds)
+        if halflife <= 0:
+            raise StorageError("halflife_seconds must be > 0")
+        ph = self._ph
+        merged: dict[str, float] = {}
+        for db in self._backend.schemas():
+            conn, prefix = self._write_target(db)
+            with conn:
+                accesses = conn.execute(
+                    f"SELECT user_id, accessed_at FROM {prefix}.access_log"
+                ).fetchall()
+                old = conn.execute(
+                    f"SELECT user_id, score, updated_at FROM {prefix}.user_priority"
+                ).fetchall()
+                conn.execute(f"DELETE FROM {prefix}.access_log")
+                scores: dict[str, float] = {}
+                for user, score, updated in old:
+                    age = max(0.0, now - float(updated))
+                    scores[str(user)] = float(score) * 0.5 ** (age / halflife)
+                for user, ts in accesses:
+                    age = max(0.0, now - float(ts))
+                    user = str(user)
+                    scores[user] = scores.get(user, 0.0) + 0.5 ** (age / halflife)
+                conn.executemany(
+                    f"INSERT INTO {prefix}.user_priority"
+                    f" (user_id, score, updated_at) VALUES ({ph}, {ph}, {ph})"
+                    " ON CONFLICT (user_id) DO UPDATE SET"
+                    " score = excluded.score, updated_at = excluded.updated_at",
+                    [(user, score, now) for user, score in scores.items()],
+                )
+            merged.update(scores)
+        return merged
+
+    def set_user_priorities(
+        self, scores: dict[str, float], now: float | None = None
+    ) -> None:
+        """Directly upsert priority scores (tests, benchmarks, and
+        operators overriding the access-log feedback path)."""
+        if not scores:
+            return
+        now = float(self.clock_now() if now is None else now)
+        ph = self._ph
+        grouped: dict[str, list[tuple[str, float, float]]] = {}
+        for user, score in scores.items():
+            grouped.setdefault(self._db_for(str(user)), []).append(
+                (str(user), float(score), now)
+            )
+        for db, rows in grouped.items():
+            conn, prefix = self._write_target(db)
+            with conn:
+                conn.executemany(
+                    f"INSERT INTO {prefix}.user_priority"
+                    f" (user_id, score, updated_at) VALUES ({ph}, {ph}, {ph})"
+                    " ON CONFLICT (user_id) DO UPDATE SET"
+                    " score = excluded.score, updated_at = excluded.updated_at",
+                    rows,
+                )
+
+    def user_priorities(self) -> dict[str, float]:
+        """Current ``{user_id: score}`` across all shards."""
+        rows = self._read("SELECT user_id, score FROM user_priority")
+        return {str(r["user_id"]): float(r["score"]) for r in rows}
+
+    def escalate_cells(self, cells) -> None:
+        """Mark cells as SLA-escalated: the claim scan orders them ahead
+        of every score (``escalated DESC`` leads the ORDER BY), so a
+        cell stale past its SLA drains first regardless of traffic."""
+        ph = self._ph
+        for db, db_cells in self._cells_by_db(cells).items():
+            conn, prefix = self._write_target(db)
+            with conn:
+                conn.executemany(
+                    f"INSERT OR REPLACE INTO {prefix}.refresh_escalations"
+                    f" (user_id, time) VALUES ({ph}, {ph})",
+                    db_cells,
+                )
+
+    def clear_escalations(self, cells=None) -> int:
+        """Drop escalation marks — all of them (``cells=None``, e.g. at
+        the top of an epoch before re-deriving the overdue set) or a
+        specific list.  Returns the number of rows removed."""
+        ph = self._ph
+        removed = 0
+        if cells is None:
+            for db in self._backend.schemas():
+                conn, prefix = self._write_target(db)
+                with conn:
+                    cursor = conn.execute(
+                        f"DELETE FROM {prefix}.refresh_escalations"
+                    )
+                    removed += cursor.rowcount
+            return removed
+        for db, db_cells in self._cells_by_db(cells).items():
+            conn, prefix = self._write_target(db)
+            with conn:
+                for user_id, t in db_cells:
+                    cursor = conn.execute(
+                        f"DELETE FROM {prefix}.refresh_escalations"
+                        f" WHERE user_id = {ph} AND time = {ph}",
+                        (user_id, t),
+                    )
+                    removed += cursor.rowcount
+        return removed
+
+    def traffic_weighted_freshness(
+        self, fingerprints: dict[int, str]
+    ) -> dict:
+        """Freshness of the store as read traffic would experience it.
+
+        A cell is stale when its ledger fingerprint differs from the
+        current one in ``fingerprints`` (times absent from
+        ``fingerprints`` don't count either way, matching
+        :meth:`stale_cells`).  Each user's fresh fraction is weighted by
+        their priority score, so the headline number answers "what
+        fraction of *traffic* is served fresh", not "what fraction of
+        cells is fresh".  Users without a score weigh 0; when no user
+        has positive weight the weighted number falls back to the
+        unweighted mean.
+        """
+        ledger = self.ledger_snapshot()
+        weights = self.user_priorities()
+        total_cells = 0
+        stale_cells = 0
+        fractions: dict[str, float] = {}
+        for user, times in ledger.items():
+            considered = 0
+            stale = 0
+            for t, fp in times.items():
+                current = fingerprints.get(t)
+                if current is None:
+                    continue
+                considered += 1
+                if fp != current:
+                    stale += 1
+            total_cells += considered
+            stale_cells += stale
+            fractions[user] = (
+                1.0 if considered == 0 else (considered - stale) / considered
+            )
+        total_weight = sum(weights.get(user, 0.0) for user in fractions)
+        if total_weight > 0:
+            weighted = (
+                sum(
+                    weights.get(user, 0.0) * frac
+                    for user, frac in fractions.items()
+                )
+                / total_weight
+            )
+        elif fractions:
+            weighted = sum(fractions.values()) / len(fractions)
+        else:
+            weighted = 1.0
+        return {
+            "users": len(fractions),
+            "cells": total_cells,
+            "stale_cells": stale_cells,
+            "fresh_fraction": (
+                1.0 if total_cells == 0
+                else (total_cells - stale_cells) / total_cells
+            ),
+            "weighted_fresh_fraction": weighted,
+        }
+
+    def freshness_report(self, now: float | None = None) -> dict:
+        """Age-based freshness summary from the ``refreshed_at`` stamps.
+
+        Per user the *oldest* backing cell bounds how stale any answer
+        for that user can be; the report aggregates that bound across
+        users (max and priority-weighted mean).  Rows written before the
+        stamp column existed carry ``refreshed_at = 0`` and are counted
+        separately as ``unstamped_users`` instead of polluting the ages.
+        """
+        now = float(self.clock_now() if now is None else now)
+        rows = self._read(
+            "SELECT user_id, MIN(refreshed_at) AS oldest"
+            " FROM temporal_inputs GROUP BY user_id"
+        )
+        weights = self.user_priorities()
+        ages: dict[str, float] = {}
+        unstamped = 0
+        for r in rows:
+            oldest = float(r["oldest"])
+            if oldest <= 0:
+                unstamped += 1
+                continue
+            ages[str(r["user_id"])] = max(0.0, now - oldest)
+        total_weight = sum(weights.get(user, 0.0) for user in ages)
+        if total_weight > 0:
+            weighted_mean = (
+                sum(weights.get(user, 0.0) * age for user, age in ages.items())
+                / total_weight
+            )
+        elif ages:
+            weighted_mean = sum(ages.values()) / len(ages)
+        else:
+            weighted_mean = 0.0
+        return {
+            "users": len(ages) + unstamped,
+            "unstamped_users": unstamped,
+            "max_age": max(ages.values(), default=0.0),
+            "mean_age": (
+                sum(ages.values()) / len(ages) if ages else 0.0
+            ),
+            "weighted_mean_age": weighted_mean,
+            "now": now,
+        }
+
     # -------------------------------------------------------------- reads
 
     def cell_vectors(self, user_id: str, time: int) -> np.ndarray:
@@ -1775,11 +2209,12 @@ def _dump_rows(conn, sql: str, params) -> list[list]:
 class _CellWrite:
     """Replace one (user, time) cell — see :meth:`CandidateStore.upsert_cells`."""
 
-    __slots__ = ("user_id", "time", "rows", "ledger_fp", "x_row")
+    __slots__ = ("user_id", "time", "rows", "ledger_fp", "x_row", "stamp")
 
-    def __init__(self, store, user_id, time, candidates, x_t, fingerprints):
+    def __init__(self, store, user_id, time, candidates, x_t, fingerprints, stamp):
         self.user_id = str(user_id)
         self.time = int(time)
+        self.stamp = float(stamp)
         self.rows = store._candidate_rows(self.user_id, candidates, fingerprints)
         for row in self.rows:
             if int(row[1]) != self.time:
@@ -1798,7 +2233,8 @@ class _CellWrite:
                     f" expects {len(store.schema)}"
                 )
             self.x_row = (
-                self.user_id, self.time, *map(float, vector), self.ledger_fp
+                self.user_id, self.time, *map(float, vector), self.ledger_fp,
+                self.stamp,
             )
 
     def undo(self, store, conn, prefix) -> dict:
@@ -1834,9 +2270,10 @@ class _CellWrite:
             self.rows,
         )
         cursor = conn.execute(
-            f"UPDATE {prefix}.temporal_inputs SET model_fp = {ph}"
+            f"UPDATE {prefix}.temporal_inputs SET model_fp = {ph},"
+            f" refreshed_at = {ph}"
             f" WHERE user_id = {ph} AND time = {ph}",
-            (self.ledger_fp, self.user_id, self.time),
+            (self.ledger_fp, self.stamp, self.user_id, self.time),
         )
         if cursor.rowcount == 0:
             if self.x_row is None:
@@ -1845,7 +2282,9 @@ class _CellWrite:
                     " temporal_inputs row; pass x_t to restore it"
                 )
             conn.execute(
-                store._insert_sql(prefix, "temporal_inputs", ("model_fp",)),
+                store._insert_sql(
+                    prefix, "temporal_inputs", ("model_fp", "refreshed_at")
+                ),
                 self.x_row,
             )
         return len(self.rows)
@@ -1857,9 +2296,12 @@ class _SessionWrite:
 
     __slots__ = ("user_id", "input_rows", "cand_rows")
 
-    def __init__(self, store, user_id, trajectory, candidates, fingerprints):
+    def __init__(self, store, user_id, trajectory, candidates, fingerprints,
+                 stamp=None):
         self.user_id = str(user_id)
-        self.input_rows = store._input_rows(user_id, trajectory, fingerprints)
+        self.input_rows = store._input_rows(
+            user_id, trajectory, fingerprints, stamp=stamp
+        )
         self.cand_rows = store._candidate_rows(user_id, candidates, fingerprints)
 
     def undo(self, store, conn, prefix) -> dict:
@@ -1893,7 +2335,9 @@ class _SessionWrite:
             (self.user_id,),
         )
         conn.executemany(
-            store._insert_sql(prefix, "temporal_inputs", ("model_fp",)),
+            store._insert_sql(
+                prefix, "temporal_inputs", ("model_fp", "refreshed_at")
+            ),
             self.input_rows,
         )
         conn.executemany(

@@ -96,10 +96,18 @@ def bundle_payload(
     user_id: str,
     insights: dict[str, Insight],
     ledger: dict[int, str],
+    freshness: float | None = None,
 ) -> dict[str, Any]:
     """The per-user insight bundle: every requested question's answer
-    plus the fingerprint ledger the answers were computed under."""
-    return {
+    plus the fingerprint ledger the answers were computed under.
+
+    ``freshness`` (seconds — the age of the *oldest* cell backing the
+    answers, from the store's ``refreshed_at`` stamps) adds an optional
+    ``meta.freshness`` field.  It is off by default and omitted when
+    ``None`` so the payload stays byte-identical to the pre-freshness
+    wire format unless a caller explicitly asks.
+    """
+    payload = {
         "user": str(user_id),
         "ledger": {str(t): fp for t, fp in sorted(ledger.items())},
         "insights": {
@@ -107,3 +115,6 @@ def bundle_payload(
             for qid, insight in sorted(insights.items())
         },
     }
+    if freshness is not None:
+        payload["meta"] = {"freshness": float(freshness)}
+    return payload

@@ -4,17 +4,33 @@ Stdlib only: ``asyncio`` streams speak a small HTTP/1.1 subset (GET,
 keep-alive), and each request's database work runs as **one** job on a
 thread-pool executor so the event loop never blocks on sqlite.
 
-Endpoints
----------
-``GET /healthz``
+Endpoints (versioned under ``/v1/``)
+------------------------------------
+``GET /v1/healthz``
     Liveness probe.
-``GET /stats``
-    Request, cache and replica-pool counters.
-``GET /insights?user=U[&alpha=A][&feature=F][&budget=B]``
+``GET /v1/stats``
+    Request, cache, replica-pool, access-log and freshness counters.
+``GET /v1/insights?user=U[&alpha=A][&feature=F][&budget=B][&freshness=1]``
     The rendered per-user insight bundle (Q1–Q6, plus Q7 when a budget
     is given) with the fingerprint ledger it was computed under.
-``GET /q/<qid>?user=U[&alpha=A][&feature=F][&budget=B]``
+    ``freshness=1`` adds ``meta.freshness`` (seconds since the oldest
+    backing cell was recomputed) — those responses bypass the cache.
+``GET /v1/q/<qid>?user=U[&alpha=A][&feature=F][&budget=B]``
     One canned question (``q1`` .. ``q7``).
+
+The bare (un-versioned) paths remain as **deprecated aliases**: they
+serve byte-identical bodies and additionally emit a ``Deprecation:
+true`` header.  Errors use a consistent JSON envelope on both surfaces:
+``{"error": {"code": <machine-readable>, "message": <human>}}``.
+
+Access feedback
+---------------
+Each served ``/insights`` / ``/q`` request is recorded as a ``(user,
+question, ts)`` row in the store's ``access_log`` — buffered on the
+event-loop thread and flushed in batches from the executor through a
+dedicated write connection (fire-and-forget: a failed flush drops the
+batch, never the response).  The refresh orchestrator folds the log
+into decayed per-user priority scores that order its budgeted drains.
 
 Freshness contract
 ------------------
@@ -47,14 +63,16 @@ import asyncio
 import os
 import sqlite3
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.core.insights import QUESTIONS, InsightEngine
+from repro.db.backends import ShardedSQLiteBackend, SQLiteBackend
 from repro.db.prepared import prepared_for
 from repro.db.store import CandidateStore
-from repro.exceptions import QueryError, ReproError
+from repro.exceptions import QueryError, ReproError, StorageError
 from repro.serve.cache import InsightCache
 from repro.serve.pool import ReplicaPool
 from repro.serve.protocol import bundle_payload, dumps, insight_payload
@@ -66,13 +84,38 @@ __all__ = ["InsightServer", "ServeError"]
 #: are one-way, so real convergence takes 1–2 rounds
 _MAX_SNAPSHOT_RETRIES = 50
 
+#: access-log entries buffered on the event-loop thread before one
+#: batched fire-and-forget flush is dispatched to the executor
+_ACCESS_FLUSH_BATCH = 32
+
+#: extra header rows sent on the deprecated un-versioned paths
+_DEPRECATED = (("Deprecation", "true"),)
+
+#: HTTP status → machine-readable error code of the JSON error envelope
+_DEFAULT_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    500: "internal",
+    503: "unavailable",
+}
+
+
+def _error(code: str, message: str) -> dict[str, Any]:
+    """The versioned API's error envelope (also served, byte-identical,
+    on the deprecated bare paths)."""
+    return {"error": {"code": code, "message": message}}
+
 
 class ServeError(ReproError):
-    """A request that cannot be served (carries an HTTP status)."""
+    """A request that cannot be served (carries an HTTP status and a
+    machine-readable envelope code, derived from the status unless
+    given)."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, code: str | None = None):
         super().__init__(message)
         self.status = status
+        self.code = code or _DEFAULT_CODES.get(status, "error")
 
 
 class _FastReplica:
@@ -107,6 +150,12 @@ class InsightServer:
         Read-only replica connections kept per shard.
     executor_threads:
         Worker threads for the blocking database/render work.
+    access_log:
+        Whether served ``/insights`` / ``/q`` requests are recorded into
+        the store's ``access_log`` (the refresh-priority feedback path).
+        On file-backed stores the flushes go through a dedicated write
+        connection; in-memory stores share the router connection under a
+        lock.  ``False`` disables recording entirely.
     """
 
     def __init__(
@@ -120,6 +169,7 @@ class InsightServer:
         cache_enabled: bool = True,
         replicas_per_schema: int = 4,
         executor_threads: int = 8,
+        access_log: bool = True,
     ):
         self.store = store
         self.time_values = list(time_values)
@@ -142,6 +192,15 @@ class InsightServer:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self.requests_served = 0
+        # access-log feedback: entries buffer on the event-loop thread
+        # (no locks there); flushes run on the executor serialised by
+        # _access_lock through a lazily opened dedicated write store
+        self.access_log_enabled = bool(access_log)
+        self._access_buffer: list[tuple[str, str, None]] = []
+        self._access_store: CandidateStore | None = None
+        self._access_lock = threading.Lock()
+        self.accesses_recorded = 0
+        self.accesses_dropped = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -158,7 +217,16 @@ class InsightServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._access_buffer:
+            # best-effort final flush of the partial batch before the
+            # executor goes away (still fire-and-forget on failure)
+            batch, self._access_buffer = self._access_buffer, []
+            self._flush_access(batch)
         self._executor.shutdown(wait=True)
+        with self._access_lock:
+            if self._access_store is not None and self._access_store is not self.store:
+                self._access_store.close()
+            self._access_store = None
         self.pool.close()
         for replica in self._fast_replicas.values():
             replica.conn.close()
@@ -211,20 +279,25 @@ class InsightServer:
                 except asyncio.IncompleteReadError:
                     break
                 except asyncio.LimitOverrunError:
-                    await self._respond(writer, 400, {"error": "head too large"})
+                    await self._respond(
+                        writer, 400, _error("bad_request", "head too large")
+                    )
                     break
                 head = raw.decode("latin-1")
                 request_line, _, header_block = head.partition("\r\n")
                 parts = request_line.split(None, 2)
                 if len(parts) != 3:
-                    await self._respond(writer, 400, {"error": "bad request"})
+                    await self._respond(
+                        writer, 400, _error("bad_request", "bad request")
+                    )
                     break
                 method, target, _version = parts
                 keep_alive = "connection: close" not in header_block.lower()
-                status, payload = await self._dispatch(method, target)
+                status, payload, extra = await self._dispatch(method, target)
                 self.requests_served += 1
                 alive = await self._respond(
-                    writer, status, payload, keep_alive=keep_alive
+                    writer, status, payload,
+                    keep_alive=keep_alive, extra_headers=extra,
                 )
                 if not alive or not keep_alive:
                     break
@@ -243,17 +316,20 @@ class InsightServer:
                 pass
 
     async def _respond(
-        self, writer, status: int, payload: Any, *, keep_alive: bool = False
+        self, writer, status: int, payload: Any, *,
+        keep_alive: bool = False, extra_headers=(),
     ) -> bool:
         body = (payload if isinstance(payload, str) else dumps(payload)).encode()
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed", 500: "Internal Server Error",
                   503: "Service Unavailable"}.get(status, "Error")
+        extra = "".join(f"{name}: {value}\r\n" for name, value in extra_headers)
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extra}"
             "\r\n"
         ).encode("latin-1")
         try:
@@ -265,49 +341,66 @@ class InsightServer:
 
     # ----------------------------------------------------------- dispatch
 
-    async def _dispatch(self, method: str, target: str) -> tuple[int, Any]:
+    async def _dispatch(
+        self, method: str, target: str
+    ) -> tuple[int, Any, tuple]:
+        versioned = target.startswith("/v1/")
+        headers = () if versioned else _DEPRECATED
         if method != "GET":
-            return 405, {"error": "only GET is supported"}
+            return 405, _error("method_not_allowed", "only GET is supported"), headers
         try:
             plan = self._plan_cache.get(target)
             if plan is not None:
-                return 200, await self._serve_key(*plan)
+                body = await self._serve_key(*plan)
+                self._record_access(plan[0], plan[1][1])
+                return 200, body, headers
             split = urlsplit(target)
             path = split.path
+            if versioned:
+                path = path[len("/v1"):]
             query = {
                 key: values[-1] for key, values in parse_qs(split.query).items()
             }
             if path == "/healthz":
-                return 200, {"status": "ok"}
+                return 200, {"status": "ok"}, headers
             if path == "/stats":
-                return 200, self._stats_payload()
+                return 200, await self._in_executor(self._stats_payload), headers
             if path == "/insights":
                 plan = self._plan_bundle(query)
             elif path.startswith("/q/"):
                 plan = self._plan_question(path[len("/q/"):], query)
             else:
-                return 404, {"error": f"unknown path {path!r}"}
+                return 404, _error("not_found", f"unknown path {path!r}"), headers
             # parsing is deterministic in the target string, so cache the
-            # plan (closures included) and skip urlsplit/parse_qs on repeats
+            # plan (closures included) and skip urlsplit/parse_qs on
+            # repeats; keyed on the raw target, so /v1/ and bare aliases
+            # hold distinct (byte-identical) entries
             if len(self._plan_cache) >= 4096:
                 self._plan_cache.clear()
             self._plan_cache[target] = plan
-            return 200, await self._serve_key(*plan)
+            body = await self._serve_key(*plan)
+            self._record_access(plan[0], plan[1][1])
+            return 200, body, headers
         except ServeError as exc:
-            return exc.status, {"error": str(exc)}
+            return exc.status, _error(exc.code, str(exc)), headers
         except QueryError as exc:
-            return 400, {"error": str(exc)}
+            return 400, _error("bad_request", str(exc)), headers
         except ReproError as exc:
-            return 500, {"error": str(exc)}
+            return 500, _error("internal", str(exc)), headers
 
     async def _in_executor(self, fn, *args):
         return await self._loop.run_in_executor(self._executor, fn, *args)
 
-    async def _serve_key(self, user: str, key: tuple, render) -> str:
-        hit = self._fast_lookup(user, key)
-        if hit is not None:
-            return hit
-        return await self._in_executor(self._render_consistent, user, key, render)
+    async def _serve_key(
+        self, user: str, key: tuple, render, want_freshness: bool = False
+    ) -> str:
+        if not want_freshness:
+            hit = self._fast_lookup(user, key)
+            if hit is not None:
+                return hit
+        return await self._in_executor(
+            self._render_consistent, user, key, render, want_freshness
+        )
 
     def _fast_lookup(self, user: str, key: tuple) -> str | None:
         """Cache-hit fast path, inline on the event-loop thread.
@@ -371,6 +464,10 @@ class InsightServer:
             return None
 
     def _stats_payload(self) -> dict[str, Any]:
+        try:
+            freshness = self.store.freshness_report()
+        except StorageError:
+            freshness = None
         return {
             "requests": self.requests_served,
             "cache": self.cache.stats.snapshot(),
@@ -378,7 +475,60 @@ class InsightServer:
             "cache_entries": len(self.cache),
             "pool": self.pool.stats(),
             "fast_replicas": len(self._fast_replicas),
+            "access": {
+                "enabled": self.access_log_enabled,
+                "recorded": self.accesses_recorded,
+                "dropped": self.accesses_dropped,
+                "buffered": len(self._access_buffer),
+            },
+            "freshness": freshness,
         }
+
+    # ----------------------------------------------------- access feedback
+
+    def _record_access(self, user: str, question: str) -> None:
+        """Buffer one served-request record (event-loop thread only; the
+        timestamp is stamped at flush time by the store clock)."""
+        if not self.access_log_enabled:
+            return
+        self._access_buffer.append((user, question, None))
+        if len(self._access_buffer) >= _ACCESS_FLUSH_BATCH:
+            batch, self._access_buffer = self._access_buffer, []
+            self._loop.run_in_executor(self._executor, self._flush_access, batch)
+
+    def _flush_access(self, batch: list) -> None:
+        """Write one batch to ``access_log`` — fire-and-forget: a failed
+        flush drops the batch and bumps a counter, never a response."""
+        try:
+            with self._access_lock:
+                store = self._access_store_handle()
+                store.record_accesses(batch)
+            self.accesses_recorded += len(batch)
+        except Exception:
+            self.accesses_dropped += len(batch)
+
+    def _access_store_handle(self) -> CandidateStore:
+        """The dedicated write store for access-log flushes (lazily
+        opened; callers hold ``_access_lock``).
+
+        File-backed stores get their own connections so flushes never
+        contend with an in-process refresh writer on the serving store's
+        router connection.  In-memory backends cannot be re-opened, so
+        they fall back to the shared store — serialised by the lock.
+        """
+        if self._access_store is not None:
+            return self._access_store
+        backend = self.store.backend
+        opened = None
+        if isinstance(backend, ShardedSQLiteBackend) and backend.path != ":memory:":
+            opened = ShardedSQLiteBackend(backend.path, n_shards=backend.n_shards)
+        elif isinstance(backend, SQLiteBackend) and backend.path != ":memory:":
+            opened = SQLiteBackend(backend.path)
+        if opened is None:
+            self._access_store = self.store
+        else:
+            self._access_store = CandidateStore(self.store.schema, backend=opened)
+        return self._access_store
 
     # ------------------------------------------------------ request parsing
 
@@ -411,19 +561,23 @@ class InsightServer:
     # ---------------------------------------------------------- rendering
 
     def _plan_bundle(self, query: dict[str, str]):
-        """Parse an ``/insights`` request into ``(user, cache key, render)``
-        without touching the database (runs on the event-loop thread)."""
+        """Parse an ``/insights`` request into ``(user, cache key,
+        render, want_freshness)`` without touching the database (runs on
+        the event-loop thread)."""
         user = self._require_user(query)
         alpha = self._float_param(query, "alpha", 0.8)
         budget = self._float_param(query, "budget", None)
         feature = query.get("feature") or self._default_feature()
+        want_freshness = query.get("freshness") not in (None, "", "0", "false")
         key = (user, "bundle", (alpha, feature, budget))
         return user, key, lambda view: self._render_bundle(
             view, user, alpha, feature, budget
-        )
+        ), want_freshness
 
     def _plan_question(self, qid: str, query: dict[str, str]):
-        """Parse a ``/q/<qid>`` request into ``(user, cache key, render)``."""
+        """Parse a ``/q/<qid>`` request into ``(user, cache key, render,
+        want_freshness)`` — ``meta.freshness`` is bundle-only, so the
+        flag is always ``False`` here."""
         if qid not in QUESTIONS:
             raise ServeError(
                 404, f"unknown question {qid!r}; available: {sorted(QUESTIONS)}"
@@ -439,7 +593,7 @@ class InsightServer:
         key = (user, qid, tuple(sorted(params.items())))
         return user, key, lambda view: self._render_question(
             view, user, qid, params
-        )
+        ), False
 
     def _render_bundle(
         self, view, user: str, alpha: float, feature: str, budget: float | None
@@ -463,32 +617,59 @@ class InsightServer:
         engine = InsightEngine(view, user, self.time_values)
         return {"kind": "question", "insight": engine.ask(qid, **params)}
 
-    def _render_consistent(self, user: str, key: tuple, render) -> str:
+    def _render_consistent(
+        self, user: str, key: tuple, render, want_freshness: bool = False
+    ) -> str:
         """Serve ``key`` from cache or render it — under a consistent
-        fingerprint snapshot (see module docstring)."""
+        fingerprint snapshot (see module docstring).
+
+        Freshness-annotated responses bypass the cache in both
+        directions: ``meta.freshness`` is wall-clock-dependent, so a
+        cached copy would go stale immediately and poison the
+        byte-identical plain responses.
+        """
+        use_cache = self.cache_enabled and not want_freshness
         with self.pool.view(user) as view:
             for _ in range(_MAX_SNAPSHOT_RETRIES):
                 ledger = view.cell_fingerprints(user)
                 if not ledger:
                     raise ServeError(404, f"unknown user {user!r}")
                 fps = InsightCache.fingerprint_vector(ledger)
-                if self.cache_enabled:
+                if use_cache:
                     hit = self.cache.get(key, fps)
                     if hit is not None:
                         return hit
                 rendered = render(view)
                 if view.cell_fingerprints(user) != ledger:
                     continue  # a refresh landed mid-render: re-read
-                body = self._serialize(user, ledger, rendered)
-                if self.cache_enabled:
+                freshness = (
+                    self._bundle_freshness(view, user) if want_freshness else None
+                )
+                body = self._serialize(user, ledger, rendered, freshness)
+                if use_cache:
                     self.cache.put(key, fps, body)
                 return body
         raise ServeError(503, "store is being rewritten faster than it can be read")
 
+    def _bundle_freshness(self, view, user: str) -> float | None:
+        """Age in seconds of the oldest ``refreshed_at`` stamp backing
+        the user's cells, or ``None`` when no cell carries a stamp."""
+        prepared = prepared_for(self.store.placeholder, self.store.schema.names)
+        oldest = prepared.oldest_stamp(view.read, user)
+        if oldest is None:
+            return None
+        return max(0.0, time.time() - oldest)
+
     @staticmethod
-    def _serialize(user: str, ledger: dict[int, str], rendered: dict) -> str:
+    def _serialize(
+        user: str, ledger: dict[int, str], rendered: dict,
+        freshness: float | None = None,
+    ) -> str:
         if rendered["kind"] == "bundle":
-            return dumps(bundle_payload(user, rendered["insights"], ledger))
+            return dumps(
+                bundle_payload(user, rendered["insights"], ledger,
+                               freshness=freshness)
+            )
         payload = insight_payload(rendered["insight"])
         payload["user"] = str(user)
         payload["ledger"] = {str(t): fp for t, fp in sorted(ledger.items())}

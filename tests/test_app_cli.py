@@ -67,6 +67,56 @@ class TestParser:
         with pytest.raises(SystemExit):
             make_parser().parse_args(["--strategy", "magic", "demo"])
 
+    def test_shared_runtime_flags_on_every_refresh_verb(self):
+        """The argparse parents land --budget/--cold on each verb of the
+        refresh family without per-subparser re-declaration."""
+        parser = make_parser()
+        refresh = parser.parse_args(["refresh", "--budget", "5", "--cold"])
+        assert refresh.budget == 5 and refresh.cold is True
+        daemon = parser.parse_args(
+            ["refresh-daemon", "--feed", "f.csv", "--cadence", "1",
+             "--budget", "3"]
+        )
+        assert daemon.budget == 3 and daemon.cold is False
+        workers = parser.parse_args(
+            ["refresh-workers", "--budget", "7", "--engine", "fused"]
+        )
+        assert workers.budget == 7 and workers.engine == "fused"
+        orch = parser.parse_args(
+            ["refresh-orchestrator", "--feed", "f.csv", "--cadence", "1",
+             "--budget", "4", "--sla-epochs", "2",
+             "--priority-halflife", "60"]
+        )
+        assert orch.budget == 4
+        assert orch.sla_epochs == 2
+        assert orch.priority_halflife == 60.0
+        assert orch.claim_batch == 2 and orch.lease_seconds == 30.0
+
+    def test_budget_defaults_to_unlimited(self):
+        args = make_parser().parse_args(["refresh"])
+        assert args.budget is None
+
+    def test_subparsers_do_not_clobber_root_db_flags(self):
+        args = make_parser().parse_args(
+            ["--db", "x.db", "--db-backend", "sharded", "refresh",
+             "--budget", "2"]
+        )
+        assert args.db == "x.db" and args.db_backend == "sharded"
+
+    def test_query_keeps_its_own_float_budget(self):
+        """The query verb's --budget is the Q7 effort budget (a float),
+        distinct from the refresh family's integer cell budget."""
+        args = make_parser().parse_args(
+            ["query", "--user", "u1", "--budget", "2.5", "--freshness"]
+        )
+        assert args.budget == 2.5
+        assert args.freshness is True
+
+    def test_serve_access_log_flag(self):
+        args = make_parser().parse_args(["serve", "--no-access-log"])
+        assert args.no_access_log is True
+        assert make_parser().parse_args(["serve"]).no_access_log is False
+
 
 class TestSubcommands:
     @pytest.fixture(scope="class")
@@ -225,6 +275,49 @@ class TestQueryVerb:
         from repro.serve import dumps
 
         assert out.getvalue().strip() == dumps(payload)
+
+    def test_json_freshness_flag_adds_meta_without_perturbing_rest(
+        self, schema, john, tmp_path
+    ):
+        import json
+        import time
+
+        from repro.app.cli import run_query
+        from repro.db import CandidateStore
+
+        def _stamp(value):
+            with CandidateStore(schema, db) as store:
+                conn, prefix = store._write_target("main")
+                conn.execute(
+                    f"UPDATE {prefix}.temporal_inputs SET refreshed_at = ?",
+                    (value,),
+                )
+                conn.commit()
+
+        db = self._populated_db(schema, john, tmp_path)
+        base_args = ["--db", str(db), "query", "--user", "u1", "--json"]
+        plain = io.StringIO()
+        assert run_query(make_parser().parse_args(base_args), plain) == 0
+        # unstamped rows (refreshed_at=0, the legacy migration value):
+        # --freshness adds nothing
+        _stamp(0.0)
+        fresh = io.StringIO()
+        assert run_query(
+            make_parser().parse_args(base_args + ["--freshness"]), fresh
+        ) == 0
+        assert fresh.getvalue() == plain.getvalue()
+        # stamp the cells; now --freshness adds meta and ONLY meta
+        _stamp(time.time() - 10.0)
+        stamped = io.StringIO()
+        assert run_query(
+            make_parser().parse_args(base_args + ["--freshness"]), stamped
+        ) == 0
+        payload = json.loads(stamped.getvalue())
+        assert 5.0 <= payload["meta"]["freshness"] <= 300.0
+        payload.pop("meta")
+        from repro.serve import dumps
+
+        assert dumps(payload) == plain.getvalue().strip()
 
     def test_json_matches_the_http_wire_format(self, schema, john, tmp_path):
         """CLI --json and the HTTP bundle are byte-identical for the

@@ -84,6 +84,17 @@ def http_get(port, path):
         conn.close()
 
 
+def http_get_full(port, path):
+    """(status, body, headers) — for the Deprecation-header assertions."""
+    conn = http.client.HTTPConnection("127.0.0.1", port)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, resp.read().decode(), dict(resp.getheaders())
+    finally:
+        conn.close()
+
+
 @pytest.fixture()
 def served(schema, john, tmp_path):
     store = CandidateStore(
@@ -165,49 +176,203 @@ class TestEndpoints:
 
 
 class TestErrors:
+    """Errors use the JSON envelope ``{"error": {"code", "message"}}``
+    on both the versioned and the deprecated bare surfaces."""
+
     def test_missing_user_param(self, served):
         server, _ = served
-        status, body = http_get(server.port, "/insights")
-        assert status == 400
-        assert "user" in json.loads(body)["error"]
+        for path in ("/insights", "/v1/insights"):
+            status, body = http_get(server.port, path)
+            assert status == 400
+            envelope = json.loads(body)["error"]
+            assert envelope["code"] == "bad_request"
+            assert "user" in envelope["message"]
 
     def test_unknown_user_404(self, served):
         server, _ = served
-        for path in ("/insights?user=ghost", "/q/q1?user=ghost"):
+        for path in ("/insights?user=ghost", "/q/q1?user=ghost",
+                     "/v1/insights?user=ghost", "/v1/q/q1?user=ghost"):
             status, body = http_get(server.port, path)
             assert status == 404, body
-            assert "ghost" in json.loads(body)["error"]
+            envelope = json.loads(body)["error"]
+            assert envelope["code"] == "not_found"
+            assert "ghost" in envelope["message"]
 
     def test_unknown_question_404(self, served):
         server, _ = served
-        status, body = http_get(server.port, "/q/q9?user=u1")
+        status, body = http_get(server.port, "/v1/q/q9?user=u1")
         assert status == 404
-        assert "q9" in json.loads(body)["error"]
+        envelope = json.loads(body)["error"]
+        assert envelope["code"] == "not_found"
+        assert "q9" in envelope["message"]
 
     def test_bad_numeric_param_400(self, served):
         server, _ = served
         status, body = http_get(server.port, "/insights?user=u1&alpha=high")
         assert status == 400
-        assert "alpha" in json.loads(body)["error"]
+        envelope = json.loads(body)["error"]
+        assert envelope["code"] == "bad_request"
+        assert "alpha" in envelope["message"]
 
     def test_unknown_path_404(self, served):
         server, _ = served
-        status, _ = http_get(server.port, "/nope")
-        assert status == 404
+        for path in ("/nope", "/v1/nope"):
+            status, body = http_get(server.port, path)
+            assert status == 404
+            assert json.loads(body)["error"]["code"] == "not_found"
 
     def test_non_get_405(self, served):
         server, _ = served
         conn = http.client.HTTPConnection("127.0.0.1", server.port)
         try:
-            conn.request("POST", "/insights?user=u1", body="{}")
-            assert conn.getresponse().status == 405
+            conn.request("POST", "/v1/insights?user=u1", body="{}")
+            resp = conn.getresponse()
+            assert resp.status == 405
+            envelope = json.loads(resp.read().decode())["error"]
+            assert envelope["code"] == "method_not_allowed"
         finally:
             conn.close()
 
     def test_serve_error_carries_status(self):
         error = ServeError(404, "nope")
         assert error.status == 404
+        assert error.code == "not_found"
         assert str(error) == "nope"
+
+    def test_serve_error_explicit_code(self):
+        assert ServeError(400, "x", code="custom").code == "custom"
+
+
+class TestVersionedAPI:
+    """``/v1/`` is the canonical surface; bare paths are deprecated
+    aliases serving byte-identical bodies plus a ``Deprecation`` header."""
+
+    def test_v1_bundle_byte_identical_to_bare(self, served):
+        server, store = served
+        for user in USERS:
+            expected = direct_bundle(store, user)
+            bare = http_get(server.port, f"/insights?user={user}")
+            v1 = http_get(server.port, f"/v1/insights?user={user}")
+            assert bare == (200, expected)
+            assert v1 == (200, expected)
+
+    def test_v1_questions_byte_identical_to_bare(self, served):
+        server, _ = served
+        for qid in ("q1", "q3", "q6"):
+            bare = http_get(server.port, f"/q/{qid}?user=u1")
+            v1 = http_get(server.port, f"/v1/q/{qid}?user=u1")
+            assert bare == v1
+            assert bare[0] == 200
+
+    def test_v1_healthz_and_stats(self, served):
+        server, _ = served
+        assert http_get(server.port, "/v1/healthz") == (200, '{"status":"ok"}')
+        status, body = http_get(server.port, "/v1/stats")
+        assert status == 200
+        assert set(json.loads(body)) >= {"requests", "cache", "access"}
+
+    def test_bare_paths_emit_deprecation_header(self, served):
+        server, _ = served
+        for path in ("/healthz", "/insights?user=u1", "/q/q1?user=u1",
+                     "/insights?user=ghost"):
+            _, _, headers = http_get_full(server.port, path)
+            assert headers.get("Deprecation") == "true", path
+
+    def test_v1_paths_do_not_emit_deprecation_header(self, served):
+        server, _ = served
+        for path in ("/v1/healthz", "/v1/insights?user=u1",
+                     "/v1/insights?user=ghost"):
+            _, _, headers = http_get_full(server.port, path)
+            assert "Deprecation" not in headers, path
+
+
+class TestFreshnessMeta:
+    def test_freshness_off_by_default_and_opt_in(self, served):
+        server, store = served
+        plain = http_get(server.port, "/v1/insights?user=u1")
+        assert plain == (200, direct_bundle(store, "u1"))
+        assert "meta" not in json.loads(plain[1])
+        status, body = http_get(server.port, "/v1/insights?user=u1&freshness=1")
+        assert status == 200
+        payload = json.loads(body)
+        # the fixture stores rows without a refresh pass, so cells carry
+        # no refreshed_at stamp yet → no meta block even when asked
+        if "meta" in payload:
+            assert payload["meta"]["freshness"] >= 0.0
+        without_meta = dict(payload)
+        without_meta.pop("meta", None)
+        assert dumps(without_meta) == plain[1]
+
+    def test_freshness_reports_age_after_stamp(self, served):
+        import time as _time
+
+        server, store = served
+        stamp = _time.time() - 30.0
+        for conn, prefix in {store._write_target(db)
+                             for db in store.backend.schemas()}:
+            conn.execute(f"UPDATE {prefix}.temporal_inputs SET refreshed_at = ?",
+                         (stamp,))
+            conn.commit()
+        status, body = http_get(server.port, "/v1/insights?user=u1&freshness=1")
+        assert status == 200
+        meta = json.loads(body)["meta"]
+        assert 25.0 <= meta["freshness"] <= 300.0
+
+    def test_freshness_responses_bypass_cache(self, served):
+        server, _ = served
+        before = len(server.cache)
+        for _ in range(2):
+            status, _ = http_get(
+                server.port, "/v1/insights?user=u2&freshness=1"
+            )
+            assert status == 200
+        assert len(server.cache) == before
+
+
+class TestAccessLog:
+    def test_served_requests_land_in_access_log(self, served):
+        server, store = served
+        n = 40  # crosses the flush batch size (32)
+        for _ in range(n):
+            assert http_get(server.port, "/v1/insights?user=u1")[0] == 200
+        deadline = __import__("time").time() + 10
+        while __import__("time").time() < deadline:
+            if server.accesses_recorded >= 32:
+                break
+            __import__("time").sleep(0.05)
+        assert server.accesses_recorded >= 32
+        assert server.accesses_dropped == 0
+        rows = store._read("SELECT user_id, question FROM access_log")
+        assert len(rows) >= 32
+        assert {(r["user_id"], r["question"]) for r in rows} == {("u1", "bundle")}
+
+    def test_access_log_disabled(self, schema, john):
+        store = CandidateStore(schema)  # :memory:
+        fill_user(store, "u1", john)
+        server = InsightServer(store, TIME_VALUES, access_log=False)
+        server.start_background()
+        try:
+            for _ in range(40):
+                assert http_get(server.port, "/v1/q/q1?user=u1")[0] == 200
+            assert server.accesses_recorded == 0
+            assert store._read("SELECT COUNT(*) AS n FROM access_log")[0]["n"] == 0
+        finally:
+            server.stop_background()
+            store.close()
+
+    def test_stop_flushes_partial_batch(self, schema, john):
+        store = CandidateStore(schema)  # :memory:
+        fill_user(store, "u1", john)
+        server = InsightServer(store, TIME_VALUES)
+        server.start_background()
+        try:
+            for _ in range(5):  # below the batch size: buffered only
+                assert http_get(server.port, "/v1/q/q2?user=u1")[0] == 200
+        finally:
+            server.stop_background()
+        assert server.accesses_recorded == 5
+        assert store._read("SELECT COUNT(*) AS n FROM access_log")[0]["n"] == 5
+        store.close()
 
 
 class TestCacheModes:
