@@ -41,6 +41,17 @@ Subcommands
     The serving tier: an async HTTP/JSON API over the candidate
     database with a fingerprint-validated rendered-insight cache and
     per-shard read-only replica connections.
+``justintime orchestrator-status``
+    Read-side HA observability: the current leader lease (holder,
+    epoch, age), the leader's last published metrics snapshot and the
+    budget/freshness state — the CLI twin of ``GET /v1/orchestrator``.
+
+``refresh-orchestrator --standby`` turns the orchestrator into a
+campaigner: it blocks until the store-backed leader lease is won (the
+previous leader died or resigned), *then* loads the dead leader's last
+checkpoint and continues the feed from its cursor.  Every checkpoint
+and pool dispatch is fenced on the lease epoch, so a deposed leader's
+late writes are rejected instead of silently merging.
 
 All subcommands accept ``--n-per-year``, ``--strategy``, ``--horizon``
 and ``--seed`` to control the backing system, plus ``--db`` /
@@ -51,7 +62,10 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import sys
+import time
+import uuid
 from pathlib import Path
 from typing import IO
 
@@ -81,8 +95,8 @@ from repro.data import (
 )
 from repro.core.insights import InsightEngine
 from repro.db.store import CandidateStore
-from repro.exceptions import QueryError, StorageError
-from repro.serve import InsightServer, bundle_payload, dumps
+from repro.exceptions import LeadershipLost, QueryError, StorageError
+from repro.serve import InsightServer, bundle_payload, dumps, orchestrator_payload
 from repro.temporal import lending_update_function
 
 __all__ = [
@@ -91,6 +105,7 @@ __all__ = [
     "run_admin",
     "run_demo",
     "run_interactive",
+    "run_orchestrator_status",
     "run_query",
     "run_quickstart",
     "run_rebalance",
@@ -521,6 +536,36 @@ def make_parser() -> argparse.ArgumentParser:
         help="decay half-life (seconds) of the per-user activity scores"
         " folded from the serving tier's access_log",
     )
+    orchestrator.add_argument(
+        "--standby",
+        action="store_true",
+        help="campaign for the store-backed leader lease before loading"
+        " the system; block until leadership is won (HA hot standby),"
+        " then resume from the previous leader's last checkpoint",
+    )
+    orchestrator.add_argument(
+        "--leader-ttl",
+        type=float,
+        default=30.0,
+        help="leader lease time-to-live in seconds; a leader silent for"
+        " this long is considered dead and its seat can be taken over",
+    )
+    orchestrator.add_argument(
+        "--node-id",
+        default=None,
+        help="stable identity of this orchestrator in the leader lease"
+        " (default: a generated orch-<pid>-<rand> id)",
+    )
+    status = sub.add_parser(
+        "orchestrator-status",
+        help="show the leader lease, the leader's last metrics snapshot"
+        " and the budget/freshness state of a candidate database",
+    )
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical JSON payload of GET /v1/orchestrator",
+    )
     query = sub.add_parser(
         "query",
         help="answer canned questions for one user from a stored"
@@ -900,8 +945,45 @@ def run_refresh_orchestrator(args, out: IO[str] | None = None) -> int:
     orchestrator restarts exactly where it died: no row is re-ingested,
     no finished cell recomputed.  Live sessions are never materialised
     here — workers recompute from the persisted session specs.
+
+    With ``--standby`` the process first campaigns for the store-backed
+    leader lease on a bare store handle — *before* loading the system —
+    so that when it finally wins (the active leader died or resigned)
+    it loads the dead leader's latest checkpoint, not a stale snapshot
+    from its own start time.  Checkpoints and pool dispatches are then
+    fenced on the lease epoch; losing the lease exits with status 1.
     """
     out = out if out is not None else sys.stdout
+    standby = getattr(args, "standby", False)
+    node_id = getattr(args, "node_id", None) or (
+        f"orch-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    )
+    leader_ttl = getattr(args, "leader_ttl", 30.0)
+    if standby:
+        if not args.db:
+            out.write("--standby needs --db (the lease lives in the store)\n")
+            return 2
+        out.write(
+            f"standby {node_id}: campaigning for the leader lease"
+            f" (ttl={leader_ttl:g}s)\n"
+        )
+        out.flush()
+        interval = max(leader_ttl / 4.0, 0.05)
+        with CandidateStore(
+            lending_schema(), args.db, backend=args.db_backend
+        ) as seat:
+            while True:
+                epoch = seat.acquire_leader_lease(
+                    node_id, ttl_seconds=leader_ttl
+                )
+                if epoch is not None:
+                    out.write(
+                        f"standby {node_id}: won the lease (epoch {epoch});"
+                        " loading the last checkpoint\n"
+                    )
+                    out.flush()
+                    break
+                time.sleep(interval)
     system = _load_refreshable_system(args, out, "refresh-orchestrator")
     if system is None:
         return 2
@@ -947,6 +1029,9 @@ def run_refresh_orchestrator(args, out: IO[str] | None = None) -> int:
         budget=args.budget,
         sla_epochs=args.sla_epochs,
         priority_halflife=args.priority_halflife,
+        ha=standby,
+        node_id=node_id,
+        leader_ttl=leader_ttl,
     )
     out.write(screen_header("Refresh orchestrator") + "\n")
     out.write(
@@ -957,6 +1042,10 @@ def run_refresh_orchestrator(args, out: IO[str] | None = None) -> int:
         f" budget={args.budget or 'unlimited'} cells/epoch,"
         f" sla={args.sla_epochs or 'off'}\n"
     )
+    if standby:
+        # instant renew-in-place: the seat was already won on the bare
+        # handle above, under the same node_id
+        orchestrator.campaign()
     recovered = orchestrator.recover()
     if recovered is not None:
         out.write(
@@ -998,12 +1087,23 @@ def run_refresh_orchestrator(args, out: IO[str] | None = None) -> int:
         )
         out.flush()
 
-    epochs = orchestrator.run(
-        max_polls=args.max_polls,
-        max_epochs=args.max_epochs,
-        poll_interval=args.poll_interval,
-        on_epoch=on_epoch,
-    )
+    try:
+        epochs = orchestrator.run(
+            max_polls=args.max_polls,
+            max_epochs=args.max_epochs,
+            poll_interval=args.poll_interval,
+            on_epoch=on_epoch,
+        )
+    except LeadershipLost as exc:
+        out.write(
+            f"leadership lost: {exc}\n"
+            "another orchestrator took over the lease; this one's"
+            " in-flight checkpoint was fenced (not merged).  exiting.\n"
+        )
+        system.store.close()
+        return 1
+    if standby:
+        orchestrator.resign()
     out.write(
         f"orchestrator stopped after {len(epochs)} epochs"
         f" ({orchestrator.epochs_completed} completed over the system's"
@@ -1011,6 +1111,73 @@ def run_refresh_orchestrator(args, out: IO[str] | None = None) -> int:
     )
     out.write(f"store digest: {system.store.contents_digest()}\n")
     system.store.close()
+    return 0
+
+
+def run_orchestrator_status(args, out: IO[str] | None = None) -> int:
+    """HA observability from the shell: who leads, and how it is doing.
+
+    Reads the leader lease, the leader's last published metrics
+    snapshot, the refresh budget and the freshness report straight from
+    the candidate database — the same payload ``serve`` exposes at
+    ``GET /v1/orchestrator``, so scripted probes can use either.
+    """
+    out = out if out is not None else sys.stdout
+    opened = _open_read_side(args, out, "orchestrator-status")
+    if opened is None:
+        return 2
+    store, _, owner = opened
+    try:
+        payload = orchestrator_payload(store)
+    finally:
+        owner.close()
+    if getattr(args, "json", False):
+        out.write(dumps(payload) + "\n")
+        return 0
+    out.write(screen_header("Orchestrator status") + "\n")
+    leader = payload["leader"]
+    if leader is None:
+        out.write("leader: none (no orchestrator has ever campaigned)\n")
+    else:
+        state = "EXPIRED" if leader["expired"] else "live"
+        out.write(
+            f"leader: {leader['leader_id']} (epoch {leader['epoch']},"
+            f" {state}; lease renewed {leader['lease_age']:.1f}s ago)\n"
+        )
+    metrics = payload["metrics"]
+    if metrics is None:
+        out.write("metrics: none published yet\n")
+    else:
+        out.write(
+            f"metrics ({metrics.get('phase', '?')},"
+            f" node {metrics.get('node_id', '?')}):"
+            f" epochs={metrics.get('epochs_completed', 0)}"
+            f" cells={metrics.get('cells_drained', 0)}"
+            f" candidates={metrics.get('candidates_written', 0)}"
+            f" pending-rows={metrics.get('pending_rows', 0)}"
+            f" takeovers={metrics.get('lease_takeovers', 0)}"
+            f" lost-leases={metrics.get('lost_leases', 0)}\n"
+        )
+        drift = metrics.get("drift") or []
+        if drift:
+            last = drift[-1]
+            out.write(
+                f"last epoch: trigger={last.get('trigger')}"
+                f" rows={last.get('rows')} mmd={last.get('mmd')}"
+                f" label-shift={last.get('label_shift')}\n"
+            )
+    budget = payload["budget_remaining"]
+    out.write(
+        f"budget remaining: "
+        f"{'unlimited' if budget is None else budget}\n"
+    )
+    freshness = payload["freshness"]
+    if freshness:
+        out.write(
+            f"freshness: {freshness.get('users', 0)} users,"
+            f" max-age={freshness.get('max_age', 0.0):.1f}s"
+            f" mean-age={freshness.get('mean_age', 0.0):.1f}s\n"
+        )
     return 0
 
 
@@ -1146,16 +1313,16 @@ def run_query(args, out: IO[str] | None = None) -> int:
 def _bundle_freshness_seconds(store, user_id: str) -> float | None:
     """Seconds since the oldest ``refreshed_at`` stamp backing the
     user's cells, or ``None`` when no cell carries a stamp yet (rows
-    predating the priority subsystem, or never refreshed)."""
-    import time
+    predating the priority subsystem, or never refreshed).
 
+    The age is computed in one query against the *store's* clock — the
+    same clock that wrote the stamps — so a CLI host whose wall clock
+    is skewed from the database host cannot report negative or inflated
+    ages."""
     from repro.db.prepared import prepared_for
 
     prepared = prepared_for(store.placeholder, store.schema.names)
-    oldest = prepared.oldest_stamp(store.read, user_id)
-    if oldest is None:
-        return None
-    return max(0.0, time.time() - oldest)
+    return prepared.oldest_age(store.read, user_id, store.backend.clock_sql())
 
 
 def run_serve(args, out: IO[str] | None = None) -> int:
@@ -1220,6 +1387,7 @@ def main(argv: list[str] | None = None) -> int:
         "refresh-daemon": run_refresh_daemon,
         "refresh-workers": run_refresh_workers,
         "refresh-orchestrator": run_refresh_orchestrator,
+        "orchestrator-status": run_orchestrator_status,
         "rebalance": run_rebalance,
         "query": run_query,
         "serve": run_serve,

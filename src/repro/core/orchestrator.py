@@ -38,11 +38,31 @@ Per-cell recomputes are deterministic, so however the loop is cut, the
 final store contents are byte-identical to a one-shot ``refresh()``
 over the merged stream (``CandidateStore.contents_digest`` — asserted
 in the tests, the CI smoke and ``benchmarks/bench_orchestrator.py``).
+
+**Multi-orchestrator HA** (``ha=True``): N orchestrator processes
+campaign over the store's ``leader_lease`` — a singleton lease
+arbitrated by the store-side clock, exactly like worker leases — and
+only the winner runs the loop; the others block in :meth:`campaign`
+until the leader's lease expires.  Every leadership-scoped write
+(checkpoints, pool dispatch) first *renews* the lease under its fencing
+``(node_id, epoch)`` token, so a deposed leader's late ``save_system``
+or drain raises :class:`~repro.exceptions.LeadershipLost` instead of
+silently merging over the new leader's state; the worker pool carries
+the same token into its claim rounds.  A standby that takes over picks
+up the dead leader's feed cursor and interrupted drain through the
+ordinary two-checkpoint recovery path — the final store digest stays
+byte-identical to a never-failed run
+(``benchmarks/bench_failover.py``).  Each checkpoint also publishes a
+health/metrics snapshot into the store
+(:meth:`CandidateStore.set_orchestrator_metrics`) for the
+``/v1/orchestrator`` endpoint and the ``orchestrator-status`` CLI verb.
 """
 
 from __future__ import annotations
 
+import os
 import time
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -50,9 +70,12 @@ from repro.core.persistence import save_system
 from repro.core.scheduler import DriftGate, RefreshEpoch, RefreshScheduler
 from repro.core.worker import PoolReport, run_worker_pool
 from repro.data.feed import DataFeed
-from repro.exceptions import StorageError
+from repro.exceptions import LeadershipLost, StorageError
 
 __all__ = ["EpochOutcome", "RefreshOrchestrator"]
+
+#: drift-decision history entries kept in the published metrics snapshot
+_METRICS_DRIFT_WINDOW = 20
 
 
 @dataclass(frozen=True)
@@ -152,6 +175,18 @@ class RefreshOrchestrator:
         ``'epoch-complete'`` (after the post-drain checkpoint).  Raising
         from the hook simulates the orchestrator process dying at that
         point; production runs leave it ``None``.
+    ha / node_id / leader_ttl:
+        ``ha=True`` turns on store-backed leader election: the
+        orchestrator only runs the loop while it holds the
+        ``leader_lease`` seat (:meth:`campaign` blocks until it wins),
+        heartbeats the lease on every checkpoint / dispatch / idle
+        poll, and **fences** every leadership-scoped write on its
+        ``(node_id, lease epoch)`` token — losing the seat raises
+        :class:`~repro.exceptions.LeadershipLost` instead of writing.
+        ``node_id`` names this campaigner (defaults to a
+        pid+random-suffix identity); ``leader_ttl`` is the lease TTL in
+        store-clock seconds — keep it above the poll interval, or an
+        idle leader will be deposed between polls.
     """
 
     def __init__(
@@ -182,6 +217,9 @@ class RefreshOrchestrator:
         checkpoint_digest: bool = True,
         on_cells_refreshed=None,
         fault_hook=None,
+        ha: bool = False,
+        node_id: str | None = None,
+        leader_ttl: float = 30.0,
     ):
         if n_workers < 1:
             raise StorageError("n_workers must be >= 1")
@@ -189,6 +227,8 @@ class RefreshOrchestrator:
             raise StorageError("budget must be >= 1 or None")
         if sla_epochs is not None and sla_epochs < 1:
             raise StorageError("sla_epochs must be >= 1 or None")
+        if leader_ttl <= 0:
+            raise StorageError("leader_ttl must be positive")
         if getattr(system.store.backend, "path", ":memory:") == ":memory:":
             raise StorageError(
                 "the orchestrator needs a file-backed store: worker"
@@ -214,6 +254,25 @@ class RefreshOrchestrator:
         #: every hit against the fingerprint ledger regardless)
         self.on_cells_refreshed = on_cells_refreshed
         self.fault_hook = fault_hook
+        self.ha = bool(ha)
+        self.node_id = (
+            str(node_id)
+            if node_id
+            else f"orch-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        )
+        self.leader_ttl = float(leader_ttl)
+        #: fencing token of the held seat (``None`` while not leading)
+        self.lease_epoch: int | None = None
+        #: expired seats this node took over when winning a campaign —
+        #: each one is a leader that died (or stalled past its TTL)
+        self.lease_takeovers = 0
+        # this process's drain totals, published with the metrics
+        # snapshot (durable state — the epoch counter, carry-over,
+        # stale-since — lives in the checkpoint instead)
+        self._cells_drained = 0
+        self._candidates_written = 0
+        self._lost_leases = 0
+        self._skipped_cells = 0
         self.budget = None if budget is None else int(budget)
         self.sla_epochs = None if sla_epochs is None else int(sla_epochs)
         self.priority_halflife = float(priority_halflife)
@@ -266,6 +325,140 @@ class RefreshOrchestrator:
         """Unspent budget rolled into the next epoch (0 without one)."""
         return self._carryover
 
+    # -------------------------------------------------------- leadership
+
+    def campaign(
+        self, *, sleep=time.sleep, max_wait: float | None = None
+    ) -> int:
+        """Block until this node holds the leader seat; returns the
+        fencing lease epoch.
+
+        Re-campaigning while already leading just renews the seat
+        (idempotent, like re-claiming one's own cell lease), so the CLI
+        can campaign on a bare store handle first and the orchestrator
+        instantly confirms the same seat here.  ``max_wait`` bounds the
+        wait (``StorageError`` on timeout — tests and probes); ``None``
+        campaigns forever, which is what a standby *is*.
+        """
+        store = self.system.store
+        interval = max(self.leader_ttl / 4.0, 0.05)
+        waited = 0.0
+        while True:
+            before = store.leader_status()
+            epoch = store.acquire_leader_lease(
+                self.node_id, ttl_seconds=self.leader_ttl
+            )
+            if epoch is not None:
+                if (
+                    before is not None
+                    and str(before["leader_id"]) != self.node_id
+                ):
+                    # won by outliving someone else's expired seat
+                    self.lease_takeovers += 1
+                self.lease_epoch = int(epoch)
+                return self.lease_epoch
+            if max_wait is not None and waited >= max_wait:
+                raise StorageError(
+                    f"node {self.node_id!r} could not win leadership"
+                    f" within {max_wait}s"
+                )
+            sleep(interval)
+            waited += interval
+
+    def resign(self) -> None:
+        """Step down cleanly (expire the held lease so a standby takes
+        over immediately); a no-op when not leading."""
+        if self.lease_epoch is None:
+            return
+        self.system.store.resign_leader_lease(self.node_id, self.lease_epoch)
+        self.lease_epoch = None
+
+    def _fence(self) -> None:
+        """Prove-and-extend leadership before a leadership-scoped write.
+
+        Renewal is the proof: the conditional update only succeeds while
+        ``(node_id, lease_epoch)`` is the live seat, so one store round
+        trip both heartbeats the lease and fences the write.  Losing the
+        seat raises :class:`LeadershipLost` — the caller's checkpoint or
+        drain dispatch never happens.  No-op outside HA mode.
+        """
+        if not self.ha:
+            return
+        if self.lease_epoch is None:
+            raise LeadershipLost(
+                f"node {self.node_id!r} is not leading; campaign() first"
+            )
+        if not self.system.store.renew_leader_lease(
+            self.node_id, self.lease_epoch, ttl_seconds=self.leader_ttl
+        ):
+            epoch = self.lease_epoch
+            self.lease_epoch = None
+            raise LeadershipLost(
+                f"node {self.node_id!r} lost the leader lease (epoch"
+                f" {epoch}): another orchestrator took over; this write"
+                " was fenced"
+            )
+
+    def metrics_snapshot(self, phase: str = "idle") -> dict:
+        """The health/metrics payload published at every checkpoint —
+        what ``/v1/orchestrator`` and ``orchestrator-status`` surface."""
+        drift = []
+        for epoch in self.scheduler.epochs[-_METRICS_DRIFT_WINDOW:]:
+            decision = epoch.drift
+            drift.append(
+                {
+                    "trigger": epoch.trigger,
+                    "rows": int(epoch.rows),
+                    "assessed": (
+                        None if decision is None else bool(decision.assessed)
+                    ),
+                    "drifted": (
+                        None if decision is None else bool(decision.drifted)
+                    ),
+                    "mmd": (
+                        None
+                        if decision is None or decision.mmd is None
+                        else float(decision.mmd)
+                    ),
+                    "label_shift": (
+                        None
+                        if decision is None or decision.label_shift is None
+                        else float(decision.label_shift)
+                    ),
+                }
+            )
+        payload = {
+            "node_id": self.node_id,
+            "ha": self.ha,
+            "lease_epoch": self.lease_epoch,
+            "lease_takeovers": self.lease_takeovers,
+            "phase": str(phase),
+            "epochs_completed": self._epochs_completed,
+            "cells_drained": self._cells_drained,
+            "candidates_written": self._candidates_written,
+            # claim contention: compute-finished-but-lease-gone rounds
+            # (another claimant took the cell) + uncomputable skips
+            "lost_leases": self._lost_leases,
+            "skipped_cells": self._skipped_cells,
+            "pending_rows": self.scheduler.pending_rows,
+            "drift": drift,
+            "budget": None
+            if self.budget is None
+            else {"budget": self.budget, "carryover": self._carryover},
+            "sla": None
+            if self.sla_epochs is None
+            else {
+                "sla_epochs": self.sla_epochs,
+                "tracked_stale_cells": len(self._stale_since),
+            },
+        }
+        return payload
+
+    def _publish_metrics(self, phase: str) -> None:
+        self.system.store.set_orchestrator_metrics(
+            self.metrics_snapshot(phase)
+        )
+
     # ------------------------------------------------------------ epochs
 
     def _checkpoint(self, phase: str, *, digest: str | None = None) -> None:
@@ -273,7 +466,9 @@ class RefreshOrchestrator:
         models + merged history (the pickle payload), the feed cursor,
         and the loop phase — a single temp-and-rename ``save_system``,
         so a crash can never leave the cursor ahead of the history it
-        belongs to."""
+        belongs to.  In HA mode the write is fenced: it only happens
+        while this node still holds the leader seat."""
+        self._fence()
         extra = dict(self.system.saved_extra)
         cursor = self.feed.checkpoint
         if cursor is not None:
@@ -297,6 +492,8 @@ class RefreshOrchestrator:
         # operator verb's) carry the cursor forward instead of wiping it
         self.system.saved_extra = extra
         save_system(self.system, self.system_path, extra=extra)
+        # advisory health snapshot, after the durable write it describes
+        self._publish_metrics(phase)
 
     def _epoch_digest(self) -> str | None:
         """The post-drain store digest, or ``None`` when disabled
@@ -308,6 +505,7 @@ class RefreshOrchestrator:
         return self.system.store.contents_digest()
 
     def _dispatch_pool(self) -> PoolReport:
+        self._fence()
         track = self.budget is not None or self.sla_epochs is not None
         return run_worker_pool(
             self.system_path,
@@ -322,6 +520,9 @@ class RefreshOrchestrator:
             start_method=self.start_method,
             stats_store=self.system.store if track else None,
             fingerprints=self.system.model_fingerprints if track else None,
+            leader_token=(
+                (self.node_id, self.lease_epoch) if self.ha else None
+            ),
         )
 
     def _drain_and_checkpoint(self) -> tuple[PoolReport, str | None]:
@@ -335,6 +536,10 @@ class RefreshOrchestrator:
         if self.fault_hook is not None:
             self.fault_hook("epoch-saved")
         pool = self._dispatch_pool()
+        self._cells_drained += pool.cells_recomputed
+        self._candidates_written += pool.candidates_written
+        self._lost_leases += sum(w.lost_leases for w in pool.workers)
+        self._skipped_cells += len(pool.skipped_cells)
         if self.on_cells_refreshed is not None and pool.cells_recomputed:
             self.on_cells_refreshed(
                 tuple(cell for worker in pool.workers for cell in worker.cells)
@@ -519,7 +724,20 @@ class RefreshOrchestrator:
         """Recover any interrupted drain (unless :meth:`recover` already
         ran on this instance — the CLI calls it explicitly first to
         report the result), then poll until the feed is exhausted or a
-        budget is reached (see :meth:`RefreshScheduler.run`)."""
+        budget is reached (see :meth:`RefreshScheduler.run`).
+
+        In HA mode, campaigns first (blocking until this node wins the
+        seat) and heartbeats the lease on every idle poll — active
+        polls renew it through their checkpoints' fences."""
+        if self.ha:
+            if self.lease_epoch is None:
+                self.campaign(sleep=sleep)
+            inner_sleep = sleep
+
+            def sleep(seconds, _sleep=inner_sleep):
+                self._fence()
+                _sleep(seconds)
+
         if not self._recovered:
             self.recover()
         return self.scheduler.run(

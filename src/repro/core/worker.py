@@ -94,6 +94,7 @@ def drain_stale_cells(
     max_cells: int | None = None,
     claim_schema: str | None = None,
     engine: str | None = None,
+    leader_token: tuple | None = None,
     clock=None,
     sleep=time.sleep,
 ) -> WorkerReport:
@@ -142,6 +143,15 @@ def drain_stale_cells(
     fingerprint are never re-scored.  Surviving cells are written in one
     grouped ``upsert_cells`` transaction.  The store contents stay
     byte-identical to the per-cell drain.
+
+    ``leader_token`` — a ``(node_id, lease_epoch)`` pair from the
+    dispatching HA orchestrator — fences the drain on the leader seat:
+    each claim round first verifies the pair still holds the store's
+    ``leader_lease`` (:meth:`CandidateStore.verify_leader`) and the
+    worker stops claiming the moment it does not.  A deposed leader's
+    pool therefore winds down instead of computing cells on behalf of a
+    leadership that no longer exists; its outstanding leases expire and
+    the new leader's own pool picks the cells up.
     """
     system._require_fitted()
     cfg = system.config
@@ -206,6 +216,12 @@ def drain_stale_cells(
         return True
 
     while True:
+        if leader_token is not None and not store.verify_leader(
+            str(leader_token[0]), int(leader_token[1]), now=clock()
+        ):
+            # the dispatching orchestrator was deposed: stop claiming on
+            # its behalf — the new leader's own pool owns the drain now
+            break
         budget = (
             claim_batch
             if max_cells is None
@@ -360,6 +376,7 @@ def worker_main(
     lease_seconds: float = 30.0,
     affinity_index: int | None = None,
     engine: str | None = None,
+    leader_token: tuple | None = None,
     result_path: str | None = None,
 ) -> WorkerReport:
     """Process entry point: load the saved system, drain, report.
@@ -387,6 +404,7 @@ def worker_main(
             warm_start=warm_start,
             claim_schema=claim_schema,
             engine=engine,
+            leader_token=leader_token,
         )
     finally:
         system.store.close()
@@ -429,6 +447,7 @@ def run_worker_pool(
     timeout: float | None = None,
     stats_store=None,
     fingerprints: dict[int, str] | None = None,
+    leader_token: tuple | None = None,
 ) -> PoolReport:
     """Spawn ``n_workers`` processes draining one shared store.
 
@@ -447,6 +466,11 @@ def run_worker_pool(
     and current model fingerprints) attach a post-drain
     traffic-weighted freshness snapshot to the report — how much of the
     read traffic a *budgeted* (possibly partial) drain left fresh.
+
+    ``leader_token`` fences every worker's claim rounds on the
+    dispatching orchestrator's leader seat (see
+    :func:`drain_stale_cells`) — pass it when the pool runs on behalf
+    of an HA leader.
     """
     if n_workers < 1:
         raise StorageError("n_workers must be >= 1")
@@ -468,6 +492,7 @@ def run_worker_pool(
                         lease_seconds=lease_seconds,
                         affinity_index=i if shard_affinity else None,
                         engine=engine,
+                        leader_token=leader_token,
                         result_path=result_path,
                     ),
                 )

@@ -61,7 +61,14 @@ class PreparedQueries:
         before it is interpolated as an identifier.
     """
 
-    __slots__ = ("placeholder", "features", "_sql", "_feature_sql", "_series_sql")
+    __slots__ = (
+        "placeholder",
+        "features",
+        "_sql",
+        "_feature_sql",
+        "_series_sql",
+        "_age_sql",
+    )
 
     def __init__(self, placeholder: str, feature_names) -> None:
         ph = placeholder
@@ -131,6 +138,9 @@ class PreparedQueries:
         self._feature_sql: dict[str, tuple[str, str]] = {}
         #: per-aggregate series SQL built on first use
         self._series_sql: dict[str, str] = {}
+        #: per-clock-expression freshness SQL built on first use (the
+        #: clock expression is backend-owned, not part of this cache key)
+        self._age_sql: dict[str, str] = {}
 
     # ---------------------------------------------------------- helpers
 
@@ -280,6 +290,35 @@ class PreparedQueries:
         if value is None or float(value) <= 0:
             return None
         return float(value)
+
+    def oldest_age(
+        self, read: Reader, user_id: str, clock_sql: str
+    ) -> float | None:
+        """Age in seconds of the user's oldest ``refreshed_at`` stamp,
+        measured **entirely on the store clock**: the stamp was written
+        via the backend's clock expression, so the subtraction must read
+        the same expression (``clock_sql``,
+        :meth:`~repro.db.backends.StoreBackend.clock_sql`) — subtracting
+        a store stamp from host ``time.time()`` would fold host↔store
+        clock skew into the reported freshness.  One round-trip: clock
+        read and subtraction happen in the same query.  ``None`` for
+        unknown users or never-stamped rows (``refreshed_at = 0``,
+        pre-priority databases).
+        """
+        sql = self._age_sql.get(clock_sql)
+        if sql is None:
+            sql = (
+                "SELECT CASE WHEN MIN(refreshed_at) IS NULL"
+                " OR MIN(refreshed_at) <= 0 THEN NULL"
+                f" ELSE {clock_sql} - MIN(refreshed_at) END AS age"
+                f" FROM temporal_inputs WHERE user_id = {self.placeholder}"
+            )
+            self._age_sql[clock_sql] = sql
+        rows = read(sql, (user_id,))
+        value = rows[0]["age"] if rows else None
+        if value is None:
+            return None
+        return max(0.0, float(value))
 
 
 _PREPARED_CACHE: dict[tuple, PreparedQueries] = {}

@@ -342,6 +342,32 @@ class CandidateStore:
             remaining INTEGER NOT NULL
         )
         """,
+        # orchestrator leader election: a singleton lease arbitrated by
+        # the store-side clock, exactly like worker leases.  `epoch` is
+        # the fencing token — it increments on every leadership change
+        # and never resets, so a deposed leader's stale (leader_id,
+        # epoch) pair can be rejected even after the node re-campaigns.
+        """
+        CREATE TABLE IF NOT EXISTS main.leader_lease (
+            id INTEGER PRIMARY KEY CHECK (id = 1),
+            leader_id TEXT NOT NULL,
+            epoch INTEGER NOT NULL,
+            acquired_at REAL NOT NULL,
+            renewed_at REAL NOT NULL,
+            lease_expires_at REAL NOT NULL
+        )
+        """,
+        # last orchestrator health/metrics snapshot (JSON), written at
+        # checkpoint boundaries so the serving tier and CLI can report
+        # orchestrator health without sharing its process.  Coordinator
+        # state: excluded from `contents_digest`.
+        """
+        CREATE TABLE IF NOT EXISTS main.orchestrator_metrics (
+            id INTEGER PRIMARY KEY CHECK (id = 1),
+            updated_at REAL NOT NULL,
+            payload TEXT NOT NULL
+        )
+        """,
     )
 
     def _create_tables(self) -> None:
@@ -1792,6 +1818,201 @@ class CandidateStore:
             )
             for r in rows
         ]
+
+    # --------------------------------------------------- leader election
+    #
+    # The worker-lease machinery generalised to a single seat: N
+    # orchestrator processes campaign over `main.leader_lease` and the
+    # store clock — never host clocks — arbitrates who leads.  The
+    # monotonically increasing `epoch` is a fencing token: every write
+    # a leader makes on behalf of its leadership (checkpoints, drain
+    # dispatch) first proves `(leader_id, epoch)` is still the live
+    # seat, so a deposed leader that wakes up late is rejected instead
+    # of silently merging its stale state over the new leader's.
+
+    def acquire_leader_lease(
+        self,
+        node_id: str,
+        *,
+        ttl_seconds: float = 30.0,
+        now: float | None = None,
+    ) -> int | None:
+        """Campaign for the leader seat; returns the fencing ``epoch``
+        on success, ``None`` while another node's lease is live.
+
+        Exactly one of three things happens, all inside one ``BEGIN
+        IMMEDIATE`` so two campaigners can never both win:
+
+        - no seat yet → take it at epoch 1;
+        - this node already holds a live seat → renew in place (same
+          epoch — re-campaigning is idempotent, like re-claiming one's
+          own cell lease);
+        - the seat's lease expired → take over at ``epoch + 1`` (the
+          increment is what fences the previous leader's late writes).
+
+        ``now`` defaults to the store-side clock (:meth:`clock_now`)
+        and is injectable for tests.
+        """
+        now = float(self.clock_now() if now is None else now)
+        expires = now + float(ttl_seconds)
+        node_id = str(node_id)
+        ph = self._ph
+        self._begin_immediate()
+        try:
+            rows = self._read(
+                "SELECT leader_id, epoch, lease_expires_at"
+                " FROM main.leader_lease WHERE id = 1"
+            )
+            epoch: int | None
+            if not rows:
+                self._conn.execute(
+                    "INSERT INTO main.leader_lease"
+                    " (id, leader_id, epoch, acquired_at, renewed_at,"
+                    " lease_expires_at)"
+                    f" VALUES (1, {ph}, 1, {ph}, {ph}, {ph})",
+                    (node_id, now, now, expires),
+                )
+                epoch = 1
+            elif (
+                str(rows[0]["leader_id"]) == node_id
+                and float(rows[0]["lease_expires_at"]) > now
+            ):
+                epoch = int(rows[0]["epoch"])
+                self._conn.execute(
+                    "UPDATE main.leader_lease"
+                    f" SET renewed_at = {ph}, lease_expires_at = {ph}"
+                    " WHERE id = 1",
+                    (now, expires),
+                )
+            elif float(rows[0]["lease_expires_at"]) <= now:
+                epoch = int(rows[0]["epoch"]) + 1
+                self._conn.execute(
+                    "UPDATE main.leader_lease"
+                    f" SET leader_id = {ph}, epoch = {ph}, acquired_at = {ph},"
+                    f" renewed_at = {ph}, lease_expires_at = {ph}"
+                    " WHERE id = 1",
+                    (node_id, epoch, now, now, expires),
+                )
+            else:
+                epoch = None
+            self._conn.commit()
+        except BaseException:
+            self._conn.rollback()
+            raise
+        return epoch
+
+    def renew_leader_lease(
+        self,
+        node_id: str,
+        epoch: int,
+        *,
+        ttl_seconds: float = 30.0,
+        now: float | None = None,
+    ) -> bool:
+        """Heartbeat: extend the lease iff this node still holds the
+        seat *at this epoch* and the lease has not already expired (an
+        expired lease may have been taken over, so renewing it would
+        resurrect a deposed leader).  Returns whether the seat is still
+        held — ``False`` tells the caller to stop leading immediately.
+        """
+        now = float(self.clock_now() if now is None else now)
+        with self._conn:
+            cursor = self._conn.execute(
+                "UPDATE main.leader_lease"
+                f" SET renewed_at = {self._ph}, lease_expires_at = {self._ph}"
+                f" WHERE id = 1 AND leader_id = {self._ph}"
+                f" AND epoch = {self._ph} AND lease_expires_at > {self._ph}",
+                (now, now + float(ttl_seconds), str(node_id), int(epoch), now),
+            )
+        return bool(cursor.rowcount)
+
+    def resign_leader_lease(
+        self, node_id: str, epoch: int, *, now: float | None = None
+    ) -> bool:
+        """Step down cleanly: expire (never delete) this node's lease so
+        a standby can take over without waiting out the TTL.  The row —
+        and its ``epoch`` — stays, keeping the fencing token monotonic
+        across leaderships.  A resign by a node that no longer holds the
+        seat is a no-op; returns whether the seat was released.
+        """
+        now = float(self.clock_now() if now is None else now)
+        with self._conn:
+            cursor = self._conn.execute(
+                f"UPDATE main.leader_lease SET lease_expires_at = {self._ph}"
+                f" WHERE id = 1 AND leader_id = {self._ph}"
+                f" AND epoch = {self._ph} AND lease_expires_at > {self._ph}",
+                (now, str(node_id), int(epoch), now),
+            )
+        return bool(cursor.rowcount)
+
+    def verify_leader(
+        self, node_id: str, epoch: int, *, now: float | None = None
+    ) -> bool:
+        """Whether ``(node_id, epoch)`` is the live seat right now —
+        the fencing check run before every leadership-scoped write."""
+        now = float(self.clock_now() if now is None else now)
+        rows = self._read(
+            "SELECT 1 FROM main.leader_lease"
+            f" WHERE id = 1 AND leader_id = {self._ph}"
+            f" AND epoch = {self._ph} AND lease_expires_at > {self._ph}",
+            (str(node_id), int(epoch), now),
+        )
+        return bool(rows)
+
+    def leader_status(self, *, now: float | None = None) -> dict | None:
+        """Current seat as a dict (monitoring / ``orchestrator-status``),
+        or ``None`` when no node has ever campaigned.  ``lease_age`` is
+        seconds since the last heartbeat, on the store clock."""
+        now = float(self.clock_now() if now is None else now)
+        rows = self._read(
+            "SELECT leader_id, epoch, acquired_at, renewed_at,"
+            " lease_expires_at FROM main.leader_lease WHERE id = 1"
+        )
+        if not rows:
+            return None
+        row = rows[0]
+        expires = float(row["lease_expires_at"])
+        return {
+            "leader_id": str(row["leader_id"]),
+            "epoch": int(row["epoch"]),
+            "acquired_at": float(row["acquired_at"]),
+            "renewed_at": float(row["renewed_at"]),
+            "lease_expires_at": expires,
+            "lease_age": max(0.0, now - float(row["renewed_at"])),
+            "expired": expires <= now,
+        }
+
+    def set_orchestrator_metrics(
+        self, payload: dict, *, now: float | None = None
+    ) -> None:
+        """Durably publish the orchestrator's health/metrics snapshot
+        (coordinator state, digest-excluded) for the serving tier and
+        ``orchestrator-status`` to read without sharing its process."""
+        now = float(self.clock_now() if now is None else now)
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO main.orchestrator_metrics (id, updated_at, payload)"
+                f" VALUES (1, {self._ph}, {self._ph})"
+                " ON CONFLICT (id) DO UPDATE SET"
+                " updated_at = excluded.updated_at,"
+                " payload = excluded.payload",
+                (now, blob),
+            )
+
+    def orchestrator_metrics(self) -> dict | None:
+        """Last published snapshot as ``{"updated_at": ts, "metrics":
+        {...}}``, or ``None`` before any orchestrator checkpointed."""
+        rows = self._read(
+            "SELECT updated_at, payload FROM main.orchestrator_metrics"
+            " WHERE id = 1"
+        )
+        if not rows:
+            return None
+        return {
+            "updated_at": float(rows[0]["updated_at"]),
+            "metrics": json.loads(str(rows[0]["payload"])),
+        }
 
     # ----------------------------------------- priority / budget / freshness
 

@@ -48,5 +48,11 @@ class StorageError(ReproError):
     """The candidate database rejected an operation."""
 
 
+class LeadershipLost(StorageError):
+    """This orchestrator's leader lease was taken over (or expired):
+    the write it was about to perform on behalf of its leadership was
+    fenced instead of silently merging over the new leader's state."""
+
+
 class QueryError(ReproError):
     """A canned or user query is invalid for the current database."""

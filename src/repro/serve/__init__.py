@@ -10,7 +10,13 @@ read-only replica connections.
 
 from repro.serve.cache import CacheStats, InsightCache
 from repro.serve.pool import ReplicaPool, ReplicaStoreView
-from repro.serve.protocol import bundle_payload, dumps, insight_payload, plan_payload
+from repro.serve.protocol import (
+    bundle_payload,
+    dumps,
+    insight_payload,
+    orchestrator_payload,
+    plan_payload,
+)
 from repro.serve.server import InsightServer, ServeError
 
 __all__ = [
@@ -23,5 +29,6 @@ __all__ = [
     "bundle_payload",
     "dumps",
     "insight_payload",
+    "orchestrator_payload",
     "plan_payload",
 ]

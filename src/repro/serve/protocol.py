@@ -24,6 +24,7 @@ __all__ = [
     "bundle_payload",
     "dumps",
     "insight_payload",
+    "orchestrator_payload",
     "plan_payload",
 ]
 
@@ -118,3 +119,35 @@ def bundle_payload(
     if freshness is not None:
         payload["meta"] = {"freshness": float(freshness)}
     return payload
+
+
+def orchestrator_payload(store) -> dict[str, Any]:
+    """Orchestrator health/metrics as plain JSON — the body of the
+    ``/v1/orchestrator`` endpoint and of the CLI's
+    ``orchestrator-status`` verb, built from durable store state only
+    (leader seat, last checkpointed metrics snapshot, budget,
+    freshness), so any process that can open the store can answer.
+
+    ``leader`` (or the whole payload's inner fields) is ``None`` until
+    a node campaigns / an orchestrator checkpoints — a deployment
+    without HA still gets budget and freshness.
+    """
+    from repro.exceptions import StorageError
+
+    now = store.clock_now()
+    leader = store.leader_status(now=now)
+    snapshot = store.orchestrator_metrics()
+    try:
+        freshness = store.freshness_report()
+    except StorageError:
+        freshness = None
+    return {
+        "now": float(now),
+        "leader": leader,
+        "metrics": None if snapshot is None else snapshot["metrics"],
+        "metrics_updated_at": (
+            None if snapshot is None else snapshot["updated_at"]
+        ),
+        "budget_remaining": store.refresh_budget_remaining(),
+        "freshness": freshness,
+    }

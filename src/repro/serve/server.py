@@ -10,6 +10,11 @@ Endpoints (versioned under ``/v1/``)
     Liveness probe.
 ``GET /v1/stats``
     Request, cache, replica-pool, access-log and freshness counters.
+``GET /v1/orchestrator``
+    Orchestrator health: leader seat (identity, epoch, lease age), the
+    last checkpointed metrics snapshot, budget and freshness — read
+    from durable store state, so it works whether or not an
+    orchestrator shares this process.
 ``GET /v1/insights?user=U[&alpha=A][&feature=F][&budget=B][&freshness=1]``
     The rendered per-user insight bundle (Q1–Q6, plus Q7 when a budget
     is given) with the fingerprint ledger it was computed under.
@@ -63,7 +68,6 @@ import asyncio
 import os
 import sqlite3
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
@@ -75,7 +79,12 @@ from repro.db.store import CandidateStore
 from repro.exceptions import QueryError, ReproError, StorageError
 from repro.serve.cache import InsightCache
 from repro.serve.pool import ReplicaPool
-from repro.serve.protocol import bundle_payload, dumps, insight_payload
+from repro.serve.protocol import (
+    bundle_payload,
+    dumps,
+    insight_payload,
+    orchestrator_payload,
+)
 
 __all__ = ["InsightServer", "ServeError"]
 
@@ -105,6 +114,27 @@ def _error(code: str, message: str) -> dict[str, Any]:
     """The versioned API's error envelope (also served, byte-identical,
     on the deprecated bare paths)."""
     return {"error": {"code": code, "message": message}}
+
+
+def _keep_alive(version: str, header_block: str) -> bool:
+    """HTTP-version-correct connection persistence.
+
+    Only the ``Connection`` header's own comma-separated token list
+    decides (never a substring scan of the whole head, which would
+    match inside unrelated headers and miss ``keep-alive, close``
+    lists); absent a decisive token, the version default applies —
+    persistent for HTTP/1.1, close for HTTP/1.0.
+    """
+    tokens: list[str] = []
+    for line in header_block.split("\r\n"):
+        name, sep, value = line.partition(":")
+        if sep and name.strip().lower() == "connection":
+            tokens.extend(token.strip().lower() for token in value.split(","))
+    if "close" in tokens:
+        return False
+    if version.strip().upper() == "HTTP/1.0":
+        return "keep-alive" in tokens
+    return True
 
 
 class ServeError(ReproError):
@@ -291,8 +321,8 @@ class InsightServer:
                         writer, 400, _error("bad_request", "bad request")
                     )
                     break
-                method, target, _version = parts
-                keep_alive = "connection: close" not in header_block.lower()
+                method, target, version = parts
+                keep_alive = _keep_alive(version, header_block)
                 status, payload, extra = await self._dispatch(method, target)
                 self.requests_served += 1
                 alive = await self._respond(
@@ -365,6 +395,10 @@ class InsightServer:
                 return 200, {"status": "ok"}, headers
             if path == "/stats":
                 return 200, await self._in_executor(self._stats_payload), headers
+            if path == "/orchestrator":
+                return 200, await self._in_executor(
+                    orchestrator_payload, self.store
+                ), headers
             if path == "/insights":
                 plan = self._plan_bundle(query)
             elif path.startswith("/q/"):
@@ -468,6 +502,13 @@ class InsightServer:
             freshness = self.store.freshness_report()
         except StorageError:
             freshness = None
+        with self._access_lock:
+            access = {
+                "enabled": self.access_log_enabled,
+                "recorded": self.accesses_recorded,
+                "dropped": self.accesses_dropped,
+                "buffered": len(self._access_buffer),
+            }
         return {
             "requests": self.requests_served,
             "cache": self.cache.stats.snapshot(),
@@ -475,12 +516,7 @@ class InsightServer:
             "cache_entries": len(self.cache),
             "pool": self.pool.stats(),
             "fast_replicas": len(self._fast_replicas),
-            "access": {
-                "enabled": self.access_log_enabled,
-                "recorded": self.accesses_recorded,
-                "dropped": self.accesses_dropped,
-                "buffered": len(self._access_buffer),
-            },
+            "access": access,
             "freshness": freshness,
         }
 
@@ -503,9 +539,13 @@ class InsightServer:
             with self._access_lock:
                 store = self._access_store_handle()
                 store.record_accesses(batch)
-            self.accesses_recorded += len(batch)
+                # counter bumped under the same lock that serialises
+                # flushes: concurrent executor threads and the /v1/stats
+                # reader would otherwise race the unsynchronised +=
+                self.accesses_recorded += len(batch)
         except Exception:
-            self.accesses_dropped += len(batch)
+            with self._access_lock:
+                self.accesses_dropped += len(batch)
 
     def _access_store_handle(self) -> CandidateStore:
         """The dedicated write store for access-log flushes (lazily
@@ -653,12 +693,17 @@ class InsightServer:
 
     def _bundle_freshness(self, view, user: str) -> float | None:
         """Age in seconds of the oldest ``refreshed_at`` stamp backing
-        the user's cells, or ``None`` when no cell carries a stamp."""
+        the user's cells, or ``None`` when no cell carries a stamp.
+
+        Computed in one store-clock read (``clock_sql() -
+        refreshed_at`` inside the query): the stamp was written by the
+        store clock, so subtracting host ``time.time()`` would fold
+        host↔store clock skew into the reported age.
+        """
         prepared = prepared_for(self.store.placeholder, self.store.schema.names)
-        oldest = prepared.oldest_stamp(view.read, user)
-        if oldest is None:
-            return None
-        return max(0.0, time.time() - oldest)
+        return prepared.oldest_age(
+            view.read, user, self.store.backend.clock_sql()
+        )
 
     @staticmethod
     def _serialize(

@@ -510,3 +510,157 @@ class TestFusedDrainCrashRecovery:
         assert crashed
         assert digest == expected
         assert len(survivor.cells) == total_cells - 3
+
+
+class LeaderKilled(RuntimeError):
+    """The simulated kill -9 of the active HA leader."""
+
+
+class TestLeaderFailover:
+    """Kill -9 of the active leader mid-epoch: the hot standby must win
+    the seat, take over the dead leader's feed cursor via the
+    two-checkpoint recovery path, and drain the remainder to a store
+    byte-identical to a run that never failed.  The deposed leader's
+    fencing token must be rejected on its next leadership-scoped write.
+    """
+
+    def build_service_state(self, schema, history, workdir, backend):
+        from repro.core import save_system
+
+        system = JustInTime(
+            schema,
+            lending_update_function(schema),
+            AdminConfig(
+                T=2,
+                strategy=PerPeriodStrategy(),
+                k=4,
+                max_iter=8,
+                random_state=0,
+            ),
+            domain_constraints=lending_domain_constraints(schema),
+            store_path=workdir / "cands.db",
+            store_backend=backend,
+            n_shards=4,
+        )
+        system.fit(history)
+        system.create_sessions(make_users(schema))
+        save_system(system, workdir / "sys.pkl")
+        system.store.close()
+        return workdir / "sys.pkl", workdir / "cands.db"
+
+    @pytest.mark.parametrize("backend", ["sqlite", "sharded"])
+    def test_standby_finishes_the_dead_leaders_epoch_byte_identical(
+        self, schema, history, drift_data, tmp_path, backend
+    ):
+        from repro.core import DriftGate, RefreshOrchestrator, load_system
+        from repro.data import CsvFeed, save_csv
+        from repro.exceptions import LeadershipLost
+
+        work = tmp_path / "ha"
+        work.mkdir()
+        pkl, db = self.build_service_state(schema, history, work, backend)
+        feed_csv = work / "feed.csv"
+        save_csv(drift_data, feed_csv)
+        # the reference must see the CSV-round-tripped values the
+        # orchestrator ingests (save_csv writes 6 significant digits)
+        parsed = CsvFeed(feed_csv, schema).poll()
+
+        # ---- reference: the same service, never failed
+        ref = tmp_path / "ref"
+        ref.mkdir()
+        ref_pkl, ref_db = self.build_service_state(schema, history, ref, backend)
+        ref_system = load_system(ref_pkl, store_path=ref_db)
+        ref_system.resume_sessions()
+        ref_system.refresh(parsed, warm_start=False)
+        expected = ref_system.store.contents_digest()
+        ref_system.store.close()
+
+        # ---- the leader: wins epoch 1, dies right after the pre-drain
+        # checkpoint (models refit, cursor advanced, ledger fully stale)
+        def kill(stage):
+            if stage == "epoch-saved":
+                raise LeaderKilled(stage)
+
+        leader_system = load_system(pkl, store_path=db)
+        leader = RefreshOrchestrator(
+            leader_system,
+            CsvFeed(feed_csv, schema),
+            system_path=pkl,
+            db_path=db,
+            n_workers=2,
+            gate=DriftGate(mmd_threshold=0.25),
+            warm_start=False,
+            fault_hook=kill,
+            ha=True,
+            node_id="leader",
+            leader_ttl=30.0,
+        )
+        assert leader.campaign(max_wait=5.0) == 1
+        with pytest.raises(LeaderKilled):
+            leader.poll_once()
+        assert leader.epochs_completed == 0
+        # nobody knows it is dead yet: the lease is still live
+        assert leader_system.store.verify_leader("leader", 1) is True
+
+        # ---- the standby: campaigns on a bare handle, wins the seat.
+        # Fast-forward the TTL deterministically by expiring the dead
+        # leader's lease (expiry-vs-clock semantics are proven in the
+        # backend contract suite; sleeping a real TTL here would be
+        # either slow or flaky).
+        standby_system = load_system(pkl, store_path=db)
+        assert standby_system.store.resign_leader_lease("leader", 1) is True
+        saved_offset = int(standby_system.saved_extra["feed_offset"])
+        assert saved_offset == feed_csv.stat().st_size  # cursor advanced
+        assert standby_system.saved_extra["orchestrator"]["phase"] == "draining"
+        stale = standby_system.store.stale_cells(
+            standby_system.model_fingerprints
+        )
+        assert len(stale) >= N_USERS
+        standby = RefreshOrchestrator(
+            standby_system,
+            CsvFeed(feed_csv, schema, start_offset=saved_offset),
+            system_path=pkl,
+            db_path=db,
+            n_workers=2,
+            gate=DriftGate(mmd_threshold=0.25),
+            warm_start=False,
+            ha=True,
+            node_id="standby",
+            leader_ttl=30.0,
+        )
+        assert standby.campaign(max_wait=5.0) == 2
+        assert standby.lease_takeovers == 1  # it displaced a dead leader
+
+        # the deposed leader's next leadership-scoped write is fenced —
+        # rejected before it can merge over the new leader's state
+        with pytest.raises(LeadershipLost):
+            leader._fence()
+        assert leader.lease_epoch is None  # the seat is gone for good
+        leader_system.store.close()
+
+        # ---- takeover: recovery finishes the interrupted drain from the
+        # dead leader's cursor; no feed row is re-ingested
+        epochs = standby.run(max_polls=1, poll_interval=0.0)
+        assert epochs == []  # no new feed rows — recovery only
+        assert standby.last_recovery is not None
+        assert standby.last_recovery.cells_recomputed == len(stale)
+        assert standby.epochs_completed == 1
+        assert (
+            standby_system.store.stale_cells(
+                standby_system.model_fingerprints
+            )
+            == []
+        )
+        assert standby_system.store.lease_rows() == []
+        assert standby_system.store.contents_digest() == expected
+
+        # the published metrics reflect the takeover for observability
+        snap = standby_system.store.orchestrator_metrics()
+        assert snap is not None
+        assert snap["metrics"]["node_id"] == "standby"
+        assert snap["metrics"]["lease_epoch"] == 2
+        assert snap["metrics"]["lease_takeovers"] == 1
+        standby.resign()
+        status = standby_system.store.leader_status()
+        assert status["expired"] is True and status["epoch"] == 2
+        standby_system.store.close()

@@ -9,6 +9,8 @@ optimisation, never a different answer.  Also covers the orchestrator's
 
 import http.client
 import json
+import socket
+import threading
 
 import numpy as np
 import pytest
@@ -489,3 +491,221 @@ class TestOrchestratorCacheHook:
         assert cache.get(("h2", "bundle", ()), fps) is None
         assert cache.get(("bystander", "bundle", ()), fps) == "cached"
         system.store.close()
+
+
+def _read_one_response(sock):
+    """Read exactly one HTTP response (head + Content-Length body)."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(4096)
+        if not chunk:
+            raise AssertionError("connection closed before a full response")
+        data += chunk
+    head, _, body = data.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    while len(body) < length:
+        chunk = sock.recv(4096)
+        if not chunk:
+            raise AssertionError("connection closed mid-body")
+        body += chunk
+    return head, body[:length]
+
+
+class TestKeepAliveSemantics:
+    """Connection persistence is decided by the ``Connection`` header's
+    token list and the HTTP version's default — never by a substring
+    scan of the whole head (which matches inside unrelated headers and
+    misses ``keep-alive, close`` lists)."""
+
+    # ---- unit: the parser itself
+    def test_http11_defaults_to_keep_alive(self):
+        from repro.serve.server import _keep_alive
+
+        assert _keep_alive("HTTP/1.1", "Host: x") is True
+
+    def test_http10_defaults_to_close(self):
+        from repro.serve.server import _keep_alive
+
+        assert _keep_alive("HTTP/1.0", "Host: x") is False
+
+    def test_http10_keep_alive_token_persists(self):
+        from repro.serve.server import _keep_alive
+
+        assert _keep_alive("HTTP/1.0", "Connection: keep-alive") is True
+
+    def test_close_token_wins_in_a_token_list(self):
+        from repro.serve.server import _keep_alive
+
+        assert _keep_alive("HTTP/1.1", "Connection: keep-alive, close") is False
+
+    def test_tokens_are_case_insensitive(self):
+        from repro.serve.server import _keep_alive
+
+        assert _keep_alive("HTTP/1.1", "connection: CLOSE") is False
+
+    def test_substrings_in_other_headers_do_not_close(self):
+        from repro.serve.server import _keep_alive
+
+        # the regression: "close" appearing outside the Connection
+        # header (or as part of a longer token) must not end the session
+        assert _keep_alive("HTTP/1.1", "X-Note: please-close-the-loop") is True
+        assert _keep_alive("HTTP/1.1", "Connection: closed-captioning") is True
+
+    # ---- wire: the server actually honors the decision
+    def test_http10_request_gets_connection_closed(self, served):
+        server, _ = served
+        with socket.create_connection(("127.0.0.1", server.port), 5) as s:
+            s.settimeout(5)
+            s.sendall(b"GET /healthz HTTP/1.0\r\nHost: x\r\n\r\n")
+            head, body = _read_one_response(s)
+            assert head.startswith(b"HTTP/1.1 200")
+            assert body == b'{"status":"ok"}'
+            assert s.recv(4096) == b""  # server closed, per HTTP/1.0
+
+    def test_http10_with_keep_alive_token_persists(self, served):
+        server, _ = served
+        request = b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        with socket.create_connection(("127.0.0.1", server.port), 5) as s:
+            s.settimeout(5)
+            for _ in range(2):  # a second request proves persistence
+                s.sendall(request)
+                head, body = _read_one_response(s)
+                assert head.startswith(b"HTTP/1.1 200")
+                assert body == b'{"status":"ok"}'
+
+    def test_http11_close_in_token_list_closes(self, served):
+        server, _ = served
+        with socket.create_connection(("127.0.0.1", server.port), 5) as s:
+            s.settimeout(5)
+            s.sendall(
+                b"GET /healthz HTTP/1.1\r\nHost: x\r\n"
+                b"Connection: keep-alive, close\r\n\r\n"
+            )
+            _read_one_response(s)
+            assert s.recv(4096) == b""
+
+
+class TestAccessCounterConsistency:
+    def test_concurrent_requests_count_exactly_once_each(self, schema, john):
+        """8 client threads hammer the access-logged endpoint; the
+        recorded/dropped counters (bumped from executor threads) must
+        account for every request exactly once — no lost updates."""
+        store = CandidateStore(schema)  # :memory:
+        fill_user(store, "u1", john)
+        server = InsightServer(store, TIME_VALUES, executor_threads=8)
+        server.start_background()
+        per_thread, n_threads = 15, 8
+        failures = []
+
+        def client():
+            for _ in range(per_thread):
+                status, _ = http_get(server.port, "/v1/q/q1?user=u1")
+                if status != 200:
+                    failures.append(status)
+
+        threads = [threading.Thread(target=client) for _ in range(n_threads)]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            server.stop_background()  # flushes the partial batch
+        assert failures == []
+        total = per_thread * n_threads
+        assert server.accesses_recorded + server.accesses_dropped == total
+        logged = store._read("SELECT COUNT(*) AS n FROM access_log")[0]["n"]
+        assert logged == server.accesses_recorded
+        store.close()
+
+
+class TestOrchestratorEndpoint:
+    def test_no_leader_yet(self, served):
+        server, _ = served
+        status, body = http_get(server.port, "/v1/orchestrator")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["leader"] is None
+        assert payload["metrics"] is None
+        assert payload["metrics_updated_at"] is None
+        assert payload["budget_remaining"] is None
+        assert payload["now"] > 0
+        assert "freshness" in payload
+
+    def test_reflects_lease_and_published_metrics(self, served):
+        server, store = served
+        store.acquire_leader_lease("orch-1", ttl_seconds=60.0)
+        store.set_orchestrator_metrics(
+            {"node_id": "orch-1", "phase": "drain", "epochs_completed": 3}
+        )
+        status, body = http_get(server.port, "/v1/orchestrator")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["leader"]["leader_id"] == "orch-1"
+        assert payload["leader"]["epoch"] == 1
+        assert payload["leader"]["expired"] is False
+        assert 0.0 <= payload["leader"]["lease_age"] < 60.0
+        assert payload["metrics"]["epochs_completed"] == 3
+        assert payload["metrics_updated_at"] is not None
+
+    def test_served_on_the_bare_surface_too(self, served):
+        server, _ = served
+        status, _, headers = http_get_full(server.port, "/orchestrator")
+        assert status == 200
+        assert "Deprecation" in headers
+
+
+class TestFreshnessClockSkew:
+    def test_server_freshness_immune_to_host_clock_skew(
+        self, served, monkeypatch
+    ):
+        """The regression: ages were ``time.time() - stamp`` on the
+        *serving* host; a skewed host clock inflated (or negated) every
+        age.  Post-fix the age is one SQL expression against the store's
+        own clock, so poisoning the host clock must change nothing."""
+        import time as _time
+
+        server, store = served
+        stamp = _time.time() - 30.0
+        for conn, prefix in {store._write_target(db)
+                             for db in store.backend.schemas()}:
+            conn.execute(
+                f"UPDATE {prefix}.temporal_inputs SET refreshed_at = ?",
+                (stamp,),
+            )
+            conn.commit()
+        real = _time.time
+        monkeypatch.setattr(_time, "time", lambda: real() + 7200.0)
+        status, body = http_get(server.port, "/v1/insights?user=u1&freshness=1")
+        assert status == 200
+        meta = json.loads(body)["meta"]
+        # ~30s, NOT ~7230s: the skewed host clock was never consulted
+        assert 25.0 <= meta["freshness"] <= 300.0
+
+    def test_cli_freshness_helper_uses_the_store_clock(
+        self, served, monkeypatch
+    ):
+        """``query --freshness`` shares the fix: same store-clock query,
+        same immunity to a skewed CLI host."""
+        import time as _time
+
+        from repro.app.cli import _bundle_freshness_seconds
+
+        _, store = served
+        stamp = _time.time() - 30.0
+        for conn, prefix in {store._write_target(db)
+                             for db in store.backend.schemas()}:
+            conn.execute(
+                f"UPDATE {prefix}.temporal_inputs SET refreshed_at = ?",
+                (stamp,),
+            )
+            conn.commit()
+        real = _time.time
+        monkeypatch.setattr(_time, "time", lambda: real() - 7200.0)
+        age = _bundle_freshness_seconds(store, "u1")
+        assert age is not None
+        # a host clock 2h *behind* would have produced a negative age
+        assert 25.0 <= age <= 300.0

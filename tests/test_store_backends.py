@@ -1144,3 +1144,137 @@ class TestLegacyMigration:
             store.store_temporal_inputs("u2", john.reshape(1, -1), {0: "fp0"})
             store.store_candidates("u2", [make_candidate(john)], {0: "fp0"})
             assert store.candidate_count("u2") == 1
+
+
+class TestLeaderElection:
+    """Store-backed leader-lease contract (multi-orchestrator HA).
+
+    The store's clock arbitrates leadership exactly as it does worker
+    leases: acquisition is a single BEGIN IMMEDIATE transaction, the
+    fencing epoch only ever increases, and a deposed leader's writes
+    must be rejected — on every backend.  All arithmetic below injects
+    ``now`` so expiry is deterministic.
+    """
+
+    def test_initial_acquire_starts_at_epoch_one(self, store):
+        assert store.acquire_leader_lease("n1", ttl_seconds=30, now=100.0) == 1
+        status = store.leader_status(now=101.0)
+        assert status["leader_id"] == "n1"
+        assert status["epoch"] == 1
+        assert status["expired"] is False
+        assert status["lease_expires_at"] == pytest.approx(130.0)
+        assert status["lease_age"] == pytest.approx(1.0)
+
+    def test_holder_reacquire_renews_in_place(self, store):
+        assert store.acquire_leader_lease("n1", ttl_seconds=30, now=100.0) == 1
+        # the current holder campaigning again must NOT burn an epoch —
+        # that would fence its own in-flight writes
+        assert store.acquire_leader_lease("n1", ttl_seconds=30, now=110.0) == 1
+        status = store.leader_status(now=110.0)
+        assert status["epoch"] == 1
+        assert status["lease_expires_at"] == pytest.approx(140.0)
+
+    def test_contender_blocked_while_lease_live(self, store):
+        assert store.acquire_leader_lease("n1", ttl_seconds=30, now=100.0) == 1
+        assert store.acquire_leader_lease("n2", ttl_seconds=30, now=129.0) is None
+        # the incumbent is untouched by the failed campaign
+        assert store.leader_status(now=129.0)["leader_id"] == "n1"
+
+    def test_expiry_takeover_increments_epoch(self, store):
+        assert store.acquire_leader_lease("n1", ttl_seconds=30, now=100.0) == 1
+        assert store.acquire_leader_lease("n2", ttl_seconds=30, now=131.0) == 2
+        status = store.leader_status(now=131.0)
+        assert status["leader_id"] == "n2"
+        assert status["epoch"] == 2
+
+    def test_fencing_rejects_deposed_leader(self, store):
+        assert store.acquire_leader_lease("n1", ttl_seconds=30, now=100.0) == 1
+        assert store.acquire_leader_lease("n2", ttl_seconds=30, now=131.0) == 2
+        # the deposed leader's heartbeat and fence checks both fail …
+        assert store.renew_leader_lease("n1", 1, ttl_seconds=30, now=132.0) is False
+        assert store.verify_leader("n1", 1, now=132.0) is False
+        # … and a stale epoch under the *right* node id fails too
+        assert store.verify_leader("n2", 1, now=132.0) is False
+        assert store.verify_leader("n2", 2, now=132.0) is True
+
+    def test_renew_extends_lease_for_holder_only(self, store):
+        assert store.acquire_leader_lease("n1", ttl_seconds=30, now=100.0) == 1
+        assert store.renew_leader_lease("n1", 1, ttl_seconds=30, now=120.0) is True
+        assert store.leader_status(now=120.0)["lease_expires_at"] == pytest.approx(150.0)
+        # expired holder cannot renew itself back to life
+        assert store.renew_leader_lease("n1", 1, ttl_seconds=30, now=151.0) is False
+
+    def test_resign_expires_without_deleting_the_epoch(self, store):
+        assert store.acquire_leader_lease("n1", ttl_seconds=30, now=100.0) == 1
+        # wrong epoch cannot resign the seat
+        assert store.resign_leader_lease("n1", 99, now=105.0) is False
+        assert store.resign_leader_lease("n1", 1, now=105.0) is True
+        status = store.leader_status(now=105.0)
+        assert status["expired"] is True
+        # the row survives so the next winner continues the epoch chain
+        assert store.acquire_leader_lease("n2", ttl_seconds=30, now=106.0) == 2
+
+    def test_epoch_is_monotonic_across_many_successions(self, store):
+        now, epochs = 100.0, []
+        for i in range(5):
+            epoch = store.acquire_leader_lease(f"n{i}", ttl_seconds=10, now=now)
+            epochs.append(epoch)
+            now += 11.0  # let each lease expire before the next campaign
+        assert epochs == [1, 2, 3, 4, 5]
+
+    def test_leader_status_none_before_any_campaign(self, store):
+        assert store.leader_status(now=100.0) is None
+        assert store.verify_leader("n1", 1, now=100.0) is False
+        assert store.renew_leader_lease("n1", 1, now=100.0) is False
+
+    def test_lease_excluded_from_contents_digest(self, store, john):
+        store.store_temporal_inputs("u", john.reshape(1, -1), {0: "fp"})
+        before = store.contents_digest()
+        store.acquire_leader_lease("n1", ttl_seconds=30, now=100.0)
+        store.set_orchestrator_metrics({"phase": "idle"}, now=100.0)
+        assert store.contents_digest() == before
+
+    def test_orchestrator_metrics_roundtrip(self, store):
+        assert store.orchestrator_metrics() is None
+        store.set_orchestrator_metrics(
+            {"phase": "drain", "cells_drained": 7}, now=100.0
+        )
+        snap = store.orchestrator_metrics()
+        assert snap["updated_at"] == pytest.approx(100.0)
+        assert snap["metrics"] == {"phase": "drain", "cells_drained": 7}
+        store.set_orchestrator_metrics({"phase": "idle"}, now=101.0)
+        assert store.orchestrator_metrics()["metrics"] == {"phase": "idle"}
+
+    @pytest.mark.parametrize("backend", ["sqlite", "sharded"])
+    def test_no_co_lead_under_cross_connection_contention(
+        self, schema, tmp_path, backend
+    ):
+        """Two processes campaigning on the same file: at most one wins
+        each round, and the fencing epoch never goes backwards."""
+        path = tmp_path / "seat.db"
+        with CandidateStore(schema, path, backend=backend) as a, CandidateStore(
+            schema, path, backend=backend
+        ) as b:
+            wins: dict[str, list] = {"a": [], "b": []}
+            barrier = threading.Barrier(2)
+
+            def campaign(handle, name, node_id):
+                for round_no in range(8):
+                    barrier.wait()
+                    # each round starts after every prior lease expired
+                    now = 100.0 + round_no * 100.0
+                    epoch = handle.acquire_leader_lease(
+                        node_id, ttl_seconds=30, now=now
+                    )
+                    if epoch is not None:
+                        wins[name].append((round_no, epoch))
+
+            t1 = threading.Thread(target=campaign, args=(a, "a", "node-a"))
+            t2 = threading.Thread(target=campaign, args=(b, "b", "node-b"))
+            t1.start(); t2.start(); t1.join(); t2.join()
+
+            rounds_won = [r for r, _ in wins["a"]] + [r for r, _ in wins["b"]]
+            # exactly one winner per round — never two live leaders
+            assert sorted(rounds_won) == list(range(8))
+            epochs = sorted(e for _, e in wins["a"] + wins["b"])
+            assert epochs == list(range(1, 9))
