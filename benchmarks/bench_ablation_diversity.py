@@ -84,6 +84,25 @@ def bench_greedy_selection(benchmark, pool):
           f" best p {stats['best_p']:.2f}")
 
 
+def bench_min_pairwise_vectorized(benchmark, pool):
+    """Micro-check: the broadcast ``min_pairwise_distance`` returns
+    exactly what the former O(n^2) loop over ``np.linalg.norm`` calls
+    returned, then times the vectorized version on the real pool."""
+    candidates, scale = pool
+    points = np.vstack([c.x for c in candidates])
+    scaled = points / np.where(np.asarray(scale) == 0.0, 1.0, scale)
+
+    best = float("inf")
+    for i in range(points.shape[0] - 1):
+        dist = np.linalg.norm(scaled[i + 1:] - scaled[i], axis=1)
+        best = min(best, float(dist.min()))
+    assert min_pairwise_distance(points, scale=scale) == best
+
+    spread = benchmark(min_pairwise_distance, points, scale=scale)
+    print(f"\n[ablC/min-pairwise] n={points.shape[0]} spread {spread:.3f}"
+          " (vectorized == loop reference)")
+
+
 def bench_zz_comparison(benchmark, pool):
     """Direct head-to-head table plus the paper's no-degradation check."""
     candidates, scale = pool

@@ -589,6 +589,15 @@ def make_parser() -> argparse.ArgumentParser:
         help="effort budget for Q7 (scaled diff)",
     )
     query.add_argument(
+        "--plans",
+        type=int,
+        default=1,
+        metavar="K",
+        help="attach each answer's stored diverse plan set (up to K"
+        " alternative plans with quality/min-distance metadata); the"
+        " default 1 keeps the classic single-plan answers byte-identical",
+    )
+    query.add_argument(
         "--json",
         action="store_true",
         help="emit the canonical JSON bundle (the serving tier's wire"
@@ -1276,6 +1285,10 @@ def run_query(args, out: IO[str] | None = None) -> int:
             out.write(f"unknown user {args.user!r} (no stored cells)\n")
             return 2
         feature = args.feature or _default_q3_feature(store.schema)
+        plans = getattr(args, "plans", 1)
+        if plans < 1:
+            out.write("--plans must be >= 1\n")
+            return 2
         engine = InsightEngine(store, args.user, time_values)
         params = {
             "q3": {"feature": feature},
@@ -1284,7 +1297,8 @@ def run_query(args, out: IO[str] | None = None) -> int:
         }
         try:
             insights = {
-                qid: engine.ask(qid, **params.get(qid, {})) for qid in qids
+                qid: engine.ask(qid, plans=plans, **params.get(qid, {}))
+                for qid in qids
             }
         except QueryError as exc:
             out.write(f"query failed: {exc}\n")

@@ -92,6 +92,19 @@ def bar_chart(
 
 
 def insight_block(insight: Insight) -> str:
-    """Render one insight with its question title."""
+    """Render one insight with its question title (and, when the
+    question was asked with ``plans=k``, the answering cell's diverse
+    plan set with its selection metadata)."""
     bar = "-" * min(len(insight.title), 72)
-    return f"{insight.title}\n{bar}\n{insight.text}"
+    text = f"{insight.title}\n{bar}\n{insight.text}"
+    if insight.alternatives:
+        lines = [f"Alternative plans ({len(insight.alternatives)}):"]
+        for alt in insight.alternatives:
+            meta = f"rank {alt.rank}"
+            if alt.quality is not None:
+                meta += f", quality {alt.quality:.3f}"
+            if alt.min_dist is not None:
+                meta += f", min-dist {alt.min_dist:.3f}"
+            lines.append(f"[{meta}] {alt.plan.describe()}")
+        text += "\n" + "\n".join(lines)
+    return text

@@ -8,7 +8,13 @@ from repro.core.candidates import (
     engine_names,
     search_counter_totals,
 )
-from repro.core.diversity import min_pairwise_distance, select_diverse, select_greedy
+from repro.core.diversity import (
+    diverse_order,
+    min_pairwise_distance,
+    select_diverse,
+    select_diverse_batch,
+    select_greedy,
+)
 from repro.core.evaluation import CandidateSetReport, evaluate_session
 from repro.core.fused import (
     EpochProposalCache,
@@ -16,7 +22,7 @@ from repro.core.fused import (
     FusedReport,
     generate_fused,
 )
-from repro.core.insights import QUESTIONS, Insight, InsightEngine
+from repro.core.insights import QUESTIONS, Insight, InsightEngine, PlanAlternative
 from repro.core.moves import (
     GradientMoveProposer,
     MoveProposer,
@@ -66,6 +72,7 @@ __all__ = [
     "GradientMoveProposer",
     "Insight",
     "InsightEngine",
+    "PlanAlternative",
     "JustInTime",
     "MoveProposer",
     "OBJECTIVE_PRESETS",
@@ -92,8 +99,10 @@ __all__ = [
     "default_proposers",
     "get_objective",
     "measure",
+    "diverse_order",
     "min_pairwise_distance",
     "run_worker_pool",
     "select_diverse",
+    "select_diverse_batch",
     "select_greedy",
 ]

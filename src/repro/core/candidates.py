@@ -28,12 +28,12 @@ the optimality reference in tests and the beam ablation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.constraints.evaluate import ConstraintsFunction
-from repro.core.diversity import select_diverse
+from repro.core.diversity import diverse_order
 from repro.core.moves import MoveProposer, default_proposers
 from repro.core.objectives import (
     CandidateMetrics,
@@ -86,11 +86,24 @@ register_engine("scalar", "row-at-a-time reference path")
 
 @dataclass(frozen=True)
 class Candidate:
-    """One decision-altering candidate at one time point."""
+    """One decision-altering candidate at one time point.
+
+    ``plan_rank``/``plan_quality``/``plan_min_dist`` describe the
+    candidate's place in its cell's stored diverse plan set: selection
+    order under greedy max-min diversity, the objective key it was
+    scored with, and the scaled distance to the nearest earlier pick
+    (``None`` for the seed).  ``plan_rank`` is ``-1`` for candidates
+    that never went through plan-set finalisation (legacy rows,
+    ad-hoc constructions); such rows serialise exactly as before the
+    metadata existed.
+    """
 
     x: np.ndarray
     time: int
     metrics: CandidateMetrics
+    plan_rank: int = -1
+    plan_quality: float | None = None
+    plan_min_dist: float | None = None
 
     @property
     def diff(self) -> float:
@@ -685,16 +698,46 @@ class CandidateGenerator:
             take = np.concatenate([smaller, tied[: width - smaller.size]])
         return take[np.argsort(keys[take], kind="stable")]
 
-    def _finalise(self, pool: dict[tuple, Candidate]) -> list[Candidate]:
+    def _finalise_pool(
+        self, pool: dict[tuple, Candidate]
+    ) -> tuple[list[Candidate], np.ndarray, np.ndarray] | None:
+        """Stack a pool for plan-set selection (``None`` when empty)."""
         candidates = list(pool.values())
         if not candidates:
-            return []
+            return None
         quality = np.array([self.objective.key(c.metrics) for c in candidates])
         points = np.vstack([c.x for c in candidates])
-        chosen = select_diverse(points, quality, self.k, scale=self.diff_scale)
-        chosen_candidates = [candidates[i] for i in chosen]
+        return candidates, quality, points
+
+    def _finalise_pack(
+        self,
+        candidates: list[Candidate],
+        quality: np.ndarray,
+        chosen: list[int],
+        min_dists: list[float],
+    ) -> list[Candidate]:
+        """Annotate the selected plan set and restore the quality order."""
+        chosen_candidates = [
+            replace(
+                candidates[i],
+                plan_rank=rank,
+                plan_quality=float(quality[i]),
+                plan_min_dist=float(dist) if np.isfinite(dist) else None,
+            )
+            for rank, (i, dist) in enumerate(zip(chosen, min_dists))
+        ]
         chosen_candidates.sort(key=lambda c: self.objective.key(c.metrics))
         return chosen_candidates
+
+    def _finalise(self, pool: dict[tuple, Candidate]) -> list[Candidate]:
+        prepared = self._finalise_pool(pool)
+        if prepared is None:
+            return []
+        candidates, quality, points = prepared
+        chosen, min_dists = diverse_order(
+            points, quality, self.k, scale=self.diff_scale
+        )
+        return self._finalise_pack(candidates, quality, chosen, min_dists)
 
 
 # --------------------------------------------------------------------------

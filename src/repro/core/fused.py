@@ -68,6 +68,7 @@ from repro.core.candidates import (
     register_engine,
     search_counter_totals,
 )
+from repro.core.diversity import select_diverse_batch
 from repro.core.moves import RandomMoveProposer, ThresholdMoveProposer
 
 __all__ = [
@@ -532,6 +533,44 @@ def _attribute_cache_counters(state, hit_mask, lo, hi) -> None:
     state.stats.cache_misses += (hi - lo) - hits
 
 
+def _finalise_batch(finished: list[_Run]) -> None:
+    """Select the finishing runs' diverse plan sets in one stacked pass.
+
+    Bit-identical to calling ``run.gen._finalise(run.state.pool)`` per
+    run (:func:`select_diverse_batch` replays the exact per-cell greedy
+    arithmetic), but the pools of every cell finishing this round are
+    stacked and selected together — grouped by distance scale, since
+    the scaled pairwise distances are shared across the whole stack.
+    """
+    groups: dict = {}
+    for run in finished:
+        prepared = run.gen._finalise_pool(run.state.pool)
+        if prepared is None:
+            run.result = []
+            continue
+        candidates, quality, points = prepared
+        scale = run.gen.diff_scale
+        key = (
+            points.shape[1],
+            None
+            if scale is None
+            else np.asarray(scale, dtype=float).tobytes(),
+        )
+        groups.setdefault(key, []).append((run, candidates, quality, points))
+    for entries in groups.values():
+        selections = select_diverse_batch(
+            np.vstack([points for _, _, _, points in entries]),
+            np.concatenate([quality for _, _, quality, _ in entries]),
+            [points.shape[0] for _, _, _, points in entries],
+            [run.gen.k for run, _, _, _ in entries],
+            scale=entries[0][0].gen.diff_scale,
+        )
+        for (run, candidates, quality, _), (chosen, dists) in zip(
+            entries, selections
+        ):
+            run.result = run.gen._finalise_pack(candidates, quality, chosen, dists)
+
+
 def generate_fused(
     cells, *, cache: EpochProposalCache | None = None, on_round=None
 ) -> tuple[dict, FusedReport]:
@@ -645,14 +684,18 @@ def generate_fused(
                     run.state, fresh, fkeys, scores[offset : offset + n]
                 )
                 offset += n
-        # asynchronous exit: finished cells leave the round set
+        # asynchronous exit: finished cells leave the round set, and every
+        # cell finishing this round gets its diverse plan set selected in
+        # one stacked batch instead of a per-cell Python loop
         still_active: list[_Run] = []
+        finished: list[_Run] = []
         for run in active:
             if run.state.done or run.state.stats.iterations >= run.gen.max_iter:
                 run.gen.last_stats_ = run.state.stats
-                run.result = run.gen._finalise(run.state.pool)
+                finished.append(run)
             else:
                 still_active.append(run)
+        _finalise_batch(finished)
         active = still_active
 
     # ---- fan results back out (deduped cells get fresh copies)
@@ -662,7 +705,7 @@ def generate_fused(
             results[cell.cell_id] = (run.result, run.state.stats)
         else:
             results[cell.cell_id] = (
-                [Candidate(c.x.copy(), c.time, c.metrics) for c in run.result],
+                [replace(c, x=c.x.copy()) for c in run.result],
                 _copy_stats(run.state.stats),
             )
     report.search = search_counter_totals(run.state.stats for run in runs)

@@ -6,6 +6,12 @@ form of verbal or graphic insights" (§I).  :class:`InsightEngine` is that
 translation layer: it runs the Figure-2 SQL through :mod:`repro.db.queries`
 and wraps results into :class:`Insight` objects carrying both structured
 data and a human-readable rendering.
+
+Every question also offers an *alternatives* view (``plans=k``): the
+answering cell's stored diverse plan set — up to ``k`` recourse plans in
+greedy max-min selection order, each with its objective quality and its
+scaled distance to the nearest earlier pick.  The default ``plans=1``
+keeps the classic single-plan answer, byte for byte.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from repro.db import queries as canned
 from repro.db.store import CandidateStore
 from repro.exceptions import QueryError
 
-__all__ = ["Insight", "InsightEngine", "QUESTIONS"]
+__all__ = ["Insight", "InsightEngine", "PlanAlternative", "QUESTIONS"]
 
 #: Catalog of predefined questions (id → UI title), as in the demo's
 #: Queries screen.
@@ -36,6 +42,22 @@ QUESTIONS: dict[str, str] = {
 
 
 @dataclass(frozen=True)
+class PlanAlternative:
+    """One member of a stored diverse plan set.
+
+    ``rank`` is the greedy max-min selection order (0 = the seed, the
+    best plan under the objective), ``quality`` the objective key the
+    plan was scored with (lower = better) and ``min_dist`` the scaled
+    distance to the nearest earlier pick (``None`` for the seed).
+    """
+
+    plan: Plan
+    rank: int
+    quality: float | None
+    min_dist: float | None
+
+
+@dataclass(frozen=True)
 class Insight:
     """Answer to one canned question."""
 
@@ -44,6 +66,9 @@ class Insight:
     answer: Any
     text: str
     plans: tuple[Plan, ...] = field(default=())
+    #: the answering cell's diverse plan set (empty unless asked with
+    #: ``plans=k > 1`` and the cell has stored plan-set metadata)
+    alternatives: tuple[PlanAlternative, ...] = field(default=())
 
     def __str__(self) -> str:
         return self.text
@@ -96,10 +121,48 @@ class InsightEngine:
             candidate, base, self.store.schema, time_value=self._calendar(t)
         )
 
+    def _alternatives(
+        self, t: int | None, plans: int
+    ) -> tuple[PlanAlternative, ...]:
+        """The answering cell's stored plan set as alternatives.
+
+        ``plans=1`` (the default) returns the empty tuple so classic
+        single-plan answers stay byte-identical; legacy cells without
+        plan-set metadata also come back empty.
+        """
+        if plans < 1:
+            raise QueryError("plans must be >= 1")
+        if plans == 1 or t is None:
+            return ()
+        rows = canned.prepared(self.store).plan_set(
+            self.store.read, self.user_id, int(t), plans
+        )
+        return tuple(
+            PlanAlternative(
+                plan=self._plan_from_row(row),
+                rank=int(row["plan_rank"]),
+                quality=(
+                    None
+                    if row["plan_quality"] is None
+                    else float(row["plan_quality"])
+                ),
+                min_dist=(
+                    None
+                    if row["plan_min_dist"] is None
+                    else float(row["plan_min_dist"])
+                ),
+            )
+            for row in rows
+        )
+
     # ------------------------------------------------------------ questions
 
     def ask(self, question: str, **params) -> Insight:
-        """Dispatch a canned question by id (``'q1'`` .. ``'q6'``)."""
+        """Dispatch a canned question by id (``'q1'`` .. ``'q7'``).
+
+        ``plans=k`` attaches the answering cell's diverse plan set as
+        :attr:`Insight.alternatives` (``k=1``, the default, does not).
+        """
         handlers = {
             "q1": self.no_modification,
             "q2": self.minimal_features_set,
@@ -117,7 +180,7 @@ class InsightEngine:
             ) from None
         return handler(**params)
 
-    def no_modification(self) -> Insight:
+    def no_modification(self, plans: int = 1) -> Insight:
         t = canned.q1_no_modification(self.store, self.user_id)
         if t is None:
             text = (
@@ -129,13 +192,17 @@ class InsightEngine:
                 f"Reapplying with no modifications is expected to be"
                 f" APPROVED from time point t={t} (≈ {self._calendar(t):.1f})."
             )
-        return Insight("q1", QUESTIONS["q1"], t, text)
+        return Insight(
+            "q1", QUESTIONS["q1"], t, text,
+            alternatives=self._alternatives(t, plans),
+        )
 
-    def minimal_features_set(self) -> Insight:
+    def minimal_features_set(self, plans: int = 1) -> Insight:
         row = canned.q2_minimal_features_set(self.store, self.user_id)
         if row is None:
             return Insight(
-                "q2", QUESTIONS["q2"], None, "No decision-altering candidate exists."
+                "q2", QUESTIONS["q2"], None, "No decision-altering candidate exists.",
+                alternatives=self._alternatives(None, plans),
             )
         plan = self._plan_from_row(row)
         features = [c.feature for c in plan.changes]
@@ -149,13 +216,16 @@ class InsightEngine:
                 f"The smallest modification set has {len(features)}"
                 f" feature(s): {', '.join(features)}.\n{plan.describe()}"
             )
-        return Insight("q2", QUESTIONS["q2"], row, text, (plan,))
+        return Insight(
+            "q2", QUESTIONS["q2"], row, text, (plan,),
+            alternatives=self._alternatives(int(row["time"]), plans),
+        )
 
-    def dominant_feature(self, feature: str) -> Insight:
+    def dominant_feature(self, feature: str, plans: int = 1) -> Insight:
         result = canned.q3_dominant_feature(self.store, self.user_id, feature)
         covered = result["times"]
         horizon = result["all_times"]
-        plans = tuple(
+        feature_plans = tuple(
             self._plan_from_row(row)
             for row in self._single_feature_rows(feature, covered)
         )
@@ -172,9 +242,14 @@ class InsightEngine:
             )
         else:
             text = f"Modifying only '{feature}' never suffices in the horizon."
-        if plans:
-            text += "\n" + "\n".join(plan.describe() for plan in plans)
-        return Insight("q3", QUESTIONS["q3"], result, text, plans)
+        if feature_plans:
+            text += "\n" + "\n".join(plan.describe() for plan in feature_plans)
+        return Insight(
+            "q3", QUESTIONS["q3"], result, text, feature_plans,
+            alternatives=self._alternatives(
+                covered[0] if covered else None, plans
+            ),
+        )
 
     def _single_feature_rows(self, feature: str, times) -> list[dict[str, Any]]:
         """Best single-feature (or zero-change) candidate per covered time."""
@@ -182,31 +257,39 @@ class InsightEngine:
             self.store.read, self.user_id, feature, times
         )
 
-    def minimal_overall_modification(self) -> Insight:
+    def minimal_overall_modification(self, plans: int = 1) -> Insight:
         row = canned.q4_minimal_overall_modification(self.store, self.user_id)
         if row is None:
             return Insight(
-                "q4", QUESTIONS["q4"], None, "No decision-altering candidate exists."
+                "q4", QUESTIONS["q4"], None, "No decision-altering candidate exists.",
+                alternatives=self._alternatives(None, plans),
             )
         plan = self._plan_from_row(row)
         text = (
             f"The minimal overall modification (diff = {plan.diff:.3f})"
             f" is at t={plan.time} (≈ {plan.time_value:.1f}).\n{plan.describe()}"
         )
-        return Insight("q4", QUESTIONS["q4"], row, text, (plan,))
+        return Insight(
+            "q4", QUESTIONS["q4"], row, text, (plan,),
+            alternatives=self._alternatives(int(row["time"]), plans),
+        )
 
-    def maximal_confidence(self) -> Insight:
+    def maximal_confidence(self, plans: int = 1) -> Insight:
         row = canned.q5_maximal_confidence(self.store, self.user_id)
         if row is None:
             return Insight(
-                "q5", QUESTIONS["q5"], None, "No decision-altering candidate exists."
+                "q5", QUESTIONS["q5"], None, "No decision-altering candidate exists.",
+                alternatives=self._alternatives(None, plans),
             )
         plan = self._plan_from_row(row)
         text = (
             f"The best achievable confidence is {plan.confidence:.2f}"
             f" at t={plan.time} (≈ {plan.time_value:.1f}).\n{plan.describe()}"
         )
-        return Insight("q5", QUESTIONS["q5"], row, text, (plan,))
+        return Insight(
+            "q5", QUESTIONS["q5"], row, text, (plan,),
+            alternatives=self._alternatives(int(row["time"]), plans),
+        )
 
     # ---------------------------------------------------------- series
     # The Plans-and-Insights screen also shows *graphic* insights
@@ -241,7 +324,7 @@ class InsightEngine:
             for t in self.store.times_for(self.user_id)
         ]
 
-    def affordable_time(self, budget: float = 1.0) -> Insight:
+    def affordable_time(self, budget: float = 1.0, plans: int = 1) -> Insight:
         row = canned.q7_affordable_time(self.store, self.user_id, budget)
         if row is None:
             return Insight(
@@ -250,15 +333,19 @@ class InsightEngine:
                 None,
                 f"No approval is reachable within an effort budget of"
                 f" {budget:.2f} at any time point.",
+                alternatives=self._alternatives(None, plans),
             )
         plan = self._plan_from_row(row)
         text = (
             f"Within an effort budget of {budget:.2f}, the earliest approval"
             f" is at t={plan.time} (≈ {plan.time_value:.1f}).\n{plan.describe()}"
         )
-        return Insight("q7", QUESTIONS["q7"], row, text, (plan,))
+        return Insight(
+            "q7", QUESTIONS["q7"], row, text, (plan,),
+            alternatives=self._alternatives(int(row["time"]), plans),
+        )
 
-    def turning_point(self, alpha: float = 0.8) -> Insight:
+    def turning_point(self, alpha: float = 0.8, plans: int = 1) -> Insight:
         t = canned.q6_turning_point(self.store, self.user_id, alpha)
         if t is None:
             text = (
@@ -270,4 +357,7 @@ class InsightEngine:
                 f"From time point t={t} (≈ {self._calendar(t):.1f}) onward,"
                 f" some modification always achieves confidence > {alpha:.2f}."
             )
-        return Insight("q6", QUESTIONS["q6"], t, text)
+        return Insight(
+            "q6", QUESTIONS["q6"], t, text,
+            alternatives=self._alternatives(t, plans),
+        )

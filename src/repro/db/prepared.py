@@ -133,6 +133,13 @@ class PreparedQueries:
                 "SELECT MIN(refreshed_at) AS oldest FROM temporal_inputs"
                 f" WHERE user_id = {ph}"
             ),
+            # one cell's stored diverse plan set in selection order; rows
+            # with plan_rank < 0 (legacy databases) carry no set
+            "plan_set": (
+                "SELECT * FROM candidates"
+                f" WHERE user_id = {ph} AND time = {ph} AND plan_rank >= 0"
+                f" ORDER BY plan_rank, id LIMIT {ph}"
+            ),
         }
         #: per-feature SQL (Q3 and its plan lookup) built on first use
         self._feature_sql: dict[str, tuple[str, str]] = {}
@@ -242,6 +249,20 @@ class PreparedQueries:
             raise QueryError("budget must be non-negative")
         rows = read(self._sql["q7"], (user_id, float(budget)))
         return row_to_dict(rows[0]) if rows else None
+
+    def plan_set(
+        self, read: Reader, user_id: str, time: int, k: int
+    ) -> list[dict[str, Any]]:
+        """The top-``k`` prefix of one cell's stored diverse plan set.
+
+        Rows come back in greedy selection order (``plan_rank``).  Cells
+        written before plan-set metadata existed have no ranked rows and
+        return ``[]`` — callers fall back to the single-plan view.
+        """
+        if k < 1:
+            raise QueryError("plan count must be >= 1")
+        rows = read(self._sql["plan_set"], (user_id, int(time), int(k)))
+        return [row_to_dict(r) for r in rows]
 
     # ----------------------------------------------------------- helpers
 

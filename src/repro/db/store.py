@@ -10,10 +10,15 @@ paper's Figure 2 shows):
     cell's candidates were last computed under — one row per (user, t)
     cell, so it doubles as the refresh subsystem's staleness ledger.
 
-``candidates(id, user_id, time, <feature columns...>, diff, gap, p, model_fp)``
+``candidates(id, user_id, time, <feature columns...>, diff, gap, p, model_fp,
+plan_rank, plan_quality, plan_min_dist)``
     The per-time-point decision-altering candidates; ``p`` is the model
     confidence (the paper's Q5 orders by ``p``), ``diff``/``gap`` the two
     distance properties, ``model_fp`` the producing model's fingerprint.
+    ``plan_rank`` orders the cell's stored diverse plan set (greedy
+    max-min selection order; ``-1`` = no plan set, the legacy value),
+    ``plan_quality`` the plan's objective key and ``plan_min_dist`` its
+    scaled distance to the nearest earlier pick (NULL for the seed).
 
 ``user_sessions(user_id, profile, constraints)``
     Session specs (profile vector + DSL constraint texts as JSON) so a
@@ -235,7 +240,10 @@ class CandidateStore:
                 diff REAL NOT NULL,
                 gap INTEGER NOT NULL,
                 p REAL NOT NULL,
-                model_fp TEXT NOT NULL DEFAULT ''
+                model_fp TEXT NOT NULL DEFAULT '',
+                plan_rank INTEGER NOT NULL DEFAULT -1,
+                plan_quality REAL,
+                plan_min_dist REAL
             )
             """,
             f"CREATE INDEX IF NOT EXISTS {db}.idx_candidates_user_time"
@@ -400,6 +408,19 @@ class CandidateStore:
                             f"ALTER TABLE {db}.{table} ADD COLUMN"
                             " refreshed_at REAL NOT NULL DEFAULT 0"
                         )
+                    # pre-plan-set databases lack the plan metadata; rank
+                    # -1 reads as "no stored plan set", which keeps those
+                    # rows' digest serialisation byte-identical to before
+                    # the columns existed
+                    if table == "candidates" and "plan_rank" not in columns:
+                        for ddl in (
+                            " plan_rank INTEGER NOT NULL DEFAULT -1",
+                            " plan_quality REAL",
+                            " plan_min_dist REAL",
+                        ):
+                            self._conn.execute(
+                                f"ALTER TABLE {db}.{table} ADD COLUMN" + ddl
+                            )
                 # created after the legacy migration so model_fp exists
                 self._conn.execute(self._ledger_index_sql(db))
             if self._backend.sharded:
@@ -490,6 +511,17 @@ class CandidateStore:
             for t, row in enumerate(trajectory)
         ]
 
+    #: columns appended after the feature block in ``candidates`` inserts
+    _CANDIDATE_EXTRA = (
+        "diff",
+        "gap",
+        "p",
+        "model_fp",
+        "plan_rank",
+        "plan_quality",
+        "plan_min_dist",
+    )
+
     def _candidate_rows(
         self, user_id: str, candidates, fingerprints: dict[int, str] | None
     ) -> list[tuple]:
@@ -503,6 +535,13 @@ class CandidateStore:
                 int(c.gap),
                 float(c.confidence),
                 fingerprints.get(int(c.time)) or "",
+                int(getattr(c, "plan_rank", -1)),
+                None
+                if getattr(c, "plan_quality", None) is None
+                else float(c.plan_quality),
+                None
+                if getattr(c, "plan_min_dist", None) is None
+                else float(c.plan_min_dist),
             )
             for c in candidates
         ]
@@ -562,7 +601,7 @@ class CandidateStore:
         conn, prefix = self._write_target(self._db_for(user_id))
         with conn:
             conn.executemany(
-                self._insert_sql(prefix, "candidates", ("diff", "gap", "p", "model_fp")),
+                self._insert_sql(prefix, "candidates", self._CANDIDATE_EXTRA),
                 rows,
             )
 
@@ -854,7 +893,19 @@ class CandidateStore:
         back the original intra-cell order."""
         feats = list(self.schema.names)
         return (
-            ["id", "user_id", "time", *feats, "diff", "gap", "p", "model_fp"],
+            [
+                "id",
+                "user_id",
+                "time",
+                *feats,
+                "diff",
+                "gap",
+                "p",
+                "model_fp",
+                "plan_rank",
+                "plan_quality",
+                "plan_min_dist",
+            ],
             ["user_id", "time", *feats, "model_fp", "refreshed_at"],
         )
 
@@ -1102,7 +1153,8 @@ class CandidateStore:
             ),
             (
                 "candidates",
-                f"user_id, time, {feats}, diff, gap, p, model_fp",
+                f"user_id, time, {feats}, diff, gap, p, model_fp,"
+                " plan_rank, plan_quality, plan_min_dist",
                 "ORDER BY user_id, time, id",
             ),
             ("user_sessions", "user_id, profile, constraints", "ORDER BY user_id"),
@@ -2347,6 +2399,19 @@ class CandidateStore:
                     gap=int(row["gap"]),
                     confidence=float(row["p"]),
                 ),
+                plan_rank=(
+                    -1 if row["plan_rank"] is None else int(row["plan_rank"])
+                ),
+                plan_quality=(
+                    None
+                    if row["plan_quality"] is None
+                    else float(row["plan_quality"])
+                ),
+                plan_min_dist=(
+                    None
+                    if row["plan_min_dist"] is None
+                    else float(row["plan_min_dist"])
+                ),
             )
             for row in rows
         ]
@@ -2390,6 +2455,13 @@ class CandidateStore:
         so ``id`` still sorts them within the cell).  This is the
         identity check behind "an N-process refresh equals the
         single-process refresh byte for byte".
+
+        Plan-set metadata (``plan_rank``/``plan_quality``/
+        ``plan_min_dist``) is folded in only for rows that carry it
+        (``plan_rank >= 0``): rows without a stored plan set — legacy
+        databases, candidates stored by hand — serialise exactly as they
+        did before the columns existed, so historical digests remain
+        comparable.
         """
         digest = hashlib.sha256()
         feature_cols = ", ".join(self.schema.names)
@@ -2399,10 +2471,15 @@ class CandidateStore:
         ):
             digest.update(repr(tuple(row)).encode())
         for row in self._read(
-            f"SELECT user_id, time, {feature_cols}, diff, gap, p, model_fp"
+            f"SELECT user_id, time, {feature_cols}, diff, gap, p, model_fp,"
+            " plan_rank, plan_quality, plan_min_dist"
             " FROM candidates ORDER BY user_id, time, id"
         ):
-            digest.update(repr(tuple(row)).encode())
+            values = tuple(row)
+            digest.update(repr(values[:-3]).encode())
+            rank = values[-3]
+            if rank is not None and int(rank) >= 0:
+                digest.update(repr(values[-3:]).encode())
         for row in self._read(
             "SELECT user_id, profile, constraints FROM user_sessions"
             " ORDER BY user_id"
@@ -2487,7 +2564,7 @@ class _CellWrite:
             (self.user_id, self.time),
         )
         conn.executemany(
-            store._insert_sql(prefix, "candidates", ("diff", "gap", "p", "model_fp")),
+            store._insert_sql(prefix, "candidates", store._CANDIDATE_EXTRA),
             self.rows,
         )
         cursor = conn.execute(
@@ -2562,7 +2639,7 @@ class _SessionWrite:
             self.input_rows,
         )
         conn.executemany(
-            store._insert_sql(prefix, "candidates", ("diff", "gap", "p", "model_fp")),
+            store._insert_sql(prefix, "candidates", store._CANDIDATE_EXTRA),
             self.cand_rows,
         )
         return len(self.cand_rows)

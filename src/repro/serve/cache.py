@@ -116,9 +116,17 @@ class InsightCache:
     # -------------------------------------------------- eager invalidation
 
     def invalidate_user(self, user_id: Hashable) -> int:
-        """Drop every entry of one user; returns the count dropped."""
+        """Drop every entry of one user; returns the count dropped.
+
+        User ids are compared as strings: cache keys carry the user id
+        parsed from query params (always ``str``), while refresh-side
+        callers report ids in whatever type their source used (CSV
+        feeds and orchestrator reports produce ints) — an exact-type
+        comparison silently invalidated nothing for those callers.
+        """
+        user = str(user_id)
         with self._lock:
-            doomed = [k for k in self._entries if k[0] == user_id]
+            doomed = [k for k in self._entries if str(k[0]) == user]
             for key in doomed:
                 del self._entries[key]
             self.stats.invalidated += len(doomed)
@@ -130,11 +138,12 @@ class InsightCache:
         ``cells`` is an iterable of ``(user_id, time)`` — the refresh
         orchestrator's per-epoch recompute report.  Invalidation is
         per-user (not per-time) because a rendered bundle mixes all of
-        the user's time points.
+        the user's time points, and user ids compare as strings for the
+        same reason as :meth:`invalidate_user`.
         """
-        users = {user for user, _time in cells}
+        users = {str(user) for user, _time in cells}
         with self._lock:
-            doomed = [k for k in self._entries if k[0] in users]
+            doomed = [k for k in self._entries if str(k[0]) in users]
             for key in doomed:
                 del self._entries[key]
             self.stats.invalidated += len(doomed)

@@ -17,16 +17,25 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from repro.core.insights import Insight
+from repro.core.insights import Insight, PlanAlternative
 from repro.core.plans import FeatureChange, Plan
 
 __all__ = [
+    "alternative_payload",
     "bundle_payload",
     "dumps",
     "insight_payload",
     "orchestrator_payload",
     "plan_payload",
 ]
+
+#: candidate-row columns that are storage metadata, not answer content:
+#: ``id`` is the sqlite rowid (reassigned on every cell rewrite) and the
+#: ``plan_*`` columns describe the stored plan set, which the wire
+#: format carries in the dedicated ``alternatives`` field instead
+_ROW_METADATA_COLUMNS = frozenset(
+    {"id", "plan_rank", "plan_quality", "plan_min_dist"}
+)
 
 
 def dumps(payload: Any) -> str:
@@ -69,28 +78,54 @@ def _change_payload(change: FeatureChange) -> dict[str, Any]:
     }
 
 
+def alternative_payload(alternative: PlanAlternative) -> dict[str, Any]:
+    """One stored plan-set member: the plan plus its selection metadata."""
+    return {
+        "rank": int(alternative.rank),
+        "quality": (
+            None if alternative.quality is None else float(alternative.quality)
+        ),
+        "min_dist": (
+            None
+            if alternative.min_dist is None
+            else float(alternative.min_dist)
+        ),
+        "plan": plan_payload(alternative.plan),
+    }
+
+
 def insight_payload(insight: Insight) -> dict[str, Any]:
     """An :class:`Insight` as plain JSON data.
 
-    Row answers drop the ``id`` column: it is a storage artifact (the
+    Row answers drop the ``id`` column — it is a storage artifact (the
     sqlite rowid, reassigned whenever a refresh rewrites a cell), so
     keeping it would make byte-identical model states serialize
-    differently — the same reason ``contents_digest()`` excludes it.
+    differently, the same reason ``contents_digest()`` excludes it —
+    and the plan-set metadata columns, which travel in ``alternatives``.
+
+    ``alternatives`` is emitted only when non-empty (``plans=k > 1``
+    requests), so default answers stay byte-identical to the
+    pre-plan-set wire format.
     """
     answer = insight.answer
     if isinstance(answer, dict):
         answer = {key: _scalar(value) if not isinstance(value, list) else
                   [_scalar(v) for v in value] for key, value in answer.items()
-                  if key != "id"}
+                  if key not in _ROW_METADATA_COLUMNS}
     else:
         answer = _scalar(answer)
-    return {
+    payload = {
         "question": insight.question,
         "title": insight.title,
         "answer": answer,
         "text": insight.text,
         "plans": [plan_payload(plan) for plan in insight.plans],
     }
+    if insight.alternatives:
+        payload["alternatives"] = [
+            alternative_payload(a) for a in insight.alternatives
+        ]
+    return payload
 
 
 def bundle_payload(

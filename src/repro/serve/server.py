@@ -589,6 +589,25 @@ class InsightServer:
         except ValueError:
             raise ServeError(400, f"parameter {name!r} must be a number") from None
 
+    @staticmethod
+    def _plans_param(query) -> int:
+        """``plans=k``: the requested plan-set size.  Absent and ``1``
+        are the same request — both render the classic single-plan
+        answer and share one cache key, keeping the default response
+        byte-identical to the pre-plan-set wire format."""
+        raw = query.get("plans")
+        if raw is None:
+            return 1
+        try:
+            plans = int(raw)
+        except ValueError:
+            raise ServeError(
+                400, "parameter 'plans' must be an integer >= 1"
+            ) from None
+        if plans < 1:
+            raise ServeError(400, "parameter 'plans' must be an integer >= 1")
+        return plans
+
     def _default_feature(self) -> str:
         mutable = self.store.schema.mutable_indices()
         if mutable.size == 0:
@@ -608,10 +627,11 @@ class InsightServer:
         alpha = self._float_param(query, "alpha", 0.8)
         budget = self._float_param(query, "budget", None)
         feature = query.get("feature") or self._default_feature()
+        plans = self._plans_param(query)
         want_freshness = query.get("freshness") not in (None, "", "0", "false")
-        key = (user, "bundle", (alpha, feature, budget))
+        key = (user, "bundle", (alpha, feature, budget, plans))
         return user, key, lambda view: self._render_bundle(
-            view, user, alpha, feature, budget
+            view, user, alpha, feature, budget, plans
         ), want_freshness
 
     def _plan_question(self, qid: str, query: dict[str, str]):
@@ -630,25 +650,34 @@ class InsightServer:
             params["alpha"] = self._float_param(query, "alpha", 0.8)
         elif qid == "q7":
             params["budget"] = self._float_param(query, "budget", 1.0)
+        plans = self._plans_param(query)
+        if plans != 1:
+            params["plans"] = plans
         key = (user, qid, tuple(sorted(params.items())))
         return user, key, lambda view: self._render_question(
             view, user, qid, params
         ), False
 
     def _render_bundle(
-        self, view, user: str, alpha: float, feature: str, budget: float | None
+        self,
+        view,
+        user: str,
+        alpha: float,
+        feature: str,
+        budget: float | None,
+        plans: int = 1,
     ) -> dict[str, Any]:
         engine = InsightEngine(view, user, self.time_values)
         insights = {
-            "q1": engine.ask("q1"),
-            "q2": engine.ask("q2"),
-            "q3": engine.ask("q3", feature=feature),
-            "q4": engine.ask("q4"),
-            "q5": engine.ask("q5"),
-            "q6": engine.ask("q6", alpha=alpha),
+            "q1": engine.ask("q1", plans=plans),
+            "q2": engine.ask("q2", plans=plans),
+            "q3": engine.ask("q3", feature=feature, plans=plans),
+            "q4": engine.ask("q4", plans=plans),
+            "q5": engine.ask("q5", plans=plans),
+            "q6": engine.ask("q6", alpha=alpha, plans=plans),
         }
         if budget is not None:
-            insights["q7"] = engine.ask("q7", budget=budget)
+            insights["q7"] = engine.ask("q7", budget=budget, plans=plans)
         return {"kind": "bundle", "insights": insights}
 
     def _render_question(

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core import min_pairwise_distance, select_diverse, select_greedy
+from repro.core import (
+    diverse_order,
+    min_pairwise_distance,
+    select_diverse,
+    select_diverse_batch,
+    select_greedy,
+)
 from repro.exceptions import CandidateSearchError
 
 
@@ -74,6 +80,110 @@ class TestSelectGreedy:
             select_greedy(np.array([1.0]), 0)
 
 
+class TestScaleHandling:
+    """Regression: a zero scale entry (constant feature, common after
+    one-hot slices) used to divide to inf/nan and corrupt selection."""
+
+    def test_zero_scale_clamps_to_unit(self, rng):
+        points = rng.normal(size=(20, 3))
+        quality = rng.random(20)
+        with_zero = select_diverse(points, quality, 5, scale=[1.0, 0.0, 2.0])
+        clamped = select_diverse(points, quality, 5, scale=[1.0, 1.0, 2.0])
+        assert with_zero == clamped
+
+    def test_zero_scale_distances_finite(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = min_pairwise_distance(points, scale=[0.0, 1.0])
+        assert np.isfinite(d)
+        assert d == pytest.approx(5.0)
+
+    def test_negative_scale_raises(self, rng):
+        points = rng.normal(size=(10, 2))
+        with pytest.raises(CandidateSearchError):
+            select_diverse(points, rng.random(10), 3, scale=[1.0, -1.0])
+        with pytest.raises(CandidateSearchError):
+            min_pairwise_distance(points, scale=[-0.5, 1.0])
+
+
+class TestDiverseOrder:
+    def test_matches_select_diverse(self, rng):
+        points = rng.normal(size=(30, 3))
+        quality = rng.random(30)
+        order, dists = diverse_order(points, quality, 6)
+        assert order == select_diverse(points, quality, 6)
+        assert len(dists) == 6
+
+    def test_seed_distance_is_inf(self, rng):
+        points = rng.normal(size=(15, 2))
+        _, dists = diverse_order(points, rng.random(15), 4)
+        assert dists[0] == float("inf")
+        assert all(np.isfinite(d) for d in dists[1:])
+
+    def test_distances_are_to_nearest_earlier_pick(self, rng):
+        points = rng.normal(size=(25, 3))
+        quality = rng.random(25)
+        order, dists = diverse_order(points, quality, 5)
+        for r in range(1, 5):
+            expected = min(
+                float(np.linalg.norm(points[order[r]] - points[order[e]]))
+                for e in range(r)
+            )
+            assert dists[r] == pytest.approx(expected)
+
+    def test_small_pool_quality_order(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        quality = np.array([0.3, 0.1, 0.2])
+        order, dists = diverse_order(points, quality, 10)
+        assert order == [1, 2, 0]
+        assert dists[0] == float("inf")
+        assert len(dists) == 3
+
+
+class TestSelectDiverseBatch:
+    def _random_groups(self, rng, n_groups):
+        sizes, ks, pts, qs = [], [], [], []
+        for _ in range(n_groups):
+            n = int(rng.integers(1, 25))
+            sizes.append(n)
+            ks.append(int(rng.integers(1, 10)))
+            pts.append(rng.normal(size=(n, 3)))
+            qs.append(rng.random(n))
+        return sizes, ks, pts, qs
+
+    def test_bitwise_identical_to_per_cell(self, rng):
+        for _ in range(20):
+            sizes, ks, pts, qs = self._random_groups(rng, int(rng.integers(1, 6)))
+            scale = np.abs(rng.normal(size=3)) + 0.1
+            batch = select_diverse_batch(
+                np.vstack(pts), np.concatenate(qs), sizes, ks, scale=scale
+            )
+            for g, (chosen, dists) in enumerate(batch):
+                ref_chosen, ref_dists = diverse_order(
+                    pts[g], qs[g], ks[g], scale=scale
+                )
+                assert chosen == ref_chosen
+                assert dists == ref_dists
+
+    def test_scalar_k_broadcasts(self, rng):
+        sizes, _, pts, qs = self._random_groups(rng, 4)
+        batch = select_diverse_batch(
+            np.vstack(pts), np.concatenate(qs), sizes, 3
+        )
+        for g, (chosen, dists) in enumerate(batch):
+            assert (chosen, dists) == diverse_order(pts[g], qs[g], 3)
+
+    def test_empty_groups_list(self):
+        assert select_diverse_batch(np.empty((0, 2)), [], [], []) == []
+
+    def test_size_mismatch_raises(self, rng):
+        with pytest.raises(CandidateSearchError):
+            select_diverse_batch(rng.normal(size=(5, 2)), rng.random(5), [3], [2])
+
+    def test_bad_k_raises(self, rng):
+        with pytest.raises(CandidateSearchError):
+            select_diverse_batch(rng.normal(size=(5, 2)), rng.random(5), [5], [0])
+
+
 class TestMinPairwiseDistance:
     def test_known(self):
         points = np.array([[0.0, 0.0], [3.0, 4.0], [10.0, 0.0]])
@@ -85,3 +195,19 @@ class TestMinPairwiseDistance:
     def test_scaled(self):
         points = np.array([[0.0], [10.0]])
         assert min_pairwise_distance(points, scale=[10.0]) == pytest.approx(1.0)
+
+    def test_broadcast_matches_pairwise_loop(self, rng):
+        """The vectorized version returns exactly what the former
+        O(n^2) Python loop over np.linalg.norm calls returned."""
+        for _ in range(20):
+            n = int(rng.integers(2, 40))
+            d = int(rng.integers(1, 6))
+            points = rng.normal(size=(n, d))
+            scale = np.abs(rng.normal(size=d)) + 0.1
+            for s in (None, scale):
+                scaled = points / s if s is not None else points
+                best = float("inf")
+                for i in range(n - 1):
+                    dist = np.linalg.norm(scaled[i + 1 :] - scaled[i], axis=1)
+                    best = min(best, float(dist.min()))
+                assert min_pairwise_distance(points, scale=s) == best

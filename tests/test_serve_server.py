@@ -486,7 +486,10 @@ class TestOrchestratorCacheHook:
         touched_users = {user for user, _time in seen[0]}
         assert touched_users == {"h1", "h2"}
         assert len(seen[0]) == epochs[0].report.cells_recomputed
-        # the hook's invalidation dropped exactly the touched users
+        # the hook's invalidation dropped exactly the touched users —
+        # and really dropped them (invalidated counts the evictions, so
+        # a type-mismatch no-op would read 0 here)
+        assert cache.stats.invalidated == 2
         assert cache.get(("h1", "bundle", ()), fps) is None
         assert cache.get(("h2", "bundle", ()), fps) is None
         assert cache.get(("bystander", "bundle", ()), fps) == "cached"
